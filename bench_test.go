@@ -1,0 +1,280 @@
+// Benchmarks regenerating each of the paper's tables and figures at
+// reduced fidelity, plus the ablation studies DESIGN.md calls out. Each
+// benchmark reports domain metrics (simulated cycles per second, headline
+// result values) alongside the usual time/op.
+//
+// The full-fidelity regeneration lives in cmd/p5exp; these benches keep
+// the harness honest and measure simulator performance.
+package power5prio
+
+import (
+	"testing"
+
+	"power5prio/internal/apps"
+	"power5prio/internal/balance"
+	"power5prio/internal/core"
+	"power5prio/internal/experiments"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/oskernel"
+	"power5prio/internal/prio"
+	"power5prio/internal/spec"
+	"power5prio/internal/tuner"
+)
+
+// benchHarness is sized so each regeneration iteration is meaningful but
+// brief.
+func benchHarness() experiments.Harness {
+	h := experiments.Quick()
+	h.IterScale = 0.1
+	return h
+}
+
+// BenchmarkTable1Allocator measures the decode-slot allocator itself: the
+// paper's core mechanism, at sub-nanosecond cost per cycle.
+func BenchmarkTable1Allocator(b *testing.B) {
+	a := prio.NewAllocator(prio.High, prio.Low)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		g := a.Next()
+		if !g.None && g.Thread == 0 {
+			n++
+		}
+	}
+	if n == 0 && b.N > 64 {
+		b.Fatal("allocator never granted thread 0")
+	}
+}
+
+// BenchmarkTable3 regenerates the ST + SMT(4,4) matrix.
+func BenchmarkTable3(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table3(h)
+		b.ReportMetric(r.Matrix.SingleIPC[microbench.LdIntL1], "ldint_l1_ST_IPC")
+	}
+}
+
+// BenchmarkFig2 regenerates the positive-priority speedup curves for one
+// representative primary (cpu_int), reporting its +2 speedup vs cpu_int.
+func BenchmarkFig2(b *testing.B) {
+	h := benchHarness()
+	names := []string{microbench.CPUInt, microbench.LdIntMem}
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(h, names, names, []int{0, 2})
+		b.ReportMetric(m.RelPrimary(microbench.CPUInt, microbench.CPUInt, 2), "cpu_int_rel_at_+2")
+	}
+}
+
+// BenchmarkFig3 regenerates the negative-priority degradation point the
+// paper headlines (cpu_int at -5 vs a memory thread).
+func BenchmarkFig3(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(h,
+			[]string{microbench.CPUInt}, []string{microbench.LdIntMem}, []int{0, -5})
+		b.ReportMetric(1/m.RelPrimary(microbench.CPUInt, microbench.LdIntMem, -5), "slowdown_at_-5")
+	}
+}
+
+// BenchmarkFig4 regenerates the throughput-vs-difference curve for the
+// high-IPC/memory pair.
+func BenchmarkFig4(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		m := experiments.RunMatrix(h,
+			[]string{microbench.LdIntL1}, []string{microbench.LdIntMem}, []int{0, 4})
+		b.ReportMetric(m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, 4), "total_rel_at_+4")
+	}
+}
+
+// BenchmarkFig5a regenerates the h264ref+mcf throughput case study.
+func BenchmarkFig5a(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5a(h)
+		b.ReportMetric(r.PeakGain*100, "peak_gain_%")
+	}
+}
+
+// BenchmarkFig5b regenerates the applu+equake throughput case study.
+func BenchmarkFig5b(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5b(h)
+		b.ReportMetric(r.PeakGain*100, "peak_gain_%")
+	}
+}
+
+// BenchmarkTable4 regenerates the FFT/LU pipeline table.
+func BenchmarkTable4(b *testing.B) {
+	h := benchHarness()
+	h.IterScale = 0.15
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(h)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.BestGain*100, "best_gain_%")
+	}
+}
+
+// BenchmarkFig6 regenerates the transparency measurement for one
+// foreground/background pair at (6,1).
+func BenchmarkFig6(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		st := h.RunSingle(microbench.CPUFP).IPC
+		res := h.RunPairLevels(microbench.CPUFP, microbench.CPUInt, prio.High, prio.VeryLow)
+		b.ReportMetric(st/res.Thread[0].IPC, "fg_time_rel_ST")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// cycles per wall second for a busy SMT pair.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, k, prio.Medium, prio.Medium, prio.User)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
+// BenchmarkAblationBalance compares balancing modes on the pathological
+// pair (experiment X1): the clean thread's IPC with the memory thread
+// balanced by Flush vs not at all.
+func BenchmarkAblationBalance(b *testing.B) {
+	for _, mode := range []balance.Mode{balance.Off, balance.Stall, balance.Flush} {
+		b.Run(mode.String(), func(b *testing.B) {
+			h := benchHarness()
+			h.Chip.Pipe.Balance.Mode = mode
+			for i := 0; i < b.N; i++ {
+				res := h.RunPairLevels(microbench.CPUInt, microbench.LdIntMem, prio.Medium, prio.Medium)
+				b.ReportMetric(res.Thread[0].IPC, "cpu_int_IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMemChannels varies DRAM concurrency (experiment X2):
+// with more channels the memory-pair collapse weakens.
+func BenchmarkAblationMemChannels(b *testing.B) {
+	for _, ch := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1ch", 2: "2ch", 4: "4ch"}[ch], func(b *testing.B) {
+			h := benchHarness()
+			h.Chip.Mem.MemChannels = ch
+			for i := 0; i < b.N; i++ {
+				res := h.RunPairLevels(microbench.LdIntMem, microbench.LdIntMem, prio.Medium, prio.Medium)
+				b.ReportMetric(res.TotalIPC, "mem_pair_total_IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMLP contrasts chase (MLP~1) and strided (LMQ-limited)
+// memory access under the same footprint (experiment X3).
+func BenchmarkAblationMLP(b *testing.B) {
+	build := func(kind isa.StreamKind) *isa.Kernel {
+		kb := isa.NewBuilder("mlp")
+		v := kb.Reg("v")
+		iter := kb.Reg("iter")
+		one := kb.Reg("one")
+		s := kb.Stream(isa.StreamSpec{Kind: kind, Footprint: 64 << 20, Stride: 4224, Seed: 9})
+		kb.Load(v, s, isa.Reg(-1))
+		kb.Op2(isa.OpIntAdd, iter, iter, one)
+		kb.Branch(isa.BranchLoop, iter)
+		return kb.MustBuild(32)
+	}
+	for _, tc := range []struct {
+		name string
+		kind isa.StreamKind
+	}{{"chase", isa.StreamChase}, {"stride", isa.StreamStride}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ch := core.NewChip(core.DefaultConfig())
+				ch.PlacePair(build(tc.kind), nil, prio.Medium, prio.Medium, prio.User)
+				res := fame.Measure(ch, fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 40_000_000})
+				b.ReportMetric(res.Thread[0].IPC, "IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkTuner measures the auto-tuner finding the best difference for a
+// throughput-skewed pair (experiment X4).
+func BenchmarkTuner(b *testing.B) {
+	h := benchHarness()
+	for i := 0; i < b.N; i++ {
+		r, err := tuner.TunePair(h, microbench.LdIntL1, microbench.LdIntMem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.BestDiff), "best_diff")
+		b.ReportMetric(float64(r.Evals), "evals")
+	}
+}
+
+// BenchmarkKernelPatch quantifies the stock kernel's erosion of a
+// prioritized configuration (experiment X5).
+func BenchmarkKernelPatch(b *testing.B) {
+	run := func(patched bool) float64 {
+		k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 24})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ch := core.NewChip(core.DefaultConfig())
+		ch.PlacePair(k, k, prio.High, prio.Low, prio.Supervisor)
+		os := oskernel.New(ch, oskernel.Config{Patched: patched, TickCycles: 2000, HandlerCycles: 20})
+		res := fame.Measure(os, fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 40_000_000})
+		return res.Thread[0].IPC
+	}
+	for _, tc := range []struct {
+		name    string
+		patched bool
+	}{{"patched", true}, {"stock", false}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.ReportMetric(run(tc.patched), "prioritized_IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkSpecWorkloads measures each synthetic SPEC workload alone, as a
+// calibration reference.
+func BenchmarkSpecWorkloads(b *testing.B) {
+	for _, name := range spec.Names() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				k, err := spec.BuildWith(name, spec.Params{IterScale: 0.15})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ch := core.NewChip(core.DefaultConfig())
+				ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.Supervisor)
+				res := fame.Measure(ch, fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 60_000_000})
+				b.ReportMetric(res.Thread[0].IPC, "ST_IPC")
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineApp measures one FFT/LU pipeline iteration cycle.
+func BenchmarkPipelineApp(b *testing.B) {
+	cfg := apps.DefaultConfig()
+	cfg.Scale = 0.15
+	for i := 0; i < b.N; i++ {
+		res, err := apps.Run(cfg, prio.MediumHigh, prio.Medium)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Mean.Iter, "iter_cycles")
+	}
+}

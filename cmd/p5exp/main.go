@@ -1,0 +1,122 @@
+// Command p5exp regenerates the tables and figures of Boneti et al.
+// (ISCA 2008) on the simulated POWER5, printing the same rows and series
+// the paper reports, next to the paper's values where applicable.
+//
+// Usage:
+//
+//	p5exp -exp table3            # one experiment
+//	p5exp -exp all -quick        # everything, at reduced fidelity
+//	p5exp -exp fig2 -csv         # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"power5prio/internal/experiments"
+	"power5prio/internal/report"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		quick  = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+	)
+	flag.Parse()
+
+	h := experiments.Default()
+	if *quick {
+		h = experiments.Quick()
+	}
+
+	if *verify {
+		failed := false
+		for _, f := range experiments.VerifyMicrobenchClaims(h) {
+			fmt.Println(f)
+			if !f.Pass {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	emit := func(tables ...*report.Table) {
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			emit(table1())
+		case "table3":
+			r := experiments.Table3(h)
+			emit(r.Render(), r.RenderComparison())
+		case "fig2":
+			emit(experiments.Fig2(h).Render()...)
+		case "fig3":
+			emit(experiments.Fig3(h).Render()...)
+		case "fig4":
+			emit(experiments.Fig4(h).Render()...)
+		case "fig5":
+			emit(experiments.Fig5a(h).Render(), experiments.Fig5b(h).Render())
+		case "table4":
+			r, err := experiments.Table4(h)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p5exp:", err)
+				os.Exit(1)
+			}
+			emit(r.Render())
+		case "fig6":
+			emit(experiments.Fig6(h).Render()...)
+		default:
+			fmt.Fprintf(os.Stderr, "p5exp: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table3", "fig2", "fig3", "fig4", "fig5", "table4", "fig6"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}
+
+// table1 renders the priority/privilege/or-nop table (Table 1 is
+// definitional; it is verified by unit tests, printed here for reference).
+func table1() *report.Table {
+	t := report.NewTable("Table 1: software-controlled thread priorities",
+		"priority", "level", "privilege", "or-nop")
+	rows := []struct {
+		p     int
+		name  string
+		priv  string
+		ornop string
+	}{
+		{0, "thread shut off", "hypervisor", "-"},
+		{1, "very low", "supervisor", "or 31,31,31"},
+		{2, "low", "user", "or 1,1,1"},
+		{3, "medium-low", "user", "or 6,6,6"},
+		{4, "medium", "user", "or 2,2,2"},
+		{5, "medium-high", "supervisor", "or 5,5,5"},
+		{6, "high", "supervisor", "or 3,3,3"},
+		{7, "very high", "hypervisor", "or 7,7,7"},
+	}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprint(r.p), r.name, r.priv, r.ornop)
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+// Command p5sim runs a single workload or a co-scheduled pair on the
+// simulated POWER5 core and reports FAME-measured performance.
+//
+// Usage:
+//
+//	p5sim -a cpu_int -b ldint_mem -pa 6 -pb 2
+//	p5sim -a mcf -single
+//	p5sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"power5prio"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/power"
+	"power5prio/internal/prio"
+)
+
+func main() {
+	var (
+		nameA   = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
+		nameB   = flag.String("b", "", "second workload; empty with -single for ST mode")
+		pa      = flag.Int("pa", 4, "priority of the first workload (0-7)")
+		pb      = flag.Int("pb", 4, "priority of the second workload (0-7)")
+		single  = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
+		reps    = flag.Int("reps", 10, "minimum FAME repetitions per thread")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+		showPow = flag.Bool("power", false, "estimate core power with the activity model")
+		disasm  = flag.Bool("disasm", false, "print the first workload's loop body and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("micro-benchmarks:", strings.Join(power5prio.Microbenchmarks(), " "))
+		fmt.Println("spec workloads:  ", strings.Join(power5prio.SPECWorkloads(), " "))
+		return
+	}
+
+	sys := power5prio.New(power5prio.DefaultConfig())
+	opts := power5prio.DefaultMeasureOptions()
+	opts.MinReps = *reps
+	sys.SetMeasureOptions(opts)
+
+	build := func(name string) *power5prio.Kernel {
+		if k, err := power5prio.Microbenchmark(name); err == nil {
+			return k
+		}
+		k, err := power5prio.SPECWorkload(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "p5sim: unknown workload %q (try -list)\n", name)
+			os.Exit(1)
+		}
+		return k
+	}
+
+	if *disasm {
+		fmt.Print(build(*nameA).Disassemble())
+		return
+	}
+
+	if *showPow {
+		runWithPower(build(*nameA), buildOrNil(build, *nameB, *single),
+			prio.Level(*pa), prio.Level(*pb), *reps)
+		return
+	}
+
+	if *single || *nameB == "" {
+		res, err := sys.MeasureSingle(build(*nameA))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5sim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s (single-thread): IPC %.3f, %.0f cycles/rep over %d reps\n",
+			*nameA, res.IPC, res.AvgRepCycles, res.Reps)
+		return
+	}
+
+	res, err := sys.MeasurePair(build(*nameA), build(*nameB),
+		power5prio.Level(*pa), power5prio.Level(*pb))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("priorities (%d,%d)  decode share %.4f : %.4f\n",
+		*pa, *pb, power5prio.Share(*pa-*pb), 1-power5prio.Share(*pa-*pb))
+	fmt.Printf("  %-18s IPC %.3f  %.0f cycles/rep  (%d reps)\n",
+		*nameA, res.Thread[0].IPC, res.Thread[0].AvgRepCycles, res.Thread[0].Reps)
+	fmt.Printf("  %-18s IPC %.3f  %.0f cycles/rep  (%d reps)\n",
+		*nameB, res.Thread[1].IPC, res.Thread[1].AvgRepCycles, res.Thread[1].Reps)
+	fmt.Printf("  total IPC %.3f over %d cycles\n", res.TotalIPC, res.Cycles)
+	if res.TimedOut {
+		fmt.Println("  WARNING: measurement hit the cycle budget before converging")
+	}
+}
+
+// buildOrNil returns nil when running single-threaded.
+func buildOrNil(build func(string) *power5prio.Kernel, name string, single bool) *power5prio.Kernel {
+	if single || name == "" {
+		return nil
+	}
+	return build(name)
+}
+
+// runWithPower runs the workload(s) on a chip directly so the activity
+// counters are available for the power model.
+func runWithPower(ka, kb *power5prio.Kernel, pa, pb prio.Level, reps int) {
+	cfg := core.DefaultConfig()
+	ch := core.NewChip(cfg)
+	ch.PlacePair(ka, kb, pa, pb, prio.Supervisor)
+	opts := fame.DefaultOptions()
+	opts.MinReps = reps
+	res := fame.Measure(ch, opts)
+	rep := power.DefaultModel().Estimate(ch.ExperimentCore(), ch.Hier, cfg.ExperimentCore)
+	fmt.Printf("total IPC %.3f  |  power: %s\n", res.TotalIPC, rep)
+	for part, e := range rep.ByPart {
+		fmt.Printf("  %-7s %12.0f (%.1f%%)\n", part, e, 100*e/rep.Energy)
+	}
+}

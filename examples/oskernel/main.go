@@ -1,0 +1,45 @@
+// Why the paper needed a kernel patch (Section 4.3): a stock Linux kernel
+// resets thread priorities to MEDIUM on every interrupt, silently eroding
+// any priority a program sets. This example measures the erosion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+	"power5prio/internal/oskernel"
+	"power5prio/internal/prio"
+)
+
+func main() {
+	run := func(patched bool) (float64, uint64) {
+		k, err := microbench.Build(microbench.CPUInt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ch := core.NewChip(core.DefaultConfig())
+		// The program asks for (6,2): 31 of 32 decode slots.
+		ch.PlacePair(k, k, prio.High, prio.Low, prio.Supervisor)
+		os := oskernel.New(ch, oskernel.Config{
+			Patched:       patched,
+			TickCycles:    50_000,
+			HandlerCycles: 500,
+		})
+		res := fame.Measure(os, fame.Options{MinReps: 5, WarmupReps: 1, MaxCycles: 100_000_000})
+		return res.Thread[0].IPC, os.Resets
+	}
+
+	patched, _ := run(true)
+	stock, resets := run(false)
+
+	fmt.Printf("prioritized thread at (6,2):\n")
+	fmt.Printf("  patched kernel (paper's setup): IPC %.3f\n", patched)
+	fmt.Printf("  stock kernel:                   IPC %.3f (%d priority resets)\n", stock, resets)
+	fmt.Printf("  erosion: %.1f%%\n", (1-stock/patched)*100)
+	fmt.Println("\nThe stock kernel clamps both threads back to MEDIUM at every tick,")
+	fmt.Println("so the requested prioritization decays — the reason the paper ships")
+	fmt.Println("a kernel patch before measuring anything.")
+}

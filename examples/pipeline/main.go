@@ -1,0 +1,42 @@
+// Execution-time case study (paper Section 5.4.1, Table 4): an FFT->LU
+// software pipeline with unbalanced stages. Priorities re-balance the
+// stages; over-prioritizing inverts the imbalance and hurts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power5prio"
+)
+
+func main() {
+	sys := power5prio.New(power5prio.DefaultConfig())
+
+	pairs := [][2]power5prio.Level{
+		{power5prio.Medium, power5prio.Medium},
+		{power5prio.MediumHigh, power5prio.Medium},
+		{power5prio.High, power5prio.Medium},
+		{power5prio.High, power5prio.MediumLow},
+	}
+
+	fmt.Printf("%-10s %12s %12s %12s\n", "priorities", "FFT cycles", "LU cycles", "iteration")
+	var base, best float64
+	var bestLabel string
+	for _, p := range pairs {
+		res, err := sys.RunPipeline(p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := fmt.Sprintf("(%d,%d)", p[0], p[1])
+		fmt.Printf("%-10s %12.0f %12.0f %12.0f\n", label, res.Mean.FFT, res.Mean.LU, res.Mean.Iter)
+		if base == 0 {
+			base, best, bestLabel = res.Mean.Iter, res.Mean.Iter, label
+		} else if res.Mean.Iter < best {
+			best, bestLabel = res.Mean.Iter, label
+		}
+	}
+	fmt.Printf("\nbest setting %s: %.1f%% faster than the default (4,4);\n",
+		bestLabel, (1-best/base)*100)
+	fmt.Println("the paper measured 9.3% at its optimum (Table 4).")
+}

@@ -1,0 +1,40 @@
+// Quickstart: measure how POWER5 software-controlled priorities shift
+// performance between two co-scheduled threads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power5prio"
+)
+
+func main() {
+	sys := power5prio.New(power5prio.DefaultConfig())
+
+	// A cpu-bound thread next to a memory-bound thread, first at the
+	// hardware default priorities (4,4)...
+	base, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
+		power5prio.Medium, power5prio.Medium)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...then with the cpu-bound thread prioritized to HIGH (6,2): it now
+	// receives 31 of every 32 decode slots.
+	boosted, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
+		power5prio.High, power5prio.Low)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("decode share at +2..+4: R=%d, share=%.4f\n",
+		power5prio.R(4), power5prio.Share(4))
+	fmt.Printf("%-12s %10s %10s\n", "", "(4,4)", "(6,2)")
+	fmt.Printf("%-12s %10.3f %10.3f\n", "cpu_int", base.Thread[0].IPC, boosted.Thread[0].IPC)
+	fmt.Printf("%-12s %10.3f %10.3f\n", "ldint_mem", base.Thread[1].IPC, boosted.Thread[1].IPC)
+	fmt.Printf("%-12s %10.3f %10.3f\n", "total", base.TotalIPC, boosted.TotalIPC)
+	fmt.Printf("\ncpu_int speedup: %.2fx; memory thread barely moves — the\n",
+		boosted.Thread[0].IPC/base.Thread[0].IPC)
+	fmt.Println("paper's core observation (Section 5.1).")
+}

@@ -1,0 +1,41 @@
+// Throughput case study (paper Section 5.3.1, Figure 5a): sweep the
+// priority of a synthetic h264ref against mcf and find the setting that
+// maximizes total IPC.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power5prio"
+)
+
+func main() {
+	sys := power5prio.New(power5prio.DefaultConfig())
+
+	pairs := [][2]power5prio.Level{
+		{power5prio.Medium, power5prio.Medium}, // the baseline (4,4)
+		{power5prio.MediumHigh, power5prio.Medium},
+		{power5prio.High, power5prio.Medium},
+		{power5prio.High, power5prio.MediumLow},
+		{power5prio.High, power5prio.Low},
+		{power5prio.High, power5prio.VeryLow},
+	}
+
+	fmt.Printf("%-10s %10s %10s %10s %8s\n", "priorities", "h264ref", "mcf", "total", "gain")
+	var base float64
+	for _, p := range pairs {
+		res, err := sys.MeasureSpecPair("h264ref", "mcf", p[0], p[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.TotalIPC
+		}
+		fmt.Printf("(%d,%d)      %10.3f %10.3f %10.3f %+7.1f%%\n",
+			p[0], p[1], res.Thread[0].IPC, res.Thread[1].IPC, res.TotalIPC,
+			(res.TotalIPC/base-1)*100)
+	}
+	fmt.Println("\nPrioritizing the high-IPC encoder raises total throughput at the")
+	fmt.Println("memory-bound thread's modest expense (paper: +23.7% peak).")
+}

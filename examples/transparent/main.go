@@ -1,0 +1,42 @@
+// Transparent execution (paper Section 5.5, Figure 6): a background
+// thread at priority 1 runs almost without affecting a priority-6
+// foreground thread — useful free cycles for best-effort work.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"power5prio"
+)
+
+func main() {
+	sys := power5prio.New(power5prio.DefaultConfig())
+
+	foregrounds := []string{"cpu_fp", "lng_chain_cpuint", "ldint_l2"}
+	const background = "cpu_int"
+
+	fmt.Printf("background thread: %s at priority 1 (VERY LOW)\n\n", background)
+	fmt.Printf("%-18s %10s %12s %12s %12s\n",
+		"foreground", "ST IPC", "fg IPC (6,1)", "fg cost", "bg IPC")
+	for _, fg := range foregrounds {
+		k, err := power5prio.Microbenchmark(fg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := sys.MeasureSingle(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pair, err := sys.MeasureMicroPair(fg, background,
+			power5prio.High, power5prio.VeryLow)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := (st.IPC/pair.Thread[0].IPC - 1) * 100
+		fmt.Printf("%-18s %10.3f %12.3f %11.1f%% %12.3f\n",
+			fg, st.IPC, pair.Thread[0].IPC, cost, pair.Thread[1].IPC)
+	}
+	fmt.Println("\nThe background thread scavenges one decode slot in 64 and the")
+	fmt.Println("foreground loses only a few percent (paper: <10% for most pairs).")
+}

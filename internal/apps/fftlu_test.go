@@ -1,0 +1,148 @@
+package apps
+
+import (
+	"testing"
+
+	"power5prio/internal/prio"
+)
+
+func quickCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 0.2
+	cfg.Iterations = 2
+	cfg.Warmup = 1
+	return cfg
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Iterations = 0 },
+		func(c *Config) { c.Warmup = -1 },
+		func(c *Config) { c.Scale = 0 },
+		func(c *Config) { c.MaxCycles = 0 },
+		func(c *Config) { c.Chip.ExperimentCore = 9 },
+	}
+	for i, m := range mut {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestKernelsValid(t *testing.T) {
+	if err := FFTKernel(1.0).Validate(); err != nil {
+		t.Errorf("FFTKernel invalid: %v", err)
+	}
+	if err := LUKernel(1.0).Validate(); err != nil {
+		t.Errorf("LUKernel invalid: %v", err)
+	}
+	// Scaling floors at 8 iterations.
+	if got := FFTKernel(0.000001).Iters; got != 8 {
+		t.Errorf("scaled FFT iters = %d, want floor 8", got)
+	}
+}
+
+func TestSingleThreadBaseline(t *testing.T) {
+	st, err := SingleThread(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FFT <= 0 || st.LU <= 0 {
+		t.Fatalf("non-positive stage times: %+v", st)
+	}
+	if st.Iter != st.FFT+st.LU {
+		t.Errorf("sequential iteration %v != FFT %v + LU %v", st.Iter, st.FFT, st.LU)
+	}
+	// The paper's stage imbalance: FFT is several times LU.
+	if st.FFT < 3*st.LU {
+		t.Errorf("stage imbalance too small: FFT %v vs LU %v", st.FFT, st.LU)
+	}
+}
+
+func TestRunPipelineBasics(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Run(cfg, prio.Medium, prio.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if len(res.PerIteration) != cfg.Iterations {
+		t.Fatalf("%d measured iterations, want %d", len(res.PerIteration), cfg.Iterations)
+	}
+	for i, it := range res.PerIteration {
+		if it.Iter < it.FFT || it.Iter < it.LU {
+			t.Errorf("iteration %d: barrier time %v below a stage (%v, %v)", i, it.Iter, it.FFT, it.LU)
+		}
+	}
+	if res.Mean.Iter <= 0 {
+		t.Error("zero mean iteration")
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Iterations = 0
+	if _, err := Run(cfg, prio.Medium, prio.Medium); err == nil {
+		t.Error("Run accepted invalid config")
+	}
+	if _, err := SingleThread(cfg); err == nil {
+		t.Error("SingleThread accepted invalid config")
+	}
+}
+
+// TestEarlyFinisherWaits: at (4,4) LU finishes long before FFT; the
+// iteration must equal the FFT time (LU blocks at the barrier with its
+// thread off, rather than spinning at full priority).
+func TestEarlyFinisherWaits(t *testing.T) {
+	res, err := Run(quickCfg(), prio.Medium, prio.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.Iter != res.Mean.FFT {
+		t.Errorf("iteration %v != FFT %v: FFT must be the long pole at (4,4)", res.Mean.Iter, res.Mean.FFT)
+	}
+	if res.Mean.LU >= res.Mean.FFT {
+		t.Errorf("LU %v not shorter than FFT %v at (4,4)", res.Mean.LU, res.Mean.FFT)
+	}
+}
+
+// TestPriorityRebalances: FFT at higher priority runs faster than at
+// (4,4), and LU slows correspondingly.
+func TestPriorityRebalances(t *testing.T) {
+	base, err := Run(quickCfg(), prio.Medium, prio.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := Run(quickCfg(), prio.MediumHigh, prio.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Mean.FFT >= base.Mean.FFT {
+		t.Errorf("FFT at (5,4) %v not faster than at (4,4) %v", up.Mean.FFT, base.Mean.FFT)
+	}
+	if up.Mean.LU <= base.Mean.LU {
+		t.Errorf("LU at (5,4) %v not slower than at (4,4) %v", up.Mean.LU, base.Mean.LU)
+	}
+}
+
+func TestTimeoutReported(t *testing.T) {
+	cfg := quickCfg()
+	cfg.MaxCycles = 100
+	res, err := Run(cfg, prio.Medium, prio.Medium)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut {
+		t.Error("expected timeout with a 100-cycle budget")
+	}
+}

@@ -1,0 +1,162 @@
+// Package balance implements the POWER5 dynamic hardware resource-balancing
+// mechanism described in Section 3.1 of the paper: the core monitors GCT
+// (reorder buffer) occupancy and L2/TLB miss counts per thread and, when a
+// thread is judged to be blocking its sibling, throttles it back by
+// stalling its decode (Stall), flushing its dispatch-pending instructions
+// and stalling (Flush), or reducing its decode rate (throttle).
+package balance
+
+import "fmt"
+
+// Mode selects which balancing action the core applies.
+type Mode uint8
+
+// Balancing modes.
+const (
+	// Off disables hardware balancing (for ablation studies).
+	Off Mode = iota
+	// Stall stops instruction decode of the offending thread until the
+	// congestion clears.
+	Stall
+	// Flush additionally flushes the offending thread's dispatch-pending
+	// instructions when it holds GCT entries while stalled on a
+	// long-latency miss.
+	Flush
+)
+
+var modeNames = [...]string{"off", "stall", "flush"}
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Config sets the balancing thresholds. The numbers mirror the intent of
+// the POWER5 implementation: an offending thread may not hold more than
+// roughly 70% of the shared GCT while its sibling is active.
+type Config struct {
+	Mode Mode
+	// GCTHigh: a thread holding >= GCTHigh GCT entries (while the sibling
+	// is active) has its decode stalled.
+	GCTHigh int
+	// GCTLow: decode resumes when the thread's GCT occupancy drops below
+	// GCTLow (hysteresis).
+	GCTLow int
+	// MissHigh: a thread with >= MissHigh outstanding L2-or-beyond misses
+	// is decode-throttled to one slot in ThrottleRate.
+	MissHigh int
+	// ThrottleRate: when miss-throttled, the thread receives only one of
+	// every ThrottleRate decode slots it would otherwise get.
+	ThrottleRate int
+}
+
+// DefaultConfig returns thresholds tuned for the 20-entry POWER5 GCT.
+func DefaultConfig() Config {
+	return Config{
+		Mode:         Flush,
+		GCTHigh:      14,
+		GCTLow:       12,
+		MissHigh:     6,
+		ThrottleRate: 8,
+	}
+}
+
+// Validate checks threshold consistency.
+func (c Config) Validate() error {
+	if c.Mode == Off {
+		return nil
+	}
+	if c.GCTHigh <= 0 || c.GCTLow <= 0 || c.GCTLow > c.GCTHigh {
+		return fmt.Errorf("balance: need 0 < GCTLow <= GCTHigh, got low=%d high=%d", c.GCTLow, c.GCTHigh)
+	}
+	if c.MissHigh <= 0 {
+		return fmt.Errorf("balance: MissHigh must be positive, got %d", c.MissHigh)
+	}
+	if c.ThrottleRate <= 1 {
+		return fmt.Errorf("balance: ThrottleRate must be > 1, got %d", c.ThrottleRate)
+	}
+	return nil
+}
+
+// Decision is the balancing outcome for one thread on one cycle.
+type Decision struct {
+	// StallDecode: the thread must not decode this cycle.
+	StallDecode bool
+	// FlushDispatch: the thread's dispatch-pending (decoded but not yet
+	// dispatched) instructions must be flushed now.
+	FlushDispatch bool
+}
+
+// Monitor tracks per-thread congestion and produces balancing decisions.
+// The zero value is a monitor with balancing Off.
+type Monitor struct {
+	cfg      Config
+	stalled  [2]bool
+	flushed  [2]bool // flush already applied for the current episode
+	throttle [2]int  // decode-slot countdown while miss-throttled
+}
+
+// NewMonitor returns a monitor for the given configuration. It panics on an
+// invalid configuration (configurations are code, not user input).
+func NewMonitor(cfg Config) *Monitor {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Monitor{cfg: cfg}
+}
+
+// Config returns the monitor's configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// Observe is called once per cycle per thread with the thread's current GCT
+// occupancy (entries held), the number of its outstanding L2-or-beyond
+// misses, whether the sibling thread is active, and whether this thread has
+// a long-latency (L2-or-beyond) miss outstanding.
+func (m *Monitor) Observe(thread, gctHeld, outstandingMisses int, siblingActive bool) Decision {
+	if m.cfg.Mode == Off || !siblingActive {
+		m.stalled[thread] = false
+		m.flushed[thread] = false
+		return Decision{}
+	}
+	var d Decision
+	// GCT watermark with hysteresis.
+	if m.stalled[thread] {
+		if gctHeld < m.cfg.GCTLow {
+			m.stalled[thread] = false
+			m.flushed[thread] = false
+		}
+	} else if gctHeld >= m.cfg.GCTHigh {
+		m.stalled[thread] = true
+		if m.cfg.Mode == Flush && outstandingMisses > 0 && !m.flushed[thread] {
+			d.FlushDispatch = true
+			m.flushed[thread] = true
+		}
+	}
+	d.StallDecode = m.stalled[thread]
+	// Miss-count decode throttling.
+	if outstandingMisses >= m.cfg.MissHigh {
+		if m.throttle[thread] > 0 {
+			m.throttle[thread]--
+			d.StallDecode = true
+		} else {
+			m.throttle[thread] = m.cfg.ThrottleRate - 1
+		}
+	} else {
+		m.throttle[thread] = 0
+	}
+	return d
+}
+
+// Stalled reports whether the thread is currently decode-stalled by the
+// GCT watermark mechanism.
+func (m *Monitor) Stalled(thread int) bool { return m.stalled[thread] }
+
+// Reset clears all episode state.
+func (m *Monitor) Reset() {
+	m.stalled = [2]bool{}
+	m.flushed = [2]bool{}
+	m.throttle = [2]int{}
+}

@@ -1,0 +1,178 @@
+package balance
+
+import "testing"
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{Off: "off", Stall: "stall", Flush: "flush"} {
+		if m.String() != want {
+			t.Errorf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Errorf("invalid mode = %q", Mode(9).String())
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	bad := []Config{
+		{Mode: Stall, GCTHigh: 0, GCTLow: 0, MissHigh: 1, ThrottleRate: 2},
+		{Mode: Stall, GCTHigh: 5, GCTLow: 8, MissHigh: 1, ThrottleRate: 2},
+		{Mode: Stall, GCTHigh: 5, GCTLow: 3, MissHigh: 0, ThrottleRate: 2},
+		{Mode: Stall, GCTHigh: 5, GCTLow: 3, MissHigh: 2, ThrottleRate: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Off mode skips threshold validation entirely.
+	if err := (Config{Mode: Off}).Validate(); err != nil {
+		t.Errorf("Off config rejected: %v", err)
+	}
+}
+
+func TestMonitorOffNeverActs(t *testing.T) {
+	m := NewMonitor(Config{Mode: Off})
+	d := m.Observe(0, 20, 10, true)
+	if d.StallDecode || d.FlushDispatch {
+		t.Errorf("Off monitor acted: %+v", d)
+	}
+}
+
+func TestMonitorStallHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = Stall
+	m := NewMonitor(cfg)
+
+	// Below high watermark: no action.
+	if d := m.Observe(0, cfg.GCTHigh-1, 0, true); d.StallDecode {
+		t.Error("stalled below high watermark")
+	}
+	// Reaches high watermark: stall.
+	if d := m.Observe(0, cfg.GCTHigh, 0, true); !d.StallDecode {
+		t.Error("did not stall at high watermark")
+	}
+	// Still above low watermark: stays stalled.
+	if d := m.Observe(0, cfg.GCTLow, 0, true); !d.StallDecode {
+		t.Error("released before dropping below low watermark")
+	}
+	// Below low watermark: released.
+	if d := m.Observe(0, cfg.GCTLow-1, 0, true); d.StallDecode {
+		t.Error("still stalled below low watermark")
+	}
+}
+
+func TestMonitorFlushOncePerEpisode(t *testing.T) {
+	cfg := DefaultConfig() // Flush mode
+	m := NewMonitor(cfg)
+
+	d := m.Observe(0, cfg.GCTHigh, 2, true)
+	if !d.FlushDispatch {
+		t.Fatal("no flush at high watermark with outstanding miss")
+	}
+	// Same episode: no second flush.
+	d = m.Observe(0, cfg.GCTHigh, 2, true)
+	if d.FlushDispatch {
+		t.Error("flushed twice in one episode")
+	}
+	// Episode ends, new episode flushes again.
+	m.Observe(0, cfg.GCTLow-1, 0, true)
+	d = m.Observe(0, cfg.GCTHigh, 1, true)
+	if !d.FlushDispatch {
+		t.Error("no flush in a new episode")
+	}
+}
+
+func TestMonitorFlushRequiresMiss(t *testing.T) {
+	m := NewMonitor(DefaultConfig())
+	d := m.Observe(0, DefaultConfig().GCTHigh, 0, true)
+	if d.FlushDispatch {
+		t.Error("flushed without an outstanding long-latency miss")
+	}
+	if !d.StallDecode {
+		t.Error("did not stall at watermark")
+	}
+}
+
+func TestMonitorSiblingInactiveDisables(t *testing.T) {
+	m := NewMonitor(DefaultConfig())
+	d := m.Observe(0, 20, 8, false)
+	if d.StallDecode || d.FlushDispatch {
+		t.Errorf("balanced with inactive sibling: %+v", d)
+	}
+	// An in-progress stall episode is dropped when the sibling goes away.
+	m.Observe(0, 20, 0, true)
+	if !m.Stalled(0) {
+		t.Fatal("expected stall")
+	}
+	m.Observe(0, 20, 0, false)
+	if m.Stalled(0) {
+		t.Error("stall episode survived sibling deactivation")
+	}
+}
+
+func TestMonitorMissThrottle(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMonitor(cfg)
+	// Low GCT occupancy but many outstanding misses: decode throttled to
+	// 1 in ThrottleRate cycles.
+	granted := 0
+	for i := 0; i < cfg.ThrottleRate*4; i++ {
+		d := m.Observe(1, 2, cfg.MissHigh, true)
+		if !d.StallDecode {
+			granted++
+		}
+	}
+	if granted != 4 {
+		t.Errorf("throttled thread granted %d of %d slots, want %d",
+			granted, cfg.ThrottleRate*4, 4)
+	}
+	// Misses cleared: throttle released immediately.
+	if d := m.Observe(1, 2, 0, true); d.StallDecode {
+		t.Error("throttle persisted after misses cleared")
+	}
+}
+
+func TestMonitorPerThreadIndependence(t *testing.T) {
+	m := NewMonitor(DefaultConfig())
+	m.Observe(0, 20, 1, true) // thread 0 stalls
+	d := m.Observe(1, 3, 0, true)
+	if d.StallDecode {
+		t.Error("thread 1 affected by thread 0's stall")
+	}
+	if !m.Stalled(0) || m.Stalled(1) {
+		t.Errorf("Stalled() = (%v,%v), want (true,false)", m.Stalled(0), m.Stalled(1))
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	m := NewMonitor(DefaultConfig())
+	m.Observe(0, 20, 5, true)
+	m.Reset()
+	if m.Stalled(0) {
+		t.Error("Reset did not clear stall")
+	}
+}
+
+func TestNewMonitorPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMonitor accepted invalid config")
+		}
+	}()
+	NewMonitor(Config{Mode: Stall})
+}
+
+func TestZeroValueMonitorIsOff(t *testing.T) {
+	var m Monitor
+	d := m.Observe(0, 20, 20, true)
+	if d.StallDecode || d.FlushDispatch {
+		t.Errorf("zero-value monitor acted: %+v", d)
+	}
+}

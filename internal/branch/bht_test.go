@@ -1,0 +1,135 @@
+package branch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictorLearnsAlwaysTaken(t *testing.T) {
+	p := New(10)
+	const pc = 0x1000
+	correct := 0
+	for i := 0; i < 100; i++ {
+		if p.Predict(0, pc) {
+			correct++
+		}
+		p.Update(0, pc, true)
+	}
+	if correct < 95 {
+		t.Errorf("always-taken accuracy = %d/100, want >= 95", correct)
+	}
+}
+
+func TestPredictorLearnsLoopPattern(t *testing.T) {
+	// Loop branch: taken 15 times, not-taken once (16-iteration loop).
+	p := New(12)
+	const pc = 0x2040
+	correct, total := 0, 0
+	for rep := 0; rep < 50; rep++ {
+		for i := 0; i < 16; i++ {
+			taken := i < 15
+			if p.Predict(0, pc) == taken {
+				correct++
+			}
+			p.Update(0, pc, taken)
+			total++
+		}
+	}
+	// With history the predictor should do well above 80%.
+	if frac := float64(correct) / float64(total); frac < 0.8 {
+		t.Errorf("loop accuracy = %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestPredictorRandomNearChance(t *testing.T) {
+	p := New(10)
+	const pc = 0x3000
+	seed := uint64(12345)
+	next := func() bool {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return seed&1 == 1
+	}
+	correct, total := 0, 4000
+	for i := 0; i < total; i++ {
+		taken := next()
+		if p.Predict(0, pc) == taken {
+			correct++
+		}
+		p.Update(0, pc, taken)
+	}
+	frac := float64(correct) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("random-outcome accuracy = %.2f, want near 0.5", frac)
+	}
+}
+
+func TestPredictorPerThreadHistory(t *testing.T) {
+	p := New(10)
+	// Thread 0 trains taken; thread 1's history must be untouched.
+	if p.history[1] != 0 {
+		t.Fatal("fresh predictor has nonzero history")
+	}
+	p.Update(0, 0x100, true)
+	if p.history[1] != 0 {
+		t.Error("thread 0 update changed thread 1 history")
+	}
+	if p.history[0] == 0 {
+		t.Error("thread 0 history not updated")
+	}
+}
+
+func TestPredictorUpdateReportsCorrectness(t *testing.T) {
+	p := New(8)
+	const pc = 0x500
+	// Fresh counters are weakly taken: predicting a not-taken branch is wrong.
+	if got := p.Update(0, pc, false); got {
+		t.Error("Update reported correct for mispredicted not-taken branch")
+	}
+}
+
+func TestPredictorReset(t *testing.T) {
+	p := New(8)
+	for i := 0; i < 10; i++ {
+		p.Update(0, 0x700, false)
+	}
+	p.Reset()
+	if !p.Predict(0, 0x700) {
+		t.Error("Reset did not restore weakly-taken state")
+	}
+}
+
+func TestNewPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []uint{0, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", bits)
+				}
+			}()
+			New(bits)
+		}()
+	}
+}
+
+// Property: counters saturate within [0,3]; Predict is consistent with the
+// counter threshold after any update sequence.
+func TestPredictorSaturationProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		p := New(6)
+		const pc = 0xabc
+		for _, o := range outcomes {
+			p.Update(0, pc, o)
+		}
+		for _, c := range p.table {
+			if c > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

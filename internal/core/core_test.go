@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+)
+
+func buildTiny(t *testing.T) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("tiny")
+	a := b.Reg("a")
+	b.Op2(isa.OpIntAdd, a, a, a)
+	b.Branch(isa.BranchLoop, a)
+	k, err := b.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ExperimentCore = 5
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted out-of-range ExperimentCore")
+	}
+	cfg = DefaultConfig()
+	cfg.Mem.Cores = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted invalid mem config")
+	}
+	cfg = DefaultConfig()
+	cfg.Pipe.GCTEntries = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("accepted invalid pipeline config")
+	}
+}
+
+func TestNewChipBuildsAllCores(t *testing.T) {
+	ch := NewChip(DefaultConfig())
+	if len(ch.Cores) != 2 {
+		t.Fatalf("got %d cores, want 2", len(ch.Cores))
+	}
+	if ch.ExperimentCore() != ch.Cores[1] {
+		t.Error("experiment core is not the second core (paper methodology)")
+	}
+}
+
+func TestPlacePairAndRun(t *testing.T) {
+	ch := NewChip(DefaultConfig())
+	k := buildTiny(t)
+	ch.PlacePair(k, k, prio.Medium, prio.Medium, prio.User)
+	for i := 0; i < 2000; i++ {
+		ch.Step()
+	}
+	c := ch.ExperimentCore()
+	if c.Stats(0).Instructions == 0 || c.Stats(1).Instructions == 0 {
+		t.Error("paired workloads made no progress")
+	}
+	// The noise core stays idle.
+	if ch.Cores[0].Stats(0).Instructions != 0 {
+		t.Error("noise core executed instructions")
+	}
+}
+
+func TestPlacePairSingleThread(t *testing.T) {
+	ch := NewChip(DefaultConfig())
+	ch.PlacePair(buildTiny(t), nil, prio.Medium, prio.Medium, prio.User)
+	c := ch.ExperimentCore()
+	if c.Priority(1) != prio.ThreadOff {
+		t.Errorf("idle thread priority = %v, want thread-off", c.Priority(1))
+	}
+	for i := 0; i < 500; i++ {
+		ch.Step()
+	}
+	if c.Stats(0).Instructions == 0 {
+		t.Error("single thread made no progress")
+	}
+}
+
+func TestPlacePairPrewarm(t *testing.T) {
+	ch := NewChip(DefaultConfig())
+	b := isa.NewBuilder("warm")
+	v := b.Reg("v")
+	s := b.Stream(isa.StreamSpec{
+		Kind: isa.StreamChase, Footprint: 256 << 10, Seed: 9, Prewarm: true,
+	})
+	b.Load(v, s, isa.Reg(-1))
+	b.Branch(isa.BranchLoop, v)
+	k, err := b.Build(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.User)
+	for i := 0; i < 4000; i++ {
+		ch.Step()
+	}
+	// With prewarm, a 256KB chase must hit L2, never memory.
+	st := ch.Hier.StatsFor(ch.Config().ExperimentCore, 0)
+	if st.Hits[3] != 0 { // HitMem
+		t.Errorf("prewarmed chase went to memory %d times", st.Hits[3])
+	}
+	if st.Hits[1] == 0 { // HitL2
+		t.Error("prewarmed chase never hit L2")
+	}
+}
+
+func TestBaseAddressesDisjoint(t *testing.T) {
+	if BaseThread0 == BaseThread1 {
+		t.Fatal("thread bases must differ")
+	}
+	// 1<<42 exceeds any configured footprint.
+	if BaseThread1 < (1 << 32) {
+		t.Error("thread 1 base too low; address spaces could overlap")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// TestDeterminism: two identical runs produce bit-identical statistics.
+// The simulator is single-goroutine and seeded; any divergence indicates
+// hidden global state.
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, uint64) {
+		ka, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kb, err := microbench.BuildWith(microbench.BrMiss, microbench.Params{Iters: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewChip(DefaultConfig())
+		ch.PlacePair(ka, kb, prio.High, prio.MediumLow, prio.User)
+		for i := 0; i < 30000; i++ {
+			ch.Step()
+		}
+		c := ch.ExperimentCore()
+		return c.Stats(0).Instructions, c.Stats(1).Instructions, c.Stats(1).BranchMispredicts
+	}
+	a0, a1, am := run()
+	b0, b1, bm := run()
+	if a0 != b0 || a1 != b1 || am != bm {
+		t.Errorf("non-deterministic: run1 (%d,%d,%d) vs run2 (%d,%d,%d)", a0, a1, am, b0, b1, bm)
+	}
+	if a0 == 0 || a1 == 0 {
+		t.Fatal("no progress")
+	}
+}
+
+// TestInstructionConservation: across a mix of workload pairs, retired
+// instructions per completed repetition must exactly equal the kernel's
+// dynamic length — squash/replay must neither lose nor duplicate work.
+func TestInstructionConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	names := []string{microbench.CPUInt, microbench.BrMiss, microbench.LdIntL1, microbench.LdIntL2}
+	for _, na := range names {
+		for _, nb := range names {
+			ka, err := microbench.BuildWith(na, microbench.Params{IterScale: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kb, err := microbench.BuildWith(nb, microbench.Params{IterScale: 0.1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch := NewChip(DefaultConfig())
+			ch.PlacePair(ka, kb, prio.MediumHigh, prio.MediumLow, prio.User)
+			res := fame.Measure(ch, fame.Options{MinReps: 2, WarmupReps: 0, MaxCycles: 40_000_000})
+			if res.TimedOut {
+				t.Errorf("(%s,%s) timed out", na, nb)
+				continue
+			}
+			if got, want := res.Thread[0].Instructions, res.Thread[0].Reps*ka.DynLen(); got != want {
+				t.Errorf("(%s,%s): thread 0 retired %d, want %d", na, nb, got, want)
+			}
+			if got, want := res.Thread[1].Instructions, res.Thread[1].Reps*kb.DynLen(); got != want {
+				t.Errorf("(%s,%s): thread 1 retired %d, want %d", na, nb, got, want)
+			}
+		}
+	}
+}
+
+// TestDecodeGrantAccounting: the sum of decode slots granted to both
+// threads can never exceed total cycles (one slot per cycle), and equals
+// it when both threads are active at normal priorities.
+func TestDecodeGrantAccounting(t *testing.T) {
+	k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewChip(DefaultConfig())
+	ch.PlacePair(k, k, prio.Medium, prio.Medium, prio.User)
+	const cycles = 10000
+	for i := 0; i < cycles; i++ {
+		ch.Step()
+	}
+	c := ch.ExperimentCore()
+	granted := c.Stats(0).DecodeGranted + c.Stats(1).DecodeGranted
+	if granted != cycles {
+		t.Errorf("granted %d slots over %d cycles; equal-priority SMT must grant every slot", granted, cycles)
+	}
+}
+
+// TestSharesMatchFormula: measured decode-grant fractions track equation
+// (1) within rounding for several priority pairs.
+func TestSharesMatchFormula(t *testing.T) {
+	pairs := [][2]prio.Level{{6, 4}, {6, 2}, {4, 5}, {2, 6}}
+	for _, p := range pairs {
+		k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := NewChip(DefaultConfig())
+		ch.PlacePair(k, k, p[0], p[1], prio.User)
+		const cycles = 64000
+		for i := 0; i < cycles; i++ {
+			ch.Step()
+		}
+		c := ch.ExperimentCore()
+		g0 := float64(c.Stats(0).DecodeGranted)
+		g1 := float64(c.Stats(1).DecodeGranted)
+		frac := g0 / (g0 + g1)
+		want := prio.Share(int(p[0]) - int(p[1]))
+		if diff := frac - want; diff > 0.01 || diff < -0.01 {
+			t.Errorf("(%d,%d): measured grant share %.4f, formula %.4f", p[0], p[1], frac, want)
+		}
+	}
+}

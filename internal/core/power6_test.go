@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+)
+
+func TestPOWER6LikeConfigValid(t *testing.T) {
+	if err := POWER6LikeConfig().Validate(); err != nil {
+		t.Fatalf("POWER6LikeConfig invalid: %v", err)
+	}
+}
+
+// TestPriorityEffectRobustAcrossPresets: the headline behaviour —
+// prioritization shifting throughput between identical threads — holds on
+// both machine presets.
+func TestPriorityEffectRobustAcrossPresets(t *testing.T) {
+	build := func() *isa.Kernel {
+		b := isa.NewBuilder("k")
+		a := b.Reg("a")
+		one := b.Reg("one")
+		for i := 0; i < 8; i++ {
+			b.Op2(isa.OpIntAdd, a, iReg(i, a, one), one)
+		}
+		b.Branch(isa.BranchLoop, a)
+		return b.MustBuild(16)
+	}
+	for _, cfg := range []Config{DefaultConfig(), POWER6LikeConfig()} {
+		ch := NewChip(cfg)
+		ch.PlacePair(build(), build(), prio.High, prio.Low, prio.User)
+		c := ch.ExperimentCore()
+		for i := 0; i < 20000; i++ {
+			ch.Step()
+		}
+		hi, lo := c.Stats(0).Instructions, c.Stats(1).Instructions
+		if hi <= 4*lo {
+			t.Errorf("preset: prioritized thread %d vs victim %d; want a wide split", hi, lo)
+		}
+	}
+}
+
+// iReg alternates dependency targets so the kernel has some ILP.
+func iReg(i int, a, one isa.Reg) isa.Reg {
+	if i%2 == 0 {
+		return a
+	}
+	return one
+}

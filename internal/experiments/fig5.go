@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+	"power5prio/internal/report"
+	"power5prio/internal/spec"
+)
+
+// Fig5Point is one measurement of the case-study sweep.
+type Fig5Point struct {
+	PrioP, PrioS prio.Level
+	IPCP, IPCS   float64
+	Total        float64
+}
+
+// Fig5Result reproduces Figure 5: total IPC of a SPEC pair as the first
+// workload's priority increases.
+type Fig5Result struct {
+	NameP, NameS string
+	Points       []Fig5Point
+	// PeakGain is the best total-IPC improvement over the (4,4) baseline.
+	PeakGain float64
+	// PaperPeakGain is the paper's reported peak for this pair.
+	PaperPeakGain float64
+}
+
+// fig5Pairs are the priority pairs of the Figure 5 x-axis.
+var fig5Pairs = [][2]prio.Level{
+	{prio.Medium, prio.Medium},
+	{prio.MediumHigh, prio.Medium},
+	{prio.High, prio.Medium},
+	{prio.High, prio.MediumLow},
+	{prio.High, prio.Low},
+	{prio.High, prio.VeryLow},
+}
+
+// RunSpecKernels measures a SPEC pair at given levels.
+func (h Harness) specKernel(name string) *isa.Kernel {
+	k, err := spec.BuildWith(name, spec.Params{IterScale: h.IterScale})
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// RunSpecPair measures a synthetic SPEC pair at explicit priorities.
+func (h Harness) RunSpecPair(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
+	ch := core.NewChip(h.Chip)
+	ch.PlacePair(h.specKernel(nameP), h.specKernel(nameS), pp, ps, h.Privilege)
+	return fame.Measure(ch, h.Fame)
+}
+
+// fig5 sweeps one pair.
+func fig5(h Harness, nameP, nameS string, paperPeak float64) Fig5Result {
+	r := Fig5Result{NameP: nameP, NameS: nameS, PaperPeakGain: paperPeak}
+	var base float64
+	for _, pair := range fig5Pairs {
+		res := h.RunSpecPair(nameP, nameS, pair[0], pair[1])
+		pt := Fig5Point{
+			PrioP: pair[0], PrioS: pair[1],
+			IPCP: res.Thread[0].IPC, IPCS: res.Thread[1].IPC,
+			Total: res.TotalIPC,
+		}
+		r.Points = append(r.Points, pt)
+		if pair[0] == prio.Medium && pair[1] == prio.Medium {
+			base = pt.Total
+		}
+		if base > 0 {
+			if gain := pt.Total/base - 1; gain > r.PeakGain {
+				r.PeakGain = gain
+			}
+		}
+	}
+	return r
+}
+
+// Fig5a regenerates Figure 5(a): h264ref + mcf.
+func Fig5a(h Harness) Fig5Result {
+	return fig5(h, spec.H264Ref, spec.MCF, PaperFig5aPeakGain)
+}
+
+// Fig5b regenerates Figure 5(b): applu + equake.
+func Fig5b(h Harness) Fig5Result {
+	return fig5(h, spec.Applu, spec.Equake, PaperFig5bPeakGain)
+}
+
+// Render produces the Figure 5 series.
+func (r Fig5Result) Render() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Figure 5: total IPC with increasing priorities — %s + %s (paper peak gain %.1f%%, simulated %.1f%%)",
+			r.NameP, r.NameS, r.PaperPeakGain*100, r.PeakGain*100),
+		"priorities", r.NameP, r.NameS, "total", "gain")
+	base := r.Points[0].Total
+	for _, p := range r.Points {
+		t.AddRow(
+			fmt.Sprintf("(%d,%d)", p.PrioP, p.PrioS),
+			report.F(p.IPCP), report.F(p.IPCS), report.F(p.Total),
+			fmt.Sprintf("%+.1f%%", (p.Total/base-1)*100),
+		)
+	}
+	return t
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+
+	"power5prio/internal/prio"
+)
+
+// TestFig5aThroughputCaseStudy: prioritizing h264ref over mcf must raise
+// total IPC, peaking well above baseline (paper: +23.7%).
+func TestFig5aThroughputCaseStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case-study sweep")
+	}
+	h := Quick()
+	h.IterScale = 0.2
+	r := Fig5a(h)
+	t.Logf("\n%s", r.Render().String())
+	if len(r.Points) != 6 {
+		t.Fatalf("%d points, want 6", len(r.Points))
+	}
+	if r.PeakGain < 0.08 {
+		t.Errorf("peak gain %.1f%%, want >= 8%% (paper +23.7%%)", r.PeakGain*100)
+	}
+	// mcf must slow down at the peak but not collapse (paper: -32%).
+	base := r.Points[0].IPCS
+	last := r.Points[len(r.Points)-1].IPCS
+	if last >= base {
+		t.Errorf("mcf did not slow down under prioritization: %.3f -> %.3f", base, last)
+	}
+}
+
+// TestFig5bAppluEquake: the FP pair gains as well (paper: +14%).
+func TestFig5bAppluEquake(t *testing.T) {
+	if testing.Short() {
+		t.Skip("case-study sweep")
+	}
+	h := Quick()
+	h.IterScale = 0.2
+	r := Fig5b(h)
+	t.Logf("\n%s", r.Render().String())
+	if r.PeakGain < 0.05 {
+		t.Errorf("peak gain %.1f%%, want >= 5%% (paper +14%%)", r.PeakGain*100)
+	}
+}
+
+// TestFig5BaselineFirst: the sweep starts at the default priorities.
+func TestFig5BaselineFirst(t *testing.T) {
+	if fig5Pairs[0] != [2]prio.Level{prio.Medium, prio.Medium} {
+		t.Fatal("Figure 5 sweep must start at (4,4)")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+	"power5prio/internal/report"
+)
+
+// Fig6Cell is one foreground/background co-run at a given foreground
+// priority (the background always runs at priority 1).
+type Fig6Cell struct {
+	FG, BG float64 // per-thread IPC
+}
+
+// Fig6Result reproduces Figure 6: transparent execution with a
+// background thread at priority 1.
+type Fig6Result struct {
+	Names    []string
+	FGLevels []prio.Level // foreground priorities measured (6 down to 2)
+	STIPC    map[string]float64
+	// Cells[fg][bg][fgLevel]
+	Cells map[string]map[string]map[prio.Level]Fig6Cell
+}
+
+// Fig6 regenerates Figure 6 (a), (b), (c) and (d) from one grid of runs:
+// every presented benchmark as foreground at priorities 6..2 against every
+// presented benchmark as background at priority 1.
+func Fig6(h Harness) Fig6Result {
+	names := microbench.Presented()
+	levels := []prio.Level{prio.High, prio.MediumHigh, prio.Medium, prio.MediumLow, prio.Low}
+	r := Fig6Result{
+		Names:    names,
+		FGLevels: levels,
+		STIPC:    make(map[string]float64),
+		Cells:    make(map[string]map[string]map[prio.Level]Fig6Cell),
+	}
+	for _, fg := range names {
+		r.STIPC[fg] = h.RunSingle(fg).IPC
+		r.Cells[fg] = make(map[string]map[prio.Level]Fig6Cell)
+		for _, bg := range names {
+			r.Cells[fg][bg] = make(map[prio.Level]Fig6Cell)
+			for _, lv := range levels {
+				res := h.RunPairLevels(fg, bg, lv, prio.VeryLow)
+				r.Cells[fg][bg][lv] = Fig6Cell{
+					FG: res.Thread[0].IPC,
+					BG: res.Thread[1].IPC,
+				}
+			}
+		}
+	}
+	return r
+}
+
+// RelTime returns the foreground's execution time relative to
+// single-thread mode (>= 1; the paper's Figures 6a-c y-axis).
+func (r Fig6Result) RelTime(fg, bg string, lv prio.Level) float64 {
+	cell := r.Cells[fg][bg][lv]
+	if cell.FG == 0 {
+		return 0
+	}
+	return r.STIPC[fg] / cell.FG
+}
+
+// AvgBackgroundIPC returns the mean background IPC across all foregrounds
+// for a given background benchmark and foreground priority (Figure 6d).
+func (r Fig6Result) AvgBackgroundIPC(bg string, lv prio.Level) float64 {
+	sum, n := 0.0, 0
+	for _, fg := range r.Names {
+		sum += r.Cells[fg][bg][lv].BG
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Render produces the four sub-figure tables.
+func (r Fig6Result) Render() []*report.Table {
+	var out []*report.Table
+	// (a) and (b): foreground slowdown at priority 6 and 5.
+	for _, lv := range []prio.Level{prio.High, prio.MediumHigh} {
+		t := report.NewTable(
+			fmt.Sprintf("Figure 6(%s): foreground time vs ST, priorities (%d,1)",
+				map[prio.Level]string{prio.High: "a", prio.MediumHigh: "b"}[lv], lv),
+			append([]string{"fg \\ bg"}, r.Names...)...)
+		for _, fg := range r.Names {
+			row := []string{fg}
+			for _, bg := range r.Names {
+				row = append(row, report.F2(r.RelTime(fg, bg, lv)))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	// (c): worst-case background (ldint_mem) as foreground priority drops.
+	t := report.NewTable("Figure 6(c): foreground time vs ST with ldint_mem background, priorities (x,1)",
+		"fg \\ fg-prio", "6", "5", "4", "3", "2")
+	for _, fg := range []string{microbench.LdIntL2, microbench.CPUFP, microbench.LngChainCPUInt, microbench.LdIntMem} {
+		row := []string{fg}
+		for _, lv := range r.FGLevels {
+			row = append(row, report.F2(r.RelTime(fg, microbench.LdIntMem, lv)))
+		}
+		t.AddRow(row...)
+	}
+	out = append(out, t)
+	// (d): average background IPC.
+	t = report.NewTable("Figure 6(d): average IPC of the background thread",
+		"bg \\ priorities", "(6,1)", "(5,1)", "(4,1)", "(3,1)", "(2,1)")
+	for _, bg := range r.Names {
+		row := []string{bg}
+		for _, lv := range r.FGLevels {
+			row = append(row, report.F(r.AvgBackgroundIPC(bg, lv)))
+		}
+		t.AddRow(row...)
+	}
+	out = append(out, t)
+	return out
+}

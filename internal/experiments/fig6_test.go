@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"testing"
+
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// fig6Subset runs a reduced Figure 6 grid for tests.
+func fig6Subset(t *testing.T, fgs, bgs []string, levels []prio.Level) Fig6Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("transparency grid is a long test")
+	}
+	h := Quick()
+	h.IterScale = 0.12
+	r := Fig6Result{
+		Names:    fgs,
+		FGLevels: levels,
+		STIPC:    make(map[string]float64),
+		Cells:    make(map[string]map[string]map[prio.Level]Fig6Cell),
+	}
+	for _, fg := range fgs {
+		r.STIPC[fg] = h.RunSingle(fg).IPC
+		r.Cells[fg] = make(map[string]map[prio.Level]Fig6Cell)
+		for _, bg := range bgs {
+			r.Cells[fg][bg] = make(map[prio.Level]Fig6Cell)
+			for _, lv := range levels {
+				res := h.RunPairLevels(fg, bg, lv, prio.VeryLow)
+				r.Cells[fg][bg][lv] = Fig6Cell{FG: res.Thread[0].IPC, BG: res.Thread[1].IPC}
+			}
+		}
+	}
+	return r
+}
+
+// TestFig6TransparencyAtHighPriority: a priority-1 background thread costs
+// a priority-6 foreground little (paper: < 10% for latency-bound
+// foregrounds; high-IPC foregrounds suffer the most).
+func TestFig6TransparencyAtHighPriority(t *testing.T) {
+	fgs := []string{microbench.CPUFP, microbench.LngChainCPUInt, microbench.CPUInt}
+	bgs := []string{microbench.CPUInt}
+	r := fig6Subset(t, fgs, bgs, []prio.Level{prio.High})
+	for _, fg := range fgs {
+		rel := r.RelTime(fg, microbench.CPUInt, prio.High)
+		if rel > 1.25 {
+			t.Errorf("%s at (6,1) with cpu_int bg: time %.2fx of ST, want near-transparent (< 1.25x)", fg, rel)
+		}
+		if rel < 0.9 {
+			t.Errorf("%s at (6,1): rel time %.2f implausibly below ST", fg, rel)
+		}
+	}
+}
+
+// TestFig6EffectGrowsAsForegroundDrops: lowering the foreground priority
+// toward the background's increases the interference (Figure 6c).
+func TestFig6EffectGrowsAsForegroundDrops(t *testing.T) {
+	fgs := []string{microbench.CPUFP}
+	bgs := []string{microbench.LdIntMem}
+	levels := []prio.Level{prio.High, prio.Medium, prio.Low}
+	r := fig6Subset(t, fgs, bgs, levels)
+	at6 := r.RelTime(microbench.CPUFP, microbench.LdIntMem, prio.High)
+	at2 := r.RelTime(microbench.CPUFP, microbench.LdIntMem, prio.Low)
+	if at2 < at6 {
+		t.Errorf("interference should grow as fg priority drops: (6,1) %.2f vs (2,1) %.2f", at6, at2)
+	}
+}
+
+// TestFig6BackgroundGetsMoreAsForegroundDrops: the background thread's IPC
+// rises as the foreground priority falls (Figure 6d).
+func TestFig6BackgroundGetsMoreAsForegroundDrops(t *testing.T) {
+	fgs := []string{microbench.CPUInt}
+	bgs := []string{microbench.CPUInt}
+	levels := []prio.Level{prio.High, prio.Low}
+	r := fig6Subset(t, fgs, bgs, levels)
+	bg6 := r.AvgBackgroundIPC(microbench.CPUInt, prio.High)
+	bg2 := r.AvgBackgroundIPC(microbench.CPUInt, prio.Low)
+	if bg2 <= bg6 {
+		t.Errorf("background IPC should rise as fg priority drops: (6,1) %.3f vs (2,1) %.3f", bg6, bg2)
+	}
+}
+
+// TestFig6MemForegroundRobust: ldint_mem as foreground barely notices a
+// compute background (paper: ~7%), even at low foreground priority.
+func TestFig6MemForegroundRobust(t *testing.T) {
+	fgs := []string{microbench.LdIntMem}
+	bgs := []string{microbench.CPUInt}
+	r := fig6Subset(t, fgs, bgs, []prio.Level{prio.Low})
+	rel := r.RelTime(microbench.LdIntMem, microbench.CPUInt, prio.Low)
+	if rel > 1.6 {
+		t.Errorf("ldint_mem fg at (2,1): %.2fx of ST, want robust (paper ~1.07x)", rel)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"power5prio/internal/microbench"
+	"power5prio/internal/report"
+)
+
+// FigCurves is the shared shape of Figures 2, 3 and 4: one sub-figure per
+// primary benchmark, one series per secondary benchmark, one point per
+// priority difference.
+type FigCurves struct {
+	Title  string
+	Names  []string
+	Diffs  []int
+	Matrix *MatrixResult
+	// rel selects the plotted quantity from the matrix.
+	rel func(m *MatrixResult, p, s string, diff int) float64
+}
+
+// Fig2 regenerates Figure 2: primary-thread performance improvement as its
+// priority increases (differences +1..+5), relative to (4,4).
+func Fig2(h Harness) FigCurves {
+	names := microbench.Presented()
+	diffs := []int{0, 1, 2, 3, 4, 5}
+	m := RunMatrix(h, names, names, diffs)
+	return FigCurves{
+		Title: "Figure 2: PThread speedup vs positive priority difference",
+		Names: names, Diffs: []int{1, 2, 3, 4, 5}, Matrix: m,
+		rel: (*MatrixResult).RelPrimary,
+	}
+}
+
+// Fig3 regenerates Figure 3: primary-thread performance degradation with
+// negative priority differences (-1..-5), relative to (4,4). Values are
+// slowdown factors (baseline time / time at diff >= 1).
+func Fig3(h Harness) FigCurves {
+	names := microbench.Presented()
+	diffs := []int{0, -1, -2, -3, -4, -5}
+	m := RunMatrix(h, names, names, diffs)
+	return FigCurves{
+		Title: "Figure 3: PThread slowdown vs negative priority difference",
+		Names: names, Diffs: []int{-1, -2, -3, -4, -5}, Matrix: m,
+		rel: func(m *MatrixResult, p, s string, diff int) float64 {
+			r := m.RelPrimary(p, s, diff)
+			if r == 0 {
+				return 0
+			}
+			return 1 / r // the paper plots degradation factors
+		},
+	}
+}
+
+// Fig4 regenerates Figure 4: total IPC relative to (4,4) across priority
+// differences +4 down to -4.
+func Fig4(h Harness) FigCurves {
+	names := microbench.Presented()
+	diffs := []int{4, 3, 2, 1, 0, -1, -2, -3, -4}
+	m := RunMatrix(h, names, names, diffs)
+	return FigCurves{
+		Title: "Figure 4: total IPC relative to (4,4)",
+		Names: names, Diffs: diffs, Matrix: m,
+		rel: (*MatrixResult).RelTotal,
+	}
+}
+
+// Value returns the plotted quantity for one (primary, secondary, diff).
+func (f FigCurves) Value(p, s string, diff int) float64 {
+	return f.rel(f.Matrix, p, s, diff)
+}
+
+// Render produces one table per sub-figure: rows are secondaries (the
+// legend series), columns are priority differences.
+func (f FigCurves) Render() []*report.Table {
+	var out []*report.Table
+	for _, p := range f.Names {
+		header := []string{"secondary \\ diff"}
+		for _, d := range f.Diffs {
+			header = append(header, fmt.Sprintf("%+d", d))
+		}
+		t := report.NewTable(fmt.Sprintf("%s — primary %s", f.Title, p), header...)
+		for _, s := range f.Names {
+			row := []string{s}
+			for _, d := range f.Diffs {
+				row = append(row, report.F2(f.Value(p, s, d)))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}

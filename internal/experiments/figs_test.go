@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"testing"
+
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+func TestDiffPairMapping(t *testing.T) {
+	cases := map[int][2]prio.Level{
+		0:  {4, 4},
+		1:  {5, 4},
+		2:  {6, 4},
+		3:  {6, 3},
+		4:  {6, 2},
+		5:  {6, 1},
+		-5: {1, 6},
+	}
+	for d, want := range cases {
+		p, s := DiffPair(d)
+		if p != want[0] || s != want[1] {
+			t.Errorf("DiffPair(%d) = (%d,%d), want (%d,%d)", d, p, s, want[0], want[1])
+		}
+		if int(p)-int(s) != d {
+			t.Errorf("DiffPair(%d) difference is %d", d, int(p)-int(s))
+		}
+	}
+}
+
+func TestDiffPairPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DiffPair accepted diff 6")
+		}
+	}()
+	DiffPair(6)
+}
+
+// figHarness is smaller than Quick: the figure sweeps run many pairs.
+func figHarness() Harness {
+	h := Quick()
+	h.IterScale = 0.12
+	return h
+}
+
+// TestFig2PositivePrioritiesHelp: raising the primary's priority must not
+// hurt it, and decode-bound primaries must gain substantially by +2.
+func TestFig2PositivePrioritiesHelp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	h := figHarness()
+	names := []string{microbench.LdIntL1, microbench.CPUInt, microbench.LdIntMem}
+	m := RunMatrix(h, names, names, []int{0, 2, 5})
+	// Decode-bound benchmarks gain from +2 against compute partners.
+	for _, p := range []string{microbench.LdIntL1, microbench.CPUInt} {
+		rel := m.RelPrimary(p, microbench.CPUInt, 2)
+		if rel < 1.15 {
+			t.Errorf("%s at +2 vs cpu_int: rel %.2f, want >= 1.15 (paper saturates near max by +2)", p, rel)
+		}
+		rel5 := m.RelPrimary(p, microbench.CPUInt, 5)
+		if rel5 < rel*0.95 {
+			t.Errorf("%s at +5 (%.2f) fell below +2 (%.2f)", p, rel5, rel)
+		}
+	}
+	// Memory-bound primaries gain little against compute partners...
+	relMem := m.RelPrimary(microbench.LdIntMem, microbench.CPUInt, 5)
+	if relMem > 1.3 {
+		t.Errorf("ldint_mem at +5 vs cpu_int: rel %.2f, want ~1.0 (insensitive)", relMem)
+	}
+	// ...but gain against another memory-bound thread (paper: 1.7x).
+	relMM := m.RelPrimary(microbench.LdIntMem, microbench.LdIntMem, 5)
+	if relMM < 1.25 {
+		t.Errorf("ldint_mem at +5 vs ldint_mem: rel %.2f, want >= 1.25 (paper ~1.7)", relMM)
+	}
+}
+
+// TestFig3NegativePrioritiesDevastate: the paper's headline asymmetry —
+// negative differences cost far more than positive ones gain.
+func TestFig3NegativePrioritiesDevastate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	h := figHarness()
+	// cpu_int at -5 vs a memory thread: paper reports up to 42x slowdown.
+	m := RunMatrix(h, []string{microbench.CPUInt}, []string{microbench.LdIntMem, microbench.CPUInt}, []int{0, -5})
+	slow := 1 / m.RelPrimary(microbench.CPUInt, microbench.LdIntMem, -5)
+	if slow < 8 {
+		t.Errorf("cpu_int at -5 vs ldint_mem: slowdown %.1fx, want >= 8x (paper ~42x)", slow)
+	}
+	slowCPU := 1 / m.RelPrimary(microbench.CPUInt, microbench.CPUInt, -5)
+	if slowCPU < 5 {
+		t.Errorf("cpu_int at -5 vs cpu_int: slowdown %.1fx, want >= 5x (paper ~20x)", slowCPU)
+	}
+}
+
+// TestFig3MemInsensitiveToNegative: ldint_mem barely notices -5 against a
+// compute partner (paper Figure 3f).
+func TestFig3MemInsensitiveToNegative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	h := figHarness()
+	m := RunMatrix(h, []string{microbench.LdIntMem}, []string{microbench.CPUInt}, []int{0, -5})
+	slow := 1 / m.RelPrimary(microbench.LdIntMem, microbench.CPUInt, -5)
+	if slow > 2.5 {
+		t.Errorf("ldint_mem at -5 vs cpu_int: slowdown %.1fx, want < 2.5x (paper < 2.5x)", slow)
+	}
+}
+
+// TestFig4ThroughputRule: prioritizing the higher-IPC thread of a pair
+// improves total throughput; deprioritizing it hurts.
+func TestFig4ThroughputRule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	h := figHarness()
+	m := RunMatrix(h, []string{microbench.LdIntL1}, []string{microbench.LdIntMem}, []int{0, 4, -4})
+	up := m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, 4)
+	down := m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, -4)
+	if up <= 1.1 {
+		t.Errorf("prioritizing high-IPC thread: total rel %.2f, want > 1.1 (paper up to 2x)", up)
+	}
+	if down >= 0.9 {
+		t.Errorf("deprioritizing high-IPC thread: total rel %.2f, want < 0.9", down)
+	}
+}
+
+// TestFigRenderShapes: rendering produces one table per primary with the
+// right number of series.
+func TestFigRenderShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep test")
+	}
+	h := figHarness()
+	h.IterScale = 0.05
+	names := []string{microbench.CPUInt, microbench.LdIntMem}
+	m := RunMatrix(h, names, names, []int{0, 1})
+	f := FigCurves{Title: "t", Names: names, Diffs: []int{1}, Matrix: m, rel: (*MatrixResult).RelPrimary}
+	tables := f.Render()
+	if len(tables) != 2 {
+		t.Fatalf("%d tables, want 2", len(tables))
+	}
+	if len(tables[0].Rows) != 2 {
+		t.Errorf("%d rows, want 2 series", len(tables[0].Rows))
+	}
+}

@@ -1,0 +1,178 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated POWER5. Each experiment returns a
+// typed result with a Render method producing the same rows/series the
+// paper reports, plus the paper's own numbers for side-by-side comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// Harness bundles the configuration every experiment shares.
+type Harness struct {
+	Chip core.Config
+	Fame fame.Options
+	// IterScale shrinks micro-benchmark repetition lengths (1.0 = the
+	// defaults; tests and benches use smaller values).
+	IterScale float64
+	// Privilege used for in-stream priority changes (the paper's patched
+	// kernel exposes the supervisor range to applications).
+	Privilege prio.Privilege
+}
+
+// Default returns the full-fidelity harness (paper methodology: MAIV 1%,
+// at least 10 repetitions).
+func Default() Harness {
+	return Harness{
+		Chip:      core.DefaultConfig(),
+		Fame:      fame.DefaultOptions(),
+		IterScale: 1.0,
+		Privilege: prio.Supervisor,
+	}
+}
+
+// Quick returns a reduced harness for tests and benches: fewer repetitions
+// and shorter kernels. Shapes are preserved; absolute noise grows.
+func Quick() Harness {
+	h := Default()
+	h.Fame = fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 120_000_000}
+	h.IterScale = 0.25
+	return h
+}
+
+// kernel builds a micro-benchmark at the harness scale.
+func (h Harness) kernel(name string) *isa.Kernel {
+	k, err := microbench.BuildWith(name, microbench.Params{IterScale: h.IterScale})
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// RunPairLevels measures a co-scheduled pair at explicit priority levels.
+func (h Harness) RunPairLevels(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
+	ch := core.NewChip(h.Chip)
+	ch.PlacePair(h.kernel(nameP), h.kernel(nameS), pp, ps, h.Privilege)
+	return fame.Measure(ch, h.Fame)
+}
+
+// RunSingle measures a benchmark alone on the core (ST mode).
+func (h Harness) RunSingle(name string) fame.ThreadResult {
+	ch := core.NewChip(h.Chip)
+	ch.PlacePair(h.kernel(name), nil, prio.Medium, prio.Medium, h.Privilege)
+	return fame.Measure(ch, h.Fame).Thread[0]
+}
+
+// DiffPair maps a priority difference in [-5,+5] to the level pair the
+// paper's experiments use: the primary thread moves first through the
+// supervisor range (5,4)...(6,1), mirrored for negative differences.
+func DiffPair(diff int) (prio.Level, prio.Level) {
+	pairs := map[int][2]prio.Level{
+		0:  {prio.Medium, prio.Medium},
+		1:  {prio.MediumHigh, prio.Medium},
+		2:  {prio.High, prio.Medium},
+		3:  {prio.High, prio.MediumLow},
+		4:  {prio.High, prio.Low},
+		5:  {prio.High, prio.VeryLow},
+		-1: {prio.Medium, prio.MediumHigh},
+		-2: {prio.Medium, prio.High},
+		-3: {prio.MediumLow, prio.High},
+		-4: {prio.Low, prio.High},
+		-5: {prio.VeryLow, prio.High},
+	}
+	p, ok := pairs[diff]
+	if !ok {
+		panic(fmt.Sprintf("experiments: priority difference %d out of range [-5,5]", diff))
+	}
+	return p[0], p[1]
+}
+
+// Meas is one co-run measurement: per-thread and total IPC.
+type Meas struct {
+	Primary   float64
+	Secondary float64
+	Total     float64
+}
+
+// PairKey identifies a (primary, secondary) workload pair.
+type PairKey struct{ P, S string }
+
+// MatrixResult holds co-run measurements over a set of priority
+// differences, plus single-thread IPCs; every micro-benchmark table and
+// figure derives from it.
+type MatrixResult struct {
+	Primaries   []string
+	Secondaries []string
+	Diffs       []int
+	Cells       map[PairKey]map[int]Meas
+	SingleIPC   map[string]float64
+}
+
+// RunMatrix measures every (primary, secondary) pair at every priority
+// difference, plus each primary alone in ST mode.
+func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixResult {
+	r := &MatrixResult{
+		Primaries:   primaries,
+		Secondaries: secondaries,
+		Diffs:       diffs,
+		Cells:       make(map[PairKey]map[int]Meas),
+		SingleIPC:   make(map[string]float64),
+	}
+	for _, p := range primaries {
+		r.SingleIPC[p] = h.RunSingle(p).IPC
+		for _, s := range secondaries {
+			key := PairKey{p, s}
+			r.Cells[key] = make(map[int]Meas)
+			for _, d := range diffs {
+				pp, ps := DiffPair(d)
+				res := h.RunPairLevels(p, s, pp, ps)
+				r.Cells[key][d] = Meas{
+					Primary:   res.Thread[0].IPC,
+					Secondary: res.Thread[1].IPC,
+					Total:     res.TotalIPC,
+				}
+			}
+		}
+	}
+	return r
+}
+
+// At returns the measurement for a pair at a difference; it panics if the
+// combination was not part of the matrix (harness bug, not user input).
+func (m *MatrixResult) At(p, s string, diff int) Meas {
+	cell, ok := m.Cells[PairKey{p, s}]
+	if !ok {
+		panic(fmt.Sprintf("experiments: pair (%s,%s) not in matrix", p, s))
+	}
+	meas, ok := cell[diff]
+	if !ok {
+		panic(fmt.Sprintf("experiments: diff %d not in matrix for (%s,%s)", diff, p, s))
+	}
+	return meas
+}
+
+// RelPrimary returns the primary thread's performance at diff relative to
+// the equal-priority baseline (the paper's Figures 2 and 3 y-axis).
+func (m *MatrixResult) RelPrimary(p, s string, diff int) float64 {
+	base := m.At(p, s, 0).Primary
+	if base == 0 {
+		return 0
+	}
+	return m.At(p, s, diff).Primary / base
+}
+
+// RelTotal returns total IPC at diff relative to the equal-priority
+// baseline (the paper's Figure 4 y-axis).
+func (m *MatrixResult) RelTotal(p, s string, diff int) float64 {
+	base := m.At(p, s, 0).Total
+	if base == 0 {
+		return 0
+	}
+	return m.At(p, s, diff).Total / base
+}

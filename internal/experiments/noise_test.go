@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMethodologyNoise: an L2-resident measurement on the experiment core
+// degrades when cache-hungry noise runs on the sibling core — the reason
+// the paper isolates its experiments on the second core.
+func TestMethodologyNoise(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip-level simulation")
+	}
+	h := Quick()
+	h.IterScale = 0.2
+	r := MethodologyNoise(h)
+	t.Logf("\n%s", r.Render().String())
+	if r.CleanIPC <= 0 || r.NoisyIPC <= 0 {
+		t.Fatalf("no progress: %+v", r)
+	}
+	if r.NoisyIPC >= r.CleanIPC {
+		t.Errorf("noise on the sibling core did not hurt: clean %.3f vs noisy %.3f",
+			r.CleanIPC, r.NoisyIPC)
+	}
+	if r.Distortion < 0.05 {
+		t.Errorf("distortion %.1f%% too small to justify the paper's isolation methodology",
+			r.Distortion*100)
+	}
+	if !strings.Contains(r.Render().String(), "Methodology") {
+		t.Error("render missing title")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"testing"
+
+	"power5prio/internal/microbench"
+)
+
+// table3Once caches the Quick Table 3 run across tests in this package.
+var table3Cache *Table3Result
+
+func table3(t *testing.T) Table3Result {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	if table3Cache == nil {
+		r := Table3(Quick())
+		table3Cache = &r
+	}
+	return *table3Cache
+}
+
+func TestTable3RenderAndLog(t *testing.T) {
+	r := table3(t)
+	t.Logf("\n%s", r.RenderComparison().String())
+	if got := len(r.Names); got != 6 {
+		t.Fatalf("%d benchmarks, want 6", got)
+	}
+}
+
+// TestTable3EqualPairSplitsEvenly: identical workloads at (4,4) perform
+// identically (paper: 1.15/1.15 for ldint_l1).
+func TestTable3EqualPairSplitsEvenly(t *testing.T) {
+	r := table3(t)
+	for _, n := range r.Names {
+		m := r.Matrix.At(n, n, 0)
+		if m.Primary == 0 || m.Secondary == 0 {
+			t.Fatalf("%s self-pair made no progress", n)
+		}
+		ratio := m.Primary / m.Secondary
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s self-pair asymmetric: pt %.3f vs st %.3f", n, m.Primary, m.Secondary)
+		}
+	}
+}
+
+// TestTable3LdintL1Halves: a throughput-bound benchmark loses about half
+// its performance against a copy of itself.
+func TestTable3LdintL1Halves(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntL1]
+	pt := r.Matrix.At(microbench.LdIntL1, microbench.LdIntL1, 0).Primary
+	frac := pt / st
+	if frac < 0.35 || frac > 0.65 {
+		t.Errorf("ldint_l1 self-pair fraction of ST = %.2f, want ~0.5 (paper 1.15/2.29)", frac)
+	}
+}
+
+// TestTable3MemInsensitive: ldint_mem keeps its ST performance against
+// every non-memory partner (paper row: 0.02 everywhere except vs itself).
+func TestTable3MemInsensitive(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntMem]
+	for _, s := range []string{microbench.LdIntL1, microbench.CPUInt, microbench.CPUFP, microbench.LngChainCPUInt} {
+		pt := r.Matrix.At(microbench.LdIntMem, s, 0).Primary
+		if pt < 0.6*st {
+			t.Errorf("ldint_mem vs %s: pt %.4f dropped below 60%% of ST %.4f", s, pt, st)
+		}
+	}
+}
+
+// TestTable3MemPairCollapses: two memory-bound threads halve each other
+// (paper: 0.02 ST -> 0.01 co-run) via DRAM channel serialization.
+func TestTable3MemPairCollapses(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntMem]
+	pt := r.Matrix.At(microbench.LdIntMem, microbench.LdIntMem, 0).Primary
+	if pt > 0.75*st {
+		t.Errorf("ldint_mem self-pair pt %.4f, want well below ST %.4f (paper halves)", pt, st)
+	}
+}
+
+// TestTable3L2PairOverflows: two L2-resident working sets overflow the
+// shared L2 and degrade beyond the fair share (paper: 0.27 ST -> 0.11).
+func TestTable3L2PairOverflows(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntL2]
+	pt := r.Matrix.At(microbench.LdIntL2, microbench.LdIntL2, 0).Primary
+	if pt > 0.7*st {
+		t.Errorf("ldint_l2 self-pair pt %.3f, want well below ST %.3f (capacity overflow)", pt, st)
+	}
+}
+
+// TestTable3L2InsensitiveToCompute: ldint_l2 keeps near-ST performance
+// against compute partners (paper: 0.27 vs cpu_int, ldint_l1).
+func TestTable3L2InsensitiveToCompute(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntL2]
+	for _, s := range []string{microbench.CPUInt, microbench.LdIntL1} {
+		pt := r.Matrix.At(microbench.LdIntL2, s, 0).Primary
+		if pt < 0.6*st {
+			t.Errorf("ldint_l2 vs %s: pt %.3f below 60%% of ST %.3f", s, pt, st)
+		}
+	}
+}
+
+// TestTable3MemHurtsL1: the memory-bound partner degrades ldint_l1 well
+// below its fair half (paper: 2.29 -> 0.79) by clogging shared queues.
+func TestTable3MemHurtsL1(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.LdIntL1]
+	pt := r.Matrix.At(microbench.LdIntL1, microbench.LdIntMem, 0).Primary
+	frac := pt / st
+	if frac > 0.62 {
+		t.Errorf("ldint_l1 vs ldint_mem keeps %.2f of ST; paper shows a drop to ~0.35", frac)
+	}
+	if frac < 0.1 {
+		t.Errorf("ldint_l1 vs ldint_mem at %.2f of ST: balancing should prevent starvation", frac)
+	}
+}
+
+// TestTable3TotalsConsistent: tt = pt + secondary IPC in every cell.
+func TestTable3TotalsConsistent(t *testing.T) {
+	r := table3(t)
+	for _, p := range r.Names {
+		for _, s := range r.Names {
+			m := r.Matrix.At(p, s, 0)
+			if diff := m.Total - m.Primary - m.Secondary; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("(%s,%s): tt %.4f != pt %.4f + st %.4f", p, s, m.Total, m.Primary, m.Secondary)
+			}
+		}
+	}
+}
+
+// TestTable3SMTBeatsSTForCompute: co-running two compute-bound threads
+// yields more total IPC than one alone (paper: cpu_int 1.14 ST vs 1.22 tt).
+func TestTable3SMTBeatsSTForCompute(t *testing.T) {
+	r := table3(t)
+	st := r.Matrix.SingleIPC[microbench.CPUFP]
+	tt := r.Matrix.At(microbench.CPUFP, microbench.CPUFP, 0).Total
+	if tt <= st {
+		t.Errorf("cpu_fp SMT total %.3f not above ST %.3f (SMT should help latency-bound work)", tt, st)
+	}
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+
+	"power5prio/internal/apps"
+	"power5prio/internal/prio"
+	"power5prio/internal/report"
+)
+
+// Table4Row is one measured pipeline configuration.
+type Table4Row struct {
+	Label        string
+	PrioFFT      prio.Level
+	PrioLU       prio.Level
+	FFT, LU, Itr float64 // cycles (ST row: sequential sum)
+}
+
+// Table4Result reproduces Table 4: FFT/LU pipeline stage and iteration
+// times across priority settings, including the single-thread baseline.
+type Table4Result struct {
+	Rows []Table4Row
+	// BestGain is the iteration-time improvement of the best SMT setting
+	// over the default (4,4) pair.
+	BestGain float64
+	// BestLabel identifies the best setting.
+	BestLabel string
+	// InversionWorse reports whether over-prioritizing (6,3) is worse than
+	// the optimum, the paper's cautionary result.
+	InversionWorse bool
+}
+
+// table4Pairs are the SMT rows of Table 4.
+var table4Pairs = [][2]prio.Level{
+	{prio.Medium, prio.Medium},
+	{prio.MediumHigh, prio.Medium},
+	{prio.High, prio.Medium},
+	{prio.High, prio.MediumLow},
+}
+
+// Table4 regenerates the paper's Table 4 on the simulated machine.
+func Table4(h Harness) (Table4Result, error) {
+	cfg := apps.DefaultConfig()
+	cfg.Chip = h.Chip
+	cfg.Scale = h.IterScale
+	var r Table4Result
+
+	st, err := apps.SingleThread(cfg)
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, Table4Row{
+		Label: "single-thread", FFT: st.FFT, LU: st.LU, Itr: st.Iter,
+	})
+
+	var base, best float64
+	for _, pair := range table4Pairs {
+		res, err := apps.Run(cfg, pair[0], pair[1])
+		if err != nil {
+			return r, err
+		}
+		if res.TimedOut {
+			return r, fmt.Errorf("experiments: table4 run (%d,%d) timed out", pair[0], pair[1])
+		}
+		row := Table4Row{
+			Label:   fmt.Sprintf("(%d,%d)", pair[0], pair[1]),
+			PrioFFT: pair[0], PrioLU: pair[1],
+			FFT: res.Mean.FFT, LU: res.Mean.LU, Itr: res.Mean.Iter,
+		}
+		r.Rows = append(r.Rows, row)
+		if pair[0] == prio.Medium && pair[1] == prio.Medium {
+			base = row.Itr
+			best = row.Itr
+			r.BestLabel = row.Label
+		}
+		if row.Itr < best && pair != table4Pairs[len(table4Pairs)-1] {
+			best = row.Itr
+			r.BestLabel = row.Label
+		}
+	}
+	if base > 0 {
+		r.BestGain = 1 - best/base
+	}
+	last := r.Rows[len(r.Rows)-1]
+	r.InversionWorse = last.Itr > best
+	return r, nil
+}
+
+// Render produces the Table 4 layout, including the paper's numbers.
+func (r Table4Result) Render() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Table 4: FFT/LU pipeline times in cycles (best SMT gain %.1f%% at %s; paper 9.3%% at (6,4))",
+			r.BestGain*100, r.BestLabel),
+		"priorities", "FFT", "LU", "iteration", "paper_FFT(s)", "paper_LU(s)", "paper_iter(s)")
+	for i, row := range r.Rows {
+		p := PaperTable4Rows[i]
+		t.AddRow(row.Label,
+			fmt.Sprintf("%.0f", row.FFT), fmt.Sprintf("%.0f", row.LU), fmt.Sprintf("%.0f", row.Itr),
+			report.F2(p.FFT), report.F2(p.LU), report.F2(p.Iter))
+	}
+	return t
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVerifyMicrobenchClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("verification runs simulations")
+	}
+	h := Quick()
+	h.IterScale = 0.12
+	findings := VerifyMicrobenchClaims(h)
+	if len(findings) != 5 {
+		t.Fatalf("%d findings, want 5", len(findings))
+	}
+	for _, f := range findings {
+		t.Log(f)
+		if !f.Pass {
+			t.Errorf("claim %s failed: %s (measured %s)", f.ID, f.Claim, f.Measured)
+		}
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{ID: "X", Claim: "c", Measured: "m", Pass: true}
+	if !strings.Contains(f.String(), "PASS") {
+		t.Errorf("String = %q", f.String())
+	}
+	f.Pass = false
+	if !strings.Contains(f.String(), "FAIL") {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,41 @@
+package fame
+
+import "testing"
+
+func TestConvergedNeedsThreeReps(t *testing.T) {
+	if converged([]uint64{100, 200}, 0, 0.5) {
+		t.Error("converged with fewer than 3 measured reps")
+	}
+	if !converged([]uint64{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200}, 0, 0.01) {
+		t.Error("perfectly periodic reps eventually converge")
+	}
+}
+
+func TestConvergedWarmupDropped(t *testing.T) {
+	ends := []uint64{100, 200, 300, 400}
+	// Warmup 3 leaves only 1 measured rep: not converged.
+	if converged(ends, 3, 0.5) {
+		t.Error("converged with warmup consuming almost all reps")
+	}
+	if converged(ends, 10, 0.5) {
+		t.Error("converged with warmup beyond available reps")
+	}
+}
+
+func TestConvergedDetectsDrift(t *testing.T) {
+	// Rep times doubling every rep: the accumulated average keeps moving.
+	ends := []uint64{100, 300, 700, 1500, 3100}
+	if converged(ends, 0, 0.01) {
+		t.Error("converged despite strong drift")
+	}
+}
+
+func TestMeasuredHelper(t *testing.T) {
+	ends := []uint64{1, 2, 3}
+	if got := measured(ends, 1); len(got) != 2 || got[0] != 2 {
+		t.Errorf("measured = %v", got)
+	}
+	if got := measured(ends, 3); got != nil {
+		t.Errorf("measured beyond length = %v", got)
+	}
+}

@@ -1,0 +1,193 @@
+// Package fame implements the FAME (FAirly MEasuring Multithreaded
+// Architectures) methodology the paper uses (its refs [24][25]): in a
+// multiprogrammed run, every benchmark is re-executed until it has
+// completed enough repetitions that its average accumulated IPC is within
+// MAIV (Maximum Allowable IPC Variation) of the steady-state IPC. The
+// paper's setup required at least 10 repetitions per thread for a 1% MAIV.
+//
+// Average execution time is the total accounted time divided by the number
+// of complete repetitions; the trailing incomplete repetition is discarded,
+// exactly as in the paper's Figure 1.
+package fame
+
+import (
+	"fmt"
+
+	"power5prio/internal/pipeline"
+)
+
+// Machine is the simulated system FAME drives: a chip, optionally wrapped
+// by OS behaviour (see internal/oskernel).
+type Machine interface {
+	Step()
+	ExperimentCore() *pipeline.Core
+}
+
+// Options controls a measurement.
+type Options struct {
+	// MinReps is the minimum number of complete repetitions each active
+	// thread must finish (the paper's calibrated value is 10).
+	MinReps int
+	// WarmupReps are initial repetitions excluded from the averages (cold
+	// caches); they still count toward run length.
+	WarmupReps int
+	// MAIV, when positive, allows stopping before MinReps + WarmupReps
+	// once the running average IPC of every active thread has converged to
+	// within this relative fraction over the last two repetitions (but
+	// never below 3 measured repetitions).
+	MAIV float64
+	// MaxCycles bounds the run; measurements that hit it are flagged.
+	MaxCycles uint64
+}
+
+// DefaultOptions mirrors the paper's setup: MAIV 1%, at least 10
+// repetitions, one warmup repetition.
+func DefaultOptions() Options {
+	return Options{MinReps: 10, WarmupReps: 1, MAIV: 0.01, MaxCycles: 200_000_000}
+}
+
+// Validate checks option consistency.
+func (o Options) Validate() error {
+	if o.MinReps <= 0 {
+		return fmt.Errorf("fame: MinReps must be positive, got %d", o.MinReps)
+	}
+	if o.WarmupReps < 0 {
+		return fmt.Errorf("fame: WarmupReps must be non-negative, got %d", o.WarmupReps)
+	}
+	if o.MAIV < 0 {
+		return fmt.Errorf("fame: MAIV must be non-negative, got %g", o.MAIV)
+	}
+	if o.MaxCycles == 0 {
+		return fmt.Errorf("fame: MaxCycles must be positive")
+	}
+	return nil
+}
+
+// ThreadResult is the per-thread measurement.
+type ThreadResult struct {
+	Active       bool
+	Reps         uint64  // measured (post-warmup) complete repetitions
+	AvgRepCycles float64 // average cycles per repetition
+	IPC          float64 // average accumulated IPC over measured reps
+	Instructions uint64  // instructions in measured reps
+	Cycles       uint64  // cycles spanned by measured reps
+}
+
+// PairResult is the outcome of one co-scheduled measurement.
+type PairResult struct {
+	Thread   [2]ThreadResult
+	TotalIPC float64 // sum of per-thread IPCs (the paper's "tt")
+	Cycles   uint64  // total cycles simulated
+	TimedOut bool
+}
+
+// Measure runs the machine until every active thread on the experiment
+// core has completed WarmupReps+MinReps repetitions (or MAIV convergence),
+// then reports per-thread averages.
+func Measure(ch Machine, opt Options) PairResult {
+	if err := opt.Validate(); err != nil {
+		panic(err)
+	}
+	c := ch.ExperimentCore()
+	active := [2]bool{c.Running(0), c.Running(1)}
+	if !active[0] && !active[1] {
+		panic("fame: no active thread on the experiment core")
+	}
+	target := uint64(opt.WarmupReps + opt.MinReps)
+
+	doneAll := func() bool {
+		for t := 0; t < 2; t++ {
+			if !active[t] {
+				continue
+			}
+			reps := c.Stats(t).Repetitions
+			if reps >= target {
+				continue
+			}
+			if opt.MAIV > 0 && converged(c.Stats(t).RepEndCycles, opt.WarmupReps, opt.MAIV) {
+				continue
+			}
+			return false
+		}
+		return true
+	}
+
+	timedOut := false
+	for !doneAll() {
+		if c.Cycle() >= opt.MaxCycles {
+			timedOut = true
+			break
+		}
+		ch.Step()
+	}
+
+	var res PairResult
+	res.Cycles = c.Cycle()
+	res.TimedOut = timedOut
+	for t := 0; t < 2; t++ {
+		if !active[t] {
+			continue
+		}
+		res.Thread[t] = threadResult(ch, t, opt.WarmupReps)
+	}
+	res.TotalIPC = res.Thread[0].IPC + res.Thread[1].IPC
+	return res
+}
+
+// converged reports whether the per-repetition average has stabilized to
+// within maiv over the last two completed repetitions.
+func converged(ends []uint64, warmup int, maiv float64) bool {
+	ends = measured(ends, warmup)
+	n := len(ends)
+	if n < 3 {
+		return false
+	}
+	// Average rep time using n and n-1 reps; relative change below MAIV
+	// means the accumulated average is stable.
+	start := float64(0)
+	avgN := (float64(ends[n-1]) - start) / float64(n)
+	avgP := (float64(ends[n-2]) - start) / float64(n-1)
+	diff := avgN - avgP
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff/avgN < maiv
+}
+
+// measured drops the warmup prefix of repetition end-cycles.
+func measured(ends []uint64, warmup int) []uint64 {
+	if warmup >= len(ends) {
+		return nil
+	}
+	return ends[warmup:]
+}
+
+// threadResult computes the paper's estimators for one thread.
+func threadResult(ch Machine, t int, warmup int) ThreadResult {
+	c := ch.ExperimentCore()
+	st := c.Stats(t)
+	all := st.RepEndCycles
+	if warmup >= len(all) {
+		return ThreadResult{Active: true}
+	}
+	var startCycle, startInstr uint64
+	if warmup > 0 {
+		startCycle = all[warmup-1]
+		startInstr = st.RepEndInstrs[warmup-1]
+	}
+	ends := all[warmup:]
+	reps := uint64(len(ends))
+	span := ends[len(ends)-1] - startCycle
+	if span == 0 {
+		span = 1
+	}
+	instr := st.RepEndInstrs[len(st.RepEndInstrs)-1] - startInstr
+	return ThreadResult{
+		Active:       true,
+		Reps:         reps,
+		AvgRepCycles: float64(span) / float64(reps),
+		IPC:          float64(instr) / float64(span),
+		Instructions: instr,
+		Cycles:       span,
+	}
+}

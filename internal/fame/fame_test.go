@@ -1,0 +1,169 @@
+package fame
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+)
+
+func kernel(t *testing.T, iters int) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("k")
+	a := b.Reg("a")
+	one := b.Reg("one")
+	for i := 0; i < 4; i++ {
+		b.Op2(isa.OpIntAdd, a, a, one)
+	}
+	b.Branch(isa.BranchLoop, a)
+	k, err := b.Build(iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestDefaultOptionsValid(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatalf("DefaultOptions invalid: %v", err)
+	}
+}
+
+func TestOptionsValidateRejects(t *testing.T) {
+	bad := []Options{
+		{MinReps: 0, MaxCycles: 1},
+		{MinReps: 1, WarmupReps: -1, MaxCycles: 1},
+		{MinReps: 1, MAIV: -0.5, MaxCycles: 1},
+		{MinReps: 1, MaxCycles: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestMeasureSingleThread(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 16), nil, prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 5, WarmupReps: 1, MaxCycles: 1_000_000})
+	tr := res.Thread[0]
+	if !tr.Active {
+		t.Fatal("thread 0 not active")
+	}
+	if tr.Reps < 5 {
+		t.Errorf("measured %d reps, want >= 5", tr.Reps)
+	}
+	if tr.IPC <= 0 {
+		t.Errorf("IPC = %v, want > 0", tr.IPC)
+	}
+	if tr.AvgRepCycles <= 0 {
+		t.Errorf("AvgRepCycles = %v, want > 0", tr.AvgRepCycles)
+	}
+	if res.Thread[1].Active {
+		t.Error("inactive thread reported active")
+	}
+	if res.TotalIPC != tr.IPC {
+		t.Errorf("TotalIPC %v != thread IPC %v for a single-thread run", res.TotalIPC, tr.IPC)
+	}
+	if res.TimedOut {
+		t.Error("unexpected timeout")
+	}
+}
+
+// TestMeasureInstrAccounting: IPC * cycles must equal the measured
+// instruction count, and instructions per rep must equal the kernel's
+// dynamic length exactly.
+func TestMeasureInstrAccounting(t *testing.T) {
+	k := kernel(t, 16)
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 6, WarmupReps: 2, MaxCycles: 1_000_000})
+	tr := res.Thread[0]
+	if got := tr.Instructions; got != tr.Reps*k.DynLen() {
+		t.Errorf("instructions %d != reps %d * dynlen %d", got, tr.Reps, k.DynLen())
+	}
+}
+
+func TestMeasurePairBothCounted(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 16), kernel(t, 16), prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 4, WarmupReps: 1, MaxCycles: 2_000_000})
+	if !res.Thread[0].Active || !res.Thread[1].Active {
+		t.Fatal("both threads must be active")
+	}
+	if res.Thread[0].Reps < 4 || res.Thread[1].Reps < 4 {
+		t.Errorf("reps = (%d,%d), want both >= 4 (FAME: both threads must reach the minimum)",
+			res.Thread[0].Reps, res.Thread[1].Reps)
+	}
+	want := res.Thread[0].IPC + res.Thread[1].IPC
+	if res.TotalIPC != want {
+		t.Errorf("TotalIPC %v != %v", res.TotalIPC, want)
+	}
+}
+
+// TestMeasureUnequalSpeeds mirrors the paper's Figure 1: the faster thread
+// keeps re-executing until the slower one reaches the minimum.
+func TestMeasureUnequalSpeeds(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 64), kernel(t, 8), prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 4, WarmupReps: 0, MaxCycles: 2_000_000})
+	if res.Thread[1].Reps <= res.Thread[0].Reps {
+		t.Errorf("short kernel reps %d <= long kernel reps %d; faster thread must re-execute more",
+			res.Thread[1].Reps, res.Thread[0].Reps)
+	}
+	if res.Thread[0].Reps < 4 {
+		t.Errorf("slow thread stopped at %d reps, want >= 4", res.Thread[0].Reps)
+	}
+}
+
+func TestMeasureTimeout(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 64), nil, prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 1000000, MaxCycles: 5000})
+	if !res.TimedOut {
+		t.Error("expected timeout")
+	}
+	if res.Cycles < 5000 {
+		t.Errorf("stopped at %d cycles, want >= MaxCycles", res.Cycles)
+	}
+}
+
+func TestMeasureMAIVStopsEarly(t *testing.T) {
+	// A perfectly periodic kernel converges immediately; MAIV must stop
+	// the run well before an absurd MinReps.
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 16), nil, prio.Medium, prio.Medium, prio.User)
+	res := Measure(ch, Options{MinReps: 10000, WarmupReps: 1, MAIV: 0.05, MaxCycles: 50_000_000})
+	if res.TimedOut {
+		t.Fatal("MAIV run timed out")
+	}
+	if res.Thread[0].Reps >= 10000 {
+		t.Error("MAIV did not stop early")
+	}
+	if res.Thread[0].Reps < 3 {
+		t.Errorf("MAIV stopped at %d reps, needs at least 3", res.Thread[0].Reps)
+	}
+}
+
+func TestMeasurePanicsWithNoThreads(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Measure accepted a chip with no active threads")
+		}
+	}()
+	ch := core.NewChip(core.DefaultConfig())
+	Measure(ch, DefaultOptions())
+}
+
+func TestMeasurePanicsOnBadOptions(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Measure accepted invalid options")
+		}
+	}()
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(kernel(t, 8), nil, prio.Medium, prio.Medium, prio.User)
+	Measure(ch, Options{})
+}

@@ -1,0 +1,91 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders the kernel's loop body as readable text, one line
+// per instruction with dependency distances and stream annotations. It is
+// a debugging and documentation aid:
+//
+//	0: load    s0 [chase 1.2MiB]
+//	1: intadd  <-1 <-inv
+//	2: store   s1 <-1
+//	...
+func (k *Kernel) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s: %d instructions/iteration, %d iterations/repetition\n",
+		k.Name, len(k.Body), k.Iters)
+	for i, t := range k.Body {
+		fmt.Fprintf(&b, "%3d: %-8s", i, t.Op)
+		dep := func(d int) string {
+			if d == NoDep {
+				return "<-inv"
+			}
+			return fmt.Sprintf("<-%d", d)
+		}
+		switch t.Op {
+		case OpLoad, OpStore:
+			fmt.Fprintf(&b, " s%d", t.Stream)
+		case OpBranch:
+			switch t.Branch {
+			case BranchLoop:
+				b.WriteString(" loop")
+			case BranchPattern:
+				b.WriteString(" pattern")
+			}
+		case OpPrioSet:
+			fmt.Fprintf(&b, " prio=%d", t.Prio)
+		}
+		if t.DepA != NoDep || t.DepB != NoDep {
+			fmt.Fprintf(&b, "  [%s %s]", dep(t.DepA), dep(t.DepB))
+		}
+		b.WriteString("\n")
+	}
+	for i, s := range k.Streams {
+		fmt.Fprintf(&b, "stream s%d: %s %s", i, streamKindName(s.Kind), fmtBytes(s.Footprint))
+		if s.Kind == StreamStride {
+			fmt.Fprintf(&b, " stride %d", s.Stride)
+		}
+		if s.Prewarm {
+			b.WriteString(" prewarm")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func streamKindName(k StreamKind) string {
+	switch k {
+	case StreamChase:
+		return "chase"
+	case StreamStride:
+		return "stride"
+	case StreamRandom:
+		return "random"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// fmtBytes renders a byte count in a compact human unit.
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// InstructionMix counts the kernel body by unit class, a quick workload
+// characterization used by documentation and tests.
+func (k *Kernel) InstructionMix() map[string]int {
+	mix := map[string]int{}
+	for _, t := range k.Body {
+		mix[UnitOf(t.Op).String()]++
+	}
+	return mix
+}

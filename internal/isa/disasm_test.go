@@ -1,0 +1,83 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("demo")
+	v := b.Reg("v")
+	s := b.Stream(StreamSpec{Kind: StreamChase, Footprint: 1 << 20, Prewarm: true})
+	st := b.Stream(StreamSpec{Kind: StreamStride, Footprint: 4 << 10, Stride: 256})
+	b.Load(v, s, Reg(-1))
+	b.Op2(OpIntAdd, v, v, v)
+	b.Store(st, v, Reg(-1))
+	b.PrioSet(3)
+	b.Branch(BranchLoop, v)
+	k, err := b.Build(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := k.Disassemble()
+	for _, want := range []string{
+		"kernel demo", "5 instructions/iteration", "8 iterations",
+		"load", "intadd", "store", "prioset", "branch", "loop",
+		"prio=3", "s0", "s1",
+		"chase 1MiB", "prewarm", "stride 4KiB", "stride 256",
+		"<-1", // the add depends on the load one slot back
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Disassemble missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassemblePatternBranch(t *testing.T) {
+	b := NewBuilder("p")
+	a := b.Reg("a")
+	b.Op2(OpIntAdd, a, a, a)
+	b.Branch(BranchPattern, a)
+	b.Branch(BranchLoop, a)
+	k := b.MustBuild(2)
+	out := k.Disassemble()
+	if !strings.Contains(out, "pattern") {
+		t.Errorf("missing pattern branch annotation:\n%s", out)
+	}
+}
+
+func TestInstructionMix(t *testing.T) {
+	b := NewBuilder("mix")
+	v := b.Reg("v")
+	s := b.Stream(StreamSpec{Kind: StreamStride, Footprint: 4096, Stride: 128})
+	b.Load(v, s, Reg(-1))
+	b.Op2(OpFPAdd, v, v, v)
+	b.Op2(OpIntAdd, v, v, v)
+	b.Op2(OpIntMul, v, v, v)
+	b.Branch(BranchLoop, v)
+	k := b.MustBuild(2)
+	mix := k.InstructionMix()
+	if mix["LS"] != 1 || mix["FP"] != 1 || mix["FX"] != 2 || mix["BR"] != 1 {
+		t.Errorf("mix = %v", mix)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[uint64]string{
+		64 << 20: "64MiB",
+		16 << 10: "16KiB",
+		100:      "100B",
+		1536:     "1536B", // not a whole KiB
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStreamKindName(t *testing.T) {
+	if streamKindName(StreamKind(9)) != "kind(9)" {
+		t.Error("unknown kind name")
+	}
+}

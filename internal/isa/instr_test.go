@@ -1,0 +1,43 @@
+package isa
+
+import "testing"
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpNop: "nop", OpIntAdd: "intadd", OpIntMul: "intmul", OpIntDiv: "intdiv",
+		OpFPAdd: "fpadd", OpFPMul: "fpmul", OpLoad: "load", OpStore: "store",
+		OpBranch: "branch", OpPrioSet: "prioset",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("unknown op String() = %q", got)
+	}
+}
+
+func TestUnitOf(t *testing.T) {
+	cases := map[Op]Unit{
+		OpNop: UnitFX, OpIntAdd: UnitFX, OpIntMul: UnitFX, OpIntDiv: UnitFX,
+		OpPrioSet: UnitFX,
+		OpFPAdd:   UnitFP, OpFPMul: UnitFP,
+		OpLoad: UnitLS, OpStore: UnitLS,
+		OpBranch: UnitBR,
+	}
+	for op, want := range cases {
+		if got := UnitOf(op); got != want {
+			t.Errorf("UnitOf(%v) = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestUnitString(t *testing.T) {
+	names := map[Unit]string{UnitFX: "FX", UnitLS: "LS", UnitFP: "FP", UnitBR: "BR"}
+	for u, want := range names {
+		if got := u.String(); got != want {
+			t.Errorf("Unit(%d).String() = %q, want %q", u, got, want)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package isa
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kernel is a loop nest: a body of instruction templates executed Iters
+// times per repetition. Kernels are the unit the FAME methodology repeats.
+//
+// The zero value is not useful; construct kernels with a Builder.
+type Kernel struct {
+	Name  string
+	Body  []Template
+	Iters int // micro-iterations per repetition
+
+	// Streams configures one address generator per memory stream index
+	// referenced by the body.
+	Streams []StreamSpec
+
+	// Pattern supplies outcomes for BranchPattern branches. Nil means
+	// always-taken.
+	Pattern PatternFunc
+}
+
+// PatternFunc returns the outcome of the n-th dynamic pattern branch.
+type PatternFunc func(n uint64) bool
+
+// StreamKind selects the address-generation strategy of a memory stream.
+type StreamKind uint8
+
+const (
+	// StreamChase walks a pseudo-random permutation of the footprint,
+	// touching one address per cache line. Each next address is treated as
+	// data-dependent on the previous load of the stream (pointer chasing),
+	// which reproduces the MLP≈1 serialization measured in the paper for
+	// the ldint_*/ldfp_* micro-benchmarks (see DESIGN.md).
+	StreamChase StreamKind = iota
+	// StreamStride walks the footprint with a fixed stride, wrapping.
+	// Successive accesses are independent (no added dependency).
+	StreamStride
+	// StreamRandom produces uniformly random line-aligned addresses inside
+	// the footprint, independent accesses (mcf-style).
+	StreamRandom
+)
+
+// StreamSpec describes one memory stream of a kernel.
+type StreamSpec struct {
+	Kind      StreamKind
+	Footprint uint64 // bytes; rounded up to a whole number of lines
+	Stride    uint64 // bytes, for StreamStride
+	Base      uint64 // virtual base address (streams should not overlap)
+	Seed      uint64 // RNG seed for chase permutation / random
+	// Prewarm asks the runner to pre-install the footprint into the shared
+	// caches before measuring, standing in for FAME steady state.
+	Prewarm bool
+}
+
+// Validate checks structural invariants of the kernel.
+func (k *Kernel) Validate() error {
+	if len(k.Body) == 0 {
+		return errors.New("isa: kernel has empty body")
+	}
+	if k.Iters <= 0 {
+		return fmt.Errorf("isa: kernel %q: Iters must be positive, got %d", k.Name, k.Iters)
+	}
+	for i, t := range k.Body {
+		if t.DepA != NoDep && t.DepA <= 0 {
+			return fmt.Errorf("isa: kernel %q body[%d]: DepA must be positive or NoDep", k.Name, i)
+		}
+		if t.DepB != NoDep && t.DepB <= 0 {
+			return fmt.Errorf("isa: kernel %q body[%d]: DepB must be positive or NoDep", k.Name, i)
+		}
+		isMem := t.Op == OpLoad || t.Op == OpStore
+		if isMem {
+			if t.Stream < 0 || t.Stream >= len(k.Streams) {
+				return fmt.Errorf("isa: kernel %q body[%d]: stream %d out of range (%d streams)",
+					k.Name, i, t.Stream, len(k.Streams))
+			}
+		}
+		if t.Op == OpBranch && t.Branch == BranchNone {
+			return fmt.Errorf("isa: kernel %q body[%d]: branch with BranchNone kind", k.Name, i)
+		}
+		if t.Op != OpBranch && t.Branch != BranchNone {
+			return fmt.Errorf("isa: kernel %q body[%d]: non-branch with branch kind", k.Name, i)
+		}
+		if t.Op == OpPrioSet && (t.Prio < 0 || t.Prio > 7) {
+			return fmt.Errorf("isa: kernel %q body[%d]: priority %d out of range", k.Name, i, t.Prio)
+		}
+	}
+	for i, s := range k.Streams {
+		if s.Footprint == 0 {
+			return fmt.Errorf("isa: kernel %q stream %d: zero footprint", k.Name, i)
+		}
+		if s.Kind == StreamStride && s.Stride == 0 {
+			return fmt.Errorf("isa: kernel %q stream %d: stride stream with zero stride", k.Name, i)
+		}
+	}
+	return nil
+}
+
+// DynLen returns the number of dynamic instructions in one repetition.
+func (k *Kernel) DynLen() uint64 { return uint64(len(k.Body)) * uint64(k.Iters) }
+
+// ---------------------------------------------------------------------------
+// Builder: virtual-register loop bodies -> dependency-distance templates.
+// ---------------------------------------------------------------------------
+
+// Reg is a virtual register handle produced by Builder.Reg.
+type Reg int
+
+// regNone marks an unused operand.
+const regNone Reg = -1
+
+type builderInstr struct {
+	op      Op
+	dst     Reg
+	srcA    Reg
+	srcB    Reg
+	stream  int
+	branch  BranchKind
+	prio    int
+	carried bool // dst is live across iterations even if rewritten (unused for now)
+}
+
+// Builder assembles a kernel loop body using named virtual registers and
+// resolves register dataflow into the dependency distances the pipeline
+// consumes. Loop-carried dependencies are resolved in steady state: a read
+// of a register whose last write in the body occurs *after* the reading
+// instruction refers to the previous iteration's write.
+type Builder struct {
+	name    string
+	regs    []string
+	body    []builderInstr
+	streams []StreamSpec
+	pattern PatternFunc
+	err     error
+}
+
+// NewBuilder returns a Builder for a kernel with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// Reg declares a virtual register. Names are for diagnostics only.
+func (b *Builder) Reg(name string) Reg {
+	b.regs = append(b.regs, name)
+	return Reg(len(b.regs) - 1)
+}
+
+// Stream declares a memory stream and returns its index.
+func (b *Builder) Stream(s StreamSpec) int {
+	b.streams = append(b.streams, s)
+	return len(b.streams) - 1
+}
+
+// Pattern sets the outcome function for BranchPattern branches.
+func (b *Builder) Pattern(f PatternFunc) { b.pattern = f }
+
+func (b *Builder) checkReg(r Reg, what string) {
+	if b.err != nil {
+		return
+	}
+	if r != regNone && (int(r) < 0 || int(r) >= len(b.regs)) {
+		b.err = fmt.Errorf("isa: builder %q: %s register %d undeclared", b.name, what, r)
+	}
+}
+
+func (b *Builder) emit(in builderInstr) {
+	b.checkReg(in.dst, "destination")
+	b.checkReg(in.srcA, "source A")
+	b.checkReg(in.srcB, "source B")
+	if b.err == nil {
+		b.body = append(b.body, in)
+	}
+}
+
+// Op1 emits a unary operation dst = op(src).
+func (b *Builder) Op1(op Op, dst, src Reg) {
+	b.emit(builderInstr{op: op, dst: dst, srcA: src, srcB: regNone, stream: -1})
+}
+
+// Op2 emits a binary operation dst = op(srcA, srcB).
+func (b *Builder) Op2(op Op, dst, srcA, srcB Reg) {
+	b.emit(builderInstr{op: op, dst: dst, srcA: srcA, srcB: srcB, stream: -1})
+}
+
+// Load emits dst = mem[stream.next] (address from the given stream; addr
+// register models the address computation dependency).
+func (b *Builder) Load(dst Reg, stream int, addr Reg) {
+	b.emit(builderInstr{op: OpLoad, dst: dst, srcA: addr, srcB: regNone, stream: stream})
+}
+
+// Store emits mem[stream.next] = val.
+func (b *Builder) Store(stream int, val, addr Reg) {
+	b.emit(builderInstr{op: OpStore, dst: regNone, srcA: val, srcB: addr, stream: stream})
+}
+
+// Branch emits a conditional branch of the given kind, reading cond.
+func (b *Builder) Branch(kind BranchKind, cond Reg) {
+	b.emit(builderInstr{op: OpBranch, dst: regNone, srcA: cond, srcB: regNone, stream: -1, branch: kind})
+}
+
+// PrioSet emits an or-nop priority change request.
+func (b *Builder) PrioSet(level int) {
+	b.emit(builderInstr{op: OpPrioSet, dst: regNone, srcA: regNone, srcB: regNone, stream: -1, prio: level})
+}
+
+// Nop emits a one-cycle no-op.
+func (b *Builder) Nop() {
+	b.emit(builderInstr{op: OpNop, dst: regNone, srcA: regNone, srcB: regNone, stream: -1})
+}
+
+// Build resolves dataflow and returns the kernel with the given iteration
+// count per repetition.
+func (b *Builder) Build(iters int) (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.body) == 0 {
+		return nil, fmt.Errorf("isa: builder %q: empty body", b.name)
+	}
+	n := len(b.body)
+	// lastWrite[r] = body index of the last instruction writing r, or -1.
+	lastWrite := make([]int, len(b.regs))
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	for i, in := range b.body {
+		if in.dst != regNone {
+			lastWrite[in.dst] = i
+		}
+	}
+	// prevWriteBefore returns the distance (in dynamic slots) from reader at
+	// body index i to the most recent producer of r, assuming steady state
+	// (the body repeats). Registers never written in the body are
+	// loop-invariant: no dependency.
+	dist := func(i int, r Reg) int {
+		if r == regNone {
+			return NoDep
+		}
+		// Find nearest write before i in this iteration.
+		for j := i - 1; j >= 0; j-- {
+			if b.body[j].dst == r {
+				return i - j
+			}
+		}
+		// Otherwise the last write in the previous iteration.
+		if lw := lastWrite[r]; lw >= 0 {
+			return i + (n - lw)
+		}
+		return NoDep
+	}
+	body := make([]Template, n)
+	for i, in := range b.body {
+		body[i] = Template{
+			Op:     in.op,
+			DepA:   dist(i, in.srcA),
+			DepB:   dist(i, in.srcB),
+			Stream: in.stream,
+			Branch: in.branch,
+			Prio:   in.prio,
+		}
+	}
+	k := &Kernel{
+		Name:    b.name,
+		Body:    body,
+		Iters:   iters,
+		Streams: b.streams,
+		Pattern: b.pattern,
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build that panics on error; for use in package-level kernel
+// catalogues where the bodies are static and tested.
+func (b *Builder) MustBuild(iters int) *Kernel {
+	k, err := b.Build(iters)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

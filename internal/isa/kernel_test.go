@@ -1,0 +1,160 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAccum builds a tiny accumulator loop:
+//
+//	t = x * x     (independent per iteration)
+//	a = a + t     (loop-carried chain)
+//	branch loop
+func buildAccum(t *testing.T, iters int) *Kernel {
+	t.Helper()
+	b := NewBuilder("accum")
+	x := b.Reg("x")
+	tmp := b.Reg("tmp")
+	a := b.Reg("a")
+	b.Op2(OpIntMul, tmp, x, x)
+	b.Op2(OpIntAdd, a, a, tmp)
+	b.Branch(BranchLoop, a)
+	k, err := b.Build(iters)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+func TestBuilderDistances(t *testing.T) {
+	k := buildAccum(t, 4)
+	if len(k.Body) != 3 {
+		t.Fatalf("body length = %d, want 3", len(k.Body))
+	}
+	// tmp = x*x: x never written -> loop invariant -> no deps.
+	if k.Body[0].DepA != NoDep || k.Body[0].DepB != NoDep {
+		t.Errorf("mul deps = (%d,%d), want (NoDep,NoDep)", k.Body[0].DepA, k.Body[0].DepB)
+	}
+	// a = a + tmp: a last written at body[1] of previous iteration ->
+	// distance = 1 + (3-1) = 3; tmp written at body[0] -> distance 1.
+	if k.Body[1].DepA != 3 {
+		t.Errorf("add DepA (loop-carried a) = %d, want 3", k.Body[1].DepA)
+	}
+	if k.Body[1].DepB != 1 {
+		t.Errorf("add DepB (tmp) = %d, want 1", k.Body[1].DepB)
+	}
+	// branch reads a, written one slot earlier.
+	if k.Body[2].DepA != 1 {
+		t.Errorf("branch DepA = %d, want 1", k.Body[2].DepA)
+	}
+}
+
+func TestBuilderIntraIterationDistance(t *testing.T) {
+	b := NewBuilder("seq")
+	a := b.Reg("a")
+	c := b.Reg("c")
+	b.Op2(OpIntAdd, a, a, a) // body[0] writes a
+	b.Nop()                  // body[1]
+	b.Op2(OpIntAdd, c, a, a) // body[2] reads a -> distance 2
+	k, err := b.Build(1)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if k.Body[2].DepA != 2 || k.Body[2].DepB != 2 {
+		t.Errorf("deps = (%d,%d), want (2,2)", k.Body[2].DepA, k.Body[2].DepB)
+	}
+}
+
+func TestBuilderUndeclaredRegister(t *testing.T) {
+	b := NewBuilder("bad")
+	a := b.Reg("a")
+	b.Op2(OpIntAdd, a, Reg(42), a)
+	if _, err := b.Build(1); err == nil {
+		t.Fatal("Build accepted undeclared register")
+	}
+}
+
+func TestBuilderEmptyBody(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(1); err == nil {
+		t.Fatal("Build accepted empty body")
+	}
+}
+
+func TestKernelValidate(t *testing.T) {
+	valid := buildAccum(t, 2)
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid kernel rejected: %v", err)
+	}
+
+	tests := []struct {
+		name string
+		mut  func(*Kernel)
+		want string
+	}{
+		{"zero iters", func(k *Kernel) { k.Iters = 0 }, "Iters"},
+		{"empty body", func(k *Kernel) { k.Body = nil }, "empty body"},
+		{"bad depA", func(k *Kernel) { k.Body[0].DepA = 0 }, "DepA"},
+		{"bad depB", func(k *Kernel) { k.Body[0].DepB = -7 }, "DepB"},
+		{"branch kind on non-branch", func(k *Kernel) { k.Body[0].Branch = BranchLoop }, "non-branch"},
+		{"branch without kind", func(k *Kernel) { k.Body[2].Branch = BranchNone }, "BranchNone"},
+		{"bad priority", func(k *Kernel) {
+			k.Body[0] = Template{Op: OpPrioSet, DepA: NoDep, DepB: NoDep, Stream: -1, Prio: 9}
+		}, "priority"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			k := buildAccum(t, 2)
+			tc.mut(k)
+			err := k.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestKernelValidateStreams(t *testing.T) {
+	b := NewBuilder("mem")
+	a := b.Reg("a")
+	s := b.Stream(StreamSpec{Kind: StreamChase, Footprint: 4096})
+	b.Load(a, s, regNone)
+	b.Branch(BranchLoop, a)
+	k, err := b.Build(2)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	k.Body[0].Stream = 5
+	if err := k.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range stream index")
+	}
+	k.Body[0].Stream = 0
+	k.Streams[0].Footprint = 0
+	if err := k.Validate(); err == nil {
+		t.Error("Validate accepted zero footprint")
+	}
+	k.Streams[0] = StreamSpec{Kind: StreamStride, Footprint: 4096, Stride: 0}
+	if err := k.Validate(); err == nil {
+		t.Error("Validate accepted zero stride")
+	}
+}
+
+func TestDynLen(t *testing.T) {
+	k := buildAccum(t, 7)
+	if got, want := k.DynLen(), uint64(21); got != want {
+		t.Errorf("DynLen = %d, want %d", got, want)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic on invalid kernel")
+		}
+	}()
+	NewBuilder("empty").MustBuild(1)
+}

@@ -1,0 +1,148 @@
+// Package mem models the POWER5 memory hierarchy the paper's workloads
+// exercise: per-core L1 data caches, a chip-shared L2 and victim-style L3,
+// a per-core D-TLB, and a DRAM channel model with limited concurrency.
+//
+// The model is a latency model, not a functional memory: it tracks which
+// lines are resident where and when an access completes, not data values.
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int {
+	lines := c.SizeBytes / c.LineBytes
+	return lines / c.Ways
+}
+
+// Validate checks the configuration is internally consistent.
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.LineBytes <= 0 {
+		return fmt.Errorf("mem: cache config fields must be positive: %+v", c)
+	}
+	if c.SizeBytes%(c.Ways*c.LineBytes) != 0 {
+		return fmt.Errorf("mem: size %d not divisible by ways*line (%d*%d)", c.SizeBytes, c.Ways, c.LineBytes)
+	}
+	if c.Sets() == 0 {
+		return fmt.Errorf("mem: config %+v yields zero sets", c)
+	}
+	return nil
+}
+
+// Cache is a set-associative cache with true-LRU replacement. It tracks
+// only tags; a global access counter provides recency ordering.
+type Cache struct {
+	cfg   CacheConfig
+	sets  int
+	tags  []uint64 // sets*ways; tag = line address (addr/LineBytes)
+	valid []bool
+	used  []uint64 // recency stamps
+	tick  uint64
+}
+
+// NewCache returns an empty cache. It panics on an invalid configuration;
+// configurations come from code, not user input.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	n := sets * cfg.Ways
+	return &Cache{
+		cfg:   cfg,
+		sets:  sets,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+		used:  make([]uint64, n),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) set(addr uint64) (base int, line uint64) {
+	line = addr / uint64(c.cfg.LineBytes)
+	return int(line%uint64(c.sets)) * c.cfg.Ways, line
+}
+
+// Lookup probes for addr without modifying replacement state or contents.
+func (c *Cache) Lookup(addr uint64) bool {
+	base, line := c.set(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access probes for addr, updating LRU state on a hit. It reports whether
+// the line was resident. On a miss the contents are unchanged; call Fill.
+func (c *Cache) Access(addr uint64) bool {
+	base, line := c.set(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.tick++
+			c.used[i] = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the line containing addr, evicting the LRU way if needed.
+// It returns the evicted line address and whether an eviction happened.
+func (c *Cache) Fill(addr uint64) (evicted uint64, wasEvicted bool) {
+	base, line := c.set(addr)
+	c.tick++
+	// Prefer an invalid way; otherwise evict LRU.
+	victim := base
+	var lru uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			lru = 0
+			break
+		}
+		if c.used[i] < lru {
+			lru = c.used[i]
+			victim = i
+		}
+	}
+	if c.valid[victim] {
+		evicted = c.tags[victim] * uint64(c.cfg.LineBytes)
+		wasEvicted = true
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.used[victim] = c.tick
+	return evicted, wasEvicted
+}
+
+// Invalidate removes the line containing addr if present.
+func (c *Cache) Invalidate(addr uint64) {
+	base, line := c.set(addr)
+	for w := 0; w < c.cfg.Ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.valid[i] = false
+			return
+		}
+	}
+}
+
+// Reset empties the cache.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.tick = 0
+}

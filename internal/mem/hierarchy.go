@@ -1,0 +1,325 @@
+package mem
+
+import "fmt"
+
+// HitLevel identifies where an access was satisfied.
+type HitLevel uint8
+
+// Hit levels, nearest to farthest.
+const (
+	HitL1 HitLevel = iota
+	HitL2
+	HitL3
+	HitMem
+
+	HitLevelCount = iota
+)
+
+var hitNames = [HitLevelCount]string{"L1", "L2", "L3", "MEM"}
+
+// String returns the level name.
+func (h HitLevel) String() string {
+	if int(h) < len(hitNames) {
+		return hitNames[h]
+	}
+	return fmt.Sprintf("level(%d)", uint8(h))
+}
+
+// Config describes the full hierarchy. Defaults (see DefaultConfig) follow
+// published POWER5 parameters.
+type Config struct {
+	Cores int // number of cores sharing L2/L3 (POWER5: 2)
+
+	L1D CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+
+	LatL1  uint64 // load-to-use latency on an L1 hit
+	LatL2  uint64 // additional total latency on an L2 hit
+	LatL3  uint64
+	LatMem uint64
+
+	TLBEntries  int
+	TLBWays     int
+	PageBytes   int
+	TLBWalkLat  uint64 // added to the access on a TLB miss
+	MemChannels int    // concurrent DRAM accesses (1 reproduces the paper's
+	// memory-bound co-run collapse; see DESIGN.md)
+	MemOccupancy uint64 // cycles a channel stays busy per access; 0 = LatMem
+}
+
+// DefaultConfig returns POWER5-like parameters.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 2,
+		L1D:   CacheConfig{SizeBytes: 32 << 10, Ways: 4, LineBytes: 128},
+		L2:    CacheConfig{SizeBytes: 1920 << 10, Ways: 10, LineBytes: 128},
+		L3:    CacheConfig{SizeBytes: 36 << 20, Ways: 12, LineBytes: 128},
+
+		LatL1:  2,
+		LatL2:  14,
+		LatL3:  90,
+		LatMem: 230,
+
+		TLBEntries:  1024,
+		TLBWays:     4,
+		PageBytes:   4096,
+		TLBWalkLat:  80,
+		MemChannels: 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("mem: Cores must be positive, got %d", c.Cores)
+	}
+	for _, cc := range []struct {
+		name string
+		cfg  CacheConfig
+	}{{"L1D", c.L1D}, {"L2", c.L2}, {"L3", c.L3}} {
+		if err := cc.cfg.Validate(); err != nil {
+			return fmt.Errorf("%s: %w", cc.name, err)
+		}
+	}
+	if c.MemChannels <= 0 {
+		return fmt.Errorf("mem: MemChannels must be positive, got %d", c.MemChannels)
+	}
+	if c.TLBEntries <= 0 || c.TLBWays <= 0 || c.TLBEntries%c.TLBWays != 0 {
+		return fmt.Errorf("mem: bad TLB geometry %d/%d", c.TLBEntries, c.TLBWays)
+	}
+	return nil
+}
+
+// Result describes one access.
+type Result struct {
+	Done    uint64 // cycle at which the value is available
+	Level   HitLevel
+	TLBMiss bool
+}
+
+// Stats counts per-(core,thread) access outcomes.
+type Stats struct {
+	Hits      [HitLevelCount]uint64
+	TLBMisses uint64
+	Accesses  uint64
+}
+
+// memSched is the per-hardware-thread DRAM scheduling state: a weighted
+// fair-queuing virtual timeline. When both threads of a core have recent
+// DRAM demand, each thread's requests are spaced inversely to its weight;
+// the weights are driven by the software-controlled priority shares (the
+// POWER5 nest propagates thread priority to resource arbitration).
+type memSched struct {
+	vFree       uint64 // thread-virtual next service slot
+	lastArrival int64  // cycle of the last request (negative: never)
+	weight      float64
+}
+
+// Hierarchy is the chip-level memory system: per-core L1D and TLB, shared
+// L2 and L3, and DRAM channels. It is not safe for concurrent use; the
+// simulator is single-goroutine by design (determinism).
+type Hierarchy struct {
+	cfg   Config
+	l1    []*Cache
+	tlb   []*TLB
+	l2    *Cache
+	l3    *Cache
+	sched [][2]memSched
+	stats map[statKey]*Stats
+}
+
+type statKey struct{ core, thread int }
+
+// NewHierarchy builds the hierarchy. It panics on invalid configuration.
+func NewHierarchy(cfg Config) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{
+		cfg:   cfg,
+		l2:    NewCache(cfg.L2),
+		l3:    NewCache(cfg.L3),
+		stats: make(map[statKey]*Stats),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1 = append(h.l1, NewCache(cfg.L1D))
+		h.tlb = append(h.tlb, NewTLB(cfg.TLBEntries, cfg.TLBWays, cfg.PageBytes))
+		h.sched = append(h.sched, [2]memSched{
+			{lastArrival: -1 << 62, weight: 0.5},
+			{lastArrival: -1 << 62, weight: 0.5},
+		})
+	}
+	return h
+}
+
+// SetMemWeight sets the DRAM arbitration weight of a hardware thread
+// (its decode share under the current priorities). Weights only matter
+// while both threads of the core have concurrent DRAM demand.
+func (h *Hierarchy) SetMemWeight(core, thread int, w float64) {
+	if w <= 0 {
+		w = 1e-6
+	}
+	h.sched[core][thread].weight = w
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+func (h *Hierarchy) stat(core, thread int) *Stats {
+	k := statKey{core, thread}
+	s := h.stats[k]
+	if s == nil {
+		s = &Stats{}
+		h.stats[k] = s
+	}
+	return s
+}
+
+// StatsFor returns accumulated statistics for a (core, thread) pair.
+func (h *Hierarchy) StatsFor(core, thread int) Stats {
+	return *h.stat(core, thread)
+}
+
+// occupancy returns the per-access channel busy time.
+func (h *Hierarchy) occupancy() uint64 {
+	if h.cfg.MemOccupancy != 0 {
+		return h.cfg.MemOccupancy
+	}
+	return h.cfg.LatMem
+}
+
+// dram returns the completion time of a DRAM access by (core, thread)
+// issued at now. Each hardware thread has a weighted-fair-queuing virtual
+// timeline: requests are spaced by the channel occupancy divided by the
+// thread's share when its sibling has live DRAM demand, so aggregate
+// throughput never exceeds channel capacity and the split follows the
+// software-controlled priority shares. MemChannels scales capacity.
+func (h *Hierarchy) dram(core, thread int, now uint64) uint64 {
+	occ := h.occupancy()
+	s := &h.sched[core][thread]
+	sib := &h.sched[core][1-thread]
+	// Sibling demand is "live" if it issued a request within a few
+	// service slots.
+	window := int64(4 * occ)
+	contended := int64(now)-sib.lastArrival < window
+	spacing := occ
+	if contended {
+		share := s.weight / (s.weight + sib.weight)
+		spacing = uint64(float64(occ) / share)
+	}
+	if n := uint64(h.cfg.MemChannels); n > 1 {
+		spacing /= n
+	}
+	start := max64(now, s.vFree)
+	s.vFree = start + spacing
+	s.lastArrival = int64(now)
+	return start + h.cfg.LatMem
+}
+
+// Load performs a read by (core, thread) at cycle now.
+func (h *Hierarchy) Load(core, thread int, addr uint64, now uint64) Result {
+	return h.access(core, thread, addr, now, false)
+}
+
+// Store performs a write by (core, thread) at cycle now. Stores allocate
+// lines but never charge the DRAM channel: the model assumes an unbounded
+// store buffer drained with spare write bandwidth (see DESIGN.md).
+func (h *Hierarchy) Store(core, thread int, addr uint64, now uint64) Result {
+	return h.access(core, thread, addr, now, true)
+}
+
+func (h *Hierarchy) access(core, thread int, addr uint64, now uint64, write bool) Result {
+	st := h.stat(core, thread)
+	st.Accesses++
+	var res Result
+	lat := h.cfg.LatL1
+	if !h.tlb[core].Access(addr) {
+		st.TLBMisses++
+		res.TLBMiss = true
+		lat += h.cfg.TLBWalkLat
+	}
+	switch {
+	case h.l1[core].Access(addr):
+		res.Level = HitL1
+	case h.l2.Access(addr):
+		res.Level = HitL2
+		lat = max64(lat, h.cfg.LatL2+boolToU64(res.TLBMiss)*h.cfg.TLBWalkLat)
+		h.l1[core].Fill(addr)
+	case h.l3.Access(addr):
+		res.Level = HitL3
+		lat = max64(lat, h.cfg.LatL3+boolToU64(res.TLBMiss)*h.cfg.TLBWalkLat)
+		h.l1[core].Fill(addr)
+		h.l2.Fill(addr)
+	default:
+		res.Level = HitMem
+		h.l1[core].Fill(addr)
+		h.l2.Fill(addr)
+		h.l3.Fill(addr)
+		if write {
+			// Store misses are buffered; no channel charge, fixed latency.
+			lat = max64(lat, h.cfg.LatMem)
+		} else {
+			done := h.dram(core, thread, now) + boolToU64(res.TLBMiss)*h.cfg.TLBWalkLat
+			st.Hits[HitMem]++
+			res.Done = done
+			return res
+		}
+	}
+	st.Hits[res.Level]++
+	res.Done = now + lat
+	return res
+}
+
+// Prefill installs the line containing addr into the shared L2 and L3 and
+// the given core's TLB, without charging any latency. Runners use it to
+// pre-warm cache-resident working sets, standing in for the steady state a
+// real FAME run reaches after its first repetitions.
+func (h *Hierarchy) Prefill(core int, addr uint64) {
+	if !h.l3.Access(addr) {
+		h.l3.Fill(addr)
+	}
+	if !h.l2.Access(addr) {
+		h.l2.Fill(addr)
+	}
+	h.tlb[core].Access(addr)
+}
+
+// L1Resident probes core's L1D for addr without any side effects. The
+// pipeline uses it to decide whether a load needs a free LMQ entry before
+// issuing.
+func (h *Hierarchy) L1Resident(core int, addr uint64) bool {
+	return h.l1[core].Lookup(addr)
+}
+
+// Reset empties all caches, TLBs and channel state, keeping statistics.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	for _, t := range h.tlb {
+		t.Reset()
+	}
+	h.l2.Reset()
+	h.l3.Reset()
+	for c := range h.sched {
+		for t := range h.sched[c] {
+			h.sched[c][t].vFree = 0
+			h.sched[c][t].lastArrival = -1 << 62
+		}
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

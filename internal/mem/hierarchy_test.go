@@ -1,0 +1,270 @@
+package mem
+
+import "testing"
+
+// tinyConfig returns a hierarchy small enough to exercise every level.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.L1D = CacheConfig{SizeBytes: 1 << 10, Ways: 2, LineBytes: 128} // 1KB
+	cfg.L2 = CacheConfig{SizeBytes: 4 << 10, Ways: 4, LineBytes: 128}  // 4KB
+	cfg.L3 = CacheConfig{SizeBytes: 16 << 10, Ways: 4, LineBytes: 128} // 16KB
+	cfg.TLBEntries = 16
+	cfg.TLBWays = 4
+	return cfg
+}
+
+func TestHitLevelString(t *testing.T) {
+	for l, want := range map[HitLevel]string{HitL1: "L1", HitL2: "L2", HitL3: "L3", HitMem: "MEM"} {
+		if l.String() != want {
+			t.Errorf("%d.String() = %q, want %q", l, l.String(), want)
+		}
+	}
+	if HitLevel(9).String() != "level(9)" {
+		t.Errorf("invalid level = %q", HitLevel(9).String())
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	mut := []func(*Config){
+		func(c *Config) { c.Cores = 0 },
+		func(c *Config) { c.L1D.Ways = 0 },
+		func(c *Config) { c.L2.SizeBytes = 0 },
+		func(c *Config) { c.L3.LineBytes = 0 },
+		func(c *Config) { c.MemChannels = 0 },
+		func(c *Config) { c.TLBEntries = 0 },
+		func(c *Config) { c.TLBEntries = 10; c.TLBWays = 4 },
+	}
+	for i, m := range mut {
+		cfg := DefaultConfig()
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestHierarchyLevelProgression(t *testing.T) {
+	h := NewHierarchy(tinyConfig())
+	const addr = 0x100000
+	r := h.Load(0, 0, addr, 0)
+	if r.Level != HitMem {
+		t.Fatalf("first access level = %v, want MEM", r.Level)
+	}
+	if !r.TLBMiss {
+		t.Error("first access should miss TLB")
+	}
+	r = h.Load(0, 0, addr, r.Done)
+	if r.Level != HitL1 {
+		t.Fatalf("second access level = %v, want L1", r.Level)
+	}
+	if r.TLBMiss {
+		t.Error("second access should hit TLB")
+	}
+}
+
+func TestHierarchyL2HitAfterL1Eviction(t *testing.T) {
+	cfg := tinyConfig()
+	h := NewHierarchy(cfg)
+	// Walk a footprint larger than L1 (1KB) but within L2 (4KB).
+	now := uint64(0)
+	for pass := 0; pass < 3; pass++ {
+		for a := uint64(0); a < 2<<10; a += 128 {
+			r := h.Load(0, 0, a, now)
+			now = r.Done
+		}
+	}
+	s := h.StatsFor(0, 0)
+	if s.Hits[HitL2] == 0 {
+		t.Errorf("expected L2 hits walking a 2KB footprint through a 1KB L1; stats %+v", s)
+	}
+	if s.Hits[HitMem] > 16 {
+		t.Errorf("unexpected repeated memory accesses: %+v", s)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	cfg := tinyConfig()
+	h := NewHierarchy(cfg)
+	const addr = 0x200000
+	h.Load(0, 0, addr, 0)         // install everywhere
+	r := h.Load(0, 0, addr, 1000) // L1 hit
+	if got := r.Done - 1000; got != cfg.LatL1 {
+		t.Errorf("L1 latency = %d, want %d", got, cfg.LatL1)
+	}
+	// Evict from L1 by filling its set with conflicting lines.
+	setStride := uint64(cfg.L1D.Sets() * cfg.L1D.LineBytes)
+	for i := uint64(1); i <= uint64(cfg.L1D.Ways); i++ {
+		h.Load(0, 0, addr+i*setStride, 2000)
+	}
+	r = h.Load(0, 0, addr, 3000)
+	if r.Level != HitL2 {
+		t.Fatalf("after L1 eviction, level = %v, want L2", r.Level)
+	}
+	if got := r.Done - 3000; got != cfg.LatL2 {
+		t.Errorf("L2 latency = %d, want %d", got, cfg.LatL2)
+	}
+}
+
+func TestHierarchyDRAMSingleThreadSerializes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MemChannels = 1
+	h := NewHierarchy(cfg)
+	// A burst of misses from one thread is served at channel rate: the
+	// k-th completes no earlier than k service slots in.
+	var last uint64
+	for k := uint64(0); k < 5; k++ {
+		r := h.Load(0, 0, 0x10000000+k*0x10000, 0)
+		last = r.Done
+	}
+	if want := 4*cfg.LatMem + cfg.LatMem; last < want {
+		t.Errorf("5th burst miss done at %d, want >= %d (serialized at channel rate)", last, want)
+	}
+}
+
+// TestHierarchyDRAMFairSharing: with equal weights and concurrent demand
+// from both threads, each thread's stream is served at half rate.
+func TestHierarchyDRAMFairSharing(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MemChannels = 1
+	h := NewHierarchy(cfg)
+	var done0, done1 uint64
+	for k := uint64(0); k < 6; k++ {
+		done0 = h.Load(0, 0, 0x10000000+k*0x10000, k).Done
+		done1 = h.Load(0, 1, 0x20000000+k*0x10000, k).Done
+	}
+	// Six requests per thread at half rate: ~ 6 * 2*LatMem each.
+	if min := 9 * cfg.LatMem; done0 < min || done1 < min {
+		t.Errorf("contended streams finished at (%d,%d), want both >= %d (half rate)", done0, done1, min)
+	}
+}
+
+// TestHierarchyDRAMWeightedSharing: a heavily weighted thread keeps
+// near-full channel rate while the other is pushed out.
+func TestHierarchyDRAMWeightedSharing(t *testing.T) {
+	cfg := tinyConfig()
+	h := NewHierarchy(cfg)
+	h.SetMemWeight(0, 0, 63.0/64)
+	h.SetMemWeight(0, 1, 1.0/64)
+	var doneHi, doneLo uint64
+	for k := uint64(0); k < 4; k++ {
+		doneHi = h.Load(0, 0, 0x10000000+k*0x10000, k).Done
+		doneLo = h.Load(0, 1, 0x20000000+k*0x10000, k).Done
+	}
+	if doneLo < 10*doneHi {
+		t.Errorf("weighted sharing too weak: hi done %d, lo done %d", doneHi, doneLo)
+	}
+}
+
+func TestHierarchyDRAMTwoChannelsFaster(t *testing.T) {
+	run := func(channels int) uint64 {
+		cfg := tinyConfig()
+		cfg.MemChannels = channels
+		h := NewHierarchy(cfg)
+		var done uint64
+		for k := uint64(0); k < 8; k++ {
+			done = h.Load(0, 0, 0x10000000+k*0x10000, 0).Done
+			h.Load(0, 1, 0x20000000+k*0x10000, 0)
+		}
+		return done
+	}
+	if one, two := run(1), run(2); two >= one {
+		t.Errorf("two channels (%d) not faster than one (%d)", two, one)
+	}
+}
+
+func TestHierarchyPerCoreL1Isolation(t *testing.T) {
+	h := NewHierarchy(tinyConfig())
+	const addr = 0x300000
+	h.Load(0, 0, addr, 0)
+	// Other core: must not hit core 0's L1, but hits shared L2.
+	r := h.Load(1, 0, addr, 500)
+	if r.Level != HitL2 {
+		t.Errorf("cross-core access level = %v, want L2 (shared)", r.Level)
+	}
+}
+
+func TestHierarchySameCoreThreadsShareL1(t *testing.T) {
+	h := NewHierarchy(tinyConfig())
+	const addr = 0x400000
+	h.Load(0, 0, addr, 0)
+	r := h.Load(0, 1, addr, 500)
+	if r.Level != HitL1 {
+		t.Errorf("sibling-thread access level = %v, want L1 (shared per core)", r.Level)
+	}
+}
+
+func TestHierarchyStoreAllocatesWithoutChannel(t *testing.T) {
+	cfg := tinyConfig()
+	h := NewHierarchy(cfg)
+	r := h.Store(0, 0, 0x500000, 0)
+	if r.Level != HitMem {
+		t.Fatalf("store miss level = %v, want MEM", r.Level)
+	}
+	// A racing load on the channel must not queue behind the store.
+	r2 := h.Load(0, 0, 0x600000, 0)
+	if r2.Done > cfg.LatMem+cfg.TLBWalkLat {
+		t.Errorf("load queued behind store: done %d", r2.Done)
+	}
+	// The stored line is now resident.
+	r3 := h.Load(0, 0, 0x500000, 1000)
+	if r3.Level != HitL1 {
+		t.Errorf("post-store load level = %v, want L1", r3.Level)
+	}
+}
+
+func TestHierarchyTLBWalkPenalty(t *testing.T) {
+	cfg := tinyConfig()
+	h := NewHierarchy(cfg)
+	const addr = 0x700000
+	h.Load(0, 0, addr, 0)
+	// New page, line resident in no cache: forces both TLB walk and miss.
+	r := h.Load(0, 0, addr, 10000) // same page: TLB hit, L1 hit
+	if r.TLBMiss {
+		t.Error("same-page access missed TLB")
+	}
+	r = h.Load(0, 0, addr+uint64(cfg.PageBytes)*1024, 20000)
+	if !r.TLBMiss {
+		t.Error("far page should miss TLB")
+	}
+	if r.Done-20000 <= cfg.LatMem {
+		t.Errorf("TLB walk not charged: latency %d", r.Done-20000)
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	h := NewHierarchy(tinyConfig())
+	h.Load(0, 0, 0x100, 0)
+	h.Load(0, 0, 0x100, 500)
+	s := h.StatsFor(0, 0)
+	if s.Accesses != 2 || s.Hits[HitMem] != 1 || s.Hits[HitL1] != 1 {
+		t.Errorf("stats = %+v, want 2 accesses, 1 MEM, 1 L1", s)
+	}
+	if got := h.StatsFor(1, 1); got.Accesses != 0 {
+		t.Errorf("untouched context has accesses: %+v", got)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(tinyConfig())
+	h.Load(0, 0, 0x100, 0)
+	h.Reset()
+	r := h.Load(0, 0, 0x100, 10000)
+	if r.Level != HitMem {
+		t.Errorf("post-Reset access level = %v, want MEM", r.Level)
+	}
+}
+
+func TestNewHierarchyPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHierarchy did not panic")
+		}
+	}()
+	NewHierarchy(Config{})
+}

@@ -1,0 +1,38 @@
+package mem
+
+// TLB is a set-associative translation lookaside buffer over fixed-size
+// pages. POWER5 has a 1024-entry TLB per core, shared by both hardware
+// threads; a miss triggers a hardware table walk.
+type TLB struct {
+	pageBits uint
+	cache    *Cache
+}
+
+// NewTLB builds a TLB with the given number of entries, associativity and
+// page size (which must be a power of two).
+func NewTLB(entries, ways int, pageBytes int) *TLB {
+	bits := uint(0)
+	for 1<<bits < pageBytes {
+		bits++
+	}
+	if 1<<bits != pageBytes {
+		panic("mem: TLB page size must be a power of two")
+	}
+	// Reuse the cache structure: one "line" per page entry.
+	c := NewCache(CacheConfig{SizeBytes: entries, Ways: ways, LineBytes: 1})
+	return &TLB{pageBits: bits, cache: c}
+}
+
+// Access translates addr, reports whether it hit, and installs the entry on
+// a miss (hardware-walked TLB).
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageBits
+	if t.cache.Access(page) {
+		return true
+	}
+	t.cache.Fill(page)
+	return false
+}
+
+// Reset empties the TLB.
+func (t *TLB) Reset() { t.cache.Reset() }

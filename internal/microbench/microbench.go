@@ -1,0 +1,316 @@
+// Package microbench provides the paper's fifteen synthetic
+// micro-benchmarks (Table 2), expressed as isa kernels. Each benchmark
+// stresses one processor characteristic: short/long-latency integer work,
+// floating point, branches with high/low predictability, and loads hitting
+// a chosen level of the memory hierarchy.
+//
+// Load benchmarks beyond L1 use pointer-chasing address streams. The
+// paper's strided loops measured MLP ~ 1 on the real machine (Table 3: an
+// L2-resident load loop runs at IPC 0.27 ~ one access per L2 latency); a
+// chase reproduces that serialization directly (DESIGN.md, substitutions).
+package microbench
+
+import (
+	"fmt"
+	"sort"
+
+	"power5prio/internal/isa"
+)
+
+// Benchmark names (Table 2).
+const (
+	CPUInt         = "cpu_int"
+	CPUIntAdd      = "cpu_int_add"
+	CPUIntMul      = "cpu_int_mul"
+	LngChainCPUInt = "lng_chain_cpuint"
+	BrHit          = "br_hit"
+	BrMiss         = "br_miss"
+	LdIntL1        = "ldint_l1"
+	LdIntL2        = "ldint_l2"
+	LdIntL3        = "ldint_l3"
+	LdIntMem       = "ldint_mem"
+	LdFPL1         = "ldfp_l1"
+	LdFPL2         = "ldfp_l2"
+	LdFPL3         = "ldfp_l3"
+	LdFPMem        = "ldfp_mem"
+	CPUFP          = "cpu_fp"
+)
+
+// Working-set footprints targeting each cache level of the default
+// hierarchy (L1 32KB, L2 1.875MB, L3 36MB).
+const (
+	FootL1  = 16 << 10   // fits L1 comfortably
+	FootL2  = 1280 << 10 // misses L1, fits L2 alone; two of these overflow L2
+	FootL3  = 4 << 20    // misses L2, fits L3
+	FootMem = 64 << 20   // larger than L3: misses everywhere, thrashes TLB
+)
+
+// Params tunes kernel instantiation.
+type Params struct {
+	// Iters overrides the per-benchmark default micro-iterations per
+	// repetition (tests use small values).
+	Iters int
+	// IterScale multiplies the default iteration count when Iters is zero
+	// (values in (0,1) shrink runs for tests and benches; minimum 8).
+	IterScale float64
+}
+
+// Names returns all fifteen benchmark names, sorted.
+func Names() []string {
+	ns := []string{
+		CPUInt, CPUIntAdd, CPUIntMul, LngChainCPUInt, BrHit, BrMiss,
+		LdIntL1, LdIntL2, LdIntL3, LdIntMem,
+		LdFPL1, LdFPL2, LdFPL3, LdFPMem, CPUFP,
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// Presented returns the six benchmarks the paper's result sections use
+// (the others behave like one of these; Section 4.2).
+func Presented() []string {
+	return []string{LdIntL1, LdIntL2, LdIntMem, CPUInt, CPUFP, LngChainCPUInt}
+}
+
+// Build returns the named benchmark with default parameters.
+func Build(name string) (*isa.Kernel, error) { return BuildWith(name, Params{}) }
+
+// MustBuild is Build that panics on error (for static tables and tests).
+func MustBuild(name string) *isa.Kernel {
+	k, err := Build(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// BuildWith returns the named benchmark with the given parameters.
+func BuildWith(name string, p Params) (*isa.Kernel, error) {
+	switch name {
+	case CPUInt:
+		return cpuIntLike(name, isa.OpIntMul, iters(p, 192)), nil
+	case CPUIntAdd:
+		return cpuIntLike(name, isa.OpIntAdd, iters(p, 192)), nil
+	case CPUIntMul:
+		return cpuIntMul(iters(p, 192)), nil
+	case LngChainCPUInt:
+		return lngChain(iters(p, 96)), nil
+	case BrHit:
+		return brKernel(name, true, iters(p, 256)), nil
+	case BrMiss:
+		return brKernel(name, false, iters(p, 256)), nil
+	case LdIntL1, LdFPL1:
+		return ldL1(name, iters(p, 1024)), nil
+	case LdIntL2:
+		return ldChase(name, isa.OpIntAdd, FootL2, true, iters(p, 768)), nil
+	case LdFPL2:
+		return ldChase(name, isa.OpFPAdd, FootL2, true, iters(p, 768)), nil
+	case LdIntL3:
+		return ldChase(name, isa.OpIntAdd, FootL3, true, iters(p, 192)), nil
+	case LdFPL3:
+		return ldChase(name, isa.OpFPAdd, FootL3, true, iters(p, 192)), nil
+	case LdIntMem:
+		return ldMem(name, isa.OpIntAdd, iters(p, 96)), nil
+	case LdFPMem:
+		return ldMem(name, isa.OpFPAdd, iters(p, 96)), nil
+	case CPUFP:
+		return cpuFP(iters(p, 96)), nil
+	default:
+		return nil, fmt.Errorf("microbench: unknown benchmark %q", name)
+	}
+}
+
+func iters(p Params, def int) int {
+	if p.Iters > 0 {
+		return p.Iters
+	}
+	if p.IterScale > 0 {
+		n := int(float64(def) * p.IterScale)
+		if n < 8 {
+			n = 8
+		}
+		return n
+	}
+	return def
+}
+
+// cpuIntLike builds the 54-line `a += (iter*(iter-1)) - xi*iter` loop
+// (cpu_int) or its add-only variant (cpu_int_add): per line one
+// independent op, one dependent subtract-like add, and the accumulator
+// chain through `a`.
+func cpuIntLike(name string, lineOp isa.Op, its int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	t := b.Reg("t")
+	m := b.Reg("m")
+	s := b.Reg("s")
+	a := b.Reg("a")
+	// Per-iteration header: t = iter*(iter-1).
+	b.Op2(isa.OpIntMul, t, iter, iter)
+	b.Op2(isa.OpIntAdd, t, t, iter)
+	for i := 0; i < 54; i++ {
+		b.Op2(lineOp, m, iter, one)  // xi*iter (or xi+iter)
+		b.Op2(isa.OpIntAdd, s, t, m) // t - xi*iter
+		b.Op2(isa.OpIntAdd, a, a, s) // a += ...  (loop-carried chain)
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}
+
+// cpuIntMul builds `a = (iter*iter) * xi * iter`: three multiplies per
+// line, no accumulation chain (throughput bound).
+func cpuIntMul(its int) *isa.Kernel {
+	b := isa.NewBuilder(CPUIntMul)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	p := b.Reg("p")
+	q := b.Reg("q")
+	a := b.Reg("a")
+	for i := 0; i < 54; i++ {
+		b.Op2(isa.OpIntMul, p, iter, iter)
+		b.Op2(isa.OpIntMul, q, p, one)
+		b.Op2(isa.OpIntMul, a, q, iter)
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}
+
+// lngChain builds the 50-line serial-dependency loop: the chain register
+// threads every line, alternating multiply and add hops, with one
+// independent op per line.
+func lngChain(its int) *isa.Kernel {
+	b := isa.NewBuilder(LngChainCPUInt)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	ch := b.Reg("chain")
+	d := b.Reg("d")
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			b.Op2(isa.OpIntMul, ch, ch, one)
+		} else {
+			b.Op2(isa.OpIntAdd, ch, ch, one)
+		}
+		b.Op2(isa.OpIntAdd, d, iter, one) // independent filler op
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, ch)
+	return b.MustBuild(its)
+}
+
+// cpuFP builds the 54-line floating-point accumulator loop.
+func cpuFP(its int) *isa.Kernel {
+	b := isa.NewBuilder(CPUFP)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	t := b.Reg("t")
+	m := b.Reg("m")
+	s := b.Reg("s")
+	a := b.Reg("a")
+	b.Op2(isa.OpFPMul, t, iter, iter)
+	for i := 0; i < 54; i++ {
+		b.Op2(isa.OpFPMul, m, t, one)
+		b.Op2(isa.OpFPAdd, s, t, m)
+		b.Op2(isa.OpFPAdd, a, a, s)
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}
+
+// brKernel builds the 28-line `if (a[s]==0) a++ else a--` loop. hit: the
+// array is all zeros (every branch taken, learnable); miss: outcomes are
+// pseudo-random modulo 2.
+func brKernel(name string, hit bool, its int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	v := b.Reg("v")
+	a := b.Reg("a")
+	st := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: 4 << 10, Stride: isa.CacheLineSize, Seed: 11})
+	for i := 0; i < 28; i++ {
+		b.Load(v, st, isa.Reg(-1))
+		b.Branch(isa.BranchPattern, v)
+		b.Op2(isa.OpIntAdd, a, a, one)
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	if hit {
+		b.Pattern(func(n uint64) bool { return true })
+	} else {
+		state := uint64(0x2545f4914f6cdd1d)
+		b.Pattern(func(n uint64) bool {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return state&1 == 1
+		})
+	}
+	return b.MustBuild(its)
+}
+
+// ldL1 builds the L1-resident load/store loop: eight independent
+// load/store pairs per iteration walking a 16KB buffer; throughput-bound
+// on the load/store units. The integer and floating-point variants behave
+// identically (the paper reports the same).
+func ldL1(name string, its int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	ld := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: FootL1, Stride: isa.CacheLineSize, Seed: 3})
+	st := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: FootL1, Stride: isa.CacheLineSize, Seed: 3})
+	vals := make([]isa.Reg, 8)
+	for i := range vals {
+		vals[i] = b.Reg("v")
+		b.Load(vals[i], ld, isa.Reg(-1))
+		b.Store(st, vals[i], isa.Reg(-1))
+	}
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}
+
+// ldMem builds the memory-missing `a[i+s] = a[i+s]+1` loop: independent
+// strided loads that cross a page per access, missing every cache level
+// and the TLB. Throughput is bound by the DRAM channel, with the per-thread
+// LMQ providing the in-flight parallelism — which is what makes this
+// benchmark respond to decode-slot prioritization against another
+// memory-bound thread (paper: 1.7x at +5) while staying insensitive to
+// compute partners.
+func ldMem(name string, valOp isa.Op, its int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	v := b.Reg("v")
+	w := b.Reg("w")
+	const stride = 4096 + isa.CacheLineSize // new page and new line each access
+	ld := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: FootMem, Stride: stride, Seed: 5})
+	st := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: FootMem, Stride: stride, Seed: 5})
+	b.Load(v, ld, isa.Reg(-1))
+	b.Op2(valOp, w, v, one)
+	b.Store(st, w, isa.Reg(-1))
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}
+
+// ldChase builds the pointer-chasing `a[i+s] = a[i+s]+1` loop over the
+// given footprint: chase load, dependent increment, store to the same
+// line, loop overhead. Prewarm marks cache-resident footprints.
+func ldChase(name string, valOp isa.Op, foot uint64, prewarm bool, its int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	v := b.Reg("v")
+	w := b.Reg("w")
+	ld := b.Stream(isa.StreamSpec{Kind: isa.StreamChase, Footprint: foot, Seed: 5, Prewarm: prewarm})
+	st := b.Stream(isa.StreamSpec{Kind: isa.StreamChase, Footprint: foot, Seed: 5})
+	b.Load(v, ld, isa.Reg(-1))
+	b.Op2(valOp, w, v, one)
+	b.Store(st, w, isa.Reg(-1))
+	b.Op2(isa.OpIntAdd, iter, iter, one)
+	b.Branch(isa.BranchLoop, iter)
+	return b.MustBuild(its)
+}

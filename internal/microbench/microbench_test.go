@@ -1,0 +1,189 @@
+package microbench
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/prio"
+)
+
+func TestNamesComplete(t *testing.T) {
+	ns := Names()
+	if len(ns) != 15 {
+		t.Fatalf("catalogue has %d benchmarks, want 15 (Table 2)", len(ns))
+	}
+	seen := map[string]bool{}
+	for _, n := range ns {
+		if seen[n] {
+			t.Errorf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestPresentedSubset(t *testing.T) {
+	p := Presented()
+	if len(p) != 6 {
+		t.Fatalf("presented set has %d entries, want 6", len(p))
+	}
+	all := map[string]bool{}
+	for _, n := range Names() {
+		all[n] = true
+	}
+	for _, n := range p {
+		if !all[n] {
+			t.Errorf("presented benchmark %q not in catalogue", n)
+		}
+	}
+}
+
+func TestBuildAllValid(t *testing.T) {
+	for _, n := range Names() {
+		k, err := Build(n)
+		if err != nil {
+			t.Errorf("Build(%q): %v", n, err)
+			continue
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("kernel %q invalid: %v", n, err)
+		}
+		if k.Name != n {
+			t.Errorf("kernel name %q != %q", k.Name, n)
+		}
+	}
+}
+
+func TestBuildUnknown(t *testing.T) {
+	if _, err := Build("nope"); err == nil {
+		t.Error("Build accepted unknown name")
+	}
+}
+
+func TestBuildWithIters(t *testing.T) {
+	k, err := BuildWith(CPUInt, Params{Iters: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Iters != 7 {
+		t.Errorf("Iters = %d, want 7", k.Iters)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	MustBuild("nope")
+}
+
+func TestFootprintsTargetLevels(t *testing.T) {
+	mc := core.DefaultConfig().Mem
+	if FootL1 >= uint64(mc.L1D.SizeBytes) {
+		t.Errorf("FootL1 %d does not fit L1 %d", FootL1, mc.L1D.SizeBytes)
+	}
+	if FootL2 <= uint64(mc.L1D.SizeBytes) || FootL2 >= uint64(mc.L2.SizeBytes) {
+		t.Errorf("FootL2 %d must exceed L1 and fit L2", FootL2)
+	}
+	if 2*FootL2 <= uint64(mc.L2.SizeBytes) {
+		t.Error("two FootL2 working sets must overflow the shared L2 (paper: co-run degradation)")
+	}
+	if FootL3 <= uint64(mc.L2.SizeBytes) || FootL3 >= uint64(mc.L3.SizeBytes) {
+		t.Errorf("FootL3 %d must exceed L2 and fit L3", FootL3)
+	}
+	if FootMem <= uint64(mc.L3.SizeBytes) {
+		t.Errorf("FootMem %d must exceed L3", FootMem)
+	}
+}
+
+// measureST runs a benchmark alone in single-thread mode and returns its
+// steady-state IPC (reduced iteration counts keep tests fast).
+func measureST(t *testing.T, name string, iters int) float64 {
+	t.Helper()
+	k, err := BuildWith(name, Params{Iters: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.User)
+	res := fame.Measure(ch, fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 30_000_000})
+	if res.TimedOut {
+		t.Fatalf("%s: measurement timed out", name)
+	}
+	return res.Thread[0].IPC
+}
+
+// TestSTCalibration checks single-thread IPCs against the bands implied by
+// Table 3 of the paper. Bands are deliberately loose: the simulator must
+// land in the right regime, not reproduce exact hardware numbers.
+func TestSTCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is a long test")
+	}
+	cases := []struct {
+		name      string
+		iters     int
+		paperIPC  float64
+		low, high float64
+	}{
+		{LdIntL1, 256, 2.29, 1.6, 3.4},
+		{CPUInt, 64, 1.14, 0.8, 1.9},
+		{LngChainCPUInt, 32, 0.51, 0.3, 0.8},
+		{CPUFP, 32, 0.41, 0.28, 0.8},
+		{LdIntL2, 192, 0.27, 0.18, 0.45},
+		{LdIntMem, 24, 0.02, 0.008, 0.045},
+	}
+	got := map[string]float64{}
+	for _, tc := range cases {
+		ipc := measureST(t, tc.name, tc.iters)
+		got[tc.name] = ipc
+		t.Logf("%-18s paper %.2f  simulated %.3f", tc.name, tc.paperIPC, ipc)
+		if ipc < tc.low || ipc > tc.high {
+			t.Errorf("%s: ST IPC %.3f outside band [%.2f, %.2f] (paper %.2f)",
+				tc.name, ipc, tc.low, tc.high, tc.paperIPC)
+		}
+	}
+	// Regime ordering from Table 3.
+	if !(got[LdIntL1] > got[CPUInt] && got[CPUInt] > got[LngChainCPUInt]) {
+		t.Errorf("ordering violated: ldint_l1 %.2f > cpu_int %.2f > lng_chain %.2f expected",
+			got[LdIntL1], got[CPUInt], got[LngChainCPUInt])
+	}
+	if !(got[LngChainCPUInt] > got[LdIntL2] && got[LdIntL2] > got[LdIntMem]) {
+		t.Errorf("ordering violated: lng_chain %.2f > ldint_l2 %.2f > ldint_mem %.2f expected",
+			got[LngChainCPUInt], got[LdIntL2], got[LdIntMem])
+	}
+}
+
+// TestBrHitFasterThanBrMiss: predictability must matter.
+func TestBrHitFasterThanBrMiss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	hit := measureST(t, BrHit, 64)
+	miss := measureST(t, BrMiss, 64)
+	if miss >= hit {
+		t.Errorf("br_miss IPC %.2f >= br_hit IPC %.2f", miss, hit)
+	}
+}
+
+// TestVariantsBehaveSimilarly: the paper dropped cpu_int_add/cpu_int_mul
+// and the ldfp twins because they track their presented counterparts.
+func TestVariantsBehaveSimilarly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	pairs := [][2]string{
+		{LdIntMem, LdFPMem},
+		{LdIntL1, LdFPL1},
+	}
+	for _, p := range pairs {
+		a := measureST(t, p[0], 24)
+		b := measureST(t, p[1], 24)
+		ratio := a / b
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("%s (%.3f) and %s (%.3f) diverge beyond 2x", p[0], a, p[1], b)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package oskernel models the Linux behaviour described in Section 4.3 of
+// the paper. A stock kernel (2.6.23) resets the hardware thread priority
+// to MEDIUM on every interrupt, exception or system call, because it does
+// not track software-controlled priorities — so user-level prioritization
+// silently decays at every timer tick. The paper's experiments required a
+// kernel patch that (1) stops the kernel from touching priorities and (2)
+// exposes the supervisor-only levels to applications.
+//
+// The package also provides the kernel's own legitimate uses of priority 1
+// (the idle loop and spin-wait loops), as instruction kernels.
+package oskernel
+
+import (
+	"fmt"
+
+	"power5prio/internal/core"
+	"power5prio/internal/isa"
+	"power5prio/internal/pipeline"
+	"power5prio/internal/prio"
+)
+
+// Config describes the simulated kernel.
+type Config struct {
+	// Patched: the paper's kernel patch. When true the kernel never
+	// resets thread priorities.
+	Patched bool
+	// TickCycles is the timer-interrupt period in cycles. At every tick an
+	// unpatched kernel resets both threads' priorities to MEDIUM.
+	TickCycles uint64
+	// HandlerCycles stalls both threads' decode for the handler duration
+	// at each tick (interrupt processing overhead).
+	HandlerCycles uint64
+}
+
+// DefaultConfig models a 250Hz tick on a ~1.65GHz machine, scaled down to
+// keep simulations short (the ratio of handler time to tick period is what
+// matters for the distortion).
+func DefaultConfig() Config {
+	return Config{
+		Patched:       false,
+		TickCycles:    100_000,
+		HandlerCycles: 800,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TickCycles == 0 {
+		return fmt.Errorf("oskernel: TickCycles must be positive")
+	}
+	if c.HandlerCycles >= c.TickCycles {
+		return fmt.Errorf("oskernel: handler (%d) must be shorter than the tick (%d)",
+			c.HandlerCycles, c.TickCycles)
+	}
+	return nil
+}
+
+// OS wraps a chip with kernel behaviour. It implements fame.Machine.
+type OS struct {
+	chip     *core.Chip
+	cfg      Config
+	nextTick uint64
+	// Resets counts priority resets the kernel performed.
+	Resets uint64
+	// Ticks counts timer interrupts delivered.
+	Ticks uint64
+}
+
+// New wraps the chip. It panics on an invalid configuration.
+func New(chip *core.Chip, cfg Config) *OS {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &OS{chip: chip, cfg: cfg, nextTick: cfg.TickCycles}
+}
+
+// ExperimentCore returns the measured core.
+func (o *OS) ExperimentCore() *pipeline.Core { return o.chip.ExperimentCore() }
+
+// Chip returns the wrapped chip.
+func (o *OS) Chip() *core.Chip { return o.chip }
+
+// Step advances the machine one cycle, delivering timer interrupts.
+func (o *OS) Step() {
+	c := o.chip.ExperimentCore()
+	if c.Cycle() >= o.nextTick {
+		o.Ticks++
+		o.nextTick += o.cfg.TickCycles
+		if !o.cfg.Patched {
+			// The stock kernel resets every running context to MEDIUM on
+			// kernel entry; it does not preserve user settings.
+			for t := 0; t < 2; t++ {
+				if c.Running(t) && c.Priority(t) != prio.ThreadOff &&
+					c.Priority(t) != prio.Medium {
+					c.SetPriority(t, prio.Medium)
+					o.Resets++
+				}
+			}
+		}
+		// Handler overhead: burn cycles with both threads stalled. The
+		// handler itself runs at MEDIUM priority.
+		for i := uint64(0); i < o.cfg.HandlerCycles; i++ {
+			o.chip.Step()
+		}
+	}
+	o.chip.Step()
+}
+
+// IdleKernel returns the kernel idle loop: it drops its hardware thread to
+// priority 1 (VERY LOW) and spins, exactly as Linux does while a context
+// has no work (Section 4.3).
+func IdleKernel() *isa.Kernel {
+	b := isa.NewBuilder("os_idle")
+	a := b.Reg("a")
+	b.PrioSet(int(prio.VeryLow))
+	for i := 0; i < 4; i++ {
+		b.Nop()
+	}
+	b.Op2(isa.OpIntAdd, a, a, a)
+	b.Branch(isa.BranchLoop, a)
+	return b.MustBuild(64)
+}
+
+// SpinWaitKernel returns a spin-lock wait loop: the spinner lowers its
+// priority while polling the lock word and restores MEDIUM once through
+// (the kernel's smp_call_function/spinlock pattern).
+func SpinWaitKernel(lockFootprint uint64) *isa.Kernel {
+	b := isa.NewBuilder("os_spinwait")
+	v := b.Reg("v")
+	lock := b.Stream(isa.StreamSpec{
+		Kind: isa.StreamStride, Footprint: lockFootprint, Stride: isa.CacheLineSize, Seed: 13,
+	})
+	b.PrioSet(int(prio.VeryLow))
+	b.Load(v, lock, isa.Reg(-1)) // poll the lock word
+	b.Branch(isa.BranchPattern, v)
+	b.PrioSet(int(prio.Medium)) // lock acquired: restore priority
+	b.Branch(isa.BranchLoop, v)
+	return b.MustBuild(64)
+}

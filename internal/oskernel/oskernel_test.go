@@ -1,0 +1,166 @@
+package oskernel
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	if err := (Config{TickCycles: 0}).Validate(); err == nil {
+		t.Error("accepted zero tick")
+	}
+	if err := (Config{TickCycles: 100, HandlerCycles: 100}).Validate(); err == nil {
+		t.Error("accepted handler as long as the tick")
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted invalid config")
+		}
+	}()
+	New(core.NewChip(core.DefaultConfig()), Config{})
+}
+
+func place(t *testing.T, ch *core.Chip, pa, pb prio.Level) {
+	t.Helper()
+	k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.PlacePair(k, k, pa, pb, prio.Supervisor)
+}
+
+// TestUnpatchedKernelResetsPriorities: the stock kernel decays a (6,2)
+// setup back to MEDIUM at the first tick.
+func TestUnpatchedKernelResetsPriorities(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	place(t, ch, prio.High, prio.Low)
+	cfg := DefaultConfig()
+	cfg.TickCycles = 1000
+	cfg.HandlerCycles = 10
+	os := New(ch, cfg)
+	for i := 0; i < 2000; i++ {
+		os.Step()
+	}
+	c := ch.ExperimentCore()
+	if c.Priority(0) != prio.Medium || c.Priority(1) != prio.Medium {
+		t.Errorf("priorities after tick = (%v,%v), want (medium,medium)", c.Priority(0), c.Priority(1))
+	}
+	if os.Resets == 0 || os.Ticks == 0 {
+		t.Errorf("resets=%d ticks=%d, want both > 0", os.Resets, os.Ticks)
+	}
+}
+
+// TestPatchedKernelPreservesPriorities: the paper's patch keeps the user's
+// settings across ticks.
+func TestPatchedKernelPreservesPriorities(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	place(t, ch, prio.High, prio.Low)
+	cfg := DefaultConfig()
+	cfg.Patched = true
+	cfg.TickCycles = 1000
+	cfg.HandlerCycles = 10
+	os := New(ch, cfg)
+	for i := 0; i < 2000; i++ {
+		os.Step()
+	}
+	c := ch.ExperimentCore()
+	if c.Priority(0) != prio.High || c.Priority(1) != prio.Low {
+		t.Errorf("patched kernel changed priorities: (%v,%v)", c.Priority(0), c.Priority(1))
+	}
+	if os.Resets != 0 {
+		t.Errorf("patched kernel performed %d resets", os.Resets)
+	}
+}
+
+// TestUnpatchedKernelErasesPrioritizationBenefit: with frequent ticks, a
+// prioritized thread's advantage collapses toward the (4,4) baseline —
+// the paper's motivation for the kernel patch.
+func TestUnpatchedKernelErasesPrioritizationBenefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	run := func(patched bool) float64 {
+		ch := core.NewChip(core.DefaultConfig())
+		place(t, ch, prio.High, prio.Low)
+		cfg := Config{Patched: patched, TickCycles: 2000, HandlerCycles: 20}
+		os := New(ch, cfg)
+		res := fame.Measure(os, fame.Options{MinReps: 4, WarmupReps: 1, MaxCycles: 50_000_000})
+		return res.Thread[0].IPC
+	}
+	patched := run(true)
+	unpatched := run(false)
+	if unpatched >= patched*0.97 {
+		t.Errorf("unpatched kernel should erode the prioritized thread: patched %.3f vs unpatched %.3f",
+			patched, unpatched)
+	}
+}
+
+// TestOSImplementsMachine: the wrapper satisfies the FAME machine
+// interface.
+func TestOSImplementsMachine(t *testing.T) {
+	var _ fame.Machine = (*OS)(nil)
+}
+
+func TestKernelLoopsValid(t *testing.T) {
+	if err := IdleKernel().Validate(); err != nil {
+		t.Errorf("IdleKernel invalid: %v", err)
+	}
+	if err := SpinWaitKernel(4096).Validate(); err != nil {
+		t.Errorf("SpinWaitKernel invalid: %v", err)
+	}
+}
+
+// TestIdleKernelDropsPriority: running the idle loop lowers the thread to
+// priority 1 (supervisor privilege required).
+func TestIdleKernelDropsPriority(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(IdleKernel(), nil, prio.Medium, prio.Medium, prio.Supervisor)
+	c := ch.ExperimentCore()
+	for i := 0; i < 2000; i++ {
+		ch.Step()
+	}
+	if c.Priority(0) != prio.VeryLow {
+		t.Errorf("idle thread priority = %v, want very-low", c.Priority(0))
+	}
+}
+
+// TestIdleKernelNeedsPrivilege: in user mode the PrioSet(1) is a nop.
+func TestIdleKernelNeedsPrivilege(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(IdleKernel(), nil, prio.Medium, prio.Medium, prio.User)
+	c := ch.ExperimentCore()
+	for i := 0; i < 2000; i++ {
+		ch.Step()
+	}
+	if c.Priority(0) != prio.Medium {
+		t.Errorf("user-mode idle loop changed priority to %v", c.Priority(0))
+	}
+}
+
+// TestSpinWaitTogglesPriority: the spin loop oscillates between VERY LOW
+// while polling and MEDIUM after acquiring.
+func TestSpinWaitTogglesPriority(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(SpinWaitKernel(4096), nil, prio.Medium, prio.Medium, prio.Supervisor)
+	c := ch.ExperimentCore()
+	for i := 0; i < 3000; i++ {
+		ch.Step()
+	}
+	st := c.Stats(0)
+	if st.PrioChanges < 4 {
+		t.Errorf("spin-wait applied only %d priority changes, want several", st.PrioChanges)
+	}
+}

@@ -1,0 +1,134 @@
+// Package pipeline implements the cycle-approximate POWER5-like SMT core:
+// two hardware threads sharing a Global Completion Table (GCT), issue
+// queues and functional units, with decode-slot arbitration driven by the
+// software-controlled priority mechanism (internal/prio) and hardware
+// resource balancing (internal/balance).
+//
+// The pipeline is trace-driven: each thread executes an isa.Stream (the
+// correct path only). Branch mispredictions squash younger in-flight
+// instructions and re-fetch them from a replay ring after a redirect
+// penalty; wrong-path instructions themselves are not modelled.
+package pipeline
+
+import (
+	"fmt"
+
+	"power5prio/internal/balance"
+	"power5prio/internal/isa"
+)
+
+// GroupMax is the hardware limit on instructions per dispatch group.
+const GroupMax = 8
+
+// Config holds the core parameters. DefaultConfig follows published POWER5
+// characteristics; every field is an ablation knob.
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle per thread
+	FetchBufCap int // per-thread fetch buffer entries
+
+	GroupSize  int // max instructions per decode group (POWER5: 5)
+	GCTEntries int // shared group completion table entries (POWER5: 20)
+
+	// GroupUnitCap limits instructions of each unit class per dispatch
+	// group, mirroring POWER4/5 typed group slots (2 FX, 2 LS, 2 FP, 1 BR).
+	// This is what makes decode bandwidth the first-order shared resource
+	// the software-controlled priorities arbitrate.
+	GroupUnitCap [isa.UnitCount]int
+
+	QueueCap [isa.UnitCount]int // issue queue capacity per unit class
+	NumFU    [isa.UnitCount]int // functional units per class
+
+	LatIntAdd uint64
+	LatIntMul uint64
+	LatIntDiv uint64
+	LatFPAdd  uint64
+	LatFPMul  uint64
+	LatBranch uint64
+	LatStore  uint64 // store "completion" latency (store buffer accepts it)
+
+	LMQPerThread      int    // outstanding L1-miss loads per thread
+	MispredictPenalty uint64 // decode redirect delay after a mispredict
+	BHTBits           uint   // branch history table size (2^bits counters)
+
+	Balance balance.Config
+}
+
+// DefaultConfig returns POWER5-like core parameters.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:   8,
+		FetchBufCap:  24,
+		GroupSize:    5,
+		GCTEntries:   20,
+		GroupUnitCap: [isa.UnitCount]int{isa.UnitFX: 2, isa.UnitLS: 2, isa.UnitFP: 2, isa.UnitBR: 1},
+		QueueCap:     [isa.UnitCount]int{isa.UnitFX: 36, isa.UnitLS: 36, isa.UnitFP: 24, isa.UnitBR: 12},
+		NumFU:        [isa.UnitCount]int{isa.UnitFX: 2, isa.UnitLS: 2, isa.UnitFP: 2, isa.UnitBR: 1},
+
+		LatIntAdd: 2,
+		LatIntMul: 7,
+		LatIntDiv: 36,
+		LatFPAdd:  6,
+		LatFPMul:  6,
+		LatBranch: 2,
+		LatStore:  1,
+
+		LMQPerThread:      8,
+		MispredictPenalty: 7,
+		BHTBits:           14,
+
+		Balance: balance.DefaultConfig(),
+	}
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.FetchBufCap <= 0 {
+		return fmt.Errorf("pipeline: fetch width/buffer must be positive")
+	}
+	if c.GroupSize <= 0 || c.GroupSize > GroupMax {
+		return fmt.Errorf("pipeline: GroupSize must be in 1..%d, got %d", GroupMax, c.GroupSize)
+	}
+	if c.GCTEntries <= 0 {
+		return fmt.Errorf("pipeline: GCTEntries must be positive")
+	}
+	for u := 0; u < isa.UnitCount; u++ {
+		if c.QueueCap[u] <= 0 {
+			return fmt.Errorf("pipeline: queue capacity for %v must be positive", isa.Unit(u))
+		}
+		if c.NumFU[u] <= 0 {
+			return fmt.Errorf("pipeline: FU count for %v must be positive", isa.Unit(u))
+		}
+		if c.GroupUnitCap[u] <= 0 {
+			return fmt.Errorf("pipeline: group slot cap for %v must be positive", isa.Unit(u))
+		}
+	}
+	if c.LMQPerThread <= 0 {
+		return fmt.Errorf("pipeline: LMQPerThread must be positive")
+	}
+	if c.BHTBits == 0 {
+		return fmt.Errorf("pipeline: BHTBits must be positive")
+	}
+	return c.Balance.Validate()
+}
+
+// latency returns the execution latency for op (memory ops excluded).
+func (c *Config) latency(op isa.Op) uint64 {
+	switch op {
+	case isa.OpIntAdd:
+		return c.LatIntAdd
+	case isa.OpIntMul:
+		return c.LatIntMul
+	case isa.OpIntDiv:
+		return c.LatIntDiv
+	case isa.OpFPAdd:
+		return c.LatFPAdd
+	case isa.OpFPMul:
+		return c.LatFPMul
+	case isa.OpBranch:
+		return c.LatBranch
+	case isa.OpStore:
+		return c.LatStore
+	default: // nop, prioset
+		return 1
+	}
+}

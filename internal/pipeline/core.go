@@ -1,0 +1,599 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"power5prio/internal/balance"
+	"power5prio/internal/branch"
+	"power5prio/internal/isa"
+	"power5prio/internal/mem"
+	"power5prio/internal/prio"
+)
+
+const (
+	// notDone marks an in-flight instruction whose result is not ready.
+	notDone = ^uint64(0)
+	// replayRing must exceed the maximum in-flight window (GCT*GroupMax +
+	// fetch buffer) with margin; power of two for cheap masking.
+	replayRing = 1024
+	// resultRing must exceed replayRing plus the longest dependency
+	// distance a kernel can carry (bodies are a few hundred instructions).
+	resultRing = 4096
+)
+
+// group is one dispatch group in the GCT.
+type group struct {
+	n        int
+	firstSeq uint64
+	instr    [GroupMax]isa.Dyn
+	issued   [GroupMax]bool
+	mispred  [GroupMax]bool
+}
+
+func (g *group) lastSeq() uint64 { return g.firstSeq + uint64(g.n) - 1 }
+
+// qent is one issue-queue entry. The fields needed by the per-cycle
+// readiness scan are inlined so the scan walks linear memory; the group
+// pointer is only dereferenced at issue time.
+type qent struct {
+	seq     uint64
+	depA    uint64
+	depB    uint64
+	addr    uint64
+	op      isa.Op
+	thread  int8
+	slot    int8
+	mispred bool
+	g       *group
+}
+
+// lmqEntry is one outstanding load miss.
+type lmqEntry struct {
+	seq   uint64
+	done  uint64
+	level mem.HitLevel
+}
+
+// brEvent is a pending branch resolution.
+type brEvent struct {
+	seq uint64
+	at  uint64
+}
+
+// threadState is the per-hardware-thread context.
+type threadState struct {
+	id      int
+	stream  *isa.Stream
+	priv    prio.Privilege
+	running bool
+
+	// Instruction supply: replay ring of generated instructions supports
+	// re-fetch after squashes without rewinding the generator.
+	replay   [replayRing]isa.Dyn
+	genSeq   uint64 // next seq to generate from the stream
+	fetchSeq uint64 // next seq to insert into the fetch buffer
+
+	// fetchBuf is a FIFO with a head index (amortized O(1) consumption);
+	// occupancy is len(fetchBuf)-fbHead.
+	fetchBuf []isa.Dyn
+	fbHead   int
+
+	// resultAt[seq%resultRing] = cycle the result is available, or notDone.
+	resultAt [resultRing]uint64
+
+	groups []*group // in-flight groups, oldest first
+
+	lmq    []lmqEntry
+	pendBr []brEvent
+
+	blockedUntil uint64 // decode blocked until this cycle (redirect)
+
+	stats ThreadStats
+}
+
+// gctHeld returns the number of GCT entries the thread occupies.
+func (t *threadState) gctHeld() int { return len(t.groups) }
+
+// pruneLMQ drops completed miss entries; called once per cycle so the
+// slice stays bounded by the LMQ capacity.
+func (t *threadState) pruneLMQ(c uint64) {
+	dst := t.lmq[:0]
+	for _, e := range t.lmq {
+		if e.done > c {
+			dst = append(dst, e)
+		}
+	}
+	t.lmq = dst
+}
+
+// outstandingMisses counts active L2-or-beyond misses at cycle c.
+func (t *threadState) outstandingMisses(c uint64) int {
+	n := 0
+	for _, e := range t.lmq {
+		if e.done > c && e.level >= mem.HitL2 {
+			n++
+		}
+	}
+	return n
+}
+
+// activeLMQ counts all outstanding missed loads at cycle c.
+func (t *threadState) activeLMQ(c uint64) int {
+	n := 0
+	for _, e := range t.lmq {
+		if e.done > c {
+			n++
+		}
+	}
+	return n
+}
+
+func (t *threadState) depReady(dep uint64, now uint64) bool {
+	if dep == isa.DepNone {
+		return true
+	}
+	r := t.resultAt[dep&(resultRing-1)]
+	return r != notDone && r <= now
+}
+
+// Core is one POWER5-like SMT core.
+type Core struct {
+	cfg    Config
+	id     int
+	hier   *mem.Hierarchy
+	pred   *branch.Predictor
+	alloc  *prio.Allocator
+	mon    *balance.Monitor
+	thr    [2]*threadState
+	queues [isa.UnitCount][]qent
+	pool   []*group // group free pool
+	cycle  uint64
+	cstats CoreStats
+}
+
+// NewCore builds a core attached to the given memory hierarchy. It panics
+// on an invalid configuration.
+func NewCore(cfg Config, hier *mem.Hierarchy, id int) *Core {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if hier == nil {
+		panic("pipeline: nil memory hierarchy")
+	}
+	if id < 0 || id >= hier.Config().Cores {
+		panic(fmt.Sprintf("pipeline: core id %d out of range", id))
+	}
+	c := &Core{
+		cfg:   cfg,
+		id:    id,
+		hier:  hier,
+		pred:  branch.New(cfg.BHTBits),
+		alloc: prio.NewAllocator(prio.Medium, prio.Medium),
+		mon:   balance.NewMonitor(cfg.Balance),
+	}
+	for i := range c.thr {
+		c.thr[i] = &threadState{id: i}
+	}
+	for i := 0; i < cfg.GCTEntries+2; i++ {
+		c.pool = append(c.pool, &group{})
+	}
+	c.syncMemWeights()
+	return c
+}
+
+// syncMemWeights propagates the current decode shares to the memory
+// hierarchy's per-thread DRAM arbitration weights (the POWER5 nest honours
+// thread priority at resource arbitration points).
+func (c *Core) syncMemWeights() {
+	d := int(c.alloc.Priority(0)) - int(c.alloc.Priority(1))
+	w0 := prio.Share(d)
+	c.hier.SetMemWeight(c.id, 0, w0)
+	c.hier.SetMemWeight(c.id, 1, 1-w0)
+}
+
+// Config returns the core configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Cycle returns the current cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// SetWorkload installs a workload stream on hardware thread t with the
+// given software privilege (which governs in-stream priority changes).
+// Passing a nil stream deactivates the thread.
+func (c *Core) SetWorkload(t int, s *isa.Stream, priv prio.Privilege) {
+	ts := c.thr[t]
+	*ts = threadState{id: t, stream: s, priv: priv, running: s != nil}
+	for i := range ts.resultAt {
+		ts.resultAt[i] = notDone
+	}
+	// Purge any queue entries of a previous workload on this thread.
+	for u := range c.queues {
+		dst := c.queues[u][:0]
+		for _, e := range c.queues[u] {
+			if int(e.thread) != t {
+				dst = append(dst, e)
+			}
+		}
+		c.queues[u] = dst
+	}
+}
+
+// SetPriority sets thread t's priority directly (harness-level control,
+// equivalent to hypervisor action). In-stream or-nops go through privilege
+// checking instead.
+func (c *Core) SetPriority(t int, l prio.Level) {
+	c.alloc.Set(t, l)
+	c.syncMemWeights()
+}
+
+// Priority returns thread t's current priority.
+func (c *Core) Priority(t int) prio.Level { return c.alloc.Priority(t) }
+
+// Stats returns a snapshot of thread t's counters.
+func (c *Core) Stats(t int) ThreadStats { return c.thr[t].stats }
+
+// Running reports whether thread t has an active workload.
+func (c *Core) Running(t int) bool { return c.thr[t].running }
+
+// active reports whether the thread participates in execution this cycle
+// (has a workload and is not switched off).
+func (c *Core) active(t int) bool {
+	return c.thr[t].running && c.alloc.Priority(t) != prio.ThreadOff
+}
+
+// Step advances the core by one cycle.
+func (c *Core) Step() {
+	now := c.cycle
+	c.resolveBranches(now)
+	c.retire(now)
+	c.issue(now)
+	stall := c.balanceStep(now)
+	c.decode(now, stall)
+	c.fetch(now)
+	c.cstats.Cycles++
+	c.cstats.GCTOccupSum += uint64(c.gctUsed())
+	c.cycle++
+}
+
+// CoreStats returns a snapshot of whole-core activity counters.
+func (c *Core) CoreStats() CoreStats { return c.cstats }
+
+// Run advances the core n cycles.
+func (c *Core) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		c.Step()
+	}
+}
+
+// resolveBranches applies mispredict squashes whose resolution time is due.
+// Due events are processed oldest-first; each squash filters younger events
+// itself, so the loop re-scans until no due event remains.
+func (c *Core) resolveBranches(now uint64) {
+	for _, ts := range c.thr {
+		for {
+			idx := -1
+			for i := range ts.pendBr {
+				if ts.pendBr[i].at <= now && (idx < 0 || ts.pendBr[i].seq < ts.pendBr[idx].seq) {
+					idx = i
+				}
+			}
+			if idx < 0 {
+				break
+			}
+			seq := ts.pendBr[idx].seq
+			ts.pendBr[idx] = ts.pendBr[len(ts.pendBr)-1]
+			ts.pendBr = ts.pendBr[:len(ts.pendBr)-1]
+			c.squash(ts, seq, now)
+		}
+	}
+}
+
+// squash removes all of ts's in-flight state younger than seq and redirects
+// fetch to seq+1.
+func (c *Core) squash(ts *threadState, seq uint64, now uint64) {
+	// Drop younger groups (they are at the tail, oldest first).
+	cut := len(ts.groups)
+	for cut > 0 && ts.groups[cut-1].firstSeq > seq {
+		cut--
+	}
+	for _, g := range ts.groups[cut:] {
+		ts.stats.BranchFlushes += uint64(g.n)
+		c.pool = append(c.pool, g)
+	}
+	ts.groups = ts.groups[:cut]
+	// Remove younger queue entries.
+	for u := range c.queues {
+		dst := c.queues[u][:0]
+		for _, e := range c.queues[u] {
+			if int(e.thread) == ts.id && e.seq > seq {
+				continue
+			}
+			dst = append(dst, e)
+		}
+		c.queues[u] = dst
+	}
+	// Cancel younger outstanding misses.
+	lmq := ts.lmq[:0]
+	for _, e := range ts.lmq {
+		if e.seq <= seq {
+			lmq = append(lmq, e)
+		}
+	}
+	ts.lmq = lmq
+	// Drop younger pending branch events.
+	pb := ts.pendBr[:0]
+	for _, ev := range ts.pendBr {
+		if ev.seq <= seq {
+			pb = append(pb, ev)
+		}
+	}
+	ts.pendBr = pb
+	// Refetch from seq+1 and pay the redirect penalty.
+	ts.fetchBuf = ts.fetchBuf[:0]
+	ts.fbHead = 0
+	ts.fetchSeq = seq + 1
+	if until := now + c.cfg.MispredictPenalty; until > ts.blockedUntil {
+		ts.blockedUntil = until
+	}
+}
+
+// retire completes up to one group per thread per cycle, in order.
+func (c *Core) retire(now uint64) {
+	for _, ts := range c.thr {
+		if len(ts.groups) == 0 {
+			continue
+		}
+		g := ts.groups[0]
+		done := true
+		for i := 0; i < g.n; i++ {
+			if !g.issued[i] || !ts.depReady(g.firstSeq+uint64(i), now) {
+				done = false
+				break
+			}
+		}
+		if !done {
+			continue
+		}
+		for i := 0; i < g.n; i++ {
+			d := &g.instr[i]
+			ts.stats.Instructions++
+			if d.EndIter {
+				ts.stats.Iterations++
+			}
+			if d.EndRep {
+				ts.stats.Repetitions++
+				ts.stats.RepEndCycles = append(ts.stats.RepEndCycles, now)
+				ts.stats.RepEndInstrs = append(ts.stats.RepEndInstrs, ts.stats.Instructions)
+			}
+			if d.Op == isa.OpPrioSet {
+				cur := c.alloc.Priority(ts.id)
+				next := prio.Apply(cur, prio.Level(d.Prio), ts.priv)
+				if next != cur {
+					c.alloc.Set(ts.id, next)
+					c.syncMemWeights()
+					ts.stats.PrioChanges++
+				} else if prio.Level(d.Prio) != cur {
+					ts.stats.PrioDenied++
+				}
+			}
+		}
+		ts.stats.Groups++
+		ts.groups = ts.groups[:copy(ts.groups, ts.groups[1:])]
+		c.pool = append(c.pool, g)
+	}
+}
+
+// issue selects oldest-ready entries per unit class and starts execution.
+// The scan compacts the queue in place and stops early once all unit slots
+// are used; a cycle in which nothing issues costs no copying.
+func (c *Core) issue(now uint64) {
+	for u := 0; u < isa.UnitCount; u++ {
+		q := c.queues[u]
+		if len(q) == 0 {
+			continue
+		}
+		slots := c.cfg.NumFU[u]
+		w := 0
+		i := 0
+		for ; i < len(q); i++ {
+			if slots == 0 {
+				break
+			}
+			e := &q[i]
+			ts := c.thr[e.thread]
+			if !ts.depReady(e.depA, now) || !ts.depReady(e.depB, now) {
+				if w != i {
+					q[w] = *e
+				}
+				w++
+				continue
+			}
+			if e.op == isa.OpLoad {
+				// A load that may miss needs a free LMQ entry; probe the
+				// cache without side effects first.
+				if !c.hier.L1Resident(c.id, e.addr) && ts.activeLMQ(now) >= c.cfg.LMQPerThread {
+					if w != i {
+						q[w] = *e
+					}
+					w++
+					continue
+				}
+			}
+			// Issue.
+			slots--
+			c.cstats.IssuedByUnit[u]++
+			e.g.issued[e.slot] = true
+			var doneAt uint64
+			switch e.op {
+			case isa.OpLoad:
+				res := c.hier.Load(c.id, int(e.thread), e.addr, now)
+				doneAt = res.Done
+				if res.Level != mem.HitL1 {
+					ts.lmq = append(ts.lmq, lmqEntry{seq: e.seq, done: res.Done, level: res.Level})
+				}
+			case isa.OpStore:
+				c.hier.Store(c.id, int(e.thread), e.addr, now)
+				doneAt = now + c.cfg.LatStore
+			case isa.OpBranch:
+				doneAt = now + c.cfg.LatBranch
+				if e.mispred {
+					ts.pendBr = append(ts.pendBr, brEvent{seq: e.seq, at: doneAt})
+				}
+			default:
+				doneAt = now + c.cfg.latency(e.op)
+			}
+			ts.resultAt[e.seq&(resultRing-1)] = doneAt
+		}
+		if w != i {
+			w += copy(q[w:], q[i:])
+			c.queues[u] = q[:w]
+		}
+	}
+}
+
+// balanceStep runs the resource-balancing monitor for both threads and
+// returns the per-thread decode-stall decisions.
+func (c *Core) balanceStep(now uint64) [2]bool {
+	var stall [2]bool
+	for i, ts := range c.thr {
+		ts.pruneLMQ(now)
+		if !c.active(i) {
+			continue
+		}
+		sibling := c.active(1 - i)
+		d := c.mon.Observe(i, ts.gctHeld(), ts.outstandingMisses(now), sibling)
+		stall[i] = d.StallDecode
+		if d.FlushDispatch && len(ts.fetchBuf)-ts.fbHead > 0 {
+			// Flush dispatch-pending instructions: they will be re-fetched.
+			ts.fetchSeq -= uint64(len(ts.fetchBuf) - ts.fbHead)
+			ts.fetchBuf = ts.fetchBuf[:0]
+			ts.fbHead = 0
+			ts.stats.BalanceFlushes++
+		}
+	}
+	return stall
+}
+
+// decode forms and dispatches one group from the thread granted this
+// cycle's decode slot.
+func (c *Core) decode(now uint64, stall [2]bool) {
+	g := c.alloc.Next()
+	if g.None {
+		return
+	}
+	t := g.Thread
+	ts := c.thr[t]
+	if !c.active(t) {
+		return
+	}
+	ts.stats.DecodeGranted++
+	if stall[t] || ts.blockedUntil > now || len(ts.fetchBuf)-ts.fbHead == 0 {
+		ts.stats.DecodeStalled++
+		return
+	}
+	if c.gctUsed() >= c.cfg.GCTEntries {
+		ts.stats.DecodeStalled++
+		return
+	}
+	limit := c.cfg.GroupSize
+	if g.SingleInstr {
+		limit = 1
+	}
+	grp := c.newGroup()
+	grp.firstSeq = ts.fetchBuf[ts.fbHead].Seq
+	taken := 0
+	avail := len(ts.fetchBuf) - ts.fbHead
+	var unitCount [isa.UnitCount]int
+	for taken < limit && taken < avail {
+		d := ts.fetchBuf[ts.fbHead+taken]
+		u := isa.UnitOf(d.Op)
+		if unitCount[u] >= c.cfg.GroupUnitCap[u] {
+			break // typed group slots exhausted for this unit class
+		}
+		if len(c.queues[u]) >= c.cfg.QueueCap[u] {
+			break
+		}
+		unitCount[u]++
+		slot := grp.n
+		grp.instr[slot] = d
+		grp.issued[slot] = false
+		grp.mispred[slot] = false
+		if d.Op == isa.OpBranch {
+			pred := c.pred.Predict(t, d.PC)
+			c.pred.Update(t, d.PC, d.Taken)
+			if pred != d.Taken {
+				grp.mispred[slot] = true
+				ts.stats.BranchMispredicts++
+			}
+		}
+		c.queues[u] = append(c.queues[u], qent{
+			seq: d.Seq, depA: d.DepA, depB: d.DepB, addr: d.Addr,
+			op: d.Op, thread: int8(t), slot: int8(slot),
+			mispred: grp.mispred[slot], g: grp,
+		})
+		grp.n++
+		taken++
+		if d.Op == isa.OpBranch {
+			break // groups end at a branch
+		}
+	}
+	if grp.n == 0 {
+		c.pool = append(c.pool, grp)
+		ts.stats.DecodeStalled++
+		return
+	}
+	ts.fbHead += taken
+	if ts.fbHead == len(ts.fetchBuf) {
+		ts.fetchBuf = ts.fetchBuf[:0]
+		ts.fbHead = 0
+	}
+	ts.groups = append(ts.groups, grp)
+	ts.stats.DecodeUsed++
+	c.cstats.DecodedInstrs += uint64(grp.n)
+	c.cstats.DecodedGroups++
+}
+
+// fetch refills the fetch buffers from the replay ring or the stream.
+func (c *Core) fetch(now uint64) {
+	for i, ts := range c.thr {
+		if !c.active(i) || ts.stream == nil {
+			continue
+		}
+		// Compact once the dead prefix reaches a buffer's worth, keeping
+		// the backing array bounded while amortizing the copy.
+		if ts.fbHead >= c.cfg.FetchBufCap {
+			n := copy(ts.fetchBuf, ts.fetchBuf[ts.fbHead:])
+			ts.fetchBuf = ts.fetchBuf[:n]
+			ts.fbHead = 0
+		}
+		fetched := 0
+		for fetched < c.cfg.FetchWidth && len(ts.fetchBuf)-ts.fbHead < c.cfg.FetchBufCap {
+			var d isa.Dyn
+			if ts.fetchSeq == ts.genSeq {
+				d = ts.stream.Next()
+				ts.replay[ts.genSeq&(replayRing-1)] = d
+				ts.genSeq++
+			} else {
+				d = ts.replay[ts.fetchSeq&(replayRing-1)]
+			}
+			ts.resultAt[ts.fetchSeq&(resultRing-1)] = notDone
+			ts.fetchBuf = append(ts.fetchBuf, d)
+			ts.fetchSeq++
+			fetched++
+		}
+	}
+}
+
+// gctUsed returns the total GCT occupancy.
+func (c *Core) gctUsed() int { return c.thr[0].gctHeld() + c.thr[1].gctHeld() }
+
+// newGroup takes a group from the pool.
+func (c *Core) newGroup() *group {
+	if n := len(c.pool); n > 0 {
+		g := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		g.n = 0
+		return g
+	}
+	return &group{}
+}

@@ -1,0 +1,455 @@
+package pipeline
+
+import (
+	"testing"
+
+	"power5prio/internal/balance"
+	"power5prio/internal/isa"
+	"power5prio/internal/mem"
+	"power5prio/internal/prio"
+)
+
+// testHier returns a default hierarchy for core tests.
+func testHier() *mem.Hierarchy { return mem.NewHierarchy(mem.DefaultConfig()) }
+
+// intKernel builds a simple independent-int-ops kernel: `w` parallel adds
+// per iteration plus a loop branch.
+func intKernel(t *testing.T, w, iters int) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("ints")
+	regs := make([]isa.Reg, w)
+	for i := range regs {
+		regs[i] = b.Reg("r")
+		// Self-dependent per register, but across iterations: gives each
+		// chain latency body-length apart, so plenty of ILP.
+		b.Op2(isa.OpIntAdd, regs[i], regs[i], regs[i])
+	}
+	cnt := b.Reg("cnt")
+	b.Op2(isa.OpIntAdd, cnt, cnt, cnt)
+	b.Branch(isa.BranchLoop, cnt)
+	k, err := b.Build(iters)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+// chainKernel builds a serial dependency chain kernel: each add depends on
+// the previous one.
+func chainKernel(t *testing.T, n, iters int) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("chain")
+	a := b.Reg("a")
+	for i := 0; i < n; i++ {
+		b.Op2(isa.OpIntAdd, a, a, a)
+	}
+	b.Branch(isa.BranchLoop, a)
+	k, err := b.Build(iters)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+// chaseKernel builds a pointer-chasing load kernel over the footprint.
+func chaseKernel(t *testing.T, footprint uint64, iters int) *isa.Kernel {
+	t.Helper()
+	b := isa.NewBuilder("chase")
+	v := b.Reg("v")
+	s := b.Stream(isa.StreamSpec{Kind: isa.StreamChase, Footprint: footprint, Seed: 7})
+	b.Load(v, s, isa.Reg(-1))
+	b.Branch(isa.BranchLoop, v)
+	k, err := b.Build(iters)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return k
+}
+
+// runCycles steps the core n cycles.
+func runCycles(c *Core, n uint64) { c.Run(n) }
+
+func TestNewCoreValidation(t *testing.T) {
+	h := testHier()
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	check("bad config", func() { NewCore(Config{}, h, 0) })
+	check("nil hierarchy", func() { NewCore(DefaultConfig(), nil, 0) })
+	check("bad core id", func() { NewCore(DefaultConfig(), h, 5) })
+}
+
+func TestSingleThreadExecutesAndRetires(t *testing.T) {
+	c := NewCore(DefaultConfig(), testHier(), 0)
+	k := intKernel(t, 4, 8)
+	c.SetWorkload(0, isa.NewStream(k), prio.User)
+	c.SetPriority(0, prio.VeryHigh)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 2000)
+	st := c.Stats(0)
+	if st.Instructions == 0 {
+		t.Fatal("no instructions retired")
+	}
+	if st.Repetitions == 0 {
+		t.Fatal("no repetitions completed")
+	}
+	if st.Iterations < st.Repetitions*8 {
+		t.Errorf("iterations %d inconsistent with reps %d (8 iters/rep)", st.Iterations, st.Repetitions)
+	}
+	// Instruction count per rep must equal the kernel's dynamic length.
+	if st.Repetitions > 0 && st.Instructions < st.Repetitions*k.DynLen() {
+		t.Errorf("instructions %d < reps %d * dynlen %d", st.Instructions, st.Repetitions, k.DynLen())
+	}
+	if len(st.RepEndCycles) != int(st.Repetitions) {
+		t.Errorf("RepEndCycles length %d != reps %d", len(st.RepEndCycles), st.Repetitions)
+	}
+}
+
+func TestRepEndCyclesMonotonic(t *testing.T) {
+	c := NewCore(DefaultConfig(), testHier(), 0)
+	c.SetWorkload(0, isa.NewStream(intKernel(t, 4, 4)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 3000)
+	ends := c.Stats(0).RepEndCycles
+	for i := 1; i < len(ends); i++ {
+		if ends[i] <= ends[i-1] {
+			t.Fatalf("rep end cycles not increasing: %v", ends[:i+1])
+		}
+	}
+}
+
+func TestILPKernelFasterThanChain(t *testing.T) {
+	run := func(k *isa.Kernel) float64 {
+		c := NewCore(DefaultConfig(), testHier(), 0)
+		c.SetWorkload(0, isa.NewStream(k), prio.User)
+		c.SetPriority(1, prio.ThreadOff)
+		runCycles(c, 5000)
+		st := c.Stats(0)
+		return st.IPC(c.Cycle())
+	}
+	ilp := run(intKernel(t, 8, 16))
+	chain := run(chainKernel(t, 8, 16))
+	if ilp <= chain {
+		t.Errorf("ILP kernel IPC %.2f not faster than chain IPC %.2f", ilp, chain)
+	}
+	// A pure serial add chain with latency 2 cannot exceed 0.5 * chain
+	// length fraction; sanity bounds.
+	if chain > 0.7 {
+		t.Errorf("chain IPC %.2f implausibly high for latency-2 serial adds", chain)
+	}
+}
+
+func TestChaseLatencyBound(t *testing.T) {
+	cfg := DefaultConfig()
+	hcfg := mem.DefaultConfig()
+	h := mem.NewHierarchy(hcfg)
+	c := NewCore(cfg, h, 0)
+	// Chase within an L1-sized footprint: ~2 instrs per LatL1+eps cycles.
+	c.SetWorkload(0, isa.NewStream(chaseKernel(t, 16<<10, 64)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	// Warm up the caches (the first lap misses all the way to DRAM), then
+	// measure marginal IPC in steady state.
+	runCycles(c, 60000)
+	warmInstr, warmCyc := c.Stats(0).Instructions, c.Cycle()
+	runCycles(c, 20000)
+	ipc := float64(c.Stats(0).Instructions-warmInstr) / float64(c.Cycle()-warmCyc)
+	// body = 2 instrs, hop = LatL1 = 2 -> IPC ~1.0
+	if ipc < 0.5 || ipc > 1.6 {
+		t.Errorf("steady-state L1 chase IPC = %.2f, want ~1.0", ipc)
+	}
+}
+
+func TestMemChaseMuchSlower(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	c.SetWorkload(0, isa.NewStream(chaseKernel(t, 64<<20, 16)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 60000)
+	ipc := c.Stats(0).IPC(c.Cycle())
+	if ipc > 0.05 {
+		t.Errorf("memory chase IPC = %.3f, want < 0.05 (latency bound)", ipc)
+	}
+	if c.Stats(0).Instructions == 0 {
+		t.Error("memory chase made no progress")
+	}
+}
+
+func TestSMTEqualPrioritySharing(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	k := intKernel(t, 8, 16)
+	c.SetWorkload(0, isa.NewStreamAt(k, 0), prio.User)
+	c.SetWorkload(1, isa.NewStreamAt(k, 1<<40), prio.User)
+	runCycles(c, 10000)
+	i0, i1 := c.Stats(0).Instructions, c.Stats(1).Instructions
+	if i0 == 0 || i1 == 0 {
+		t.Fatal("a thread made no progress under SMT")
+	}
+	ratio := float64(i0) / float64(i1)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("identical workloads at (4,4) diverge: %d vs %d", i0, i1)
+	}
+}
+
+func TestPriorityShiftsThroughput(t *testing.T) {
+	run := func(p0, p1 prio.Level) (uint64, uint64) {
+		h := testHier()
+		c := NewCore(DefaultConfig(), h, 0)
+		k := intKernel(t, 8, 16)
+		c.SetWorkload(0, isa.NewStreamAt(k, 0), prio.User)
+		c.SetWorkload(1, isa.NewStreamAt(k, 1<<40), prio.User)
+		c.SetPriority(0, p0)
+		c.SetPriority(1, p1)
+		runCycles(c, 10000)
+		return c.Stats(0).Instructions, c.Stats(1).Instructions
+	}
+	base0, base1 := run(prio.Medium, prio.Medium)
+	hi0, hi1 := run(prio.High, prio.Low) // +4
+	if hi0 <= base0 {
+		t.Errorf("prioritized thread did not speed up: %d -> %d", base0, hi0)
+	}
+	if hi1 >= base1 {
+		t.Errorf("deprioritized thread did not slow down: %d -> %d", base1, hi1)
+	}
+	if float64(hi1) > 0.3*float64(base1) {
+		t.Errorf("at -4 the victim kept %d of %d instructions; expected a large hit", hi1, base1)
+	}
+}
+
+func TestThreadOffGivesFullMachine(t *testing.T) {
+	k := intKernel(t, 8, 16)
+	run := func(st bool) uint64 {
+		h := testHier()
+		c := NewCore(DefaultConfig(), h, 0)
+		c.SetWorkload(0, isa.NewStreamAt(k, 0), prio.User)
+		if !st {
+			c.SetWorkload(1, isa.NewStreamAt(k, 1<<40), prio.User)
+		} else {
+			c.SetPriority(1, prio.ThreadOff)
+		}
+		runCycles(c, 8000)
+		return c.Stats(0).Instructions
+	}
+	st := run(true)
+	smt := run(false)
+	if st <= smt {
+		t.Errorf("ST mode (%d instrs) not faster than SMT (%d instrs) for a throughput kernel", st, smt)
+	}
+}
+
+func TestLowPowerMode(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	k := intKernel(t, 8, 16)
+	c.SetWorkload(0, isa.NewStreamAt(k, 0), prio.User)
+	c.SetWorkload(1, isa.NewStreamAt(k, 1<<40), prio.User)
+	c.SetPriority(0, prio.VeryLow)
+	c.SetPriority(1, prio.VeryLow)
+	n := uint64(64000)
+	runCycles(c, n)
+	total := c.Stats(0).Instructions + c.Stats(1).Instructions
+	// One instruction decode per 32 cycles total: ~n/32 instructions.
+	maxExpected := n / 32
+	if total > maxExpected+10 {
+		t.Errorf("low-power mode retired %d instrs in %d cycles, want <= ~%d", total, n, maxExpected)
+	}
+	if total < maxExpected/2 {
+		t.Errorf("low-power mode retired only %d instrs, want near %d", total, maxExpected)
+	}
+}
+
+func TestInStreamPrioritySetRespectsPrivilege(t *testing.T) {
+	// Kernel raises its own priority to High (supervisor-only).
+	build := func() *isa.Kernel {
+		b := isa.NewBuilder("raise")
+		a := b.Reg("a")
+		b.PrioSet(int(prio.High))
+		b.Op2(isa.OpIntAdd, a, a, a)
+		b.Branch(isa.BranchLoop, a)
+		return b.MustBuild(4)
+	}
+	run := func(priv prio.Privilege) (prio.Level, ThreadStats) {
+		h := testHier()
+		c := NewCore(DefaultConfig(), h, 0)
+		c.SetWorkload(0, isa.NewStream(build()), priv)
+		runCycles(c, 500)
+		return c.Priority(0), c.Stats(0)
+	}
+	lvl, st := run(prio.User)
+	if lvl != prio.Medium {
+		t.Errorf("user-mode or-nop raised priority to %v; must stay medium", lvl)
+	}
+	if st.PrioDenied == 0 {
+		t.Error("denied priority sets not counted")
+	}
+	lvl, st = run(prio.Supervisor)
+	if lvl != prio.High {
+		t.Errorf("supervisor or-nop did not raise priority: %v", lvl)
+	}
+	if st.PrioChanges == 0 {
+		t.Error("applied priority change not counted")
+	}
+}
+
+func TestBranchMispredictsHurt(t *testing.T) {
+	build := func(pattern isa.PatternFunc, name string) *isa.Kernel {
+		b := isa.NewBuilder(name)
+		a := b.Reg("a")
+		for i := 0; i < 4; i++ {
+			b.Op2(isa.OpIntAdd, a, a, a)
+		}
+		b.Branch(isa.BranchPattern, a)
+		b.Branch(isa.BranchLoop, a)
+		b.Pattern(pattern)
+		return b.MustBuild(16)
+	}
+	run := func(k *isa.Kernel) (float64, ThreadStats) {
+		h := testHier()
+		c := NewCore(DefaultConfig(), h, 0)
+		c.SetWorkload(0, isa.NewStream(k), prio.User)
+		c.SetPriority(1, prio.ThreadOff)
+		runCycles(c, 20000)
+		st := c.Stats(0)
+		return st.IPC(c.Cycle()), st
+	}
+	rngState := uint64(99)
+	random := func(n uint64) bool {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return rngState&1 == 1
+	}
+	hitIPC, hitStats := run(build(func(n uint64) bool { return true }, "brhit"))
+	missIPC, missStats := run(build(random, "brmiss"))
+	if missIPC >= hitIPC {
+		t.Errorf("random branches IPC %.2f not slower than predictable %.2f", missIPC, hitIPC)
+	}
+	if missStats.BranchMispredicts <= hitStats.BranchMispredicts {
+		t.Errorf("mispredicts: random %d <= predictable %d",
+			missStats.BranchMispredicts, hitStats.BranchMispredicts)
+	}
+	if missStats.BranchFlushes == 0 {
+		t.Error("no squashed instructions recorded for random branches")
+	}
+}
+
+// TestMispredictReplayCorrectness: total retired instructions per rep must
+// still match the kernel length exactly even with constant squashing.
+func TestMispredictReplayCorrectness(t *testing.T) {
+	b := isa.NewBuilder("replay")
+	a := b.Reg("a")
+	b.Op2(isa.OpIntAdd, a, a, a)
+	b.Branch(isa.BranchPattern, a)
+	b.Branch(isa.BranchLoop, a)
+	rngState := uint64(7)
+	b.Pattern(func(n uint64) bool {
+		rngState ^= rngState << 13
+		rngState ^= rngState >> 7
+		rngState ^= rngState << 17
+		return rngState&1 == 1
+	})
+	k := b.MustBuild(10)
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	c.SetWorkload(0, isa.NewStream(k), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 30000)
+	st := c.Stats(0)
+	if st.Repetitions == 0 {
+		t.Fatal("no repetitions completed")
+	}
+	perRep := float64(st.Instructions) / float64(st.Repetitions)
+	want := float64(k.DynLen())
+	if perRep < want-1 || perRep > want+float64(len(k.Body)) {
+		t.Errorf("instructions per rep = %.1f, want ~%.0f (squash/replay must not lose or duplicate instructions)", perRep, want)
+	}
+}
+
+func TestGCTSharedCapacity(t *testing.T) {
+	// A memory-chasing thread must not starve the sibling completely:
+	// balancing caps its GCT share.
+	h := testHier()
+	cfg := DefaultConfig()
+	c := NewCore(cfg, h, 0)
+	c.SetWorkload(0, isa.NewStreamAt(chaseKernel(t, 64<<20, 16), 0), prio.User)
+	c.SetWorkload(1, isa.NewStreamAt(intKernel(t, 8, 16), 1<<40), prio.User)
+	runCycles(c, 40000)
+	if got := c.Stats(1).Instructions; got == 0 {
+		t.Fatal("int thread starved by memory thread")
+	}
+	// The memory thread cannot hold more GCT entries than the balance cap.
+	if held := c.thr[0].gctHeld(); held > cfg.Balance.GCTHigh {
+		t.Errorf("memory thread holds %d GCT entries, balance cap is %d", held, cfg.Balance.GCTHigh)
+	}
+}
+
+func TestBalancingOffLetsMemoryThreadClog(t *testing.T) {
+	run := func(mode balance.Mode) uint64 {
+		h := testHier()
+		cfg := DefaultConfig()
+		cfg.Balance.Mode = mode
+		c := NewCore(cfg, h, 0)
+		c.SetWorkload(0, isa.NewStreamAt(chaseKernel(t, 64<<20, 16), 0), prio.User)
+		c.SetWorkload(1, isa.NewStreamAt(intKernel(t, 8, 16), 1<<40), prio.User)
+		runCycles(c, 40000)
+		return c.Stats(1).Instructions
+	}
+	withBal := run(balance.Flush)
+	without := run(balance.Off)
+	if withBal <= without {
+		t.Errorf("balancing did not help the clean thread: with=%d without=%d", withBal, without)
+	}
+}
+
+func TestDecodeSlotAccounting(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	c.SetWorkload(0, isa.NewStream(intKernel(t, 8, 16)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 2000)
+	st := c.Stats(0)
+	if st.DecodeGranted == 0 {
+		t.Fatal("no decode slots granted")
+	}
+	if st.DecodeUsed+st.DecodeStalled != st.DecodeGranted {
+		t.Errorf("used %d + stalled %d != granted %d", st.DecodeUsed, st.DecodeStalled, st.DecodeGranted)
+	}
+}
+
+func TestSetWorkloadResetsThread(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	c.SetWorkload(0, isa.NewStream(intKernel(t, 4, 4)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	runCycles(c, 1000)
+	if c.Stats(0).Instructions == 0 {
+		t.Fatal("first workload made no progress")
+	}
+	c.SetWorkload(0, isa.NewStream(chainKernel(t, 4, 4)), prio.User)
+	if got := c.Stats(0).Instructions; got != 0 {
+		t.Errorf("stats not reset on SetWorkload: %d", got)
+	}
+	runCycles(c, 1000)
+	if c.Stats(0).Instructions == 0 {
+		t.Error("second workload made no progress")
+	}
+}
+
+func TestInactiveThreadIdle(t *testing.T) {
+	h := testHier()
+	c := NewCore(DefaultConfig(), h, 0)
+	c.SetWorkload(0, isa.NewStream(intKernel(t, 4, 4)), prio.User)
+	// Thread 1 has no workload at all.
+	runCycles(c, 500)
+	if c.Stats(1).Instructions != 0 {
+		t.Error("inactive thread retired instructions")
+	}
+	if !c.Running(0) || c.Running(1) {
+		t.Errorf("Running = (%v,%v), want (true,false)", c.Running(0), c.Running(1))
+	}
+}

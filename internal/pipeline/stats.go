@@ -1,0 +1,60 @@
+package pipeline
+
+// ThreadStats accumulates per-thread performance counters.
+type ThreadStats struct {
+	Instructions uint64 // completed (retired) instructions
+	Groups       uint64 // completed groups
+	Iterations   uint64 // completed kernel iterations
+	Repetitions  uint64 // completed kernel repetitions
+	// RepEndCycles records the core cycle at which each repetition
+	// completed, in order (FAME needs per-repetition boundaries).
+	RepEndCycles []uint64
+	// RepEndInstrs records the cumulative retired-instruction count at each
+	// repetition boundary, aligned with RepEndCycles.
+	RepEndInstrs []uint64
+
+	DecodeGranted uint64 // decode slots granted by the priority allocator
+	DecodeUsed    uint64 // slots in which at least one instruction decoded
+	DecodeStalled uint64 // granted slots lost to stalls (GCT/queues/balance)
+
+	BranchMispredicts uint64
+	BranchFlushes     uint64 // instructions squashed by mispredictions
+	BalanceFlushes    uint64 // dispatch-pending flushes by the balancer
+	PrioChanges       uint64 // applied priority-set instructions
+	PrioDenied        uint64 // priority-set instructions nop'd by privilege
+}
+
+// IPC returns instructions per cycle over the given cycle count.
+func (s ThreadStats) IPC(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(cycles)
+}
+
+// CoreStats accumulates whole-core activity counters, used by utilization
+// reporting and the power model.
+type CoreStats struct {
+	Cycles        uint64
+	IssuedByUnit  [4]uint64 // executed operations per unit class
+	DecodedInstrs uint64    // instructions entering dispatch groups
+	DecodedGroups uint64
+	GCTOccupSum   uint64 // sum over cycles of GCT entries held (integral)
+}
+
+// AvgGCTOccupancy returns the mean number of GCT entries in use.
+func (s CoreStats) AvgGCTOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.GCTOccupSum) / float64(s.Cycles)
+}
+
+// UnitUtilization returns the mean issued operations per cycle for a unit
+// class divided by the number of units (0..1 per fully-used pipe).
+func (s CoreStats) UnitUtilization(unit int, numFU int) float64 {
+	if s.Cycles == 0 || numFU == 0 {
+		return 0
+	}
+	return float64(s.IssuedByUnit[unit]) / float64(s.Cycles) / float64(numFU)
+}

@@ -1,0 +1,75 @@
+package pipeline
+
+import (
+	"testing"
+
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+)
+
+func TestCoreStatsAccumulate(t *testing.T) {
+	c := NewCore(DefaultConfig(), testHier(), 0)
+	c.SetWorkload(0, isa.NewStream(intKernel(t, 4, 8)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	c.Run(2000)
+	cs := c.CoreStats()
+	if cs.Cycles != 2000 {
+		t.Errorf("Cycles = %d, want 2000", cs.Cycles)
+	}
+	if cs.DecodedInstrs == 0 || cs.DecodedGroups == 0 {
+		t.Error("no decode activity recorded")
+	}
+	if cs.IssuedByUnit[isa.UnitFX] == 0 {
+		t.Error("no FX issues recorded for an integer kernel")
+	}
+	if cs.IssuedByUnit[isa.UnitFP] != 0 {
+		t.Error("FP issues recorded for an integer-only kernel")
+	}
+	if cs.GCTOccupSum == 0 {
+		t.Error("GCT occupancy integral is zero")
+	}
+	// Issued ops cannot exceed decoded instructions (trace-driven, no
+	// wrong-path execution; squashed instructions never issue twice
+	// without being re-decoded).
+	var issued uint64
+	for _, n := range cs.IssuedByUnit {
+		issued += n
+	}
+	if issued > cs.DecodedInstrs {
+		t.Errorf("issued %d > decoded %d", issued, cs.DecodedInstrs)
+	}
+}
+
+func TestCoreStatsHelpers(t *testing.T) {
+	cs := CoreStats{
+		Cycles:       100,
+		GCTOccupSum:  500,
+		IssuedByUnit: [4]uint64{isa.UnitFX: 120},
+	}
+	if got := cs.AvgGCTOccupancy(); got != 5.0 {
+		t.Errorf("AvgGCTOccupancy = %v, want 5", got)
+	}
+	if got := cs.UnitUtilization(int(isa.UnitFX), 2); got != 0.6 {
+		t.Errorf("UnitUtilization = %v, want 0.6", got)
+	}
+	var zero CoreStats
+	if zero.AvgGCTOccupancy() != 0 || zero.UnitUtilization(0, 2) != 0 {
+		t.Error("zero-value helpers must return 0")
+	}
+}
+
+// TestUtilizationMatchesWorkloadClass: an LSU-heavy kernel utilizes the
+// load/store pipes far more than the FP pipes.
+func TestUtilizationMatchesWorkloadClass(t *testing.T) {
+	c := NewCore(DefaultConfig(), testHier(), 0)
+	c.SetWorkload(0, isa.NewStream(chaseKernel(t, 16<<10, 64)), prio.User)
+	c.SetPriority(1, prio.ThreadOff)
+	c.Run(20000)
+	cs := c.CoreStats()
+	cfg := c.Config()
+	ls := cs.UnitUtilization(int(isa.UnitLS), cfg.NumFU[isa.UnitLS])
+	fp := cs.UnitUtilization(int(isa.UnitFP), cfg.NumFU[isa.UnitFP])
+	if ls <= fp {
+		t.Errorf("load kernel: LS utilization %.3f should exceed FP %.3f", ls, fp)
+	}
+}

@@ -1,0 +1,93 @@
+package power
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// runPair executes a cpu_int pair at the given priorities and returns the
+// power report for the experiment core.
+func runPair(t *testing.T, pa, pb prio.Level, cycles int) Report {
+	t.Helper()
+	k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, k, pa, pb, prio.Supervisor)
+	for i := 0; i < cycles; i++ {
+		ch.Step()
+	}
+	cfg := ch.Config()
+	return DefaultModel().Estimate(ch.ExperimentCore(), ch.Hier, cfg.ExperimentCore)
+}
+
+// TestLowPowerModeSavesPower: the (1,1) pair must consume far less than
+// the (4,4) default — the architected low-power mode.
+func TestLowPowerModeSavesPower(t *testing.T) {
+	normal := runPair(t, prio.Medium, prio.Medium, 20000)
+	lowpow := runPair(t, prio.VeryLow, prio.VeryLow, 20000)
+	if lowpow.AvgPower >= normal.AvgPower/2 {
+		t.Errorf("low-power mode avg power %.3f, want well below half of normal %.3f",
+			lowpow.AvgPower, normal.AvgPower)
+	}
+	// Base power is still consumed every cycle.
+	if lowpow.AvgPower < DefaultModel().BasePerCycle {
+		t.Errorf("avg power %.3f below base %.3f", lowpow.AvgPower, DefaultModel().BasePerCycle)
+	}
+}
+
+// TestReportBreakdownConsistent: the parts sum to the total.
+func TestReportBreakdownConsistent(t *testing.T) {
+	rep := runPair(t, prio.Medium, prio.Medium, 5000)
+	sum := 0.0
+	for _, v := range rep.ByPart {
+		sum += v
+	}
+	if diff := rep.Energy - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("energy %.3f != sum of parts %.3f", rep.Energy, sum)
+	}
+	if rep.Cycles == 0 || rep.AvgPower <= 0 {
+		t.Errorf("empty report: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+// TestIdleCoreBurnsBaseOnly: a core with no workloads consumes only base
+// power.
+func TestIdleCoreBurnsBaseOnly(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		ch.Step()
+	}
+	cfg := ch.Config()
+	rep := DefaultModel().Estimate(ch.ExperimentCore(), ch.Hier, cfg.ExperimentCore)
+	if rep.AvgPower != DefaultModel().BasePerCycle {
+		t.Errorf("idle core avg power %.3f, want base only %.3f", rep.AvgPower, DefaultModel().BasePerCycle)
+	}
+}
+
+// TestMemoryWorkloadEnergyProfile: a memory-bound thread's energy skews
+// toward the memory part.
+func TestMemoryWorkloadEnergyProfile(t *testing.T) {
+	k, err := microbench.BuildWith(microbench.LdIntMem, microbench.Params{Iters: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.User)
+	for i := 0; i < 40000; i++ {
+		ch.Step()
+	}
+	cfg := ch.Config()
+	rep := DefaultModel().Estimate(ch.ExperimentCore(), ch.Hier, cfg.ExperimentCore)
+	if rep.ByPart["memory"] <= rep.ByPart["issue"] {
+		t.Errorf("memory-bound energy: memory %.1f should exceed issue %.1f",
+			rep.ByPart["memory"], rep.ByPart["issue"])
+	}
+}

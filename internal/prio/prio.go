@@ -1,0 +1,278 @@
+// Package prio implements the POWER5 software-controlled thread priority
+// mechanism characterized by the paper: the eight priority levels, the
+// privilege rules and or-nop instruction encodings of Table 1, and the
+// decode-slot allocation formula of Section 3.2,
+//
+//	R = 2^(|PrioP-PrioS|+1)
+//
+// under which the higher-priority thread receives R-1 of every R decode
+// slots and the lower-priority thread the remaining one. The special cases
+// documented in the paper are honoured: priority 0 switches a thread off,
+// priority 7 is single-thread mode, and the (1,1) pair puts the core in
+// low-power mode, decoding one instruction every 32 cycles.
+package prio
+
+import "fmt"
+
+// Level is a software-controlled thread priority (0-7).
+type Level int
+
+// The eight priority levels of Table 1.
+const (
+	ThreadOff  Level = 0 // thread shut off (hypervisor only)
+	VeryLow    Level = 1 // supervisor
+	Low        Level = 2 // user
+	MediumLow  Level = 3 // user
+	Medium     Level = 4 // user; the default
+	MediumHigh Level = 5 // supervisor
+	High       Level = 6 // supervisor
+	VeryHigh   Level = 7 // single-thread mode (hypervisor only)
+)
+
+var levelNames = [8]string{
+	"thread-off", "very-low", "low", "medium-low",
+	"medium", "medium-high", "high", "very-high",
+}
+
+// String returns the Table 1 name of the level.
+func (l Level) String() string {
+	if l.Valid() {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// Valid reports whether l is one of the eight architected levels.
+func (l Level) Valid() bool { return l >= 0 && l <= 7 }
+
+// Privilege is the execution privilege attempting a priority change.
+type Privilege int
+
+// Privilege levels, least to most privileged.
+const (
+	User Privilege = iota
+	Supervisor
+	Hypervisor
+)
+
+var privNames = [3]string{"user", "supervisor", "hypervisor"}
+
+// String returns the privilege name.
+func (p Privilege) String() string {
+	if p >= User && p <= Hypervisor {
+		return privNames[p]
+	}
+	return fmt.Sprintf("privilege(%d)", int(p))
+}
+
+// Permitted reports whether the given privilege may set the given level,
+// per Table 1: user may set 2-4, supervisor 1-6, hypervisor 0-7.
+func Permitted(l Level, p Privilege) bool {
+	if !l.Valid() {
+		return false
+	}
+	switch p {
+	case User:
+		return l >= Low && l <= Medium
+	case Supervisor:
+		return l >= VeryLow && l <= High
+	case Hypervisor:
+		return true
+	default:
+		return false
+	}
+}
+
+// Apply implements the hardware behaviour of a priority-setting or-nop: if
+// the privilege permits the level, the new level is returned; otherwise the
+// instruction acts as a plain nop and the current level is kept.
+func Apply(current, requested Level, p Privilege) Level {
+	if Permitted(requested, p) {
+		return requested
+	}
+	return current
+}
+
+// OrNopRegister returns the register number X of the `or X,X,X` encoding
+// that sets the given level (Table 1), and whether such an encoding exists.
+// Priority 0 has no or-nop form (it requires a hypervisor call).
+func OrNopRegister(l Level) (reg int, ok bool) {
+	switch l {
+	case VeryLow:
+		return 31, true
+	case Low:
+		return 1, true
+	case MediumLow:
+		return 6, true
+	case Medium:
+		return 2, true
+	case MediumHigh:
+		return 5, true
+	case High:
+		return 3, true
+	case VeryHigh:
+		return 7, true
+	default:
+		return 0, false
+	}
+}
+
+// DecodeOrNop maps an `or X,X,X` register number to the priority level it
+// requests. Unrecognized registers are plain nops (ok = false).
+func DecodeOrNop(reg int) (Level, bool) {
+	switch reg {
+	case 31:
+		return VeryLow, true
+	case 1:
+		return Low, true
+	case 6:
+		return MediumLow, true
+	case 2:
+		return Medium, true
+	case 5:
+		return MediumHigh, true
+	case 3:
+		return High, true
+	case 7:
+		return VeryHigh, true
+	default:
+		return 0, false
+	}
+}
+
+// R returns the decode-slot window of equation (1): R = 2^(|diff|+1).
+// The higher-priority thread receives R-1 of every R slots.
+func R(diff int) int {
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 6 {
+		diff = 6 // |7-1| is the largest architected difference
+	}
+	return 1 << (diff + 1)
+}
+
+// Share returns the long-run fraction of decode slots granted to the
+// primary thread when the priority difference is diff = PrioP - PrioS.
+func Share(diff int) float64 {
+	r := R(diff)
+	if diff >= 0 {
+		return float64(r-1) / float64(r)
+	}
+	return 1 / float64(r)
+}
+
+// LowPowerPeriod is the decode period of the (1,1) low-power mode: the core
+// decodes a single instruction once every 32 cycles.
+const LowPowerPeriod = 32
+
+// Grant is the decode-slot decision for one cycle.
+type Grant struct {
+	// Thread is the hardware thread granted the decode slot (0 or 1).
+	// Meaningless when None is true.
+	Thread int
+	// None means no thread may decode this cycle (low-power gaps, or both
+	// threads off).
+	None bool
+	// SingleInstr restricts the granted slot to a single instruction
+	// instead of a full decode group (low-power mode).
+	SingleInstr bool
+}
+
+// Allocator hands out decode slots cycle by cycle according to the current
+// priority pair. It is deterministic: the higher-priority thread receives
+// slots first within each window of R.
+//
+// The zero value is an allocator with both threads at Medium (4,4) — the
+// hardware default — because Go zero values should be useful; call Set to
+// change priorities.
+type Allocator struct {
+	prio [2]Level
+	init bool // true once priorities have been explicitly set
+	pos  int  // position within the current window
+}
+
+// NewAllocator returns an allocator with the given initial priorities.
+func NewAllocator(p0, p1 Level) *Allocator {
+	a := &Allocator{}
+	a.Set(0, p0)
+	a.Set(1, p1)
+	return a
+}
+
+func (a *Allocator) ensureInit() {
+	if !a.init {
+		a.prio = [2]Level{Medium, Medium}
+		a.init = true
+	}
+}
+
+// Set changes the priority of thread t. Changing priorities restarts the
+// allocation window, mirroring the immediate effect of the or-nop.
+// Set panics on an invalid level or thread; callers are expected to have
+// validated requests through Apply/Permitted.
+func (a *Allocator) Set(t int, l Level) {
+	a.ensureInit()
+	if t != 0 && t != 1 {
+		panic(fmt.Sprintf("prio: thread %d out of range", t))
+	}
+	if !l.Valid() {
+		panic(fmt.Sprintf("prio: invalid level %d", int(l)))
+	}
+	if a.prio[t] == l {
+		return // re-asserting the current level does not restart the window
+	}
+	a.prio[t] = l
+	a.pos = 0
+}
+
+// Priority returns the current level of thread t.
+func (a *Allocator) Priority(t int) Level {
+	a.ensureInit()
+	return a.prio[t]
+}
+
+// Next returns the decode grant for the next cycle and advances the
+// allocator.
+func (a *Allocator) Next() Grant {
+	a.ensureInit()
+	p0, p1 := a.prio[0], a.prio[1]
+	switch {
+	case p0 == ThreadOff && p1 == ThreadOff:
+		return Grant{None: true}
+	case p0 == ThreadOff:
+		return Grant{Thread: 1}
+	case p1 == ThreadOff:
+		return Grant{Thread: 0}
+	case p0 == VeryLow && p1 == VeryLow:
+		// Low-power mode: one single-instruction decode every 32 cycles,
+		// alternating between threads.
+		pos := a.pos
+		a.pos = (a.pos + 1) % (2 * LowPowerPeriod)
+		if pos == 0 {
+			return Grant{Thread: 0, SingleInstr: true}
+		}
+		if pos == LowPowerPeriod {
+			return Grant{Thread: 1, SingleInstr: true}
+		}
+		return Grant{None: true}
+	}
+	diff := int(p0) - int(p1)
+	if diff == 0 {
+		// Equal priorities: strict alternation (R = 2).
+		pos := a.pos
+		a.pos = (a.pos + 1) % 2
+		return Grant{Thread: pos}
+	}
+	r := R(diff)
+	hi, lo := 0, 1
+	if diff < 0 {
+		hi, lo = 1, 0
+	}
+	pos := a.pos
+	a.pos = (a.pos + 1) % r
+	if pos == r-1 {
+		return Grant{Thread: lo}
+	}
+	return Grant{Thread: hi}
+}

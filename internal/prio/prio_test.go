@@ -1,0 +1,322 @@
+package prio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLevelString(t *testing.T) {
+	if Medium.String() != "medium" || ThreadOff.String() != "thread-off" || VeryHigh.String() != "very-high" {
+		t.Errorf("unexpected names: %v %v %v", Medium, ThreadOff, VeryHigh)
+	}
+	if Level(9).String() != "level(9)" {
+		t.Errorf("invalid level name = %q", Level(9).String())
+	}
+}
+
+func TestPrivilegeString(t *testing.T) {
+	for p, want := range map[Privilege]string{User: "user", Supervisor: "supervisor", Hypervisor: "hypervisor"} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+	if Privilege(7).String() != "privilege(7)" {
+		t.Errorf("invalid privilege = %q", Privilege(7).String())
+	}
+}
+
+// TestPermittedTable1 checks the complete privilege matrix of Table 1.
+func TestPermittedTable1(t *testing.T) {
+	type row struct {
+		l          Level
+		user, sup  bool
+		hypervisor bool
+	}
+	rows := []row{
+		{ThreadOff, false, false, true},
+		{VeryLow, false, true, true},
+		{Low, true, true, true},
+		{MediumLow, true, true, true},
+		{Medium, true, true, true},
+		{MediumHigh, false, true, true},
+		{High, false, true, true},
+		{VeryHigh, false, false, true},
+	}
+	for _, r := range rows {
+		if got := Permitted(r.l, User); got != r.user {
+			t.Errorf("Permitted(%v, User) = %v, want %v", r.l, got, r.user)
+		}
+		if got := Permitted(r.l, Supervisor); got != r.sup {
+			t.Errorf("Permitted(%v, Supervisor) = %v, want %v", r.l, got, r.sup)
+		}
+		if got := Permitted(r.l, Hypervisor); got != r.hypervisor {
+			t.Errorf("Permitted(%v, Hypervisor) = %v, want %v", r.l, got, r.hypervisor)
+		}
+	}
+	if Permitted(Level(8), Hypervisor) {
+		t.Error("Permitted accepted invalid level 8")
+	}
+	if Permitted(Medium, Privilege(9)) {
+		t.Error("Permitted accepted invalid privilege")
+	}
+}
+
+// TestApplyNopSemantics: insufficient privilege leaves priority unchanged,
+// exactly like the hardware treating the or-nop as a plain nop.
+func TestApplyNopSemantics(t *testing.T) {
+	if got := Apply(Medium, High, User); got != Medium {
+		t.Errorf("user setting High: got %v, want unchanged Medium", got)
+	}
+	if got := Apply(Medium, Low, User); got != Low {
+		t.Errorf("user setting Low: got %v, want Low", got)
+	}
+	if got := Apply(Low, VeryLow, Supervisor); got != VeryLow {
+		t.Errorf("supervisor setting VeryLow: got %v, want VeryLow", got)
+	}
+	if got := Apply(Low, ThreadOff, Supervisor); got != Low {
+		t.Errorf("supervisor setting ThreadOff: got %v, want unchanged", got)
+	}
+	if got := Apply(Low, ThreadOff, Hypervisor); got != ThreadOff {
+		t.Errorf("hypervisor setting ThreadOff: got %v, want ThreadOff", got)
+	}
+}
+
+// TestOrNopEncodings checks the exact Table 1 or-nop register encodings.
+func TestOrNopEncodings(t *testing.T) {
+	want := map[Level]int{
+		VeryLow: 31, Low: 1, MediumLow: 6, Medium: 2,
+		MediumHigh: 5, High: 3, VeryHigh: 7,
+	}
+	for l, reg := range want {
+		got, ok := OrNopRegister(l)
+		if !ok || got != reg {
+			t.Errorf("OrNopRegister(%v) = (%d,%v), want (%d,true)", l, got, ok, reg)
+		}
+		back, ok := DecodeOrNop(reg)
+		if !ok || back != l {
+			t.Errorf("DecodeOrNop(%d) = (%v,%v), want (%v,true)", reg, back, ok, l)
+		}
+	}
+	if _, ok := OrNopRegister(ThreadOff); ok {
+		t.Error("ThreadOff must have no or-nop encoding")
+	}
+	if _, ok := DecodeOrNop(4); ok {
+		t.Error("or 4,4,4 is not a priority nop")
+	}
+}
+
+func TestRFormula(t *testing.T) {
+	// Paper example: priorities 6 and 2 -> diff 4 -> R = 32,
+	// PThread decodes 31 times, SThread once.
+	if got := R(4); got != 32 {
+		t.Errorf("R(4) = %d, want 32", got)
+	}
+	for diff, want := range map[int]int{0: 2, 1: 4, 2: 8, 3: 16, 5: 64, -5: 64, 6: 128, -6: 128} {
+		if got := R(diff); got != want {
+			t.Errorf("R(%d) = %d, want %d", diff, got, want)
+		}
+	}
+	// Differences beyond the architected maximum saturate.
+	if got := R(9); got != 128 {
+		t.Errorf("R(9) = %d, want saturation at 128", got)
+	}
+}
+
+func TestShare(t *testing.T) {
+	// Paper: at +4 a thread receives 31 of 32 slots (93.75% more than half);
+	// at -4 only 1 of 32.
+	if got := Share(4); got != 31.0/32 {
+		t.Errorf("Share(4) = %v, want 31/32", got)
+	}
+	if got := Share(-4); got != 1.0/32 {
+		t.Errorf("Share(-4) = %v, want 1/32", got)
+	}
+	if got := Share(0); got != 0.5 {
+		t.Errorf("Share(0) = %v, want 0.5", got)
+	}
+}
+
+// countGrants runs the allocator n cycles and counts grants per thread.
+func countGrants(a *Allocator, n int) (c [2]int, none int, single int) {
+	for i := 0; i < n; i++ {
+		g := a.Next()
+		if g.None {
+			none++
+			continue
+		}
+		c[g.Thread]++
+		if g.SingleInstr {
+			single++
+		}
+	}
+	return
+}
+
+func TestAllocatorEqualPrioritiesAlternate(t *testing.T) {
+	a := NewAllocator(Medium, Medium)
+	last := -1
+	for i := 0; i < 10; i++ {
+		g := a.Next()
+		if g.None || g.SingleInstr {
+			t.Fatal("unexpected None/SingleInstr at (4,4)")
+		}
+		if g.Thread == last {
+			t.Fatalf("cycle %d: thread %d granted twice in a row at equal priority", i, g.Thread)
+		}
+		last = g.Thread
+	}
+}
+
+func TestAllocatorPaperExample62(t *testing.T) {
+	// Priorities (6,2): R = 32; thread 0 gets 31 slots, thread 1 gets 1.
+	a := NewAllocator(High, Low)
+	c, none, _ := countGrants(a, 32)
+	if none != 0 {
+		t.Fatalf("got %d empty slots, want 0", none)
+	}
+	if c[0] != 31 || c[1] != 1 {
+		t.Errorf("grants = %v, want [31 1]", c)
+	}
+}
+
+func TestAllocatorNegativeDiff(t *testing.T) {
+	a := NewAllocator(Low, High) // diff -4 from thread 0's view
+	c, _, _ := countGrants(a, 64)
+	if c[0] != 2 || c[1] != 62 {
+		t.Errorf("grants over 64 cycles = %v, want [2 62]", c)
+	}
+}
+
+func TestAllocatorThreadOff(t *testing.T) {
+	a := NewAllocator(ThreadOff, Medium)
+	c, none, _ := countGrants(a, 20)
+	if none != 0 || c[0] != 0 || c[1] != 20 {
+		t.Errorf("with thread 0 off: grants=%v none=%d, want all to thread 1", c, none)
+	}
+	a = NewAllocator(VeryHigh, ThreadOff) // ST mode
+	c, none, _ = countGrants(a, 20)
+	if none != 0 || c[0] != 20 || c[1] != 0 {
+		t.Errorf("ST mode: grants=%v none=%d, want all to thread 0", c, none)
+	}
+	a = NewAllocator(ThreadOff, ThreadOff)
+	_, none, _ = countGrants(a, 20)
+	if none != 20 {
+		t.Errorf("both off: none=%d, want 20", none)
+	}
+}
+
+// TestAllocatorLowPower checks the (1,1) special case: the core decodes a
+// single instruction once every 32 cycles, alternating threads.
+func TestAllocatorLowPower(t *testing.T) {
+	a := NewAllocator(VeryLow, VeryLow)
+	c, none, single := countGrants(a, 2*LowPowerPeriod)
+	if c[0] != 1 || c[1] != 1 {
+		t.Errorf("low-power grants over 64 cycles = %v, want [1 1]", c)
+	}
+	if single != 2 {
+		t.Errorf("single-instruction grants = %d, want 2", single)
+	}
+	if none != 62 {
+		t.Errorf("empty slots = %d, want 62", none)
+	}
+}
+
+// TestAllocatorOneVsOthers: priority 1 against a higher priority follows the
+// plain R formula (transparency comes from large differences).
+func TestAllocatorOneVersusSix(t *testing.T) {
+	a := NewAllocator(High, VeryLow) // diff +5 -> R=64
+	c, _, _ := countGrants(a, 64)
+	if c[0] != 63 || c[1] != 1 {
+		t.Errorf("grants = %v, want [63 1]", c)
+	}
+}
+
+func TestAllocatorSetResetsWindow(t *testing.T) {
+	a := NewAllocator(High, Low)
+	a.Next() // consume part of the window
+	a.Set(1, High)
+	// Now equal: strict alternation starting from thread 0.
+	g0, g1 := a.Next(), a.Next()
+	if g0.Thread == g1.Thread {
+		t.Error("window not reset after Set: same thread twice")
+	}
+	if a.Priority(1) != High {
+		t.Errorf("Priority(1) = %v, want High", a.Priority(1))
+	}
+}
+
+func TestAllocatorZeroValueIsMedium(t *testing.T) {
+	var a Allocator
+	if a.Priority(0) != Medium || a.Priority(1) != Medium {
+		t.Errorf("zero-value priorities = (%v,%v), want (medium,medium)", a.Priority(0), a.Priority(1))
+	}
+	g := a.Next()
+	if g.None {
+		t.Error("zero-value allocator granted no slot")
+	}
+}
+
+func TestAllocatorPanics(t *testing.T) {
+	check := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	a := NewAllocator(Medium, Medium)
+	check("bad thread", func() { a.Set(2, Medium) })
+	check("bad level", func() { a.Set(0, Level(8)) })
+}
+
+// Property: over one full window of R cycles, the high-priority thread gets
+// exactly R-1 slots and the other exactly 1, for every valid unequal pair
+// not involving levels 0 and the (1,1) case.
+func TestAllocatorWindowProperty(t *testing.T) {
+	f := func(p0raw, p1raw uint8) bool {
+		p0 := Level(p0raw%7) + 1 // 1..7
+		p1 := Level(p1raw%7) + 1
+		if p0 == p1 {
+			return true
+		}
+		if p0 == VeryLow && p1 == VeryLow {
+			return true
+		}
+		a := NewAllocator(p0, p1)
+		r := R(int(p0) - int(p1))
+		c, none, _ := countGrants(a, r)
+		if none != 0 {
+			return false
+		}
+		hi, lo := 0, 1
+		if p1 > p0 {
+			hi, lo = 1, 0
+		}
+		return c[hi] == r-1 && c[lo] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: long-run grant fraction converges to Share(diff).
+func TestAllocatorShareProperty(t *testing.T) {
+	f := func(p0raw, p1raw uint8) bool {
+		p0 := Level(p0raw%6) + 1 // 1..6
+		p1 := Level(p1raw%6) + 1
+		if p0 == VeryLow && p1 == VeryLow {
+			return true
+		}
+		a := NewAllocator(p0, p1)
+		diff := int(p0) - int(p1)
+		n := R(diff) * 100
+		c, _, _ := countGrants(a, n)
+		got := float64(c[0]) / float64(n)
+		want := Share(diff)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

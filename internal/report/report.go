@@ -1,0 +1,133 @@
+// Package report renders experiment results as aligned ASCII tables and
+// CSV, matching the rows and series the paper's tables and figures show.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; missing cells render empty, extra cells widen the
+// table.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted cells.
+func (t *Table) AddRowf(format string, args ...any) {
+	t.AddRow(strings.Fields(fmt.Sprintf(format, args...))...)
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	update := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	update(t.Header)
+	for _, r := range t.Rows {
+		update(r)
+	}
+	return w
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	ws := t.widths()
+	line := func(cells []string) {
+		for i := 0; i < len(ws); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", ws[i], c)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		line(t.Header)
+		sep := make([]string, len(ws))
+		for i := range sep {
+			sep[i] = strings.Repeat("-", ws[i])
+		}
+		line(sep)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (no escaping beyond
+// quoting cells containing commas; experiment cells are plain numbers and
+// identifiers).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	cell := func(c string) string {
+		if strings.ContainsAny(c, ",\"\n") {
+			return `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		return c
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(cell(c))
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		row(t.Header)
+	}
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return b.String()
+}
+
+// F formats a float with 3 decimal places, the harness's standard cell
+// format.
+func F(x float64) string { return fmt.Sprintf("%.3f", x) }
+
+// F2 formats a float with 2 decimal places.
+func F2(x float64) string { return fmt.Sprintf("%.2f", x) }

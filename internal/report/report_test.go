@@ -1,0 +1,88 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := NewTable("Demo", "name", "value")
+	t.AddRow("alpha", "1.00")
+	t.AddRow("beta-long-name", "2")
+	return t
+}
+
+func TestTableString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "name") || !strings.Contains(s, "value") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta-long-name") {
+		t.Error("missing rows")
+	}
+	// Columns align: every line has the value column at the same offset.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("%d lines, want 5: %q", len(lines), s)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z") // extra cell widens the table
+	s := tb.String()
+	if !strings.Contains(s, "z") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableNoTitleNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("cell")
+	s := tb.String()
+	if strings.Contains(s, "==") {
+		t.Error("unexpected title")
+	}
+	if !strings.Contains(s, "cell") {
+		t.Error("missing row")
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `q"u`)
+	got := tb.CSV()
+	want := "a,b\n\"x,y\",\"q\"\"u\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRowf("%s %.1f", "x", 2.0)
+	if len(tb.Rows) != 1 || tb.Rows[0][0] != "x" || tb.Rows[0][1] != "2.0" {
+		t.Errorf("AddRowf rows = %v", tb.Rows)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Errorf("F = %q", F(1.23456))
+	}
+	if F2(1.23456) != "1.23" {
+		t.Errorf("F2 = %q", F2(1.23456))
+	}
+}
+
+func TestWriteToError(t *testing.T) {
+	// String() must tolerate writer errors by returning empty.
+	tb := sample()
+	if tb.String() == "" {
+		t.Error("String returned empty for valid table")
+	}
+}

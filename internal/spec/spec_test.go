@@ -1,0 +1,96 @@
+package spec
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/prio"
+)
+
+func TestNamesAndBuild(t *testing.T) {
+	ns := Names()
+	if len(ns) != 4 {
+		t.Fatalf("%d workloads, want 4", len(ns))
+	}
+	for _, n := range ns {
+		k, err := Build(n)
+		if err != nil {
+			t.Errorf("Build(%q): %v", n, err)
+			continue
+		}
+		if err := k.Validate(); err != nil {
+			t.Errorf("%q invalid: %v", n, err)
+		}
+	}
+	if _, err := Build("gcc"); err == nil {
+		t.Error("Build accepted unknown workload")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	MustBuild("gcc")
+}
+
+func TestBuildWithParams(t *testing.T) {
+	k, err := BuildWith(MCF, Params{Iters: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Iters != 11 {
+		t.Errorf("Iters = %d, want 11", k.Iters)
+	}
+	k, err = BuildWith(MCF, Params{IterScale: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Iters != 8 {
+		t.Errorf("scaled Iters = %d, want floor of 8", k.Iters)
+	}
+}
+
+func measureST(t *testing.T, name string) float64 {
+	t.Helper()
+	k, err := BuildWith(name, Params{IterScale: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.Supervisor)
+	res := fame.Measure(ch, fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 60_000_000})
+	if res.TimedOut {
+		t.Fatalf("%s timed out", name)
+	}
+	return res.Thread[0].IPC
+}
+
+// TestWorkloadClasses: each synthetic workload must land in its paper
+// behaviour class (h264ref high-IPC, applu medium, mcf/equake low
+// memory-bound).
+func TestWorkloadClasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long test")
+	}
+	h264 := measureST(t, H264Ref)
+	mcf := measureST(t, MCF)
+	app := measureST(t, Applu)
+	eq := measureST(t, Equake)
+	t.Logf("ST IPCs: h264ref %.3f  mcf %.3f  applu %.3f  equake %.3f", h264, mcf, app, eq)
+	if h264 < 0.8 {
+		t.Errorf("h264ref IPC %.3f too low for a cpu-bound encoder", h264)
+	}
+	if mcf > 0.3 {
+		t.Errorf("mcf IPC %.3f too high for a memory-bound chaser", mcf)
+	}
+	if eq > 0.3 {
+		t.Errorf("equake IPC %.3f too high for a memory-bound FP code", eq)
+	}
+	if app <= mcf || app >= h264 {
+		t.Errorf("applu IPC %.3f should sit between mcf %.3f and h264ref %.3f", app, mcf, h264)
+	}
+}

@@ -1,0 +1,81 @@
+// Package tuner is an extension beyond the paper: an automatic priority
+// tuner that hill-climbs the priority difference of a co-scheduled pair to
+// maximize a measured objective (total IPC by default). The paper's
+// conclusion — "only priorities up to +/-2 should normally be used" —
+// suggests exactly this kind of small, guided search; learning-based
+// resource distribution is its reference [6].
+package tuner
+
+import (
+	"fmt"
+
+	"power5prio/internal/experiments"
+)
+
+// Objective measures the quantity to maximize at a priority difference.
+type Objective func(diff int) float64
+
+// Result describes a tuning run.
+type Result struct {
+	BestDiff  int
+	BestValue float64
+	Evals     int
+	// Trace records the differences evaluated, in order.
+	Trace []int
+}
+
+// HillClimb maximizes eval over the integer range [lo, hi] starting at
+// start, moving one step at a time toward improvement. Evaluations are
+// memoized; the search stops at a local maximum (the paper's measured
+// curves are unimodal in the difference).
+func HillClimb(eval Objective, start, lo, hi int) (Result, error) {
+	if lo > hi {
+		return Result{}, fmt.Errorf("tuner: empty range [%d,%d]", lo, hi)
+	}
+	if start < lo || start > hi {
+		return Result{}, fmt.Errorf("tuner: start %d outside [%d,%d]", start, lo, hi)
+	}
+	cache := map[int]float64{}
+	var res Result
+	score := func(d int) float64 {
+		if v, ok := cache[d]; ok {
+			return v
+		}
+		v := eval(d)
+		cache[d] = v
+		res.Evals++
+		res.Trace = append(res.Trace, d)
+		return v
+	}
+	cur := start
+	curV := score(cur)
+	for {
+		bestN, bestV := cur, curV
+		for _, n := range []int{cur - 1, cur + 1} {
+			if n < lo || n > hi {
+				continue
+			}
+			if v := score(n); v > bestV {
+				bestN, bestV = n, v
+			}
+		}
+		if bestN == cur {
+			break
+		}
+		cur, curV = bestN, bestV
+	}
+	res.BestDiff = cur
+	res.BestValue = curV
+	return res, nil
+}
+
+// TunePair hill-climbs the total IPC of a micro-benchmark pair over
+// priority differences in [-5, +5], starting from the hardware default of
+// equal priorities.
+func TunePair(h experiments.Harness, nameP, nameS string) (Result, error) {
+	eval := func(diff int) float64 {
+		pp, ps := experiments.DiffPair(diff)
+		return h.RunPairLevels(nameP, nameS, pp, ps).TotalIPC
+	}
+	return HillClimb(eval, 0, -5, 5)
+}

@@ -1,0 +1,84 @@
+package tuner
+
+import (
+	"testing"
+
+	"power5prio/internal/experiments"
+	"power5prio/internal/microbench"
+)
+
+func TestHillClimbFindsUnimodalPeak(t *testing.T) {
+	evals := 0
+	eval := func(d int) float64 {
+		evals++
+		return -float64((d - 3) * (d - 3)) // peak at 3
+	}
+	r, err := HillClimb(eval, 0, -5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestDiff != 3 {
+		t.Errorf("BestDiff = %d, want 3", r.BestDiff)
+	}
+	if r.Evals != evals {
+		t.Errorf("Evals = %d, actual calls %d (memoization broken)", r.Evals, evals)
+	}
+	if r.Evals > 11 {
+		t.Errorf("evaluated %d points; hill climbing should not scan everything twice", r.Evals)
+	}
+}
+
+func TestHillClimbRespectsBounds(t *testing.T) {
+	eval := func(d int) float64 { return float64(d) } // monotone: best at hi
+	r, err := HillClimb(eval, 0, -2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestDiff != 4 {
+		t.Errorf("BestDiff = %d, want boundary 4", r.BestDiff)
+	}
+}
+
+func TestHillClimbErrors(t *testing.T) {
+	eval := func(d int) float64 { return 0 }
+	if _, err := HillClimb(eval, 0, 3, 1); err == nil {
+		t.Error("accepted empty range")
+	}
+	if _, err := HillClimb(eval, 9, -5, 5); err == nil {
+		t.Error("accepted start outside range")
+	}
+}
+
+func TestHillClimbMemoizes(t *testing.T) {
+	calls := map[int]int{}
+	eval := func(d int) float64 {
+		calls[d]++
+		return 0 // flat: immediate stop
+	}
+	if _, err := HillClimb(eval, 0, -5, 5); err != nil {
+		t.Fatal(err)
+	}
+	for d, n := range calls {
+		if n > 1 {
+			t.Errorf("diff %d evaluated %d times", d, n)
+		}
+	}
+}
+
+// TestTunePairFindsPositiveDiff: for a high-IPC thread paired with a
+// memory-bound thread, the tuner must discover that prioritizing the
+// high-IPC thread raises total throughput (the paper's Section 5.3 rule).
+func TestTunePairFindsPositiveDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tuning runs simulations")
+	}
+	h := experiments.Quick()
+	h.IterScale = 0.12
+	r, err := TunePair(h, microbench.LdIntL1, microbench.LdIntMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BestDiff <= 0 {
+		t.Errorf("BestDiff = %d, want positive (prioritize the high-IPC thread)", r.BestDiff)
+	}
+}

@@ -1,0 +1,272 @@
+// Package power5prio is a simulation study of the IBM POWER5
+// software-controlled thread priority mechanism, reproducing Boneti et al.,
+// "Software-Controlled Priority Characterization of POWER5 Processor"
+// (ISCA 2008) on a cycle-approximate simulator.
+//
+// The package exposes:
+//
+//   - the priority mechanism itself (levels, privilege rules, or-nop
+//     encodings, the R = 2^(|diff|+1) decode-slot formula),
+//   - a POWER5-like chip simulator (two SMT cores, shared GCT, typed
+//     dispatch groups, issue queues, caches/TLB/DRAM, hardware resource
+//     balancing),
+//   - the paper's workloads (fifteen micro-benchmarks, synthetic SPEC
+//     stand-ins, the FFT/LU software pipeline) and the FAME measurement
+//     methodology,
+//   - every table and figure of the paper's evaluation as a regenerable
+//     experiment.
+//
+// Quick start:
+//
+//	sys := power5prio.New(power5prio.DefaultConfig())
+//	res, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
+//	    power5prio.High, power5prio.Medium)
+//
+// See examples/ for complete programs.
+package power5prio
+
+import (
+	"fmt"
+
+	"power5prio/internal/apps"
+	"power5prio/internal/core"
+	"power5prio/internal/experiments"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+	"power5prio/internal/spec"
+	"power5prio/internal/tuner"
+)
+
+// Level is a software-controlled thread priority (0-7), re-exported from
+// the priority engine.
+type Level = prio.Level
+
+// The eight architected priority levels (Table 1 of the paper).
+const (
+	ThreadOff  = prio.ThreadOff
+	VeryLow    = prio.VeryLow
+	Low        = prio.Low
+	MediumLow  = prio.MediumLow
+	Medium     = prio.Medium
+	MediumHigh = prio.MediumHigh
+	High       = prio.High
+	VeryHigh   = prio.VeryHigh
+)
+
+// Privilege is the execution privilege attempting a priority change.
+type Privilege = prio.Privilege
+
+// Privilege levels.
+const (
+	User       = prio.User
+	Supervisor = prio.Supervisor
+	Hypervisor = prio.Hypervisor
+)
+
+// Kernel is a workload: a loop body of instruction templates with memory
+// streams, executed repeatedly. Build custom kernels with NewKernelBuilder.
+type Kernel = isa.Kernel
+
+// KernelBuilder assembles custom workloads from virtual-register loop
+// bodies; see the isa package documentation for the instruction set.
+type KernelBuilder = isa.Builder
+
+// NewKernelBuilder returns a builder for a custom workload kernel.
+func NewKernelBuilder(name string) *KernelBuilder { return isa.NewBuilder(name) }
+
+// Op is an instruction class for custom kernels.
+type Op = isa.Op
+
+// Instruction classes usable with KernelBuilder.
+const (
+	OpNop     = isa.OpNop
+	OpIntAdd  = isa.OpIntAdd
+	OpIntMul  = isa.OpIntMul
+	OpIntDiv  = isa.OpIntDiv
+	OpFPAdd   = isa.OpFPAdd
+	OpFPMul   = isa.OpFPMul
+	OpLoad    = isa.OpLoad
+	OpStore   = isa.OpStore
+	OpBranch  = isa.OpBranch
+	OpPrioSet = isa.OpPrioSet
+)
+
+// Branch kinds for KernelBuilder.Branch.
+const (
+	BranchLoop    = isa.BranchLoop
+	BranchPattern = isa.BranchPattern
+)
+
+// StreamSpec describes a custom kernel's memory stream (footprint,
+// addressing kind, stride).
+type StreamSpec = isa.StreamSpec
+
+// Address-stream kinds.
+const (
+	StreamChase  = isa.StreamChase
+	StreamStride = isa.StreamStride
+	StreamRandom = isa.StreamRandom
+)
+
+// NoReg marks an unused register operand in builder calls.
+const NoReg = isa.Reg(-1)
+
+// Config configures the simulated chip. The zero value is not useful; use
+// DefaultConfig (published POWER5 parameters) and adjust fields.
+type Config = core.Config
+
+// DefaultConfig returns the POWER5-like default chip configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// MeasureOptions controls FAME measurements.
+type MeasureOptions = fame.Options
+
+// DefaultMeasureOptions mirrors the paper's methodology: MAIV 1%, at least
+// ten repetitions per thread.
+func DefaultMeasureOptions() MeasureOptions { return fame.DefaultOptions() }
+
+// ThreadResult is a per-thread measurement (average repetition time in
+// cycles and average accumulated IPC, computed the FAME way).
+type ThreadResult = fame.ThreadResult
+
+// PairResult is a co-scheduled measurement of two threads.
+type PairResult = fame.PairResult
+
+// Share returns the long-run fraction of decode slots the primary thread
+// receives at priority difference diff, per the paper's equation (1).
+func Share(diff int) float64 { return prio.Share(diff) }
+
+// R returns the decode window size 2^(|diff|+1) of equation (1).
+func R(diff int) int { return prio.R(diff) }
+
+// Permitted reports whether the privilege may set the level (Table 1).
+func Permitted(l Level, p Privilege) bool { return prio.Permitted(l, p) }
+
+// OrNopRegister returns the register X of the `or X,X,X` encoding that
+// requests the level, and whether one exists.
+func OrNopRegister(l Level) (int, bool) { return prio.OrNopRegister(l) }
+
+// DecodeOrNop maps an or-nop register number back to the level it
+// requests.
+func DecodeOrNop(reg int) (Level, bool) { return prio.DecodeOrNop(reg) }
+
+// Microbenchmarks lists the paper's fifteen micro-benchmarks (Table 2).
+func Microbenchmarks() []string { return microbench.Names() }
+
+// SPECWorkloads lists the synthetic SPEC stand-ins used by the case
+// studies (h264ref, mcf, applu, equake).
+func SPECWorkloads() []string { return spec.Names() }
+
+// Microbenchmark builds one of the paper's micro-benchmarks by name.
+func Microbenchmark(name string) (*Kernel, error) { return microbench.Build(name) }
+
+// SPECWorkload builds one of the synthetic SPEC workloads by name.
+func SPECWorkload(name string) (*Kernel, error) { return spec.Build(name) }
+
+// System is a configured simulator factory: each measurement runs on a
+// fresh chip so results are independent and deterministic.
+type System struct {
+	cfg  Config
+	opts MeasureOptions
+	priv Privilege
+}
+
+// New returns a System with the given chip configuration and the paper's
+// measurement methodology. In-stream priority changes run with supervisor
+// privilege (the paper's patched kernel).
+func New(cfg Config) *System {
+	return &System{cfg: cfg, opts: DefaultMeasureOptions(), priv: Supervisor}
+}
+
+// SetMeasureOptions replaces the FAME options used by measurements.
+func (s *System) SetMeasureOptions(o MeasureOptions) { s.opts = o }
+
+// SetPrivilege sets the software privilege for in-stream priority changes.
+func (s *System) SetPrivilege(p Privilege) { s.priv = p }
+
+// MeasurePair co-schedules two kernels on one SMT core at the given
+// priorities and measures both threads.
+func (s *System) MeasurePair(a, b *Kernel, pa, pb Level) (PairResult, error) {
+	if a == nil || b == nil {
+		return PairResult{}, fmt.Errorf("power5prio: MeasurePair needs two kernels")
+	}
+	if err := a.Validate(); err != nil {
+		return PairResult{}, err
+	}
+	if err := b.Validate(); err != nil {
+		return PairResult{}, err
+	}
+	ch := core.NewChip(s.cfg)
+	ch.PlacePair(a, b, pa, pb, s.priv)
+	return fame.Measure(ch, s.opts), nil
+}
+
+// MeasureSingle runs one kernel alone on the core (single-thread mode).
+func (s *System) MeasureSingle(k *Kernel) (ThreadResult, error) {
+	if k == nil {
+		return ThreadResult{}, fmt.Errorf("power5prio: MeasureSingle needs a kernel")
+	}
+	if err := k.Validate(); err != nil {
+		return ThreadResult{}, err
+	}
+	ch := core.NewChip(s.cfg)
+	ch.PlacePair(k, nil, Medium, Medium, s.priv)
+	return fame.Measure(ch, s.opts).Thread[0], nil
+}
+
+// MeasureMicroPair is MeasurePair over named micro-benchmarks.
+func (s *System) MeasureMicroPair(nameA, nameB string, pa, pb Level) (PairResult, error) {
+	a, err := microbench.Build(nameA)
+	if err != nil {
+		return PairResult{}, err
+	}
+	b, err := microbench.Build(nameB)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return s.MeasurePair(a, b, pa, pb)
+}
+
+// MeasureSpecPair is MeasurePair over named synthetic SPEC workloads.
+func (s *System) MeasureSpecPair(nameA, nameB string, pa, pb Level) (PairResult, error) {
+	a, err := spec.Build(nameA)
+	if err != nil {
+		return PairResult{}, err
+	}
+	b, err := spec.Build(nameB)
+	if err != nil {
+		return PairResult{}, err
+	}
+	return s.MeasurePair(a, b, pa, pb)
+}
+
+// PipelineResult is the outcome of an FFT/LU software-pipeline run.
+type PipelineResult = apps.Result
+
+// RunPipeline simulates the paper's FFT/LU execution-time case study at
+// the given stage priorities.
+func (s *System) RunPipeline(prioFFT, prioLU Level) (PipelineResult, error) {
+	cfg := apps.DefaultConfig()
+	cfg.Chip = s.cfg
+	return apps.Run(cfg, prioFFT, prioLU)
+}
+
+// TuneResult reports an automatic priority search.
+type TuneResult = tuner.Result
+
+// TuneTotalIPC hill-climbs the priority difference of a micro-benchmark
+// pair to maximize total IPC (extension beyond the paper). Differences map
+// to level pairs the way the paper's sweeps do ((5,4), (6,4), (6,3), ...).
+func (s *System) TuneTotalIPC(nameA, nameB string) (TuneResult, error) {
+	eval := func(diff int) float64 {
+		pa, pb := experiments.DiffPair(diff)
+		res, err := s.MeasureMicroPair(nameA, nameB, pa, pb)
+		if err != nil {
+			return 0
+		}
+		return res.TotalIPC
+	}
+	return tuner.HillClimb(eval, 0, -5, 5)
+}
