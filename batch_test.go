@@ -1,0 +1,109 @@
+package power5prio
+
+import "testing"
+
+// batchSystem shrinks measurements further than quickSystem: batch tests
+// run several sweeps.
+func batchSystem() *System {
+	s := New(DefaultConfig())
+	s.SetMeasureOptions(MeasureOptions{MinReps: 2, WarmupReps: 0, MaxCycles: 60_000_000})
+	return s
+}
+
+// TestMeasureBatchMatchesSerial: a batch returns exactly what the serial
+// per-pair API returns, independent of worker count.
+func TestMeasureBatchMatchesSerial(t *testing.T) {
+	specs := []BatchSpec{
+		{A: "cpu_int", B: "ldint_l1", PA: High, PB: Medium},
+		{A: "cpu_int", B: "ldint_l1", PA: Medium, PB: Medium},
+		{A: "cpu_int"}, // single-thread
+		{A: "cpu_int", B: "ldint_l1", PA: High, PB: Medium}, // duplicate: cache hit
+	}
+
+	for _, workers := range []int{1, 8} {
+		s := batchSystem()
+		s.SetWorkers(workers)
+		got, err := s.MeasureBatch(specs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(specs) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(specs))
+		}
+
+		ref := batchSystem()
+		pair, err := ref.MeasureMicroPair("cpu_int", "ldint_l1", High, Medium)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != pair {
+			t.Errorf("workers=%d: batch pair differs from MeasureMicroPair\nbatch  %+v\nserial %+v",
+				workers, got[0], pair)
+		}
+		if got[3] != got[0] {
+			t.Errorf("workers=%d: duplicate spec returned a different result", workers)
+		}
+		if !got[2].Thread[0].Active || got[2].Thread[1].Active {
+			t.Errorf("workers=%d: single-thread spec thread states: %+v", workers, got[2].Thread)
+		}
+
+		st := s.BatchStats()
+		if st.Submitted != 4 || st.Simulated != 3 || st.Hits != 1 {
+			t.Errorf("workers=%d: stats %+v, want {Submitted:4 Simulated:3 Hits:1}", workers, st)
+		}
+	}
+}
+
+// TestMeasureBatchSpecWorkloads: SPEC names resolve, and mixed-family
+// pairs are rejected.
+func TestMeasureBatchSpecWorkloads(t *testing.T) {
+	s := batchSystem()
+	res, err := s.MeasureBatch([]BatchSpec{{A: "h264ref", B: "mcf", PA: High, PB: Medium}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].TotalIPC <= 0 {
+		t.Errorf("SPEC batch made no progress: %+v", res[0])
+	}
+
+	if _, err := s.MeasureBatch([]BatchSpec{{A: "cpu_int", B: "mcf", PA: Medium, PB: Medium}}); err == nil {
+		t.Error("mixed micro/SPEC pair did not error")
+	}
+	if _, err := s.MeasureBatch([]BatchSpec{{A: "unknown_wl", B: "mcf"}}); err == nil {
+		t.Error("unknown workload did not error")
+	}
+	if _, err := s.MeasureBatch([]BatchSpec{{}}); err == nil {
+		t.Error("empty spec did not error")
+	}
+}
+
+// TestMeasureMatrix: the public matrix sweep returns complete, reusable
+// cells and validates its inputs.
+func TestMeasureMatrix(t *testing.T) {
+	s := batchSystem()
+	names := []string{"cpu_int", "ldint_l1"}
+	m, err := s.MeasureMatrix(names, names, []int{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range names {
+		if m.SingleIPC[p] <= 0 {
+			t.Errorf("SingleIPC[%s] = %v", p, m.SingleIPC[p])
+		}
+		for _, q := range names {
+			if m.At(p, q, 2).Primary <= 0 {
+				t.Errorf("cell (%s,%s,+2) empty", p, q)
+			}
+		}
+	}
+	if rel := m.RelPrimary("cpu_int", "ldint_l1", 2); rel <= 0 {
+		t.Errorf("RelPrimary = %v", rel)
+	}
+
+	if _, err := s.MeasureMatrix([]string{"nope"}, names, []int{0}); err == nil {
+		t.Error("unknown primary did not error")
+	}
+	if _, err := s.MeasureMatrix(names, names, []int{7}); err == nil {
+		t.Error("out-of-range diff did not error")
+	}
+}

@@ -14,22 +14,31 @@ import (
 	"fmt"
 	"os"
 
+	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/report"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
-		quick  = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+		exp     = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		quick   = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify  = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
 	)
 	flag.Parse()
 
 	h := experiments.Default()
 	if *quick {
 		h = experiments.Quick()
+	}
+	h.Engine = engine.New(*workers)
+	// exit reports the engine stats before terminating: os.Exit skips
+	// deferred functions, and the stats matter most on failed runs.
+	exit := func(code int) {
+		fmt.Fprintf(os.Stderr, "p5exp: engine: %s (%d workers)\n", h.Engine.Stats(), h.Engine.Workers())
+		os.Exit(code)
 	}
 
 	if *verify {
@@ -41,9 +50,9 @@ func main() {
 			}
 		}
 		if failed {
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	emit := func(tables ...*report.Table) {
@@ -75,14 +84,14 @@ func main() {
 			r, err := experiments.Table4(h)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "p5exp:", err)
-				os.Exit(1)
+				exit(1)
 			}
 			emit(r.Render())
 		case "fig6":
 			emit(experiments.Fig6(h).Render()...)
 		default:
 			fmt.Fprintf(os.Stderr, "p5exp: unknown experiment %q\n", name)
-			os.Exit(2)
+			exit(2)
 		}
 	}
 
@@ -90,9 +99,10 @@ func main() {
 		for _, name := range []string{"table1", "table3", "fig2", "fig3", "fig4", "fig5", "table4", "fig6"} {
 			run(name)
 		}
-		return
+		exit(0)
 	}
 	run(*exp)
+	exit(0)
 }
 
 // table1 renders the priority/privilege/or-nop table (Table 1 is

@@ -17,6 +17,7 @@ import (
 	"power5prio"
 
 	"power5prio/internal/core"
+	"power5prio/internal/experiments"
 	"power5prio/internal/fame"
 	"power5prio/internal/power"
 	"power5prio/internal/prio"
@@ -30,6 +31,8 @@ func main() {
 		pb      = flag.Int("pb", 4, "priority of the second workload (0-7)")
 		single  = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
 		reps    = flag.Int("reps", 10, "minimum FAME repetitions per thread")
+		workers = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
+		sweep   = flag.Bool("sweep", false, "sweep the pair across all priority differences [-5,+5] as one batch")
 		list    = flag.Bool("list", false, "list available workloads and exit")
 		showPow = flag.Bool("power", false, "estimate core power with the activity model")
 		disasm  = flag.Bool("disasm", false, "print the first workload's loop body and exit")
@@ -46,6 +49,7 @@ func main() {
 	opts := power5prio.DefaultMeasureOptions()
 	opts.MinReps = *reps
 	sys.SetMeasureOptions(opts)
+	sys.SetWorkers(*workers)
 
 	build := func(name string) *power5prio.Kernel {
 		if k, err := power5prio.Microbenchmark(name); err == nil {
@@ -67,6 +71,15 @@ func main() {
 	if *showPow {
 		runWithPower(build(*nameA), buildOrNil(build, *nameB, *single),
 			prio.Level(*pa), prio.Level(*pb), *reps)
+		return
+	}
+
+	if *sweep {
+		if *nameB == "" {
+			fmt.Fprintln(os.Stderr, "p5sim: -sweep needs two workloads (-a and -b)")
+			os.Exit(2)
+		}
+		runSweep(sys, *nameA, *nameB)
 		return
 	}
 
@@ -97,6 +110,29 @@ func main() {
 	if res.TimedOut {
 		fmt.Println("  WARNING: measurement hit the cycle budget before converging")
 	}
+}
+
+// runSweep submits the pair at every priority difference in [-5,+5] as
+// one batch; independent points simulate concurrently on the worker pool.
+func runSweep(sys *power5prio.System, nameA, nameB string) {
+	diffs := []int{-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5}
+	specs := make([]power5prio.BatchSpec, len(diffs))
+	for i, d := range diffs {
+		pa, pb := experiments.DiffPair(d)
+		specs[i] = power5prio.BatchSpec{A: nameA, B: nameB, PA: pa, PB: pb}
+	}
+	results, err := sys.MeasureBatch(specs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5sim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-6s %-10s %12s %12s %10s\n", "diff", "priorities", nameA, nameB, "total")
+	for i, d := range diffs {
+		r := results[i]
+		fmt.Printf("%+-6d (%d,%d)      %12.3f %12.3f %10.3f\n",
+			d, specs[i].PA, specs[i].PB, r.Thread[0].IPC, r.Thread[1].IPC, r.TotalIPC)
+	}
+	fmt.Printf("engine: %s\n", sys.BatchStats())
 }
 
 // buildOrNil returns nil when running single-threaded.

@@ -1,0 +1,3 @@
+module power5prio
+
+go 1.24

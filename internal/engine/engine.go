@@ -1,0 +1,300 @@
+// Package engine is the batch execution engine behind every measurement
+// path: experiments, the public System API and the command-line tools all
+// describe their simulations as Jobs and submit them in batches. The
+// engine fans independent jobs out across a bounded worker pool and
+// memoizes results in a content-keyed cache, so a baseline shared by
+// several sweeps (e.g. the (4,4) co-run of Figures 2-4, or a benchmark's
+// single-thread IPC) is simulated exactly once.
+//
+// Determinism: each job builds its own kernels and runs on a fresh chip,
+// so a job's result is a pure function of the Job value. Batches return
+// bit-identical results for any worker count, preserving the
+// paper-reproduction guarantees of the serial code path.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+	"power5prio/internal/spec"
+)
+
+// Kind selects the workload family a Job's names are resolved in.
+type Kind int
+
+const (
+	// Micro resolves names against the paper's fifteen micro-benchmarks.
+	Micro Kind = iota
+	// Spec resolves names against the synthetic SPEC stand-ins.
+	Spec
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case Micro:
+		return "micro"
+	case Spec:
+		return "spec"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Job describes one independent simulation: a workload pair (or a single
+// workload when Secondary is empty), the priority levels, the chip
+// configuration and the FAME measurement options. Job is a comparable
+// value type; it is its own cache key — two jobs with equal fields are
+// the same measurement.
+type Job struct {
+	Kind      Kind
+	Primary   string
+	Secondary string // empty: Primary runs alone in single-thread mode
+	PrioP     prio.Level
+	PrioS     prio.Level
+	Privilege prio.Privilege
+	// IterScale shrinks kernel repetition lengths (0 or 1.0 = defaults).
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+}
+
+// Single returns a single-thread job for one workload (the conventional
+// placement: priorities (4,4), secondary thread off).
+func Single(kind Kind, name string, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
+	return Job{
+		Kind: kind, Primary: name,
+		PrioP: prio.Medium, PrioS: prio.Medium,
+		Privilege: priv, IterScale: iterScale, Chip: chip, Fame: opts,
+	}
+}
+
+// Pair returns a co-scheduled job for two workloads at explicit levels.
+func Pair(kind Kind, nameP, nameS string, pp, ps prio.Level, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
+	return Job{
+		Kind: kind, Primary: nameP, Secondary: nameS,
+		PrioP: pp, PrioS: ps,
+		Privilege: priv, IterScale: iterScale, Chip: chip, Fame: opts,
+	}
+}
+
+// Result pairs a submitted job with its measurement.
+type Result struct {
+	Job Job
+	// Pair holds the measurement; for single-thread jobs only Thread[0]
+	// is active.
+	Pair fame.PairResult
+	Err  error
+	// CacheHit reports that the job was served from the result cache (a
+	// previous batch, or an identical job earlier in this batch).
+	CacheHit bool
+}
+
+// Stats counts the engine's work across its lifetime.
+type Stats struct {
+	// Submitted jobs across all Run calls.
+	Submitted int
+	// Simulated jobs (cache misses that ran on a worker).
+	Simulated int
+	// Hits served from the cache without simulating.
+	Hits int
+}
+
+// String renders the counters in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d jobs submitted, %d simulated, %d cache hits", s.Submitted, s.Simulated, s.Hits)
+}
+
+// Engine is a worker-pool job scheduler with a content-keyed result
+// cache. The zero value is not usable; call New. An Engine is safe for
+// concurrent use.
+type Engine struct {
+	mu      sync.Mutex
+	workers int
+	cache   map[Job]outcome
+	stats   Stats
+}
+
+type outcome struct {
+	pair fame.PairResult
+	err  error
+}
+
+// New returns an engine bounded to the given number of workers;
+// workers <= 0 selects GOMAXPROCS (all cores).
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, cache: make(map[Job]outcome)}
+}
+
+// Workers returns the concurrency bound.
+func (e *Engine) Workers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.workers
+}
+
+// SetWorkers changes the concurrency bound for subsequent batches; the
+// result cache is retained. n <= 0 selects GOMAXPROCS.
+func (e *Engine) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.mu.Lock()
+	e.workers = n
+	e.mu.Unlock()
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Run executes a batch of jobs and returns their results in submission
+// order. Duplicate jobs within the batch — and jobs already in the cache
+// from earlier batches — are simulated once and fanned back to every
+// submitter. Unique uncached jobs execute concurrently on the worker
+// pool; results are independent of the worker count.
+func (e *Engine) Run(jobs []Job) []Result {
+	out := make([]Result, len(jobs))
+
+	// Partition: first occurrence of each uncached job runs; everything
+	// else is a hit resolved after the pool drains.
+	e.mu.Lock()
+	workers := e.workers
+	e.stats.Submitted += len(jobs)
+	var toRun []int
+	scheduled := make(map[Job]bool)
+	for i, j := range jobs {
+		if _, ok := e.cache[j]; ok || scheduled[j] {
+			continue
+		}
+		scheduled[j] = true
+		toRun = append(toRun, i)
+	}
+	e.mu.Unlock()
+
+	fresh := e.simulate(jobs, toRun, workers)
+
+	e.mu.Lock()
+	for k, idx := range toRun {
+		e.cache[jobs[idx]] = fresh[k]
+	}
+	e.stats.Simulated += len(toRun)
+	e.stats.Hits += len(jobs) - len(toRun)
+	for i, j := range jobs {
+		oc := e.cache[j]
+		out[i] = Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: !scheduled[j]}
+		delete(scheduled, j) // only the first occurrence is the miss
+	}
+	e.mu.Unlock()
+	return out
+}
+
+// simulate executes jobs[idx] for each idx in toRun across the pool.
+func (e *Engine) simulate(jobs []Job, toRun []int, workers int) []outcome {
+	fresh := make([]outcome, len(toRun))
+	if len(toRun) == 0 {
+		return fresh
+	}
+	if workers > len(toRun) {
+		workers = len(toRun)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				pair, err := Execute(jobs[toRun[k]])
+				fresh[k] = outcome{pair: pair, err: err}
+			}
+		}()
+	}
+	for k := range toRun {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return fresh
+}
+
+// ForEach runs fn(i) for every i in [0,n) across the engine's worker
+// pool and blocks until all calls return. It is the escape hatch for
+// measurement paths that are not plain FAME jobs (e.g. the FFT/LU
+// pipeline rows of Table 4): fn must be safe to call concurrently and
+// should write its result into a caller-owned slot at index i.
+func (e *Engine) ForEach(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	workers := e.Workers()
+	if workers > n {
+		workers = n
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// Execute runs one job to completion on a fresh chip and is the serial
+// reference semantics of the engine: Run is defined to return exactly
+// what Execute returns for every job. Invalid jobs return errors rather
+// than panicking so a bad name cannot take down a whole batch.
+func Execute(j Job) (fame.PairResult, error) {
+	if err := j.Fame.Validate(); err != nil {
+		return fame.PairResult{}, err
+	}
+	if err := j.Chip.Validate(); err != nil {
+		return fame.PairResult{}, err
+	}
+	kp, err := buildKernel(j.Kind, j.Primary, j.IterScale)
+	if err != nil {
+		return fame.PairResult{}, err
+	}
+	var ks *isa.Kernel
+	if j.Secondary != "" {
+		ks, err = buildKernel(j.Kind, j.Secondary, j.IterScale)
+		if err != nil {
+			return fame.PairResult{}, err
+		}
+	}
+	ch := core.NewChip(j.Chip)
+	ch.PlacePair(kp, ks, j.PrioP, j.PrioS, j.Privilege)
+	return fame.Measure(ch, j.Fame), nil
+}
+
+// buildKernel resolves a workload name within its family at the job's
+// scale.
+func buildKernel(kind Kind, name string, iterScale float64) (*isa.Kernel, error) {
+	switch kind {
+	case Micro:
+		return microbench.BuildWith(name, microbench.Params{IterScale: iterScale})
+	case Spec:
+		return spec.BuildWith(name, spec.Params{IterScale: iterScale})
+	}
+	return nil, fmt.Errorf("engine: unknown workload kind %v", kind)
+}

@@ -1,0 +1,256 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// testOptions keeps engine tests fast: two repetitions, tiny kernels.
+func testOptions() fame.Options {
+	return fame.Options{MinReps: 2, WarmupReps: 0, MaxCycles: 50_000_000}
+}
+
+const testScale = 0.02 // clamps to the minimum kernel length
+
+// testBatch builds a small mixed batch: singles, pairs across the
+// priority range, and deliberate duplicates.
+func testBatch() []Job {
+	cfg := core.DefaultConfig()
+	opt := testOptions()
+	var jobs []Job
+	for _, name := range []string{microbench.CPUInt, microbench.LdIntL1} {
+		jobs = append(jobs, Single(Micro, name, prio.Supervisor, testScale, cfg, opt))
+	}
+	for _, pp := range []prio.Level{prio.High, prio.Medium, prio.Low} {
+		jobs = append(jobs,
+			Pair(Micro, microbench.CPUInt, microbench.LdIntL1, pp, prio.Medium, prio.Supervisor, testScale, cfg, opt))
+	}
+	// Duplicates of the first single and the first pair.
+	jobs = append(jobs, jobs[0], jobs[2])
+	return jobs
+}
+
+// TestEngineEquivalence proves worker-count independence: the same batch
+// run serially (1 worker), in parallel (8 workers) and via the Execute
+// reference path yields bit-identical IPC values for every job.
+func TestEngineEquivalence(t *testing.T) {
+	jobs := testBatch()
+
+	serial := New(1).Run(jobs)
+	parallel := New(8).Run(jobs)
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result lengths %d/%d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range jobs {
+		ref, err := Execute(jobs[i])
+		if err != nil {
+			t.Fatalf("Execute(%d): %v", i, err)
+		}
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %d errored: serial %v, parallel %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Pair != ref {
+			t.Errorf("job %d: serial result differs from Execute reference\nserial %+v\nref    %+v",
+				i, serial[i].Pair, ref)
+		}
+		if parallel[i].Pair != ref {
+			t.Errorf("job %d: parallel result differs from Execute reference\nparallel %+v\nref      %+v",
+				i, parallel[i].Pair, ref)
+		}
+		if ref.Thread[0].IPC <= 0 {
+			t.Errorf("job %d: no progress (IPC %v)", i, ref.Thread[0].IPC)
+		}
+	}
+}
+
+// TestCacheAccounting checks hit/miss bookkeeping within a batch and
+// across batches.
+func TestCacheAccounting(t *testing.T) {
+	jobs := testBatch() // 7 jobs, 5 unique
+	e := New(4)
+
+	res := e.Run(jobs)
+	for i := 0; i < 5; i++ {
+		if res[i].CacheHit {
+			t.Errorf("job %d: first occurrence flagged as cache hit", i)
+		}
+	}
+	for i := 5; i < 7; i++ {
+		if !res[i].CacheHit {
+			t.Errorf("job %d: in-batch duplicate not flagged as cache hit", i)
+		}
+	}
+	st := e.Stats()
+	if st.Submitted != 7 || st.Simulated != 5 || st.Hits != 2 {
+		t.Errorf("after batch 1: stats %+v, want {Submitted:7 Simulated:5 Hits:2}", st)
+	}
+
+	// The whole batch again: everything is served from the cache.
+	res = e.Run(jobs)
+	for i, r := range res {
+		if !r.CacheHit {
+			t.Errorf("batch 2 job %d: not a cache hit", i)
+		}
+	}
+	st = e.Stats()
+	if st.Submitted != 14 || st.Simulated != 5 || st.Hits != 9 {
+		t.Errorf("after batch 2: stats %+v, want {Submitted:14 Simulated:5 Hits:9}", st)
+	}
+
+	if !strings.Contains(st.String(), "5 simulated") {
+		t.Errorf("Stats.String() = %q", st.String())
+	}
+}
+
+// TestCachedResultsIdentical: a cache hit returns exactly what the miss
+// computed.
+func TestCachedResultsIdentical(t *testing.T) {
+	jobs := testBatch()
+	e := New(2)
+	first := e.Run(jobs)
+	second := e.Run(jobs)
+	for i := range jobs {
+		if first[i].Pair != second[i].Pair {
+			t.Errorf("job %d: cached result differs from original", i)
+		}
+	}
+}
+
+// TestSingleThreadJob: an empty Secondary runs the primary alone with the
+// sibling thread off.
+func TestSingleThreadJob(t *testing.T) {
+	j := Single(Micro, microbench.CPUInt, prio.Supervisor, testScale, core.DefaultConfig(), testOptions())
+	res, err := Execute(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Thread[0].Active || res.Thread[0].IPC <= 0 {
+		t.Errorf("primary thread inactive or stalled: %+v", res.Thread[0])
+	}
+	if res.Thread[1].Active {
+		t.Errorf("secondary thread active in a single-thread job")
+	}
+}
+
+// TestJobErrors: invalid jobs return errors — and errors do not poison
+// valid jobs in the same batch.
+func TestJobErrors(t *testing.T) {
+	cfg := core.DefaultConfig()
+	opt := testOptions()
+	bad := Single(Micro, "no_such_bench", prio.Supervisor, testScale, cfg, opt)
+	good := Single(Micro, microbench.CPUInt, prio.Supervisor, testScale, cfg, opt)
+
+	res := New(2).Run([]Job{bad, good, Pair(Spec, "also_missing", "nope", prio.Medium, prio.Medium, prio.Supervisor, testScale, cfg, opt)})
+	if res[0].Err == nil {
+		t.Error("unknown micro-benchmark did not error")
+	}
+	if res[1].Err != nil {
+		t.Errorf("valid job failed alongside an invalid one: %v", res[1].Err)
+	}
+	if res[2].Err == nil {
+		t.Error("unknown spec workload did not error")
+	}
+
+	if _, err := Execute(Job{Kind: Kind(99), Primary: "x", Chip: cfg, Fame: opt}); err == nil {
+		t.Error("unknown kind did not error")
+	}
+	badOpts := opt
+	badOpts.MinReps = 0
+	if _, err := Execute(Single(Micro, microbench.CPUInt, prio.Supervisor, testScale, cfg, badOpts)); err == nil {
+		t.Error("invalid FAME options did not error")
+	}
+	badChip := cfg
+	badChip.ExperimentCore = 99
+	if _, err := Execute(Single(Micro, microbench.CPUInt, prio.Supervisor, testScale, badChip, opt)); err == nil {
+		t.Error("invalid chip config did not error")
+	}
+}
+
+// TestForEach covers the generic pool: every index runs exactly once,
+// concurrently, for worker counts above and below n.
+func TestForEach(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		e := New(workers)
+		const n = 10
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		e.ForEach(n, func(i int) {
+			mu.Lock()
+			seen[i]++
+			mu.Unlock()
+		})
+		if len(seen) != n {
+			t.Errorf("workers=%d: %d distinct indices, want %d", workers, len(seen), n)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		e.ForEach(0, func(int) { t.Error("ForEach(0) must not call fn") })
+	}
+}
+
+// TestSetWorkers: the pool size changes, the cache survives.
+func TestSetWorkers(t *testing.T) {
+	e := New(1)
+	if e.Workers() != 1 {
+		t.Fatalf("Workers() = %d", e.Workers())
+	}
+	jobs := testBatch()
+	e.Run(jobs)
+	sim := e.Stats().Simulated
+
+	e.SetWorkers(8)
+	if e.Workers() != 8 {
+		t.Fatalf("Workers() after SetWorkers = %d", e.Workers())
+	}
+	e.Run(jobs)
+	if got := e.Stats().Simulated; got != sim {
+		t.Errorf("cache lost across SetWorkers: %d simulated, want %d", got, sim)
+	}
+
+	e.SetWorkers(0)
+	if e.Workers() < 1 {
+		t.Errorf("SetWorkers(0) left %d workers", e.Workers())
+	}
+}
+
+// TestConcurrentEngineUse: one engine, many goroutines submitting
+// overlapping batches — exercised under -race in CI.
+func TestConcurrentEngineUse(t *testing.T) {
+	e := New(4)
+	jobs := testBatch()
+	ref := e.Run(jobs)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := e.Run(jobs)
+			for i := range jobs {
+				if res[i].Pair != ref[i].Pair {
+					t.Errorf("concurrent batch diverged at job %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestKindString(t *testing.T) {
+	if Micro.String() != "micro" || Spec.String() != "spec" {
+		t.Errorf("Kind strings: %q, %q", Micro, Spec)
+	}
+	if s := Kind(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("unknown kind string %q", s)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+)
+
+// matrixHarness is a fast harness for engine-level matrix tests.
+func matrixHarness(workers int) Harness {
+	h := Quick()
+	h.Fame = fame.Options{MinReps: 2, WarmupReps: 0, MaxCycles: 50_000_000}
+	h.IterScale = 0.02
+	h.Engine = engine.New(workers)
+	return h
+}
+
+var matrixNames = []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntMem}
+
+// TestMatrixWorkerEquivalence: RunMatrix produces identical cells and
+// single-thread IPCs at -workers 1 and -workers 8.
+func TestMatrixWorkerEquivalence(t *testing.T) {
+	diffs := []int{0, 2, -2}
+	serial := RunMatrix(matrixHarness(1), matrixNames, matrixNames, diffs)
+	parallel := RunMatrix(matrixHarness(8), matrixNames, matrixNames, diffs)
+
+	if !reflect.DeepEqual(serial.SingleIPC, parallel.SingleIPC) {
+		t.Errorf("SingleIPC diverged:\nserial   %v\nparallel %v", serial.SingleIPC, parallel.SingleIPC)
+	}
+	if !reflect.DeepEqual(serial.Cells, parallel.Cells) {
+		t.Errorf("matrix cells diverged between 1 and 8 workers")
+		for key, cell := range serial.Cells {
+			for d, m := range cell {
+				if pm := parallel.Cells[key][d]; pm != m {
+					t.Errorf("  (%s,%s) diff %+d: serial %+v parallel %+v", key.P, key.S, d, m, pm)
+				}
+			}
+		}
+	}
+}
+
+// TestMatrixCacheSharing: experiments run from the same harness reuse
+// each other's baselines — a second matrix over the same names at diff 0
+// simulates nothing new.
+func TestMatrixCacheSharing(t *testing.T) {
+	h := matrixHarness(4)
+	RunMatrix(h, matrixNames, matrixNames, []int{0, 3})
+	before := h.Engine.Stats()
+	RunMatrix(h, matrixNames, matrixNames, []int{0})
+	after := h.Engine.Stats()
+	if after.Simulated != before.Simulated {
+		t.Errorf("diff=0 re-run simulated %d new jobs, want 0 (all cells shared)",
+			after.Simulated-before.Simulated)
+	}
+	if after.Hits <= before.Hits {
+		t.Errorf("diff=0 re-run recorded no cache hits: %+v -> %+v", before, after)
+	}
+}
+
+// TestHarnessWithoutEngine: a hand-built harness (no Engine field) still
+// measures, creating a private pool on demand.
+func TestHarnessWithoutEngine(t *testing.T) {
+	h := matrixHarness(2)
+	h.Engine = nil
+	h.Workers = 2
+	res := h.RunSingle(microbench.CPUInt)
+	if res.IPC <= 0 {
+		t.Errorf("engine-less harness made no progress: %+v", res)
+	}
+}
+
+// benchMatrix regenerates a small sweep; serial and parallel variants
+// share sizing so their time/op is directly comparable.
+func benchMatrix(b *testing.B, workers int) {
+	names := []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntL2, microbench.LdIntMem}
+	diffs := []int{0, 1, 2, -1, -2}
+	for i := 0; i < b.N; i++ {
+		h := Quick()
+		h.IterScale = 0.1
+		h.Engine = engine.New(workers) // fresh cache: measure simulation, not memoization
+		m := RunMatrix(h, names, names, diffs)
+		if len(m.Cells) != len(names)*len(names) {
+			b.Fatalf("matrix incomplete: %d cells", len(m.Cells))
+		}
+		st := h.Engine.Stats()
+		b.ReportMetric(float64(st.Simulated)/float64(st.Submitted), "simulated/job")
+		b.ReportMetric(float64(st.Hits), "cache-hits")
+	}
+}
+
+// BenchmarkMatrixSerial is the single-worker reference for RunMatrix.
+func BenchmarkMatrixSerial(b *testing.B) { benchMatrix(b, 1) }
+
+// BenchmarkMatrixParallel fans the same matrix out across all cores; on
+// a 4+ core machine time/op drops roughly by the core count.
+func BenchmarkMatrixParallel(b *testing.B) { benchMatrix(b, 0) }
+
+// BenchmarkMatrixCached measures the memoized path: every job after the
+// first iteration is a cache hit.
+func BenchmarkMatrixCached(b *testing.B) {
+	names := []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntL2, microbench.LdIntMem}
+	diffs := []int{0, 1, 2, -1, -2}
+	h := Quick()
+	h.IterScale = 0.1
+	h.Engine = engine.New(0)
+	RunMatrix(h, names, names, diffs) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RunMatrix(h, names, names, diffs)
+	}
+	b.ReportMetric(float64(h.Engine.Stats().Hits)/float64(b.N), "cache-hits/op")
+}

@@ -3,9 +3,8 @@ package experiments
 import (
 	"fmt"
 
-	"power5prio/internal/core"
+	"power5prio/internal/engine"
 	"power5prio/internal/fame"
-	"power5prio/internal/isa"
 	"power5prio/internal/prio"
 	"power5prio/internal/report"
 	"power5prio/internal/spec"
@@ -39,28 +38,22 @@ var fig5Pairs = [][2]prio.Level{
 	{prio.High, prio.VeryLow},
 }
 
-// RunSpecKernels measures a SPEC pair at given levels.
-func (h Harness) specKernel(name string) *isa.Kernel {
-	k, err := spec.BuildWith(name, spec.Params{IterScale: h.IterScale})
-	if err != nil {
-		panic(err)
-	}
-	return k
-}
-
 // RunSpecPair measures a synthetic SPEC pair at explicit priorities.
 func (h Harness) RunSpecPair(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
-	ch := core.NewChip(h.Chip)
-	ch.PlacePair(h.specKernel(nameP), h.specKernel(nameS), pp, ps, h.Privilege)
-	return fame.Measure(ch, h.Fame)
+	return h.run([]engine.Job{h.pairJob(engine.Spec, nameP, nameS, pp, ps)})[0]
 }
 
-// fig5 sweeps one pair.
+// fig5 sweeps one pair, submitting the whole sweep as one batch.
 func fig5(h Harness, nameP, nameS string, paperPeak float64) Fig5Result {
 	r := Fig5Result{NameP: nameP, NameS: nameS, PaperPeakGain: paperPeak}
+	jobs := make([]engine.Job, len(fig5Pairs))
+	for i, pair := range fig5Pairs {
+		jobs[i] = h.pairJob(engine.Spec, nameP, nameS, pair[0], pair[1])
+	}
+	results := h.run(jobs)
 	var base float64
-	for _, pair := range fig5Pairs {
-		res := h.RunSpecPair(nameP, nameS, pair[0], pair[1])
+	for i, pair := range fig5Pairs {
+		res := results[i]
 		pt := Fig5Point{
 			PrioP: pair[0], PrioS: pair[1],
 			IPCP: res.Thread[0].IPC, IPCS: res.Thread[1].IPC,

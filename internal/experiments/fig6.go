@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
 	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
 	"power5prio/internal/report"
@@ -26,7 +28,8 @@ type Fig6Result struct {
 
 // Fig6 regenerates Figure 6 (a), (b), (c) and (d) from one grid of runs:
 // every presented benchmark as foreground at priorities 6..2 against every
-// presented benchmark as background at priority 1.
+// presented benchmark as background at priority 1. The whole grid is one
+// job batch fanned out across the engine's workers.
 func Fig6(h Harness) Fig6Result {
 	names := microbench.Presented()
 	levels := []prio.Level{prio.High, prio.MediumHigh, prio.Medium, prio.MediumLow, prio.Low}
@@ -36,20 +39,26 @@ func Fig6(h Harness) Fig6Result {
 		STIPC:    make(map[string]float64),
 		Cells:    make(map[string]map[string]map[prio.Level]Fig6Cell),
 	}
+	var b batch
 	for _, fg := range names {
-		r.STIPC[fg] = h.RunSingle(fg).IPC
+		b.add(h.singleJob(engine.Micro, fg), func(res fame.PairResult) {
+			r.STIPC[fg] = res.Thread[0].IPC
+		})
 		r.Cells[fg] = make(map[string]map[prio.Level]Fig6Cell)
 		for _, bg := range names {
-			r.Cells[fg][bg] = make(map[prio.Level]Fig6Cell)
+			cell := make(map[prio.Level]Fig6Cell)
+			r.Cells[fg][bg] = cell
 			for _, lv := range levels {
-				res := h.RunPairLevels(fg, bg, lv, prio.VeryLow)
-				r.Cells[fg][bg][lv] = Fig6Cell{
-					FG: res.Thread[0].IPC,
-					BG: res.Thread[1].IPC,
-				}
+				b.add(h.pairJob(engine.Micro, fg, bg, lv, prio.VeryLow), func(res fame.PairResult) {
+					cell[lv] = Fig6Cell{
+						FG: res.Thread[0].IPC,
+						BG: res.Thread[1].IPC,
+					}
+				})
 			}
 		}
 	}
+	b.runWith(h)
 	return r
 }
 

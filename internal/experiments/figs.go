@@ -9,7 +9,10 @@ import (
 
 // FigCurves is the shared shape of Figures 2, 3 and 4: one sub-figure per
 // primary benchmark, one series per secondary benchmark, one point per
-// priority difference.
+// priority difference. Each figure's matrix is one engine batch; when the
+// figures run from the same harness, the diff=0 baseline and the
+// single-thread runs they share are simulated once and served from the
+// engine's cache afterwards.
 type FigCurves struct {
 	Title  string
 	Names  []string

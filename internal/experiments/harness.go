@@ -2,15 +2,20 @@
 // evaluation section on the simulated POWER5. Each experiment returns a
 // typed result with a Render method producing the same rows/series the
 // paper reports, plus the paper's own numbers for side-by-side comparison.
+//
+// All measurement paths are batched: experiments describe their runs as
+// engine.Jobs and submit them to the harness's shared batch engine, which
+// fans independent simulations out across CPU cores and memoizes results,
+// so baselines shared between experiments (the (4,4) co-runs, the
+// single-thread IPCs) are simulated once.
 package experiments
 
 import (
 	"fmt"
 
 	"power5prio/internal/core"
+	"power5prio/internal/engine"
 	"power5prio/internal/fame"
-	"power5prio/internal/isa"
-	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
 )
 
@@ -24,6 +29,13 @@ type Harness struct {
 	// Privilege used for in-stream priority changes (the paper's patched
 	// kernel exposes the supervisor range to applications).
 	Privilege prio.Privilege
+	// Workers bounds the batch engine's concurrency when the harness has
+	// to create its own engine (0 = all cores).
+	Workers int
+	// Engine executes measurement batches. Default and Quick install a
+	// fresh engine; copies of a Harness share it, so experiments run from
+	// the same harness reuse each other's cached baselines.
+	Engine *engine.Engine
 }
 
 // Default returns the full-fidelity harness (paper methodology: MAIV 1%,
@@ -34,6 +46,7 @@ func Default() Harness {
 		Fame:      fame.DefaultOptions(),
 		IterScale: 1.0,
 		Privilege: prio.Supervisor,
+		Engine:    engine.New(0),
 	}
 }
 
@@ -46,50 +59,74 @@ func Quick() Harness {
 	return h
 }
 
-// kernel builds a micro-benchmark at the harness scale.
-func (h Harness) kernel(name string) *isa.Kernel {
-	k, err := microbench.BuildWith(name, microbench.Params{IterScale: h.IterScale})
-	if err != nil {
-		panic(err)
+// engine returns the harness's batch engine, creating a private one when
+// the harness was built by hand without one.
+func (h Harness) engine() *engine.Engine {
+	if h.Engine != nil {
+		return h.Engine
 	}
-	return k
+	return engine.New(h.Workers)
+}
+
+// pairJob describes a micro-benchmark co-run at explicit levels.
+func (h Harness) pairJob(kind engine.Kind, nameP, nameS string, pp, ps prio.Level) engine.Job {
+	return engine.Pair(kind, nameP, nameS, pp, ps, h.Privilege, h.IterScale, h.Chip, h.Fame)
+}
+
+// singleJob describes a single-thread run.
+func (h Harness) singleJob(kind engine.Kind, name string) engine.Job {
+	return engine.Single(kind, name, h.Privilege, h.IterScale, h.Chip, h.Fame)
+}
+
+// run submits a batch and unwraps the results; experiment inputs are
+// compiled in, so a failure is a harness bug, not user input.
+func (h Harness) run(jobs []engine.Job) []fame.PairResult {
+	results := h.engine().Run(jobs)
+	out := make([]fame.PairResult, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			panic(fmt.Sprintf("experiments: job %d (%s+%s): %v", i, r.Job.Primary, r.Job.Secondary, r.Err))
+		}
+		out[i] = r.Pair
+	}
+	return out
 }
 
 // RunPairLevels measures a co-scheduled pair at explicit priority levels.
 func (h Harness) RunPairLevels(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
-	ch := core.NewChip(h.Chip)
-	ch.PlacePair(h.kernel(nameP), h.kernel(nameS), pp, ps, h.Privilege)
-	return fame.Measure(ch, h.Fame)
+	return h.run([]engine.Job{h.pairJob(engine.Micro, nameP, nameS, pp, ps)})[0]
 }
 
 // RunSingle measures a benchmark alone on the core (ST mode).
 func (h Harness) RunSingle(name string) fame.ThreadResult {
-	ch := core.NewChip(h.Chip)
-	ch.PlacePair(h.kernel(name), nil, prio.Medium, prio.Medium, h.Privilege)
-	return fame.Measure(ch, h.Fame).Thread[0]
+	return h.run([]engine.Job{h.singleJob(engine.Micro, name)})[0].Thread[0]
 }
 
-// DiffPair maps a priority difference in [-5,+5] to the level pair the
-// paper's experiments use: the primary thread moves first through the
-// supervisor range (5,4)...(6,1), mirrored for negative differences.
+// diffPairs maps a priority difference diff in [-5,+5] (at index diff+5)
+// to the level pair the paper's experiments use: the primary thread moves
+// first through the supervisor range (5,4)...(6,1), mirrored for negative
+// differences.
+var diffPairs = [11][2]prio.Level{
+	0:  {prio.VeryLow, prio.High}, // diff -5
+	1:  {prio.Low, prio.High},
+	2:  {prio.MediumLow, prio.High},
+	3:  {prio.Medium, prio.High},
+	4:  {prio.Medium, prio.MediumHigh},
+	5:  {prio.Medium, prio.Medium}, // diff 0
+	6:  {prio.MediumHigh, prio.Medium},
+	7:  {prio.High, prio.Medium},
+	8:  {prio.High, prio.MediumLow},
+	9:  {prio.High, prio.Low},
+	10: {prio.High, prio.VeryLow}, // diff +5
+}
+
+// DiffPair maps a priority difference in [-5,+5] to the paper's level
+// pair for that difference.
 func DiffPair(diff int) (prio.Level, prio.Level) {
-	pairs := map[int][2]prio.Level{
-		0:  {prio.Medium, prio.Medium},
-		1:  {prio.MediumHigh, prio.Medium},
-		2:  {prio.High, prio.Medium},
-		3:  {prio.High, prio.MediumLow},
-		4:  {prio.High, prio.Low},
-		5:  {prio.High, prio.VeryLow},
-		-1: {prio.Medium, prio.MediumHigh},
-		-2: {prio.Medium, prio.High},
-		-3: {prio.MediumLow, prio.High},
-		-4: {prio.Low, prio.High},
-		-5: {prio.VeryLow, prio.High},
-	}
-	p, ok := pairs[diff]
-	if !ok {
+	if diff < -5 || diff > 5 {
 		panic(fmt.Sprintf("experiments: priority difference %d out of range [-5,5]", diff))
 	}
+	p := diffPairs[diff+5]
 	return p[0], p[1]
 }
 
@@ -114,8 +151,28 @@ type MatrixResult struct {
 	SingleIPC   map[string]float64
 }
 
+// batch accumulates jobs paired with the closure that consumes each
+// job's result, so building and assigning cannot drift apart.
+type batch struct {
+	jobs   []engine.Job
+	assign []func(fame.PairResult)
+}
+
+func (b *batch) add(j engine.Job, f func(fame.PairResult)) {
+	b.jobs = append(b.jobs, j)
+	b.assign = append(b.assign, f)
+}
+
+func (b *batch) runWith(h Harness) {
+	for i, res := range h.run(b.jobs) {
+		b.assign[i](res)
+	}
+}
+
 // RunMatrix measures every (primary, secondary) pair at every priority
-// difference, plus each primary alone in ST mode.
+// difference, plus each primary alone in ST mode. The whole matrix is
+// submitted as one batch: independent cells simulate concurrently and
+// repeated combinations (e.g. the shared diff=0 baseline) are cache hits.
 func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixResult {
 	r := &MatrixResult{
 		Primaries:   primaries,
@@ -124,22 +181,27 @@ func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixR
 		Cells:       make(map[PairKey]map[int]Meas),
 		SingleIPC:   make(map[string]float64),
 	}
+	var b batch
 	for _, p := range primaries {
-		r.SingleIPC[p] = h.RunSingle(p).IPC
+		b.add(h.singleJob(engine.Micro, p), func(res fame.PairResult) {
+			r.SingleIPC[p] = res.Thread[0].IPC
+		})
 		for _, s := range secondaries {
-			key := PairKey{p, s}
-			r.Cells[key] = make(map[int]Meas)
+			cell := make(map[int]Meas)
+			r.Cells[PairKey{p, s}] = cell
 			for _, d := range diffs {
 				pp, ps := DiffPair(d)
-				res := h.RunPairLevels(p, s, pp, ps)
-				r.Cells[key][d] = Meas{
-					Primary:   res.Thread[0].IPC,
-					Secondary: res.Thread[1].IPC,
-					Total:     res.TotalIPC,
-				}
+				b.add(h.pairJob(engine.Micro, p, s, pp, ps), func(res fame.PairResult) {
+					cell[d] = Meas{
+						Primary:   res.Thread[0].IPC,
+						Secondary: res.Thread[1].IPC,
+						Total:     res.TotalIPC,
+					}
+				})
 			}
 		}
 	}
+	b.runWith(h)
 	return r
 }
 

@@ -41,6 +41,18 @@ func noiseKernel() *isa.Kernel {
 	return b.MustBuild(512)
 }
 
+// kernel builds a micro-benchmark at the harness scale. Only the noise
+// methodology check builds kernels directly: it places workloads on the
+// non-experiment core, which the batch engine's Job abstraction
+// deliberately does not model.
+func (h Harness) kernel(name string) *isa.Kernel {
+	k, err := microbench.BuildWith(name, microbench.Params{IterScale: h.IterScale})
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
 // MethodologyNoise measures an L2-resident benchmark on the experiment
 // core, with and without cache-hungry noise processes on the other core.
 func MethodologyNoise(h Harness) NoiseResult {

@@ -12,7 +12,9 @@ type Table3Result struct {
 	Matrix *MatrixResult
 }
 
-// Table3 regenerates the paper's Table 3.
+// Table3 regenerates the paper's Table 3. The 6x6 grid plus the ST
+// column is submitted as one batch; its (4,4) cells are the same jobs
+// Figures 2-4 use as baselines, so a shared harness measures them once.
 func Table3(h Harness) Table3Result {
 	names := microbench.Presented()
 	m := RunMatrix(h, names, names, []int{0})

@@ -27,6 +27,8 @@ func (f Finding) String() string {
 // VerifyMicrobenchClaims runs a compact set of measurements and checks the
 // paper's headline micro-benchmark claims (Sections 5.1-5.3) as explicit
 // pass/fail findings. It is the machine-checkable core of EXPERIMENTS.md.
+// The measurements are one RunMatrix batch, so they fan out across the
+// harness engine's workers like every other experiment.
 func VerifyMicrobenchClaims(h Harness) []Finding {
 	names := []string{microbench.LdIntL1, microbench.CPUInt, microbench.LdIntMem}
 	m := RunMatrix(h, names, names, []int{0, 2, 5, -5})

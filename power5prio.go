@@ -27,9 +27,11 @@ package power5prio
 
 import (
 	"fmt"
+	"slices"
 
 	"power5prio/internal/apps"
 	"power5prio/internal/core"
+	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/fame"
 	"power5prio/internal/isa"
@@ -166,18 +168,24 @@ func Microbenchmark(name string) (*Kernel, error) { return microbench.Build(name
 func SPECWorkload(name string) (*Kernel, error) { return spec.Build(name) }
 
 // System is a configured simulator factory: each measurement runs on a
-// fresh chip so results are independent and deterministic.
+// fresh chip so results are independent and deterministic. Batch
+// measurements go through an internal worker-pool engine that runs
+// independent simulations concurrently and caches results by content, so
+// repeated jobs are simulated once; results are bit-identical for any
+// worker count.
 type System struct {
 	cfg  Config
 	opts MeasureOptions
 	priv Privilege
+	eng  *engine.Engine
 }
 
 // New returns a System with the given chip configuration and the paper's
 // measurement methodology. In-stream priority changes run with supervisor
-// privilege (the paper's patched kernel).
+// privilege (the paper's patched kernel). Batch measurements use all CPU
+// cores; see SetWorkers.
 func New(cfg Config) *System {
-	return &System{cfg: cfg, opts: DefaultMeasureOptions(), priv: Supervisor}
+	return &System{cfg: cfg, opts: DefaultMeasureOptions(), priv: Supervisor, eng: engine.New(0)}
 }
 
 // SetMeasureOptions replaces the FAME options used by measurements.
@@ -185,6 +193,17 @@ func (s *System) SetMeasureOptions(o MeasureOptions) { s.opts = o }
 
 // SetPrivilege sets the software privilege for in-stream priority changes.
 func (s *System) SetPrivilege(p Privilege) { s.priv = p }
+
+// SetWorkers bounds the concurrency of batch measurements (n <= 0 = all
+// CPU cores). The result cache is retained across the change.
+func (s *System) SetWorkers(n int) { s.eng.SetWorkers(n) }
+
+// BatchStats reports the batch engine's lifetime counters: jobs
+// submitted, jobs actually simulated, and cache hits.
+type BatchStats = engine.Stats
+
+// BatchStats returns a snapshot of the engine counters.
+func (s *System) BatchStats() BatchStats { return s.eng.Stats() }
 
 // MeasurePair co-schedules two kernels on one SMT core at the given
 // priorities and measures both threads.
@@ -240,6 +259,118 @@ func (s *System) MeasureSpecPair(nameA, nameB string, pa, pb Level) (PairResult,
 		return PairResult{}, err
 	}
 	return s.MeasurePair(a, b, pa, pb)
+}
+
+// BatchSpec names one measurement for MeasureBatch: a workload pair (or
+// a single workload when B is empty) at explicit priority levels. Names
+// are resolved against the micro-benchmarks first, then the synthetic
+// SPEC workloads, like the p5sim command line. For single-workload
+// specs, PA sets the running thread's level (0 = the Medium default)
+// and PB must be zero — the sibling thread is off.
+type BatchSpec struct {
+	A, B   string
+	PA, PB Level
+}
+
+// workloadKind resolves which family a named workload belongs to. It
+// checks names only — kernels are built by the engine's workers.
+func workloadKind(name string) (engine.Kind, error) {
+	if slices.Contains(microbench.Names(), name) {
+		return engine.Micro, nil
+	}
+	if slices.Contains(spec.Names(), name) {
+		return engine.Spec, nil
+	}
+	return 0, fmt.Errorf("power5prio: unknown workload %q", name)
+}
+
+// batchJob translates a spec into an engine job. Both workloads of a
+// pair must come from the same family (the engine resolves a job's names
+// in one family); mixed pairs return an error.
+func (s *System) batchJob(bs BatchSpec) (engine.Job, error) {
+	if bs.A == "" {
+		return engine.Job{}, fmt.Errorf("power5prio: BatchSpec needs a workload name")
+	}
+	kind, err := workloadKind(bs.A)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	if bs.B == "" {
+		if bs.PB != 0 {
+			return engine.Job{}, fmt.Errorf("power5prio: single-workload spec %q sets PB %d but has no second workload", bs.A, bs.PB)
+		}
+		j := engine.Single(kind, bs.A, s.priv, 1.0, s.cfg, s.opts)
+		if bs.PA != 0 {
+			j.PrioP = bs.PA
+		}
+		return j, nil
+	}
+	kindB, err := workloadKind(bs.B)
+	if err != nil {
+		return engine.Job{}, err
+	}
+	if kindB != kind {
+		return engine.Job{}, fmt.Errorf("power5prio: cannot co-schedule %s workload %q with %s workload %q",
+			kind, bs.A, kindB, bs.B)
+	}
+	return engine.Pair(kind, bs.A, bs.B, bs.PA, bs.PB, s.priv, 1.0, s.cfg, s.opts), nil
+}
+
+// MeasureBatch runs a batch of measurements concurrently on the worker
+// pool and returns results in submission order. Identical specs — within
+// the batch or across earlier batches on this System — are simulated
+// once and served from the cache; results are bit-identical to running
+// each spec alone, regardless of the worker count.
+func (s *System) MeasureBatch(specs []BatchSpec) ([]PairResult, error) {
+	jobs := make([]engine.Job, len(specs))
+	for i, bs := range specs {
+		j, err := s.batchJob(bs)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	out := make([]PairResult, len(specs))
+	for i, r := range s.eng.Run(jobs) {
+		if r.Err != nil {
+			return nil, fmt.Errorf("power5prio: batch job %d (%s+%s): %w", i, specs[i].A, specs[i].B, r.Err)
+		}
+		out[i] = r.Pair
+	}
+	return out, nil
+}
+
+// MatrixResult is a full priority-difference sweep: co-run measurements
+// for every (primary, secondary) pair at every difference, plus
+// single-thread IPCs, with the relative-performance accessors the
+// paper's figures use (At, RelPrimary, RelTotal).
+type MatrixResult = experiments.MatrixResult
+
+// MeasureMatrix sweeps every (primary, secondary) micro-benchmark pair
+// at every priority difference in diffs (each in [-5,+5], mapped to the
+// paper's level pairs), plus each primary alone in ST mode. The whole
+// matrix is submitted to the worker pool as one batch.
+func (s *System) MeasureMatrix(primaries, secondaries []string, diffs []int) (*MatrixResult, error) {
+	for _, names := range [][]string{primaries, secondaries} {
+		for _, n := range names {
+			if !slices.Contains(microbench.Names(), n) {
+				return nil, fmt.Errorf("power5prio: unknown micro-benchmark %q", n)
+			}
+		}
+	}
+	for _, d := range diffs {
+		if d < -5 || d > 5 {
+			return nil, fmt.Errorf("power5prio: priority difference %d out of range [-5,5]", d)
+		}
+	}
+	h := experiments.Harness{
+		Chip:      s.cfg,
+		Fame:      s.opts,
+		IterScale: 1.0,
+		Privilege: s.priv,
+		Engine:    s.eng,
+	}
+	return experiments.RunMatrix(h, primaries, secondaries, diffs), nil
 }
 
 // PipelineResult is the outcome of an FFT/LU software-pipeline run.
