@@ -8,6 +8,7 @@
 package power5prio
 
 import (
+	"context"
 	"testing"
 
 	"power5prio/internal/apps"
@@ -51,7 +52,10 @@ func BenchmarkTable1Allocator(b *testing.B) {
 func BenchmarkTable3(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table3(h)
+		r, err := experiments.Table3(context.Background(), h)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.Matrix.SingleIPC[microbench.LdIntL1], "ldint_l1_ST_IPC")
 	}
 }
@@ -62,7 +66,10 @@ func BenchmarkFig2(b *testing.B) {
 	h := benchHarness()
 	names := []string{microbench.CPUInt, microbench.LdIntMem}
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(h, names, names, []int{0, 2})
+		m, err := experiments.RunMatrix(context.Background(), h, names, names, []int{0, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(m.RelPrimary(microbench.CPUInt, microbench.CPUInt, 2), "cpu_int_rel_at_+2")
 	}
 }
@@ -72,8 +79,11 @@ func BenchmarkFig2(b *testing.B) {
 func BenchmarkFig3(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(h,
+		m, err := experiments.RunMatrix(context.Background(), h,
 			[]string{microbench.CPUInt}, []string{microbench.LdIntMem}, []int{0, -5})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(1/m.RelPrimary(microbench.CPUInt, microbench.LdIntMem, -5), "slowdown_at_-5")
 	}
 }
@@ -83,8 +93,11 @@ func BenchmarkFig3(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		m := experiments.RunMatrix(h,
+		m, err := experiments.RunMatrix(context.Background(), h,
 			[]string{microbench.LdIntL1}, []string{microbench.LdIntMem}, []int{0, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, 4), "total_rel_at_+4")
 	}
 }
@@ -93,7 +106,10 @@ func BenchmarkFig4(b *testing.B) {
 func BenchmarkFig5a(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5a(h)
+		r, err := experiments.Fig5a(context.Background(), h)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.PeakGain*100, "peak_gain_%")
 	}
 }
@@ -102,7 +118,10 @@ func BenchmarkFig5a(b *testing.B) {
 func BenchmarkFig5b(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		r := experiments.Fig5b(h)
+		r, err := experiments.Fig5b(context.Background(), h)
+		if err != nil {
+			b.Fatal(err)
+		}
 		b.ReportMetric(r.PeakGain*100, "peak_gain_%")
 	}
 }
@@ -112,7 +131,7 @@ func BenchmarkTable4(b *testing.B) {
 	h := benchHarness()
 	h.IterScale = 0.15
 	for i := 0; i < b.N; i++ {
-		r, err := experiments.Table4(h)
+		r, err := experiments.Table4(context.Background(), h)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -125,9 +144,15 @@ func BenchmarkTable4(b *testing.B) {
 func BenchmarkFig6(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		st := h.RunSingle(microbench.CPUFP).IPC
-		res := h.RunPairLevels(microbench.CPUFP, microbench.CPUInt, prio.High, prio.VeryLow)
-		b.ReportMetric(st/res.Thread[0].IPC, "fg_time_rel_ST")
+		st, err := h.RunSingle(context.Background(), microbench.CPUFP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := h.RunPairLevels(context.Background(), microbench.CPUFP, microbench.CPUInt, prio.High, prio.VeryLow)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(st.IPC/res.Thread[0].IPC, "fg_time_rel_ST")
 	}
 }
 
@@ -156,7 +181,10 @@ func BenchmarkAblationBalance(b *testing.B) {
 			h := benchHarness()
 			h.Chip.Pipe.Balance.Mode = mode
 			for i := 0; i < b.N; i++ {
-				res := h.RunPairLevels(microbench.CPUInt, microbench.LdIntMem, prio.Medium, prio.Medium)
+				res, err := h.RunPairLevels(context.Background(), microbench.CPUInt, microbench.LdIntMem, prio.Medium, prio.Medium)
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(res.Thread[0].IPC, "cpu_int_IPC")
 			}
 		})
@@ -171,7 +199,10 @@ func BenchmarkAblationMemChannels(b *testing.B) {
 			h := benchHarness()
 			h.Chip.Mem.MemChannels = ch
 			for i := 0; i < b.N; i++ {
-				res := h.RunPairLevels(microbench.LdIntMem, microbench.LdIntMem, prio.Medium, prio.Medium)
+				res, err := h.RunPairLevels(context.Background(), microbench.LdIntMem, microbench.LdIntMem, prio.Medium, prio.Medium)
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ReportMetric(res.TotalIPC, "mem_pair_total_IPC")
 			}
 		})
@@ -212,7 +243,7 @@ func BenchmarkAblationMLP(b *testing.B) {
 func BenchmarkTuner(b *testing.B) {
 	h := benchHarness()
 	for i := 0; i < b.N; i++ {
-		r, err := tuner.TunePair(h, microbench.LdIntL1, microbench.LdIntMem)
+		r, err := tuner.TunePair(context.Background(), h, microbench.LdIntL1, microbench.LdIntMem)
 		if err != nil {
 			b.Fatal(err)
 		}

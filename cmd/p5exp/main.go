@@ -7,14 +7,20 @@
 //	p5exp -exp table3            # one experiment
 //	p5exp -exp all -quick        # everything, at reduced fidelity
 //	p5exp -exp fig2 -csv         # machine-readable output
+//
+// Ctrl-C cancels the sweep: whatever was measured before the interrupt
+// is rendered (unmeasured cells as zeros), and the completed work stays
+// in the engine cache for the next invocation of the same process.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
-	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/report"
 )
@@ -29,21 +35,34 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	h := experiments.Default()
 	if *quick {
 		h = experiments.Quick()
 	}
-	h.Engine = engine.New(*workers)
+	h.Engine.SetWorkers(*workers)
 	// exit reports the engine stats before terminating: os.Exit skips
 	// deferred functions, and the stats matter most on failed runs.
 	exit := func(code int) {
 		fmt.Fprintf(os.Stderr, "p5exp: engine: %s (%d workers)\n", h.Engine.Stats(), h.Engine.Workers())
 		os.Exit(code)
 	}
+	// interrupted notes a cancelled sweep and picks the exit code.
+	interrupted := func(err error) {
+		if err == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "p5exp: interrupted (%v); partial results above, completed work cached\n", err)
+		exit(130)
+	}
 
 	if *verify {
+		findings, err := experiments.VerifyMicrobenchClaims(ctx, h)
+		interrupted(err)
 		failed := false
-		for _, f := range experiments.VerifyMicrobenchClaims(h) {
+		for _, f := range findings {
 			fmt.Println(f)
 			if !f.Pass {
 				failed = true
@@ -70,25 +89,40 @@ func main() {
 		case "table1":
 			emit(table1())
 		case "table3":
-			r := experiments.Table3(h)
+			r, err := experiments.Table3(ctx, h)
 			emit(r.Render(), r.RenderComparison())
+			interrupted(err)
 		case "fig2":
-			emit(experiments.Fig2(h).Render()...)
+			r, err := experiments.Fig2(ctx, h)
+			emit(r.Render()...)
+			interrupted(err)
 		case "fig3":
-			emit(experiments.Fig3(h).Render()...)
+			r, err := experiments.Fig3(ctx, h)
+			emit(r.Render()...)
+			interrupted(err)
 		case "fig4":
-			emit(experiments.Fig4(h).Render()...)
+			r, err := experiments.Fig4(ctx, h)
+			emit(r.Render()...)
+			interrupted(err)
 		case "fig5":
-			emit(experiments.Fig5a(h).Render(), experiments.Fig5b(h).Render())
+			a, err := experiments.Fig5a(ctx, h)
+			emit(a.Render())
+			interrupted(err)
+			b, err := experiments.Fig5b(ctx, h)
+			emit(b.Render())
+			interrupted(err)
 		case "table4":
-			r, err := experiments.Table4(h)
+			r, err := experiments.Table4(ctx, h)
 			if err != nil {
+				interrupted(ctx.Err())
 				fmt.Fprintln(os.Stderr, "p5exp:", err)
 				exit(1)
 			}
 			emit(r.Render())
 		case "fig6":
-			emit(experiments.Fig6(h).Render()...)
+			r, err := experiments.Fig6(ctx, h)
+			emit(r.Render()...)
+			interrupted(err)
 		default:
 			fmt.Fprintf(os.Stderr, "p5exp: unknown experiment %q\n", name)
 			exit(2)

@@ -1,18 +1,27 @@
 // Command p5sim runs a single workload or a co-scheduled pair on the
-// simulated POWER5 core and reports FAME-measured performance.
+// simulated POWER5 core and reports FAME-measured performance. Workloads
+// resolve through the unified registry, so a pair may mix families
+// (micro-benchmark vs synthetic SPEC) freely.
 //
 // Usage:
 //
 //	p5sim -a cpu_int -b ldint_mem -pa 6 -pb 2
+//	p5sim -a cpu_int -b mcf            # mixed-family pair
 //	p5sim -a mcf -single
 //	p5sim -list
+//
+// Ctrl-C during -sweep prints the settings measured so far.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"power5prio"
 
@@ -27,8 +36,8 @@ func main() {
 	var (
 		nameA   = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
 		nameB   = flag.String("b", "", "second workload; empty with -single for ST mode")
-		pa      = flag.Int("pa", 4, "priority of the first workload (0-7)")
-		pb      = flag.Int("pb", 4, "priority of the second workload (0-7)")
+		pa      = flag.Int("pa", 4, "priority of the first workload (1-7)")
+		pb      = flag.Int("pb", 4, "priority of the second workload (1-7)")
 		single  = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
 		reps    = flag.Int("reps", 10, "minimum FAME repetitions per thread")
 		workers = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
@@ -45,17 +54,17 @@ func main() {
 		return
 	}
 
-	sys := power5prio.New(power5prio.DefaultConfig())
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := power5prio.DefaultMeasureOptions()
 	opts.MinReps = *reps
-	sys.SetMeasureOptions(opts)
-	sys.SetWorkers(*workers)
+	sys := power5prio.New(power5prio.DefaultConfig(),
+		power5prio.WithMeasureOptions(opts),
+		power5prio.WithWorkers(*workers))
 
 	build := func(name string) *power5prio.Kernel {
-		if k, err := power5prio.Microbenchmark(name); err == nil {
-			return k
-		}
-		k, err := power5prio.SPECWorkload(name)
+		k, err := power5prio.Workload(name)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "p5sim: unknown workload %q (try -list)\n", name)
 			os.Exit(1)
@@ -79,12 +88,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "p5sim: -sweep needs two workloads (-a and -b)")
 			os.Exit(2)
 		}
-		runSweep(sys, *nameA, *nameB)
+		runSweep(ctx, sys, *nameA, *nameB)
 		return
 	}
 
 	if *single || *nameB == "" {
-		res, err := sys.MeasureSingle(build(*nameA))
+		res, err := sys.MeasureSingleSpec(ctx, power5prio.Spec{A: *nameA, PA: power5prio.Level(*pa)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p5sim:", err)
 			os.Exit(1)
@@ -94,8 +103,10 @@ func main() {
 		return
 	}
 
-	res, err := sys.MeasurePair(build(*nameA), build(*nameB),
-		power5prio.Level(*pa), power5prio.Level(*pb))
+	res, err := sys.Measure(ctx, power5prio.Spec{
+		A: *nameA, B: *nameB,
+		PA: power5prio.Level(*pa), PB: power5prio.Level(*pb),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
 		os.Exit(1)
@@ -113,26 +124,30 @@ func main() {
 }
 
 // runSweep submits the pair at every priority difference in [-5,+5] as
-// one batch; independent points simulate concurrently on the worker pool.
-func runSweep(sys *power5prio.System, nameA, nameB string) {
+// one batch; independent points simulate concurrently on the worker
+// pool. A cancelled sweep prints the completed prefix.
+func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) {
 	diffs := []int{-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5}
-	specs := make([]power5prio.BatchSpec, len(diffs))
+	specs := make([]power5prio.Spec, len(diffs))
 	for i, d := range diffs {
 		pa, pb := experiments.DiffPair(d)
-		specs[i] = power5prio.BatchSpec{A: nameA, B: nameB, PA: pa, PB: pb}
+		specs[i] = power5prio.Spec{A: nameA, B: nameB, PA: pa, PB: pb}
 	}
-	results, err := sys.MeasureBatch(specs)
-	if err != nil {
+	results, err := sys.MeasureBatch(ctx, specs)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("%-6s %-10s %12s %12s %10s\n", "diff", "priorities", nameA, nameB, "total")
-	for i, d := range diffs {
-		r := results[i]
+	for i, r := range results {
 		fmt.Printf("%+-6d (%d,%d)      %12.3f %12.3f %10.3f\n",
-			d, specs[i].PA, specs[i].PB, r.Thread[0].IPC, r.Thread[1].IPC, r.TotalIPC)
+			diffs[i], specs[i].PA, specs[i].PB, r.Thread[0].IPC, r.Thread[1].IPC, r.TotalIPC)
 	}
 	fmt.Printf("engine: %s\n", sys.BatchStats())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "p5sim: interrupted after %d/%d settings\n", len(results), len(specs))
+		os.Exit(130)
+	}
 }
 
 // buildOrNil returns nil when running single-threaded.

@@ -1,0 +1,91 @@
+// Custom workloads through the unified registry (v2 API): build a
+// kernel, register it, and measure it against any workload — built-in
+// micro-benchmark, SPEC stand-in or another custom kernel — through the
+// same cached batch engine the paper's experiments use. A WithProgress
+// callback streams per-measurement completions, and the context makes
+// the sweep interruptible (Ctrl-C prints the completed prefix).
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"power5prio"
+)
+
+// buildDaxpy assembles a DAXPY-flavoured loop: two streamed loads, a
+// fused multiply-add pair, a streamed store.
+func buildDaxpy() (*power5prio.Kernel, error) {
+	b := power5prio.NewKernelBuilder("daxpy")
+	x := b.Reg("x")
+	y := b.Reg("y")
+	ax := b.Reg("ax")
+	sum := b.Reg("sum")
+	iter := b.Reg("iter")
+	one := b.Reg("one")
+	sx := b.Stream(power5prio.StreamSpec{Kind: power5prio.StreamStride, Footprint: 24 << 10, Stride: 8})
+	sy := b.Stream(power5prio.StreamSpec{Kind: power5prio.StreamStride, Footprint: 24 << 10, Stride: 8, Base: 1 << 20})
+	b.Load(x, sx, power5prio.NoReg)
+	b.Load(y, sy, power5prio.NoReg)
+	b.Op2(power5prio.OpFPMul, ax, x, x)
+	b.Op2(power5prio.OpFPAdd, sum, ax, y)
+	b.Store(sy, sum, power5prio.NoReg)
+	b.Op2(power5prio.OpIntAdd, iter, iter, one)
+	b.Branch(power5prio.BranchLoop, iter)
+	return b.Build(256)
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	sys := power5prio.New(power5prio.DefaultConfig(),
+		power5prio.WithProgress(func(done, total int, sp power5prio.Spec, res power5prio.PairResult) {
+			fmt.Printf("  [%d/%d] %-28s total IPC %.3f\n", done, total, sp, res.TotalIPC)
+		}))
+
+	k, err := buildDaxpy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.RegisterWorkload(k); err != nil {
+		log.Fatal(err)
+	}
+
+	// One batch mixing all three families against the custom kernel —
+	// ST baseline, micro-benchmark partner, SPEC partner — at the default
+	// and a prioritized setting. The repeated baseline is a cache hit.
+	specs := []power5prio.Spec{
+		{A: "daxpy"}, // single-thread baseline
+		{A: "daxpy", B: "cpu_int"},
+		{A: "daxpy", B: "mcf"},
+		{A: "daxpy", B: "cpu_int", PA: power5prio.High, PB: power5prio.Low},
+		{A: "daxpy", B: "mcf", PA: power5prio.High, PB: power5prio.Low},
+		{A: "daxpy"}, // duplicate: served from the cache
+	}
+	fmt.Println("measuring daxpy against built-in workloads:")
+	results, err := sys.MeasureBatch(ctx, specs)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Printf("interrupted: %d/%d measurements completed\n", len(results), len(specs))
+			return
+		}
+		log.Fatal(err)
+	}
+
+	st := results[0].Thread[0].IPC
+	fmt.Printf("\ndaxpy ST IPC %.3f\n", st)
+	fmt.Printf("%-24s %10s %10s %10s\n", "co-run", "daxpy", "partner", "total")
+	for i, sp := range specs[1:5] {
+		r := results[i+1]
+		fmt.Printf("%-24s %10.3f %10.3f %10.3f\n", sp, r.Thread[0].IPC, r.Thread[1].IPC, r.TotalIPC)
+	}
+	fmt.Printf("\nengine: %s\n", sys.BatchStats())
+	fmt.Println("(6 specs, 5 simulations: the duplicate baseline hit the cache;")
+	fmt.Println("custom kernels are content-fingerprinted, so they cache like built-ins.)")
+}

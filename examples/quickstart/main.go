@@ -1,8 +1,9 @@
 // Quickstart: measure how POWER5 software-controlled priorities shift
-// performance between two co-scheduled threads.
+// performance between two co-scheduled threads, through the v2 Spec API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,20 +11,22 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sys := power5prio.New(power5prio.DefaultConfig())
 
 	// A cpu-bound thread next to a memory-bound thread, first at the
-	// hardware default priorities (4,4)...
-	base, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
-		power5prio.Medium, power5prio.Medium)
+	// hardware default priorities: the zero Spec levels mean Medium (4,4).
+	base, err := sys.Measure(ctx, power5prio.Spec{A: "cpu_int", B: "ldint_mem"})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// ...then with the cpu-bound thread prioritized to HIGH (6,2): it now
 	// receives 31 of every 32 decode slots.
-	boosted, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
-		power5prio.High, power5prio.Low)
+	boosted, err := sys.Measure(ctx, power5prio.Spec{
+		A: "cpu_int", B: "ldint_mem",
+		PA: power5prio.High, PB: power5prio.Low,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

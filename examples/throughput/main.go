@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,11 +27,11 @@ func main() {
 		{power5prio.Medium, power5prio.Medium}, // baseline again: served from cache
 	}
 
-	specs := make([]power5prio.BatchSpec, len(pairs))
+	specs := make([]power5prio.Spec, len(pairs))
 	for i, p := range pairs {
-		specs[i] = power5prio.BatchSpec{A: "h264ref", B: "mcf", PA: p[0], PB: p[1]}
+		specs[i] = power5prio.Spec{A: "h264ref", B: "mcf", PA: p[0], PB: p[1]}
 	}
-	results, err := sys.MeasureBatch(specs)
+	results, err := sys.MeasureBatch(context.Background(), specs)
 	if err != nil {
 		log.Fatal(err)
 	}

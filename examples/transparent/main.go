@@ -1,9 +1,11 @@
 // Transparent execution (paper Section 5.5, Figure 6): a background
 // thread at priority 1 runs almost without affecting a priority-6
-// foreground thread — useful free cycles for best-effort work.
+// foreground thread — useful free cycles for best-effort work. The whole
+// grid — three ST baselines plus three co-runs — is one MeasureBatch.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,23 +18,26 @@ func main() {
 	foregrounds := []string{"cpu_fp", "lng_chain_cpuint", "ldint_l2"}
 	const background = "cpu_int"
 
+	// One batch: each foreground alone (ST baseline), then against the
+	// background at (6,1). All six measurements fan out concurrently.
+	var specs []power5prio.Spec
+	for _, fg := range foregrounds {
+		specs = append(specs,
+			power5prio.Spec{A: fg}, // single-thread baseline
+			power5prio.Spec{A: fg, B: background, PA: power5prio.High, PB: power5prio.VeryLow},
+		)
+	}
+	results, err := sys.MeasureBatch(context.Background(), specs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("background thread: %s at priority 1 (VERY LOW)\n\n", background)
 	fmt.Printf("%-18s %10s %12s %12s %12s\n",
 		"foreground", "ST IPC", "fg IPC (6,1)", "fg cost", "bg IPC")
-	for _, fg := range foregrounds {
-		k, err := power5prio.Microbenchmark(fg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		st, err := sys.MeasureSingle(k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pair, err := sys.MeasureMicroPair(fg, background,
-			power5prio.High, power5prio.VeryLow)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for i, fg := range foregrounds {
+		st := results[2*i].Thread[0]
+		pair := results[2*i+1]
 		cost := (st.IPC/pair.Thread[0].IPC - 1) * 100
 		fmt.Printf("%-18s %10.3f %12.3f %11.1f%% %12.3f\n",
 			fg, st.IPC, pair.Thread[0].IPC, cost, pair.Thread[1].IPC)

@@ -6,13 +6,26 @@
 // several sweeps (e.g. the (4,4) co-run of Figures 2-4, or a benchmark's
 // single-thread IPC) is simulated exactly once.
 //
+// Workloads are named through a workload.Registry: a job's kernels are
+// identified by fingerprinted workload.Refs, so micro-benchmarks,
+// synthetic SPEC stand-ins and user-registered custom kernels co-schedule
+// and cache uniformly — a pair may mix families freely.
+//
+// Batches are context-aware: cancelling the context stops dispatch,
+// in-flight jobs run to completion (and are cached), and every job that
+// never started returns the context's error. Long sweeps are therefore
+// interruptible with partial results, and a retry reuses the completed
+// work through the cache.
+//
 // Determinism: each job builds its own kernels and runs on a fresh chip,
-// so a job's result is a pure function of the Job value. Batches return
-// bit-identical results for any worker count, preserving the
-// paper-reproduction guarantees of the serial code path.
+// so a job's result is a pure function of the Job value and the kernel
+// content its Refs fingerprint. Batches return bit-identical results for
+// any worker count, preserving the paper-reproduction guarantees of the
+// serial code path.
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,41 +33,19 @@ import (
 	"power5prio/internal/core"
 	"power5prio/internal/fame"
 	"power5prio/internal/isa"
-	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
-	"power5prio/internal/spec"
+	"power5prio/internal/workload"
 )
-
-// Kind selects the workload family a Job's names are resolved in.
-type Kind int
-
-const (
-	// Micro resolves names against the paper's fifteen micro-benchmarks.
-	Micro Kind = iota
-	// Spec resolves names against the synthetic SPEC stand-ins.
-	Spec
-)
-
-// String names the kind for diagnostics.
-func (k Kind) String() string {
-	switch k {
-	case Micro:
-		return "micro"
-	case Spec:
-		return "spec"
-	}
-	return fmt.Sprintf("Kind(%d)", int(k))
-}
 
 // Job describes one independent simulation: a workload pair (or a single
-// workload when Secondary is empty), the priority levels, the chip
+// workload when Secondary is the zero Ref), the priority levels, the chip
 // configuration and the FAME measurement options. Job is a comparable
 // value type; it is its own cache key — two jobs with equal fields are
-// the same measurement.
+// the same measurement, because a Ref's fingerprint pins the kernel
+// content it names.
 type Job struct {
-	Kind      Kind
-	Primary   string
-	Secondary string // empty: Primary runs alone in single-thread mode
+	Primary   workload.Ref
+	Secondary workload.Ref // zero: Primary runs alone in single-thread mode
 	PrioP     prio.Level
 	PrioS     prio.Level
 	Privilege prio.Privilege
@@ -66,18 +57,19 @@ type Job struct {
 
 // Single returns a single-thread job for one workload (the conventional
 // placement: priorities (4,4), secondary thread off).
-func Single(kind Kind, name string, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
+func Single(ref workload.Ref, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
 	return Job{
-		Kind: kind, Primary: name,
-		PrioP: prio.Medium, PrioS: prio.Medium,
+		Primary: ref,
+		PrioP:   prio.Medium, PrioS: prio.Medium,
 		Privilege: priv, IterScale: iterScale, Chip: chip, Fame: opts,
 	}
 }
 
 // Pair returns a co-scheduled job for two workloads at explicit levels.
-func Pair(kind Kind, nameP, nameS string, pp, ps prio.Level, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
+// The refs may come from different workload families.
+func Pair(refP, refS workload.Ref, pp, ps prio.Level, priv prio.Privilege, iterScale float64, chip core.Config, opts fame.Options) Job {
 	return Job{
-		Kind: kind, Primary: nameP, Secondary: nameS,
+		Primary: refP, Secondary: refS,
 		PrioP: pp, PrioS: ps,
 		Privilege: priv, IterScale: iterScale, Chip: chip, Fame: opts,
 	}
@@ -89,7 +81,9 @@ type Result struct {
 	// Pair holds the measurement; for single-thread jobs only Thread[0]
 	// is active.
 	Pair fame.PairResult
-	Err  error
+	// Err is the job's failure: a build/validation error, or the batch
+	// context's error for jobs that never started before cancellation.
+	Err error
 	// CacheHit reports that the job was served from the result cache (a
 	// previous batch, or an identical job earlier in this batch).
 	CacheHit bool
@@ -103,19 +97,27 @@ type Stats struct {
 	Simulated int
 	// Hits served from the cache without simulating.
 	Hits int
+	// Skipped jobs that never started because their batch was cancelled.
+	Skipped int
 }
 
 // String renders the counters in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d jobs submitted, %d simulated, %d cache hits", s.Submitted, s.Simulated, s.Hits)
+	out := fmt.Sprintf("%d jobs submitted, %d simulated, %d cache hits", s.Submitted, s.Simulated, s.Hits)
+	if s.Skipped > 0 {
+		out += fmt.Sprintf(", %d skipped", s.Skipped)
+	}
+	return out
 }
 
 // Engine is a worker-pool job scheduler with a content-keyed result
-// cache. The zero value is not usable; call New. An Engine is safe for
-// concurrent use.
+// cache and a workload registry that resolves job Refs to kernels. The
+// zero value is not usable; call New. An Engine is safe for concurrent
+// use.
 type Engine struct {
 	mu      sync.Mutex
 	workers int
+	reg     *workload.Registry
 	cache   map[Job]outcome
 	stats   Stats
 }
@@ -125,14 +127,27 @@ type outcome struct {
 	err  error
 }
 
-// New returns an engine bounded to the given number of workers;
-// workers <= 0 selects GOMAXPROCS (all cores).
-func New(workers int) *Engine {
+// New returns an engine bounded to the given number of workers with a
+// fresh registry of the built-in workloads; workers <= 0 selects
+// GOMAXPROCS (all cores).
+func New(workers int) *Engine { return NewWith(workers, nil) }
+
+// NewWith returns an engine using the given workload registry (nil = a
+// fresh built-ins-only registry). Sharing one registry between engines
+// lets them resolve the same custom kernels.
+func NewWith(workers int, reg *workload.Registry) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, cache: make(map[Job]outcome)}
+	if reg == nil {
+		reg = workload.NewRegistry()
+	}
+	return &Engine{workers: workers, reg: reg, cache: make(map[Job]outcome)}
 }
+
+// Registry returns the engine's workload registry; register custom
+// kernels here to make them resolvable in jobs.
+func (e *Engine) Registry() *workload.Registry { return e.reg }
 
 // Workers returns the concurrency bound.
 func (e *Engine) Workers() int {
@@ -164,79 +179,148 @@ func (e *Engine) Stats() Stats {
 // from earlier batches — are simulated once and fanned back to every
 // submitter. Unique uncached jobs execute concurrently on the worker
 // pool; results are independent of the worker count.
-func (e *Engine) Run(jobs []Job) []Result {
+//
+// Cancelling ctx (nil = background) stops dispatching: jobs already
+// running finish normally and enter the cache, jobs that never started
+// return Results with Err set to the context's error. With one worker,
+// the completed jobs form exactly the leading prefix of the batch.
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	return e.RunFunc(ctx, jobs, nil)
+}
+
+// RunFunc is Run with a per-job progress callback: progress(i, r) fires
+// once for every job index as its result becomes final — immediately for
+// cache hits, at simulation completion for misses (duplicates resolve
+// with their first occurrence), and after the pool drains for jobs
+// skipped by cancellation. Calls are serialized; progress must not
+// submit to the same engine.
+func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r Result)) []Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]Result, len(jobs))
 
-	// Partition: first occurrence of each uncached job runs; everything
-	// else is a hit resolved after the pool drains.
+	// Partition under the lock: cache hits resolve immediately; the first
+	// occurrence of each uncached job is scheduled; later duplicates wait
+	// for it. followers is read-only once workers start.
 	e.mu.Lock()
 	workers := e.workers
+	reg := e.reg
 	e.stats.Submitted += len(jobs)
 	var toRun []int
-	scheduled := make(map[Job]bool)
+	followers := make(map[Job][]int)
+	var hitIdx []int
 	for i, j := range jobs {
-		if _, ok := e.cache[j]; ok || scheduled[j] {
+		if oc, ok := e.cache[j]; ok {
+			out[i] = Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: true}
+			e.stats.Hits++
+			hitIdx = append(hitIdx, i)
 			continue
 		}
-		scheduled[j] = true
+		if _, ok := followers[j]; ok {
+			followers[j] = append(followers[j], i)
+			continue
+		}
+		followers[j] = []int{}
 		toRun = append(toRun, i)
 	}
 	e.mu.Unlock()
 
-	fresh := e.simulate(jobs, toRun, workers)
-
-	e.mu.Lock()
-	for k, idx := range toRun {
-		e.cache[jobs[idx]] = fresh[k]
+	var progMu sync.Mutex
+	report := func(idx ...int) {
+		if progress == nil {
+			return
+		}
+		progMu.Lock()
+		defer progMu.Unlock()
+		for _, i := range idx {
+			progress(i, out[i])
+		}
 	}
-	e.stats.Simulated += len(toRun)
-	e.stats.Hits += len(jobs) - len(toRun)
-	for i, j := range jobs {
-		oc := e.cache[j]
-		out[i] = Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: !scheduled[j]}
-		delete(scheduled, j) // only the first occurrence is the miss
-	}
-	e.mu.Unlock()
-	return out
-}
+	report(hitIdx...)
 
-// simulate executes jobs[idx] for each idx in toRun across the pool.
-func (e *Engine) simulate(jobs []Job, toRun []int, workers int) []outcome {
-	fresh := make([]outcome, len(toRun))
 	if len(toRun) == 0 {
-		return fresh
+		return out
 	}
 	if workers > len(toRun) {
 		workers = len(toRun)
 	}
 	work := make(chan int)
+	done := make([]bool, len(toRun))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for k := range work {
-				pair, err := Execute(jobs[toRun[k]])
-				fresh[k] = outcome{pair: pair, err: err}
+				idx := toRun[k]
+				j := jobs[idx]
+				pair, err := Execute(reg, j)
+				e.mu.Lock()
+				e.cache[j] = outcome{pair: pair, err: err}
+				e.stats.Simulated++
+				e.stats.Hits += len(followers[j])
+				e.mu.Unlock()
+				done[k] = true
+				out[idx] = Result{Job: j, Pair: pair, Err: err}
+				final := append([]int{idx}, followers[j]...)
+				for _, f := range followers[j] {
+					out[f] = Result{Job: j, Pair: pair, Err: err, CacheHit: true}
+				}
+				report(final...)
 			}
 		}()
 	}
+dispatch:
 	for k := range toRun {
-		work <- k
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case work <- k:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
-	return fresh
+
+	if err := ctx.Err(); err != nil {
+		var skipped []int
+		e.mu.Lock()
+		for k, idx := range toRun {
+			if done[k] {
+				continue
+			}
+			j := jobs[idx]
+			out[idx] = Result{Job: j, Err: err}
+			e.stats.Skipped++
+			skipped = append(skipped, idx)
+			for _, f := range followers[j] {
+				out[f] = Result{Job: j, Err: err}
+				e.stats.Skipped++
+				skipped = append(skipped, f)
+			}
+		}
+		e.mu.Unlock()
+		report(skipped...)
+	}
+	return out
 }
 
 // ForEach runs fn(i) for every i in [0,n) across the engine's worker
-// pool and blocks until all calls return. It is the escape hatch for
-// measurement paths that are not plain FAME jobs (e.g. the FFT/LU
-// pipeline rows of Table 4): fn must be safe to call concurrently and
-// should write its result into a caller-owned slot at index i.
-func (e *Engine) ForEach(n int, fn func(int)) {
+// pool and blocks until all dispatched calls return. It is the escape
+// hatch for measurement paths that are not plain FAME jobs (e.g. the
+// FFT/LU pipeline rows of Table 4): fn must be safe to call concurrently
+// and should write its result into a caller-owned slot at index i.
+// Cancelling ctx (nil = background) stops dispatching further indices;
+// ForEach returns the context's error if any index was skipped.
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	workers := e.Workers()
 	if workers > n {
@@ -253,31 +337,50 @@ func (e *Engine) ForEach(n int, fn func(int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		work <- i
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	return err
 }
 
 // Execute runs one job to completion on a fresh chip and is the serial
 // reference semantics of the engine: Run is defined to return exactly
-// what Execute returns for every job. Invalid jobs return errors rather
-// than panicking so a bad name cannot take down a whole batch.
-func Execute(j Job) (fame.PairResult, error) {
+// what Execute returns for every job. The registry resolves the job's
+// workload refs (nil = a fresh built-ins-only registry). Invalid jobs
+// return errors rather than panicking so a bad name cannot take down a
+// whole batch.
+func Execute(reg *workload.Registry, j Job) (fame.PairResult, error) {
+	if reg == nil {
+		reg = workload.NewRegistry()
+	}
 	if err := j.Fame.Validate(); err != nil {
 		return fame.PairResult{}, err
 	}
 	if err := j.Chip.Validate(); err != nil {
 		return fame.PairResult{}, err
 	}
-	kp, err := buildKernel(j.Kind, j.Primary, j.IterScale)
+	if j.Primary.IsZero() {
+		return fame.PairResult{}, fmt.Errorf("engine: job has no primary workload")
+	}
+	kp, err := reg.Build(j.Primary, j.IterScale)
 	if err != nil {
 		return fame.PairResult{}, err
 	}
 	var ks *isa.Kernel
-	if j.Secondary != "" {
-		ks, err = buildKernel(j.Kind, j.Secondary, j.IterScale)
+	if !j.Secondary.IsZero() {
+		ks, err = reg.Build(j.Secondary, j.IterScale)
 		if err != nil {
 			return fame.PairResult{}, err
 		}
@@ -287,14 +390,8 @@ func Execute(j Job) (fame.PairResult, error) {
 	return fame.Measure(ch, j.Fame), nil
 }
 
-// buildKernel resolves a workload name within its family at the job's
-// scale.
-func buildKernel(kind Kind, name string, iterScale float64) (*isa.Kernel, error) {
-	switch kind {
-	case Micro:
-		return microbench.BuildWith(name, microbench.Params{IterScale: iterScale})
-	case Spec:
-		return spec.BuildWith(name, spec.Params{IterScale: iterScale})
-	}
-	return nil, fmt.Errorf("engine: unknown workload kind %v", kind)
+// Execute runs one job through the engine's registry without touching
+// the cache — the serial reference path for this engine's jobs.
+func (e *Engine) Execute(j Job) (fame.PairResult, error) {
+	return Execute(e.reg, j)
 }

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"testing"
 
 	"power5prio/internal/engine"
 	"power5prio/internal/fame"
 	"power5prio/internal/microbench"
+	"power5prio/internal/spec"
 )
 
 // matrixHarness is a fast harness for engine-level matrix tests.
@@ -20,12 +23,22 @@ func matrixHarness(workers int) Harness {
 
 var matrixNames = []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntMem}
 
+// mustMatrix runs a complete RunMatrix, failing the test on any error.
+func mustMatrix(t testing.TB, h Harness, primaries, secondaries []string, diffs []int) *MatrixResult {
+	t.Helper()
+	m, err := RunMatrix(context.Background(), h, primaries, secondaries, diffs)
+	if err != nil {
+		t.Fatalf("RunMatrix: %v", err)
+	}
+	return m
+}
+
 // TestMatrixWorkerEquivalence: RunMatrix produces identical cells and
 // single-thread IPCs at -workers 1 and -workers 8.
 func TestMatrixWorkerEquivalence(t *testing.T) {
 	diffs := []int{0, 2, -2}
-	serial := RunMatrix(matrixHarness(1), matrixNames, matrixNames, diffs)
-	parallel := RunMatrix(matrixHarness(8), matrixNames, matrixNames, diffs)
+	serial := mustMatrix(t, matrixHarness(1), matrixNames, matrixNames, diffs)
+	parallel := mustMatrix(t, matrixHarness(8), matrixNames, matrixNames, diffs)
 
 	if !reflect.DeepEqual(serial.SingleIPC, parallel.SingleIPC) {
 		t.Errorf("SingleIPC diverged:\nserial   %v\nparallel %v", serial.SingleIPC, parallel.SingleIPC)
@@ -47,9 +60,9 @@ func TestMatrixWorkerEquivalence(t *testing.T) {
 // simulates nothing new.
 func TestMatrixCacheSharing(t *testing.T) {
 	h := matrixHarness(4)
-	RunMatrix(h, matrixNames, matrixNames, []int{0, 3})
+	mustMatrix(t, h, matrixNames, matrixNames, []int{0, 3})
 	before := h.Engine.Stats()
-	RunMatrix(h, matrixNames, matrixNames, []int{0})
+	mustMatrix(t, h, matrixNames, matrixNames, []int{0})
 	after := h.Engine.Stats()
 	if after.Simulated != before.Simulated {
 		t.Errorf("diff=0 re-run simulated %d new jobs, want 0 (all cells shared)",
@@ -60,15 +73,114 @@ func TestMatrixCacheSharing(t *testing.T) {
 	}
 }
 
+// TestMatrixMixedFamilies: the registry lets one matrix sweep a
+// micro-benchmark against a SPEC stand-in — the pre-registry API's
+// family silo is gone.
+func TestMatrixMixedFamilies(t *testing.T) {
+	h := matrixHarness(4)
+	names := []string{microbench.CPUInt, spec.MCF}
+	m := mustMatrix(t, h, names, names, []int{0, 2})
+	for _, p := range names {
+		if m.SingleIPC[p] <= 0 {
+			t.Errorf("SingleIPC[%s] = %v", p, m.SingleIPC[p])
+		}
+		for _, s := range names {
+			if m.At(p, s, 2).Primary <= 0 {
+				t.Errorf("mixed cell (%s,%s,+2) empty", p, s)
+			}
+		}
+	}
+}
+
+// TestMatrixCancellation: cancelling a sweep returns the partial matrix —
+// measured cells intact, the rest absent — plus the context error, and a
+// re-run resumes from the cache.
+func TestMatrixCancellation(t *testing.T) {
+	h := matrixHarness(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const stopAfter = 3
+	seen := 0
+	h.Progress = func(engine.Result) {
+		seen++
+		if seen == stopAfter {
+			cancel()
+		}
+	}
+	diffs := []int{0, 2, -2}
+	m, err := RunMatrix(ctx, h, matrixNames, matrixNames, diffs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunMatrix error = %v", err)
+	}
+	if !m.Partial {
+		t.Error("cancelled matrix not marked Partial")
+	}
+	measured := len(m.SingleIPC)
+	for _, p := range matrixNames {
+		for _, s := range matrixNames {
+			for _, d := range diffs {
+				if m.Has(p, s, d) {
+					measured++
+					if m.At(p, s, d).Primary <= 0 {
+						t.Errorf("measured cell (%s,%s,%+d) is empty", p, s, d)
+					}
+				} else if m.At(p, s, d) != (Meas{}) {
+					t.Errorf("unmeasured cell (%s,%s,%+d) not zero on a Partial matrix", p, s, d)
+				}
+			}
+		}
+	}
+	total := len(matrixNames) * (1 + len(matrixNames)*len(diffs))
+	if measured == 0 || measured >= total {
+		t.Errorf("partial matrix measured %d of %d entries; want a strict subset", measured, total)
+	}
+
+	// The completed prefix re-runs as cache hits.
+	h.Progress = nil
+	before := h.Engine.Stats()
+	mustMatrix(t, h, matrixNames, matrixNames, diffs)
+	after := h.Engine.Stats()
+	if gotHits := after.Hits - before.Hits; gotHits < measured {
+		t.Errorf("re-run reused %d cached jobs, want >= %d", gotHits, measured)
+	}
+}
+
 // TestHarnessWithoutEngine: a hand-built harness (no Engine field) still
 // measures, creating a private pool on demand.
 func TestHarnessWithoutEngine(t *testing.T) {
 	h := matrixHarness(2)
 	h.Engine = nil
 	h.Workers = 2
-	res := h.RunSingle(microbench.CPUInt)
+	res, err := h.RunSingle(context.Background(), microbench.CPUInt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.IPC <= 0 {
 		t.Errorf("engine-less harness made no progress: %+v", res)
+	}
+}
+
+// TestMeasureDiffs: the batched sweep helper returns one result per
+// difference, matching the pointwise path.
+func TestMeasureDiffs(t *testing.T) {
+	h := matrixHarness(4)
+	diffs := []int{0, 2}
+	batch, err := h.MeasureDiffs(context.Background(), microbench.CPUInt, microbench.LdIntL1, diffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(diffs) {
+		t.Fatalf("%d results, want %d", len(batch), len(diffs))
+	}
+	for i, d := range diffs {
+		pp, ps := DiffPair(d)
+		single, err := h.RunPairLevels(context.Background(), microbench.CPUInt, microbench.LdIntL1, pp, ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Errorf("diff %+d: batched result differs from pointwise", d)
+		}
 	}
 }
 
@@ -81,7 +193,7 @@ func benchMatrix(b *testing.B, workers int) {
 		h := Quick()
 		h.IterScale = 0.1
 		h.Engine = engine.New(workers) // fresh cache: measure simulation, not memoization
-		m := RunMatrix(h, names, names, diffs)
+		m := mustMatrix(b, h, names, names, diffs)
 		if len(m.Cells) != len(names)*len(names) {
 			b.Fatalf("matrix incomplete: %d cells", len(m.Cells))
 		}
@@ -106,10 +218,10 @@ func BenchmarkMatrixCached(b *testing.B) {
 	h := Quick()
 	h.IterScale = 0.1
 	h.Engine = engine.New(0)
-	RunMatrix(h, names, names, diffs) // warm the cache
+	mustMatrix(b, h, names, names, diffs) // warm the cache
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		RunMatrix(h, names, names, diffs)
+		mustMatrix(b, h, names, names, diffs)
 	}
 	b.ReportMetric(float64(h.Engine.Stats().Hits)/float64(b.N), "cache-hits/op")
 }

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"power5prio/internal/engine"
 	"power5prio/internal/fame"
 	"power5prio/internal/prio"
 	"power5prio/internal/report"
@@ -38,29 +38,32 @@ var fig5Pairs = [][2]prio.Level{
 	{prio.High, prio.VeryLow},
 }
 
-// RunSpecPair measures a synthetic SPEC pair at explicit priorities.
-func (h Harness) RunSpecPair(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
-	return h.run([]engine.Job{h.pairJob(engine.Spec, nameP, nameS, pp, ps)})[0]
+// RunSpecPair measures a synthetic SPEC pair at explicit priorities. It
+// is RunPairLevels under the unified registry — kept for the case-study
+// call sites' readability.
+func (h Harness) RunSpecPair(ctx context.Context, nameP, nameS string, pp, ps prio.Level) (fame.PairResult, error) {
+	return h.RunPairLevels(ctx, nameP, nameS, pp, ps)
 }
 
-// fig5 sweeps one pair, submitting the whole sweep as one batch.
-func fig5(h Harness, nameP, nameS string, paperPeak float64) Fig5Result {
+// fig5 sweeps one pair, submitting the whole sweep as one batch. A
+// cancelled sweep keeps the points measured before cancellation.
+func fig5(ctx context.Context, h Harness, nameP, nameS string, paperPeak float64) (Fig5Result, error) {
 	r := Fig5Result{NameP: nameP, NameS: nameS, PaperPeakGain: paperPeak}
-	jobs := make([]engine.Job, len(fig5Pairs))
-	for i, pair := range fig5Pairs {
-		jobs[i] = h.pairJob(engine.Spec, nameP, nameS, pair[0], pair[1])
+	eng := h.engine()
+	var b batch
+	for _, pair := range fig5Pairs {
+		b.add(h.pairJob(eng, nameP, nameS, pair[0], pair[1]), func(res fame.PairResult) {
+			r.Points = append(r.Points, Fig5Point{
+				PrioP: pair[0], PrioS: pair[1],
+				IPCP: res.Thread[0].IPC, IPCS: res.Thread[1].IPC,
+				Total: res.TotalIPC,
+			})
+		})
 	}
-	results := h.run(jobs)
+	err := b.runWith(ctx, h, eng)
 	var base float64
-	for i, pair := range fig5Pairs {
-		res := results[i]
-		pt := Fig5Point{
-			PrioP: pair[0], PrioS: pair[1],
-			IPCP: res.Thread[0].IPC, IPCS: res.Thread[1].IPC,
-			Total: res.TotalIPC,
-		}
-		r.Points = append(r.Points, pt)
-		if pair[0] == prio.Medium && pair[1] == prio.Medium {
+	for _, pt := range r.Points {
+		if pt.PrioP == prio.Medium && pt.PrioS == prio.Medium {
 			base = pt.Total
 		}
 		if base > 0 {
@@ -69,17 +72,17 @@ func fig5(h Harness, nameP, nameS string, paperPeak float64) Fig5Result {
 			}
 		}
 	}
-	return r
+	return r, err
 }
 
 // Fig5a regenerates Figure 5(a): h264ref + mcf.
-func Fig5a(h Harness) Fig5Result {
-	return fig5(h, spec.H264Ref, spec.MCF, PaperFig5aPeakGain)
+func Fig5a(ctx context.Context, h Harness) (Fig5Result, error) {
+	return fig5(ctx, h, spec.H264Ref, spec.MCF, PaperFig5aPeakGain)
 }
 
 // Fig5b regenerates Figure 5(b): applu + equake.
-func Fig5b(h Harness) Fig5Result {
-	return fig5(h, spec.Applu, spec.Equake, PaperFig5bPeakGain)
+func Fig5b(ctx context.Context, h Harness) (Fig5Result, error) {
+	return fig5(ctx, h, spec.Applu, spec.Equake, PaperFig5bPeakGain)
 }
 
 // Render produces the Figure 5 series.
@@ -88,12 +91,24 @@ func (r Fig5Result) Render() *report.Table {
 		fmt.Sprintf("Figure 5: total IPC with increasing priorities — %s + %s (paper peak gain %.1f%%, simulated %.1f%%)",
 			r.NameP, r.NameS, r.PaperPeakGain*100, r.PeakGain*100),
 		"priorities", r.NameP, r.NameS, "total", "gain")
-	base := r.Points[0].Total
+	// Gains are relative to the (4,4) baseline; a cancelled sweep may be
+	// missing it, in which case the column renders "-".
+	var base float64
 	for _, p := range r.Points {
+		if p.PrioP == prio.Medium && p.PrioS == prio.Medium {
+			base = p.Total
+			break
+		}
+	}
+	for _, p := range r.Points {
+		gain := "-"
+		if base > 0 {
+			gain = fmt.Sprintf("%+.1f%%", (p.Total/base-1)*100)
+		}
 		t.AddRow(
 			fmt.Sprintf("(%d,%d)", p.PrioP, p.PrioS),
 			report.F(p.IPCP), report.F(p.IPCS), report.F(p.Total),
-			fmt.Sprintf("%+.1f%%", (p.Total/base-1)*100),
+			gain,
 		)
 	}
 	return t

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"power5prio/internal/prio"
@@ -14,7 +15,10 @@ func TestFig5aThroughputCaseStudy(t *testing.T) {
 	}
 	h := Quick()
 	h.IterScale = 0.2
-	r := Fig5a(h)
+	r, err := Fig5a(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("\n%s", r.Render().String())
 	if len(r.Points) != 6 {
 		t.Fatalf("%d points, want 6", len(r.Points))
@@ -37,7 +41,10 @@ func TestFig5bAppluEquake(t *testing.T) {
 	}
 	h := Quick()
 	h.IterScale = 0.2
-	r := Fig5b(h)
+	r, err := Fig5b(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Logf("\n%s", r.Render().String())
 	if r.PeakGain < 0.05 {
 		t.Errorf("peak gain %.1f%%, want >= 5%% (paper +14%%)", r.PeakGain*100)

@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"power5prio/internal/engine"
 	"power5prio/internal/fame"
 	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
@@ -29,8 +29,9 @@ type Fig6Result struct {
 // Fig6 regenerates Figure 6 (a), (b), (c) and (d) from one grid of runs:
 // every presented benchmark as foreground at priorities 6..2 against every
 // presented benchmark as background at priority 1. The whole grid is one
-// job batch fanned out across the engine's workers.
-func Fig6(h Harness) Fig6Result {
+// job batch fanned out across the engine's workers; cancelling ctx keeps
+// the cells measured so far.
+func Fig6(ctx context.Context, h Harness) (Fig6Result, error) {
 	names := microbench.Presented()
 	levels := []prio.Level{prio.High, prio.MediumHigh, prio.Medium, prio.MediumLow, prio.Low}
 	r := Fig6Result{
@@ -39,9 +40,10 @@ func Fig6(h Harness) Fig6Result {
 		STIPC:    make(map[string]float64),
 		Cells:    make(map[string]map[string]map[prio.Level]Fig6Cell),
 	}
+	eng := h.engine()
 	var b batch
 	for _, fg := range names {
-		b.add(h.singleJob(engine.Micro, fg), func(res fame.PairResult) {
+		b.add(h.singleJob(eng, fg), func(res fame.PairResult) {
 			r.STIPC[fg] = res.Thread[0].IPC
 		})
 		r.Cells[fg] = make(map[string]map[prio.Level]Fig6Cell)
@@ -49,7 +51,7 @@ func Fig6(h Harness) Fig6Result {
 			cell := make(map[prio.Level]Fig6Cell)
 			r.Cells[fg][bg] = cell
 			for _, lv := range levels {
-				b.add(h.pairJob(engine.Micro, fg, bg, lv, prio.VeryLow), func(res fame.PairResult) {
+				b.add(h.pairJob(eng, fg, bg, lv, prio.VeryLow), func(res fame.PairResult) {
 					cell[lv] = Fig6Cell{
 						FG: res.Thread[0].IPC,
 						BG: res.Thread[1].IPC,
@@ -58,8 +60,8 @@ func Fig6(h Harness) Fig6Result {
 			}
 		}
 	}
-	b.runWith(h)
-	return r
+	err := b.runWith(ctx, h, eng)
+	return r, err
 }
 
 // RelTime returns the foreground's execution time relative to

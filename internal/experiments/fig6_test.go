@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"power5prio/internal/microbench"
@@ -21,13 +22,21 @@ func fig6Subset(t *testing.T, fgs, bgs []string, levels []prio.Level) Fig6Result
 		STIPC:    make(map[string]float64),
 		Cells:    make(map[string]map[string]map[prio.Level]Fig6Cell),
 	}
+	ctx := context.Background()
 	for _, fg := range fgs {
-		r.STIPC[fg] = h.RunSingle(fg).IPC
+		st, err := h.RunSingle(ctx, fg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.STIPC[fg] = st.IPC
 		r.Cells[fg] = make(map[string]map[prio.Level]Fig6Cell)
 		for _, bg := range bgs {
 			r.Cells[fg][bg] = make(map[prio.Level]Fig6Cell)
 			for _, lv := range levels {
-				res := h.RunPairLevels(fg, bg, lv, prio.VeryLow)
+				res, err := h.RunPairLevels(ctx, fg, bg, lv, prio.VeryLow)
+				if err != nil {
+					t.Fatal(err)
+				}
 				r.Cells[fg][bg][lv] = Fig6Cell{FG: res.Thread[0].IPC, BG: res.Thread[1].IPC}
 			}
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"power5prio/internal/microbench"
@@ -23,25 +24,26 @@ type FigCurves struct {
 }
 
 // Fig2 regenerates Figure 2: primary-thread performance improvement as its
-// priority increases (differences +1..+5), relative to (4,4).
-func Fig2(h Harness) FigCurves {
+// priority increases (differences +1..+5), relative to (4,4). A cancelled
+// sweep returns the partial curves with the context's error.
+func Fig2(ctx context.Context, h Harness) (FigCurves, error) {
 	names := microbench.Presented()
 	diffs := []int{0, 1, 2, 3, 4, 5}
-	m := RunMatrix(h, names, names, diffs)
+	m, err := RunMatrix(ctx, h, names, names, diffs)
 	return FigCurves{
 		Title: "Figure 2: PThread speedup vs positive priority difference",
 		Names: names, Diffs: []int{1, 2, 3, 4, 5}, Matrix: m,
 		rel: (*MatrixResult).RelPrimary,
-	}
+	}, err
 }
 
 // Fig3 regenerates Figure 3: primary-thread performance degradation with
 // negative priority differences (-1..-5), relative to (4,4). Values are
 // slowdown factors (baseline time / time at diff >= 1).
-func Fig3(h Harness) FigCurves {
+func Fig3(ctx context.Context, h Harness) (FigCurves, error) {
 	names := microbench.Presented()
 	diffs := []int{0, -1, -2, -3, -4, -5}
-	m := RunMatrix(h, names, names, diffs)
+	m, err := RunMatrix(ctx, h, names, names, diffs)
 	return FigCurves{
 		Title: "Figure 3: PThread slowdown vs negative priority difference",
 		Names: names, Diffs: []int{-1, -2, -3, -4, -5}, Matrix: m,
@@ -52,20 +54,20 @@ func Fig3(h Harness) FigCurves {
 			}
 			return 1 / r // the paper plots degradation factors
 		},
-	}
+	}, err
 }
 
 // Fig4 regenerates Figure 4: total IPC relative to (4,4) across priority
 // differences +4 down to -4.
-func Fig4(h Harness) FigCurves {
+func Fig4(ctx context.Context, h Harness) (FigCurves, error) {
 	names := microbench.Presented()
 	diffs := []int{4, 3, 2, 1, 0, -1, -2, -3, -4}
-	m := RunMatrix(h, names, names, diffs)
+	m, err := RunMatrix(ctx, h, names, names, diffs)
 	return FigCurves{
 		Title: "Figure 4: total IPC relative to (4,4)",
 		Names: names, Diffs: diffs, Matrix: m,
 		rel: (*MatrixResult).RelTotal,
-	}
+	}, err
 }
 
 // Value returns the plotted quantity for one (primary, secondary, diff).
@@ -74,7 +76,8 @@ func (f FigCurves) Value(p, s string, diff int) float64 {
 }
 
 // Render produces one table per sub-figure: rows are secondaries (the
-// legend series), columns are priority differences.
+// legend series), columns are priority differences. Cells a cancelled
+// sweep never measured render as 0.00.
 func (f FigCurves) Render() []*report.Table {
 	var out []*report.Table
 	for _, p := range f.Names {

@@ -52,7 +52,7 @@ func TestFig2PositivePrioritiesHelp(t *testing.T) {
 	}
 	h := figHarness()
 	names := []string{microbench.LdIntL1, microbench.CPUInt, microbench.LdIntMem}
-	m := RunMatrix(h, names, names, []int{0, 2, 5})
+	m := mustMatrix(t, h, names, names, []int{0, 2, 5})
 	// Decode-bound benchmarks gain from +2 against compute partners.
 	for _, p := range []string{microbench.LdIntL1, microbench.CPUInt} {
 		rel := m.RelPrimary(p, microbench.CPUInt, 2)
@@ -84,7 +84,7 @@ func TestFig3NegativePrioritiesDevastate(t *testing.T) {
 	}
 	h := figHarness()
 	// cpu_int at -5 vs a memory thread: paper reports up to 42x slowdown.
-	m := RunMatrix(h, []string{microbench.CPUInt}, []string{microbench.LdIntMem, microbench.CPUInt}, []int{0, -5})
+	m := mustMatrix(t, h, []string{microbench.CPUInt}, []string{microbench.LdIntMem, microbench.CPUInt}, []int{0, -5})
 	slow := 1 / m.RelPrimary(microbench.CPUInt, microbench.LdIntMem, -5)
 	if slow < 8 {
 		t.Errorf("cpu_int at -5 vs ldint_mem: slowdown %.1fx, want >= 8x (paper ~42x)", slow)
@@ -102,7 +102,7 @@ func TestFig3MemInsensitiveToNegative(t *testing.T) {
 		t.Skip("sweep test")
 	}
 	h := figHarness()
-	m := RunMatrix(h, []string{microbench.LdIntMem}, []string{microbench.CPUInt}, []int{0, -5})
+	m := mustMatrix(t, h, []string{microbench.LdIntMem}, []string{microbench.CPUInt}, []int{0, -5})
 	slow := 1 / m.RelPrimary(microbench.LdIntMem, microbench.CPUInt, -5)
 	if slow > 2.5 {
 		t.Errorf("ldint_mem at -5 vs cpu_int: slowdown %.1fx, want < 2.5x (paper < 2.5x)", slow)
@@ -116,7 +116,7 @@ func TestFig4ThroughputRule(t *testing.T) {
 		t.Skip("sweep test")
 	}
 	h := figHarness()
-	m := RunMatrix(h, []string{microbench.LdIntL1}, []string{microbench.LdIntMem}, []int{0, 4, -4})
+	m := mustMatrix(t, h, []string{microbench.LdIntL1}, []string{microbench.LdIntMem}, []int{0, 4, -4})
 	up := m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, 4)
 	down := m.RelTotal(microbench.LdIntL1, microbench.LdIntMem, -4)
 	if up <= 1.1 {
@@ -136,7 +136,7 @@ func TestFigRenderShapes(t *testing.T) {
 	h := figHarness()
 	h.IterScale = 0.05
 	names := []string{microbench.CPUInt, microbench.LdIntMem}
-	m := RunMatrix(h, names, names, []int{0, 1})
+	m := mustMatrix(t, h, names, names, []int{0, 1})
 	f := FigCurves{Title: "t", Names: names, Diffs: []int{1}, Matrix: m, rel: (*MatrixResult).RelPrimary}
 	tables := f.Render()
 	if len(tables) != 2 {

@@ -4,19 +4,29 @@
 // paper reports, plus the paper's own numbers for side-by-side comparison.
 //
 // All measurement paths are batched: experiments describe their runs as
-// engine.Jobs and submit them to the harness's shared batch engine, which
-// fans independent simulations out across CPU cores and memoizes results,
-// so baselines shared between experiments (the (4,4) co-runs, the
+// engine.Jobs — workloads resolved through the engine's unified registry,
+// so micro-benchmarks, SPEC stand-ins and custom kernels mix freely — and
+// submit them to the harness's shared batch engine, which fans
+// independent simulations out across CPU cores and memoizes results, so
+// baselines shared between experiments (the (4,4) co-runs, the
 // single-thread IPCs) are simulated once.
+//
+// Every experiment takes a context: cancelling it stops the sweep,
+// returns the partial results measured so far (marked Partial on matrix
+// results) alongside the context's error, and leaves the completed work
+// in the engine cache so a retry resumes where the sweep stopped.
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"power5prio/internal/core"
 	"power5prio/internal/engine"
 	"power5prio/internal/fame"
 	"power5prio/internal/prio"
+	"power5prio/internal/workload"
 )
 
 // Harness bundles the configuration every experiment shares.
@@ -34,8 +44,13 @@ type Harness struct {
 	Workers int
 	// Engine executes measurement batches. Default and Quick install a
 	// fresh engine; copies of a Harness share it, so experiments run from
-	// the same harness reuse each other's cached baselines.
+	// the same harness reuse each other's cached baselines. Workload
+	// names resolve in this engine's registry.
 	Engine *engine.Engine
+	// Progress, when non-nil, receives every finished job of a harness
+	// batch (cache hits included, cancelled jobs excluded). Calls are
+	// serialized by the engine.
+	Progress func(engine.Result)
 }
 
 // Default returns the full-fidelity harness (paper methodology: MAIV 1%,
@@ -68,38 +83,98 @@ func (h Harness) engine() *engine.Engine {
 	return engine.New(h.Workers)
 }
 
-// pairJob describes a micro-benchmark co-run at explicit levels.
-func (h Harness) pairJob(kind engine.Kind, nameP, nameS string, pp, ps prio.Level) engine.Job {
-	return engine.Pair(kind, nameP, nameS, pp, ps, h.Privilege, h.IterScale, h.Chip, h.Fame)
+// resolve maps a workload name to its registry ref. Experiment inputs are
+// compiled in (or validated by the public facade), so an unknown name is
+// a harness bug, not user input.
+func (h Harness) resolve(eng *engine.Engine, name string) workload.Ref {
+	ref, err := eng.Registry().Resolve(name)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return ref
+}
+
+// pairJob describes a co-run of two named workloads at explicit levels.
+// The names may come from different workload families.
+func (h Harness) pairJob(eng *engine.Engine, nameP, nameS string, pp, ps prio.Level) engine.Job {
+	return engine.Pair(h.resolve(eng, nameP), h.resolve(eng, nameS), pp, ps, h.Privilege, h.IterScale, h.Chip, h.Fame)
 }
 
 // singleJob describes a single-thread run.
-func (h Harness) singleJob(kind engine.Kind, name string) engine.Job {
-	return engine.Single(kind, name, h.Privilege, h.IterScale, h.Chip, h.Fame)
+func (h Harness) singleJob(eng *engine.Engine, name string) engine.Job {
+	return engine.Single(h.resolve(eng, name), h.Privilege, h.IterScale, h.Chip, h.Fame)
 }
 
-// run submits a batch and unwraps the results; experiment inputs are
-// compiled in, so a failure is a harness bug, not user input.
-func (h Harness) run(jobs []engine.Job) []fame.PairResult {
-	results := h.engine().Run(jobs)
+// isCancel reports whether a job error is the batch context's error.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// progressFunc adapts the harness Progress hook to the engine callback.
+func (h Harness) progressFunc() func(int, engine.Result) {
+	if h.Progress == nil {
+		return nil
+	}
+	return func(_ int, r engine.Result) {
+		if r.Err == nil {
+			h.Progress(r)
+		}
+	}
+}
+
+// run submits a batch and unwraps the results. Jobs skipped by a
+// cancelled context leave zero-valued entries and set the returned error;
+// any other failure panics — experiment inputs are compiled in, so it is
+// a harness bug, not user input.
+func (h Harness) run(ctx context.Context, eng *engine.Engine, jobs []engine.Job) ([]fame.PairResult, error) {
+	results := eng.RunFunc(ctx, jobs, h.progressFunc())
 	out := make([]fame.PairResult, len(results))
+	var err error
 	for i, r := range results {
 		if r.Err != nil {
+			if isCancel(r.Err) {
+				err = r.Err
+				continue
+			}
 			panic(fmt.Sprintf("experiments: job %d (%s+%s): %v", i, r.Job.Primary, r.Job.Secondary, r.Err))
 		}
 		out[i] = r.Pair
 	}
-	return out
+	return out, err
 }
 
 // RunPairLevels measures a co-scheduled pair at explicit priority levels.
-func (h Harness) RunPairLevels(nameP, nameS string, pp, ps prio.Level) fame.PairResult {
-	return h.run([]engine.Job{h.pairJob(engine.Micro, nameP, nameS, pp, ps)})[0]
+// The two names may come from different workload families.
+func (h Harness) RunPairLevels(ctx context.Context, nameP, nameS string, pp, ps prio.Level) (fame.PairResult, error) {
+	eng := h.engine()
+	res, err := h.run(ctx, eng, []engine.Job{h.pairJob(eng, nameP, nameS, pp, ps)})
+	if err != nil {
+		return fame.PairResult{}, err
+	}
+	return res[0], nil
 }
 
-// RunSingle measures a benchmark alone on the core (ST mode).
-func (h Harness) RunSingle(name string) fame.ThreadResult {
-	return h.run([]engine.Job{h.singleJob(engine.Micro, name)})[0].Thread[0]
+// RunSingle measures a workload alone on the core (ST mode).
+func (h Harness) RunSingle(ctx context.Context, name string) (fame.ThreadResult, error) {
+	eng := h.engine()
+	res, err := h.run(ctx, eng, []engine.Job{h.singleJob(eng, name)})
+	if err != nil {
+		return fame.ThreadResult{}, err
+	}
+	return res[0].Thread[0], nil
+}
+
+// MeasureDiffs measures a pair at each priority difference in diffs
+// (each in [-5,+5], mapped to the paper's level pairs) as one batch:
+// the settings simulate concurrently and repeats are cache hits.
+func (h Harness) MeasureDiffs(ctx context.Context, nameP, nameS string, diffs []int) ([]fame.PairResult, error) {
+	eng := h.engine()
+	jobs := make([]engine.Job, len(diffs))
+	for i, d := range diffs {
+		pp, ps := DiffPair(d)
+		jobs[i] = h.pairJob(eng, nameP, nameS, pp, ps)
+	}
+	return h.run(ctx, eng, jobs)
 }
 
 // diffPairs maps a priority difference diff in [-5,+5] (at index diff+5)
@@ -149,6 +224,9 @@ type MatrixResult struct {
 	Diffs       []int
 	Cells       map[PairKey]map[int]Meas
 	SingleIPC   map[string]float64
+	// Partial marks a matrix whose sweep was cancelled: cells measured
+	// before cancellation are present, the rest are missing.
+	Partial bool
 }
 
 // batch accumulates jobs paired with the closure that consumes each
@@ -163,17 +241,34 @@ func (b *batch) add(j engine.Job, f func(fame.PairResult)) {
 	b.assign = append(b.assign, f)
 }
 
-func (b *batch) runWith(h Harness) {
-	for i, res := range h.run(b.jobs) {
-		b.assign[i](res)
+// runWith submits the batch and assigns every completed result; cancelled
+// jobs are skipped and surface as the returned error.
+func (b *batch) runWith(ctx context.Context, h Harness, eng *engine.Engine) error {
+	results := eng.RunFunc(ctx, b.jobs, h.progressFunc())
+	var err error
+	for i, r := range results {
+		if r.Err != nil {
+			if isCancel(r.Err) {
+				err = r.Err
+				continue
+			}
+			panic(fmt.Sprintf("experiments: job %d (%s+%s): %v", i, r.Job.Primary, r.Job.Secondary, r.Err))
+		}
+		b.assign[i](r.Pair)
 	}
+	return err
 }
 
 // RunMatrix measures every (primary, secondary) pair at every priority
 // difference, plus each primary alone in ST mode. The whole matrix is
 // submitted as one batch: independent cells simulate concurrently and
 // repeated combinations (e.g. the shared diff=0 baseline) are cache hits.
-func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixResult {
+// Workload names resolve through the engine registry, so primaries and
+// secondaries may mix families and include registered custom kernels.
+//
+// Cancelling ctx returns the partial matrix (Partial set, missing cells
+// absent) together with the context's error.
+func RunMatrix(ctx context.Context, h Harness, primaries, secondaries []string, diffs []int) (*MatrixResult, error) {
 	r := &MatrixResult{
 		Primaries:   primaries,
 		Secondaries: secondaries,
@@ -181,9 +276,10 @@ func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixR
 		Cells:       make(map[PairKey]map[int]Meas),
 		SingleIPC:   make(map[string]float64),
 	}
+	eng := h.engine()
 	var b batch
 	for _, p := range primaries {
-		b.add(h.singleJob(engine.Micro, p), func(res fame.PairResult) {
+		b.add(h.singleJob(eng, p), func(res fame.PairResult) {
 			r.SingleIPC[p] = res.Thread[0].IPC
 		})
 		for _, s := range secondaries {
@@ -191,7 +287,7 @@ func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixR
 			r.Cells[PairKey{p, s}] = cell
 			for _, d := range diffs {
 				pp, ps := DiffPair(d)
-				b.add(h.pairJob(engine.Micro, p, s, pp, ps), func(res fame.PairResult) {
+				b.add(h.pairJob(eng, p, s, pp, ps), func(res fame.PairResult) {
 					cell[d] = Meas{
 						Primary:   res.Thread[0].IPC,
 						Secondary: res.Thread[1].IPC,
@@ -201,19 +297,39 @@ func RunMatrix(h Harness, primaries, secondaries []string, diffs []int) *MatrixR
 			}
 		}
 	}
-	b.runWith(h)
-	return r
+	err := b.runWith(ctx, h, eng)
+	r.Partial = err != nil
+	return r, err
 }
 
-// At returns the measurement for a pair at a difference; it panics if the
-// combination was not part of the matrix (harness bug, not user input).
+// Has reports whether the matrix holds a measurement for the combination
+// (always true for complete runs over in-matrix keys).
+func (m *MatrixResult) Has(p, s string, diff int) bool {
+	cell, ok := m.Cells[PairKey{p, s}]
+	if !ok {
+		return false
+	}
+	_, ok = cell[diff]
+	return ok
+}
+
+// At returns the measurement for a pair at a difference. It panics if the
+// combination was not part of the matrix (harness bug, not user input) —
+// except on a Partial matrix, where unmeasured combinations return the
+// zero Meas so interrupted sweeps can still render.
 func (m *MatrixResult) At(p, s string, diff int) Meas {
 	cell, ok := m.Cells[PairKey{p, s}]
 	if !ok {
+		if m.Partial {
+			return Meas{}
+		}
 		panic(fmt.Sprintf("experiments: pair (%s,%s) not in matrix", p, s))
 	}
 	meas, ok := cell[diff]
 	if !ok {
+		if m.Partial {
+			return Meas{}
+		}
 		panic(fmt.Sprintf("experiments: diff %d not in matrix for (%s,%s)", diff, p, s))
 	}
 	return meas

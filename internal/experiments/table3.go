@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"power5prio/internal/microbench"
 	"power5prio/internal/report"
 )
@@ -15,10 +17,11 @@ type Table3Result struct {
 // Table3 regenerates the paper's Table 3. The 6x6 grid plus the ST
 // column is submitted as one batch; its (4,4) cells are the same jobs
 // Figures 2-4 use as baselines, so a shared harness measures them once.
-func Table3(h Harness) Table3Result {
+// A cancelled run returns the partial matrix with the context's error.
+func Table3(ctx context.Context, h Harness) (Table3Result, error) {
 	names := microbench.Presented()
-	m := RunMatrix(h, names, names, []int{0})
-	return Table3Result{Names: names, Matrix: m}
+	m, err := RunMatrix(ctx, h, names, names, []int{0})
+	return Table3Result{Names: names, Matrix: m}, err
 }
 
 // Render produces the table in the paper's layout: one row per primary

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"power5prio/internal/microbench"
@@ -15,7 +16,10 @@ func table3(t *testing.T) Table3Result {
 		t.Skip("matrix experiments are long tests")
 	}
 	if table3Cache == nil {
-		r := Table3(Quick())
+		r, err := Table3(context.Background(), Quick())
+		if err != nil {
+			t.Fatal(err)
+		}
 		table3Cache = &r
 	}
 	return *table3Cache

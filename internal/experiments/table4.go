@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"power5prio/internal/apps"
@@ -42,8 +43,9 @@ var table4Pairs = [][2]prio.Level{
 // pipeline runs are not FAME jobs, so they go through the engine's
 // generic worker pool: the single-thread baseline and the four SMT
 // settings simulate concurrently, then the rows fold serially so the
-// result is identical for any worker count.
-func Table4(h Harness) (Table4Result, error) {
+// result is identical for any worker count. Cancelling ctx aborts the
+// table (its five rows are one unit; there is no meaningful partial).
+func Table4(ctx context.Context, h Harness) (Table4Result, error) {
 	cfg := apps.DefaultConfig()
 	cfg.Chip = h.Chip
 	cfg.Scale = h.IterScale
@@ -52,14 +54,16 @@ func Table4(h Harness) (Table4Result, error) {
 	var st apps.StageTimes
 	runs := make([]apps.Result, len(table4Pairs))
 	errs := make([]error, len(table4Pairs)+1)
-	h.engine().ForEach(len(table4Pairs)+1, func(i int) {
+	if err := h.engine().ForEach(ctx, len(table4Pairs)+1, func(i int) {
 		if i == 0 {
 			st, errs[0] = apps.SingleThread(cfg)
 			return
 		}
 		pair := table4Pairs[i-1]
 		runs[i-1], errs[i] = apps.Run(cfg, pair[0], pair[1])
-	})
+	}); err != nil {
+		return r, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return r, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 )
 
@@ -11,7 +12,7 @@ func runTable4(t *testing.T) Table4Result {
 	}
 	h := Quick()
 	h.IterScale = 0.25
-	r, err := Table4(h)
+	r, err := Table4(context.Background(), h)
 	if err != nil {
 		t.Fatalf("Table4: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"power5prio/internal/microbench"
@@ -28,10 +29,15 @@ func (f Finding) String() string {
 // paper's headline micro-benchmark claims (Sections 5.1-5.3) as explicit
 // pass/fail findings. It is the machine-checkable core of EXPERIMENTS.md.
 // The measurements are one RunMatrix batch, so they fan out across the
-// harness engine's workers like every other experiment.
-func VerifyMicrobenchClaims(h Harness) []Finding {
+// harness engine's workers like every other experiment. A cancelled run
+// returns no findings with the context's error — a partial claim check
+// proves nothing.
+func VerifyMicrobenchClaims(ctx context.Context, h Harness) ([]Finding, error) {
 	names := []string{microbench.LdIntL1, microbench.CPUInt, microbench.LdIntMem}
-	m := RunMatrix(h, names, names, []int{0, 2, 5, -5})
+	m, err := RunMatrix(ctx, h, names, names, []int{0, 2, 5, -5})
+	if err != nil {
+		return nil, err
+	}
 	var out []Finding
 
 	add := func(id, claim string, measured string, pass bool) {
@@ -80,5 +86,5 @@ func VerifyMicrobenchClaims(h Harness) []Finding {
 		fmt.Sprintf("pt/st ratio %.2f", ratio),
 		ratio > 0.85 && ratio < 1.18)
 
-	return out
+	return out, nil
 }

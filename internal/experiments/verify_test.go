@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,10 @@ func TestVerifyMicrobenchClaims(t *testing.T) {
 	}
 	h := Quick()
 	h.IterScale = 0.12
-	findings := VerifyMicrobenchClaims(h)
+	findings, err := VerifyMicrobenchClaims(context.Background(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(findings) != 5 {
 		t.Fatalf("%d findings, want 5", len(findings))
 	}

@@ -4,16 +4,23 @@
 // conclusion — "only priorities up to +/-2 should normally be used" —
 // suggests exactly this kind of small, guided search; learning-based
 // resource distribution is its reference [6].
+//
+// Objectives are batch-shaped: the climber hands every unevaluated
+// neighbour of the current point to one Objective call, so measurement
+// backends route the candidates through the batch engine — they simulate
+// concurrently and re-evaluations are engine cache hits.
 package tuner
 
 import (
+	"context"
 	"fmt"
 
 	"power5prio/internal/experiments"
 )
 
-// Objective measures the quantity to maximize at a priority difference.
-type Objective func(diff int) float64
+// Objective measures the quantity to maximize at each of the given
+// priority differences, returning one value per difference in order.
+type Objective func(diffs []int) ([]float64, error)
 
 // Result describes a tuning run.
 type Result struct {
@@ -25,9 +32,10 @@ type Result struct {
 }
 
 // HillClimb maximizes eval over the integer range [lo, hi] starting at
-// start, moving one step at a time toward improvement. Evaluations are
-// memoized; the search stops at a local maximum (the paper's measured
-// curves are unimodal in the difference).
+// start, moving one step at a time toward improvement. Each step's
+// unevaluated candidates go to eval as one batch; evaluations are
+// memoized, and the search stops at a local maximum (the paper's
+// measured curves are unimodal in the difference).
 func HillClimb(eval Objective, start, lo, hi int) (Result, error) {
 	if lo > hi {
 		return Result{}, fmt.Errorf("tuner: empty range [%d,%d]", lo, hi)
@@ -37,25 +45,48 @@ func HillClimb(eval Objective, start, lo, hi int) (Result, error) {
 	}
 	cache := map[int]float64{}
 	var res Result
-	score := func(d int) float64 {
-		if v, ok := cache[d]; ok {
-			return v
-		}
-		v := eval(d)
-		cache[d] = v
-		res.Evals++
-		res.Trace = append(res.Trace, d)
-		return v
-	}
-	cur := start
-	curV := score(cur)
-	for {
-		bestN, bestV := cur, curV
-		for _, n := range []int{cur - 1, cur + 1} {
-			if n < lo || n > hi {
-				continue
+	// score evaluates every not-yet-measured diff in one objective call.
+	score := func(diffs ...int) error {
+		var missing []int
+		for _, d := range diffs {
+			if _, ok := cache[d]; !ok {
+				missing = append(missing, d)
 			}
-			if v := score(n); v > bestV {
+		}
+		if len(missing) == 0 {
+			return nil
+		}
+		vals, err := eval(missing)
+		if err != nil {
+			return err
+		}
+		if len(vals) != len(missing) {
+			return fmt.Errorf("tuner: objective returned %d values for %d differences", len(vals), len(missing))
+		}
+		for i, d := range missing {
+			cache[d] = vals[i]
+			res.Evals++
+			res.Trace = append(res.Trace, d)
+		}
+		return nil
+	}
+	if err := score(start); err != nil {
+		return Result{}, err
+	}
+	cur, curV := start, cache[start]
+	for {
+		var neighbors []int
+		for _, n := range []int{cur - 1, cur + 1} {
+			if n >= lo && n <= hi {
+				neighbors = append(neighbors, n)
+			}
+		}
+		if err := score(neighbors...); err != nil {
+			return Result{}, err
+		}
+		bestN, bestV := cur, curV
+		for _, n := range neighbors {
+			if v := cache[n]; v > bestV {
 				bestN, bestV = n, v
 			}
 		}
@@ -69,13 +100,23 @@ func HillClimb(eval Objective, start, lo, hi int) (Result, error) {
 	return res, nil
 }
 
-// TunePair hill-climbs the total IPC of a micro-benchmark pair over
-// priority differences in [-5, +5], starting from the hardware default of
-// equal priorities.
-func TunePair(h experiments.Harness, nameP, nameS string) (Result, error) {
-	eval := func(diff int) float64 {
-		pp, ps := experiments.DiffPair(diff)
-		return h.RunPairLevels(nameP, nameS, pp, ps).TotalIPC
+// TunePair hill-climbs the total IPC of a workload pair over priority
+// differences in [-5, +5], starting from the hardware default of equal
+// priorities. Candidates are submitted to the harness engine as one
+// batch per step, so both neighbours of a point simulate concurrently
+// and revisited settings are cache hits. The names may come from
+// different workload families.
+func TunePair(ctx context.Context, h experiments.Harness, nameP, nameS string) (Result, error) {
+	eval := func(diffs []int) ([]float64, error) {
+		results, err := h.MeasureDiffs(ctx, nameP, nameS, diffs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(results))
+		for i, r := range results {
+			out[i] = r.TotalIPC
+		}
+		return out, nil
 	}
 	return HillClimb(eval, 0, -5, 5)
 }

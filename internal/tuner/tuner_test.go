@@ -1,18 +1,31 @@
 package tuner
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"power5prio/internal/experiments"
 	"power5prio/internal/microbench"
 )
 
+// pointwise lifts a per-diff function into the batch Objective shape.
+func pointwise(f func(d int) float64) Objective {
+	return func(diffs []int) ([]float64, error) {
+		out := make([]float64, len(diffs))
+		for i, d := range diffs {
+			out[i] = f(d)
+		}
+		return out, nil
+	}
+}
+
 func TestHillClimbFindsUnimodalPeak(t *testing.T) {
 	evals := 0
-	eval := func(d int) float64 {
+	eval := pointwise(func(d int) float64 {
 		evals++
 		return -float64((d - 3) * (d - 3)) // peak at 3
-	}
+	})
 	r, err := HillClimb(eval, 0, -5, 5)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +42,7 @@ func TestHillClimbFindsUnimodalPeak(t *testing.T) {
 }
 
 func TestHillClimbRespectsBounds(t *testing.T) {
-	eval := func(d int) float64 { return float64(d) } // monotone: best at hi
+	eval := pointwise(func(d int) float64 { return float64(d) }) // monotone: best at hi
 	r, err := HillClimb(eval, 0, -2, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -40,21 +53,33 @@ func TestHillClimbRespectsBounds(t *testing.T) {
 }
 
 func TestHillClimbErrors(t *testing.T) {
-	eval := func(d int) float64 { return 0 }
+	eval := pointwise(func(d int) float64 { return 0 })
 	if _, err := HillClimb(eval, 0, 3, 1); err == nil {
 		t.Error("accepted empty range")
 	}
 	if _, err := HillClimb(eval, 9, -5, 5); err == nil {
 		t.Error("accepted start outside range")
 	}
+
+	// Objective failures (e.g. a cancelled measurement batch) abort the
+	// climb instead of being scored as zero.
+	boom := errors.New("cancelled")
+	failing := Objective(func(diffs []int) ([]float64, error) { return nil, boom })
+	if _, err := HillClimb(failing, 0, -5, 5); !errors.Is(err, boom) {
+		t.Errorf("objective error lost: %v", err)
+	}
+	short := Objective(func(diffs []int) ([]float64, error) { return make([]float64, 0), nil })
+	if _, err := HillClimb(short, 0, -5, 5); err == nil {
+		t.Error("accepted an objective returning the wrong number of values")
+	}
 }
 
 func TestHillClimbMemoizes(t *testing.T) {
 	calls := map[int]int{}
-	eval := func(d int) float64 {
+	eval := pointwise(func(d int) float64 {
 		calls[d]++
 		return 0 // flat: immediate stop
-	}
+	})
 	if _, err := HillClimb(eval, 0, -5, 5); err != nil {
 		t.Fatal(err)
 	}
@@ -62,6 +87,27 @@ func TestHillClimbMemoizes(t *testing.T) {
 		if n > 1 {
 			t.Errorf("diff %d evaluated %d times", d, n)
 		}
+	}
+}
+
+// TestHillClimbBatchesNeighbors: both neighbours of a step arrive in one
+// objective call, so measurement backends can run them concurrently.
+func TestHillClimbBatchesNeighbors(t *testing.T) {
+	var sizes []int
+	eval := Objective(func(diffs []int) ([]float64, error) {
+		sizes = append(sizes, len(diffs))
+		out := make([]float64, len(diffs))
+		for i, d := range diffs {
+			out[i] = -float64(d * d) // peak at 0: one step, no movement
+		}
+		return out, nil
+	})
+	if _, err := HillClimb(eval, 0, -5, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Call 1: the start point. Call 2: both neighbours together.
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 2 {
+		t.Errorf("objective call sizes %v, want [1 2]", sizes)
 	}
 }
 
@@ -74,11 +120,23 @@ func TestTunePairFindsPositiveDiff(t *testing.T) {
 	}
 	h := experiments.Quick()
 	h.IterScale = 0.12
-	r, err := TunePair(h, microbench.LdIntL1, microbench.LdIntMem)
+	r, err := TunePair(context.Background(), h, microbench.LdIntL1, microbench.LdIntMem)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.BestDiff <= 0 {
 		t.Errorf("BestDiff = %d, want positive (prioritize the high-IPC thread)", r.BestDiff)
+	}
+}
+
+// TestTunePairCancellation: a cancelled context aborts the climb with the
+// context error rather than returning a bogus optimum.
+func TestTunePairCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := experiments.Quick()
+	h.IterScale = 0.02
+	if _, err := TunePair(ctx, h, microbench.LdIntL1, microbench.LdIntMem); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled TunePair returned %v", err)
 	}
 }

@@ -1,0 +1,326 @@
+// Package workload is the unified workload namespace behind every
+// measurement path. It resolves the paper's micro-benchmarks, the
+// synthetic SPEC stand-ins and user-registered custom kernels through one
+// registry, so a measurement spec can name any workload — and mix
+// families within a pair — without caring where the kernel comes from.
+//
+// Resolution produces a Ref: a small comparable value carrying the
+// workload's name, family and a content fingerprint. Refs are designed to
+// be embedded in engine cache keys: two Refs are equal exactly when they
+// denote the same kernel content, so a registry-resolved job memoizes
+// like any other and a re-registered custom kernel can never be served a
+// stale cached result.
+package workload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/spec"
+)
+
+// Family classifies where a workload's kernel comes from.
+type Family uint8
+
+const (
+	// Micro is one of the paper's fifteen micro-benchmarks (Table 2).
+	Micro Family = iota + 1
+	// Spec is a synthetic SPEC stand-in (h264ref, mcf, applu, equake).
+	Spec
+	// Custom is a user-registered kernel.
+	Custom
+)
+
+// String names the family for diagnostics.
+func (f Family) String() string {
+	switch f {
+	case Micro:
+		return "micro"
+	case Spec:
+		return "spec"
+	case Custom:
+		return "custom"
+	}
+	return fmt.Sprintf("Family(%d)", uint8(f))
+}
+
+// Ref is a resolved workload handle: a comparable value identifying one
+// kernel's content. The zero Ref means "no workload" (e.g. the empty
+// secondary slot of a single-thread job).
+type Ref struct {
+	Name        string
+	Family      Family
+	Fingerprint uint64
+}
+
+// IsZero reports whether the Ref is the empty "no workload" value.
+func (r Ref) IsZero() bool { return r == Ref{} }
+
+// String renders the ref for diagnostics.
+func (r Ref) String() string {
+	if r.IsZero() {
+		return "<none>"
+	}
+	return fmt.Sprintf("%s/%s", r.Family, r.Name)
+}
+
+// customEntry is one registered kernel with its precomputed ref. k is a
+// registry-owned snapshot — callers mutating their kernel after
+// registration cannot change what jobs simulate or alias the cache.
+type customEntry struct {
+	k     *isa.Kernel // immutable snapshot
+	orig  *isa.Kernel // caller's pointer, for idempotent re-registration
+	nonce uint64
+	ref   Ref
+}
+
+// Registry is one namespace of workloads: the built-in families plus
+// custom registrations. A Registry is safe for concurrent use. The zero
+// value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	builtin map[string]Ref
+	custom  map[string]customEntry
+}
+
+// patternNonce distinguishes fingerprints of kernels whose branch-pattern
+// functions cannot be content-hashed; see Register.
+var patternNonce atomic.Uint64
+
+// NewRegistry returns a registry preloaded with the built-in workloads:
+// the fifteen micro-benchmarks and the four synthetic SPEC stand-ins.
+func NewRegistry() *Registry {
+	r := &Registry{
+		builtin: make(map[string]Ref),
+		custom:  make(map[string]customEntry),
+	}
+	for _, n := range microbench.Names() {
+		r.builtin[n] = Ref{Name: n, Family: Micro, Fingerprint: builtinFingerprint(Micro, n)}
+	}
+	for _, n := range spec.Names() {
+		// Micro-benchmark names win collisions, mirroring the historical
+		// micro-first resolution order (no built-in names collide today).
+		if _, ok := r.builtin[n]; !ok {
+			r.builtin[n] = Ref{Name: n, Family: Spec, Fingerprint: builtinFingerprint(Spec, n)}
+		}
+	}
+	return r
+}
+
+// Resolve maps a workload name to its Ref: micro-benchmarks first, then
+// SPEC stand-ins, then custom registrations.
+func (r *Registry) Resolve(name string) (Ref, error) {
+	if name == "" {
+		return Ref{}, errors.New("workload: empty workload name")
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if ref, ok := r.builtin[name]; ok {
+		return ref, nil
+	}
+	if e, ok := r.custom[name]; ok {
+		return e.ref, nil
+	}
+	return Ref{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+// Contains reports whether the name resolves in this registry.
+func (r *Registry) Contains(name string) bool {
+	_, err := r.Resolve(name)
+	return err == nil
+}
+
+// Names returns every resolvable workload name, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.builtin)+len(r.custom))
+	for n := range r.builtin {
+		out = append(out, n)
+	}
+	for n := range r.custom {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Register adds a custom kernel under its own name and returns its Ref.
+// The registry stores a snapshot of the kernel, fingerprinted by
+// content, so jobs built from the Ref cache correctly alongside built-in
+// workloads and later mutations of the caller's kernel cannot alias the
+// cache or perturb in-flight simulations. Registration rules:
+//
+//   - the name must not shadow a built-in workload;
+//   - re-registering a kernel whose content still matches the existing
+//     registration (the same kernel unmutated, or a pattern-free kernel
+//     with identical content) is idempotent and returns the existing Ref;
+//   - anything else under a taken name is an error — replacement would
+//     silently strand outstanding Refs, and a mutated kernel no longer
+//     matches its recorded fingerprint.
+//
+// Kernels with a branch-pattern function are fingerprinted by
+// registration identity rather than content (a Go function has no stable
+// content hash), so two pattern-bearing registrations never alias in the
+// cache even if their bodies match.
+func (r *Registry) Register(k *isa.Kernel) (Ref, error) {
+	if k == nil {
+		return Ref{}, errors.New("workload: Register needs a kernel")
+	}
+	if k.Name == "" {
+		return Ref{}, errors.New("workload: custom kernel needs a name")
+	}
+	if err := k.Validate(); err != nil {
+		return Ref{}, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.builtin[k.Name]; ok {
+		return Ref{}, fmt.Errorf("workload: %q is a built-in workload name", k.Name)
+	}
+	if e, ok := r.custom[k.Name]; ok {
+		// Idempotent only while the content still hashes to the recorded
+		// fingerprint: a mutated kernel must not get its stale Ref back.
+		// Pattern-bearing kernels additionally require pointer identity —
+		// content equality cannot prove two pattern functions equal.
+		samePattern := e.orig == k || (k.Pattern == nil && e.k.Pattern == nil)
+		if samePattern && contentFingerprint(k, e.nonce) == e.ref.Fingerprint {
+			return e.ref, nil
+		}
+		return Ref{}, fmt.Errorf("workload: %q already registered with different content", k.Name)
+	}
+	var nonce uint64
+	if k.Pattern != nil {
+		nonce = patternNonce.Add(1)
+	}
+	ref := Ref{Name: k.Name, Family: Custom, Fingerprint: contentFingerprint(k, nonce)}
+	r.custom[k.Name] = customEntry{k: snapshotKernel(k), orig: k, nonce: nonce, ref: ref}
+	return ref, nil
+}
+
+// snapshotKernel copies everything content-addressed by the fingerprint
+// (the Pattern function pointer is shared; it is called, never written).
+func snapshotKernel(k *isa.Kernel) *isa.Kernel {
+	kc := *k
+	kc.Body = append([]isa.Template(nil), k.Body...)
+	kc.Streams = append([]isa.StreamSpec(nil), k.Streams...)
+	return &kc
+}
+
+// Build materializes the kernel a Ref denotes at the given iteration
+// scale (0 or 1 = the workload's defaults). The Ref's fingerprint is
+// verified, so a Ref minted before a registry diverged (or forged by
+// hand) fails loudly instead of measuring the wrong workload.
+func (r *Registry) Build(ref Ref, iterScale float64) (*isa.Kernel, error) {
+	switch ref.Family {
+	case Micro:
+		if err := r.checkBuiltin(ref); err != nil {
+			return nil, err
+		}
+		return microbench.BuildWith(ref.Name, microbench.Params{IterScale: iterScale})
+	case Spec:
+		if err := r.checkBuiltin(ref); err != nil {
+			return nil, err
+		}
+		return spec.BuildWith(ref.Name, spec.Params{IterScale: iterScale})
+	case Custom:
+		r.mu.RLock()
+		e, ok := r.custom[ref.Name]
+		r.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown custom workload %q", ref.Name)
+		}
+		if e.ref.Fingerprint != ref.Fingerprint {
+			return nil, fmt.Errorf("workload: stale reference to custom workload %q", ref.Name)
+		}
+		return scaleKernel(e.k, iterScale), nil
+	}
+	return nil, fmt.Errorf("workload: cannot build %v", ref)
+}
+
+// checkBuiltin verifies a built-in Ref against the canonical entry.
+func (r *Registry) checkBuiltin(ref Ref) error {
+	r.mu.RLock()
+	canonical, ok := r.builtin[ref.Name]
+	r.mu.RUnlock()
+	if !ok || canonical != ref {
+		return fmt.Errorf("workload: invalid %s workload reference %q", ref.Family, ref.Name)
+	}
+	return nil
+}
+
+// scaleKernel applies an iteration scale to a custom kernel, returning
+// the registry's snapshot itself at the default scale (kernels are
+// read-only during simulation) and a shallow copy otherwise. The minimum
+// of 8 iterations matches the built-in families.
+func scaleKernel(k *isa.Kernel, iterScale float64) *isa.Kernel {
+	if iterScale <= 0 || iterScale == 1.0 {
+		return k
+	}
+	iters := int(float64(k.Iters) * iterScale)
+	if iters < 8 {
+		iters = 8
+	}
+	kc := *k
+	kc.Iters = iters
+	return &kc
+}
+
+// builtinFingerprint hashes a built-in workload's identity. Built-in
+// kernel bodies are compiled in, so family+name is already a complete
+// content key for one build of the binary.
+func builtinFingerprint(f Family, name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{byte(f), 0})
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// contentFingerprint hashes everything that determines a custom kernel's
+// simulated behaviour: name, iteration count, every body template and
+// every stream spec. nonce is nonzero only for pattern-bearing kernels.
+func contentFingerprint(k *isa.Kernel, nonce uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	i64 := func(v int64) { u64(uint64(v)) }
+
+	h.Write([]byte{byte(Custom), 0})
+	h.Write([]byte(k.Name))
+	h.Write([]byte{0})
+	i64(int64(k.Iters))
+	i64(int64(len(k.Body)))
+	for _, t := range k.Body {
+		i64(int64(t.Op))
+		i64(int64(t.DepA))
+		i64(int64(t.DepB))
+		i64(int64(t.Stream))
+		i64(int64(t.Branch))
+		i64(int64(t.Prio))
+	}
+	i64(int64(len(k.Streams)))
+	for _, s := range k.Streams {
+		i64(int64(s.Kind))
+		u64(s.Footprint)
+		u64(s.Stride)
+		u64(s.Base)
+		u64(s.Seed)
+		if s.Prewarm {
+			u64(1)
+		} else {
+			u64(0)
+		}
+	}
+	u64(nonce)
+	return h.Sum64()
+}

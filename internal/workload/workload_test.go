@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/spec"
+)
+
+// customKernel builds a small valid kernel for registration tests.
+func customKernel(name string, iters int) *isa.Kernel {
+	b := isa.NewBuilder(name)
+	a := b.Reg("a")
+	v := b.Reg("v")
+	s := b.Stream(isa.StreamSpec{Kind: isa.StreamStride, Footprint: 8 << 10, Stride: 128})
+	b.Load(v, s, isa.Reg(-1))
+	b.Op2(isa.OpIntAdd, a, a, v)
+	b.Branch(isa.BranchLoop, a)
+	return b.MustBuild(iters)
+}
+
+func TestResolveBuiltins(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range microbench.Names() {
+		ref, err := r.Resolve(n)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", n, err)
+		}
+		if ref.Family != Micro || ref.Name != n || ref.Fingerprint == 0 {
+			t.Errorf("Resolve(%s) = %+v", n, ref)
+		}
+	}
+	for _, n := range spec.Names() {
+		ref, err := r.Resolve(n)
+		if err != nil {
+			t.Fatalf("Resolve(%s): %v", n, err)
+		}
+		if ref.Family != Spec {
+			t.Errorf("Resolve(%s).Family = %v, want spec", n, ref.Family)
+		}
+	}
+	if _, err := r.Resolve("no_such_workload"); err == nil {
+		t.Error("Resolve accepted an unknown name")
+	}
+	if _, err := r.Resolve(""); err == nil {
+		t.Error("Resolve accepted the empty name")
+	}
+	if !r.Contains("cpu_int") || r.Contains("nope") {
+		t.Error("Contains disagrees with Resolve")
+	}
+}
+
+// TestRefsStableAcrossInstances: built-in Refs are pure values — two
+// registries mint identical Refs, so jobs cache across engine instances.
+func TestRefsStableAcrossInstances(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	for _, n := range []string{"cpu_int", "mcf"} {
+		ra, _ := a.Resolve(n)
+		rb, _ := b.Resolve(n)
+		if ra != rb {
+			t.Errorf("Resolve(%s) differs across instances: %+v vs %+v", n, ra, rb)
+		}
+	}
+}
+
+func TestNamesUnion(t *testing.T) {
+	r := NewRegistry()
+	want := len(microbench.Names()) + len(spec.Names())
+	if got := len(r.Names()); got != want {
+		t.Fatalf("Names() = %d entries, want %d", got, want)
+	}
+	if _, err := r.Register(customKernel("my_kernel", 16)); err != nil {
+		t.Fatal(err)
+	}
+	names := r.Names()
+	if len(names) != want+1 {
+		t.Fatalf("Names() after Register = %d entries, want %d", len(names), want+1)
+	}
+	if names[len(names)-1] < names[0] {
+		t.Error("Names() not sorted")
+	}
+}
+
+func TestRegisterRules(t *testing.T) {
+	r := NewRegistry()
+	k := customKernel("my_kernel", 16)
+	ref, err := r.Register(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Family != Custom || ref.Name != "my_kernel" || ref.Fingerprint == 0 {
+		t.Fatalf("Register ref = %+v", ref)
+	}
+
+	// Idempotent: same pointer, and same content under the same name.
+	if again, err := r.Register(k); err != nil || again != ref {
+		t.Errorf("re-Register(same kernel) = (%+v, %v), want (%+v, nil)", again, err, ref)
+	}
+	if again, err := r.Register(customKernel("my_kernel", 16)); err != nil || again != ref {
+		t.Errorf("re-Register(equal content) = (%+v, %v), want (%+v, nil)", again, err, ref)
+	}
+
+	// Different content under a taken name is rejected.
+	if _, err := r.Register(customKernel("my_kernel", 32)); err == nil {
+		t.Error("Register replaced an existing registration")
+	}
+	// Built-in names cannot be shadowed.
+	if _, err := r.Register(customKernel("cpu_int", 16)); err == nil {
+		t.Error("Register shadowed a built-in name")
+	}
+	// Invalid kernels are rejected.
+	if _, err := r.Register(nil); err == nil {
+		t.Error("Register accepted nil")
+	}
+	if _, err := r.Register(&isa.Kernel{Name: "empty"}); err == nil {
+		t.Error("Register accepted an invalid kernel")
+	}
+
+	if got, err := r.Resolve("my_kernel"); err != nil || got != ref {
+		t.Errorf("Resolve(my_kernel) = (%+v, %v)", got, err)
+	}
+}
+
+// TestMutationAfterRegister: mutating a kernel after registering it can
+// neither change what jobs simulate (the registry snapshotted it) nor
+// sneak the stale Ref back out of an idempotent re-registration.
+func TestMutationAfterRegister(t *testing.T) {
+	r := NewRegistry()
+	k := customKernel("mut", 100)
+	ref, err := r.Register(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k.Iters = 1000 // caller mutates the registered kernel
+
+	built, err := r.Build(ref, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built.Iters != 100 {
+		t.Errorf("mutation leaked into the registry: built iters %d, want the snapshot's 100", built.Iters)
+	}
+	// Re-registering the mutated kernel must NOT return the stale Ref —
+	// that would serve pre-mutation cached results for the new content.
+	if again, err := r.Register(k); err == nil {
+		t.Errorf("mutated re-registration returned %+v, want an error", again)
+	}
+	// Restoring the content makes re-registration idempotent again.
+	k.Iters = 100
+	if again, err := r.Register(k); err != nil || again != ref {
+		t.Errorf("restored re-registration = (%+v, %v), want (%+v, nil)", again, err, ref)
+	}
+}
+
+// TestFingerprintSeparatesContent: kernels differing only in iteration
+// count, body or streams get distinct fingerprints.
+func TestFingerprintSeparatesContent(t *testing.T) {
+	a := contentFingerprint(customKernel("k", 16), 0)
+	b := contentFingerprint(customKernel("k", 32), 0)
+	if a == b {
+		t.Error("fingerprint ignores iteration count")
+	}
+	c := contentFingerprint(customKernel("other", 16), 0)
+	if a == c {
+		t.Error("fingerprint ignores name")
+	}
+	if a != contentFingerprint(customKernel("k", 16), 0) {
+		t.Error("fingerprint is not deterministic")
+	}
+}
+
+// TestPatternKernelsNeverAlias: pattern-bearing kernels are identity
+// fingerprinted — equal bodies still get distinct refs.
+func TestPatternKernelsNeverAlias(t *testing.T) {
+	build := func(name string) *isa.Kernel {
+		b := isa.NewBuilder(name)
+		a := b.Reg("a")
+		b.Op2(isa.OpIntAdd, a, a, a)
+		b.Branch(isa.BranchPattern, a)
+		b.Branch(isa.BranchLoop, a)
+		b.Pattern(func(n uint64) bool { return n%2 == 0 })
+		return b.MustBuild(16)
+	}
+	r := NewRegistry()
+	ra, err := r.Register(build("pat_a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := r.Register(build("pat_b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same body, different names and nonces: fingerprints must differ even
+	// with the name contribution removed, so test two registries with the
+	// SAME name.
+	r2 := NewRegistry()
+	ra2, err := r2.Register(build("pat_a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Fingerprint == rb.Fingerprint {
+		t.Error("distinct pattern kernels share a fingerprint")
+	}
+	if ra.Fingerprint == ra2.Fingerprint {
+		t.Error("pattern kernels alias across registrations")
+	}
+	// Re-registering a different pattern kernel under a taken name fails.
+	if _, err := r.Register(build("pat_a")); err == nil {
+		t.Error("pattern kernel re-registration did not error")
+	}
+}
+
+func TestBuild(t *testing.T) {
+	r := NewRegistry()
+	ref, _ := r.Resolve("cpu_int")
+	k, err := r.Build(ref, 1.0)
+	if err != nil || k == nil {
+		t.Fatalf("Build(cpu_int): %v", err)
+	}
+	direct, _ := microbench.Build("cpu_int")
+	if k.Iters != direct.Iters || len(k.Body) != len(direct.Body) {
+		t.Errorf("registry build differs from direct microbench build")
+	}
+
+	sref, _ := r.Resolve("mcf")
+	if _, err := r.Build(sref, 0.5); err != nil {
+		t.Errorf("Build(mcf, 0.5): %v", err)
+	}
+
+	// Custom: default scale returns the registration-time snapshot (not
+	// the caller's kernel), smaller scales a copy with clamped iterations.
+	ck := customKernel("mine", 100)
+	cref, err := r.Register(ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Build(cref, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == ck {
+		t.Error("Build(custom, 1.0) returned the caller's kernel, not a registry snapshot")
+	}
+	if got.Iters != 100 || len(got.Body) != len(ck.Body) {
+		t.Errorf("snapshot content differs: iters %d, body %d", got.Iters, len(got.Body))
+	}
+	scaled, err := r.Build(cref, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scaled == got || scaled.Iters != 50 {
+		t.Errorf("Build(custom, 0.5): iters %d (copy: %v), want a 50-iter copy", scaled.Iters, scaled != got)
+	}
+	if ck.Iters != 100 {
+		t.Errorf("scaling mutated the caller's kernel: iters %d", ck.Iters)
+	}
+	tiny, err := r.Build(cref, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Iters != 8 {
+		t.Errorf("Build(custom, 0.001): iters %d, want the minimum 8", tiny.Iters)
+	}
+
+	// Stale and forged refs fail loudly.
+	if _, err := r.Build(Ref{Name: "mine", Family: Custom, Fingerprint: cref.Fingerprint + 1}, 1.0); err == nil {
+		t.Error("Build accepted a stale custom ref")
+	}
+	if _, err := r.Build(Ref{Name: "cpu_int", Family: Micro, Fingerprint: 12345}, 1.0); err == nil {
+		t.Error("Build accepted a forged built-in ref")
+	}
+	if _, err := r.Build(Ref{Name: "ghost", Family: Custom, Fingerprint: 1}, 1.0); err == nil {
+		t.Error("Build accepted an unknown custom ref")
+	}
+	if _, err := r.Build(Ref{}, 1.0); err == nil {
+		t.Error("Build accepted the zero ref")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Micro.String() != "micro" || Spec.String() != "spec" || Custom.String() != "custom" {
+		t.Errorf("family strings: %q %q %q", Micro, Spec, Custom)
+	}
+	if s := Family(9).String(); !strings.Contains(s, "9") {
+		t.Errorf("unknown family string %q", s)
+	}
+	if (Ref{}).String() != "<none>" {
+		t.Errorf("zero ref string %q", Ref{}.String())
+	}
+	ref := Ref{Name: "cpu_int", Family: Micro, Fingerprint: 1}
+	if got := ref.String(); got != "micro/cpu_int" {
+		t.Errorf("ref string %q", got)
+	}
+	if ref.IsZero() || !(Ref{}).IsZero() {
+		t.Error("IsZero misbehaves")
+	}
+}

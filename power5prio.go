@@ -16,18 +16,30 @@
 //   - every table and figure of the paper's evaluation as a regenerable
 //     experiment.
 //
+// Measurements go through one unified workload registry: a Spec names any
+// two workloads — micro-benchmark, synthetic SPEC stand-in or a custom
+// kernel registered with RegisterWorkload, mixed freely — and every
+// measurement path (Measure, MeasureBatch, MeasureMatrix, TuneTotalIPC)
+// submits engine jobs that fan out across a worker pool and memoize in a
+// content-keyed result cache. Batches take a context: cancelling it
+// returns the completed prefix of results, and the finished work stays
+// cached for a retry.
+//
 // Quick start:
 //
 //	sys := power5prio.New(power5prio.DefaultConfig())
-//	res, err := sys.MeasureMicroPair("cpu_int", "ldint_mem",
-//	    power5prio.High, power5prio.Medium)
+//	res, err := sys.Measure(ctx, power5prio.Spec{
+//	    A: "cpu_int", B: "mcf",
+//	    PA: power5prio.High, PB: power5prio.Medium,
+//	})
 //
 // See examples/ for complete programs.
 package power5prio
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"slices"
 
 	"power5prio/internal/apps"
 	"power5prio/internal/core"
@@ -39,6 +51,7 @@ import (
 	"power5prio/internal/prio"
 	"power5prio/internal/spec"
 	"power5prio/internal/tuner"
+	"power5prio/internal/workload"
 )
 
 // Level is a software-controlled thread priority (0-7), re-exported from
@@ -167,46 +180,351 @@ func Microbenchmark(name string) (*Kernel, error) { return microbench.Build(name
 // SPECWorkload builds one of the synthetic SPEC workloads by name.
 func SPECWorkload(name string) (*Kernel, error) { return spec.Build(name) }
 
-// System is a configured simulator factory: each measurement runs on a
-// fresh chip so results are independent and deterministic. Batch
-// measurements go through an internal worker-pool engine that runs
-// independent simulations concurrently and caches results by content, so
-// repeated jobs are simulated once; results are bit-identical for any
-// worker count.
-type System struct {
-	cfg  Config
-	opts MeasureOptions
-	priv Privilege
-	eng  *engine.Engine
+// Workload builds any built-in workload by name: micro-benchmarks first,
+// then the synthetic SPEC stand-ins — the same resolution order every
+// Spec uses.
+func Workload(name string) (*Kernel, error) {
+	r := workload.NewRegistry()
+	ref, err := r.Resolve(name)
+	if err != nil {
+		return nil, fmt.Errorf("power5prio: %w", err)
+	}
+	return r.Build(ref, 1.0)
 }
 
-// New returns a System with the given chip configuration and the paper's
-// measurement methodology. In-stream priority changes run with supervisor
-// privilege (the paper's patched kernel). Batch measurements use all CPU
-// cores; see SetWorkers.
-func New(cfg Config) *System {
-	return &System{cfg: cfg, opts: DefaultMeasureOptions(), priv: Supervisor, eng: engine.New(0)}
+// Progress receives per-measurement completion notifications during
+// batch runs configured with WithProgress: done counts measurements
+// finished so far (cache hits included), total is the batch size, and
+// spec/res identify the finished measurement. Calls are serialized;
+// measurements a cancelled batch never ran are not reported. Note that
+// on cancellation a reported measurement may land after an earlier spec
+// that was skipped, in which case it is not part of the completed
+// prefix MeasureBatch returns (it is still cached for a retry).
+type Progress func(done, total int, spec Spec, res PairResult)
+
+// Option configures a System at construction.
+type Option func(*System)
+
+// WithWorkers bounds the concurrency of batch measurements (n <= 0 = all
+// CPU cores, the default).
+func WithWorkers(n int) Option { return func(s *System) { s.workers = n } }
+
+// WithMeasureOptions replaces the FAME options used by measurements
+// (default: DefaultMeasureOptions, the paper's methodology).
+func WithMeasureOptions(o MeasureOptions) Option { return func(s *System) { s.opts = o } }
+
+// WithPrivilege sets the software privilege for in-stream priority
+// changes (default: Supervisor, the paper's patched kernel).
+func WithPrivilege(p Privilege) Option { return func(s *System) { s.priv = p } }
+
+// WithProgress installs a per-measurement progress callback for batch
+// runs — the hook a tuner or a long sweep uses to report liveness and to
+// decide when to cancel the batch's context.
+func WithProgress(fn Progress) Option { return func(s *System) { s.progress = fn } }
+
+// System is a configured simulator factory: each measurement runs on a
+// fresh chip so results are independent and deterministic. All
+// measurements resolve workload names in the System's registry and go
+// through an internal worker-pool engine that runs independent
+// simulations concurrently and caches results by content, so repeated
+// jobs are simulated once; results are bit-identical for any worker
+// count.
+type System struct {
+	cfg      Config
+	opts     MeasureOptions
+	priv     Privilege
+	workers  int
+	progress Progress
+	eng      *engine.Engine
+}
+
+// New returns a System with the given chip configuration, configured by
+// functional options. The defaults follow the paper's methodology:
+// FAME measurement options, supervisor privilege for in-stream priority
+// changes (the paper's patched kernel), and all CPU cores for batch
+// measurements.
+func New(cfg Config, options ...Option) *System {
+	s := &System{cfg: cfg, opts: DefaultMeasureOptions(), priv: Supervisor}
+	for _, o := range options {
+		o(s)
+	}
+	s.eng = engine.New(s.workers)
+	return s
 }
 
 // SetMeasureOptions replaces the FAME options used by measurements.
+//
+// Deprecated: pass WithMeasureOptions to New. Mutating a System mid-life
+// changes the cache keys of subsequent measurements.
 func (s *System) SetMeasureOptions(o MeasureOptions) { s.opts = o }
 
 // SetPrivilege sets the software privilege for in-stream priority changes.
+//
+// Deprecated: pass WithPrivilege to New.
 func (s *System) SetPrivilege(p Privilege) { s.priv = p }
 
 // SetWorkers bounds the concurrency of batch measurements (n <= 0 = all
 // CPU cores). The result cache is retained across the change.
+//
+// Deprecated: pass WithWorkers to New.
 func (s *System) SetWorkers(n int) { s.eng.SetWorkers(n) }
 
+// RegisterWorkload adds a custom kernel to the System's workload
+// registry under the kernel's own name, making it usable in any Spec —
+// alone, or paired with any other workload. The kernel is fingerprinted
+// by content so its measurements cache like the built-ins. Registration
+// fails if the name shadows a built-in workload or a different kernel is
+// already registered under it; re-registering the same kernel is a no-op.
+func (s *System) RegisterWorkload(k *Kernel) error {
+	_, err := s.eng.Registry().Register(k)
+	if err != nil {
+		return fmt.Errorf("power5prio: %w", err)
+	}
+	return nil
+}
+
+// Workloads lists every workload name a Spec can use on this System:
+// the built-in families plus registered custom kernels, sorted.
+func (s *System) Workloads() []string { return s.eng.Registry().Names() }
+
 // BatchStats reports the batch engine's lifetime counters: jobs
-// submitted, jobs actually simulated, and cache hits.
+// submitted, jobs actually simulated, cache hits, and jobs skipped by
+// cancelled batches.
 type BatchStats = engine.Stats
 
 // BatchStats returns a snapshot of the engine counters.
 func (s *System) BatchStats() BatchStats { return s.eng.Stats() }
 
+// Spec names one measurement: workload A co-scheduled with workload B at
+// priorities (PA, PB), or A alone in single-thread mode when B is empty.
+// Names resolve in the System's unified registry — micro-benchmarks,
+// synthetic SPEC stand-ins and registered custom kernels, mixed freely.
+//
+// A zero priority means "the hardware default, Medium (4)" — explicitly,
+// so the zero Spec value measures the conventional (4,4) co-run. Levels
+// outside [1,7] are rejected; ThreadOff (0) cannot be requested for a
+// running thread (leave B empty to keep the sibling thread off).
+type Spec struct {
+	A, B   string
+	PA, PB Level
+}
+
+// String renders the spec for diagnostics, showing zero levels as the
+// Medium default they mean.
+func (sp Spec) String() string {
+	if sp.B == "" {
+		return fmt.Sprintf("%s(ST)", sp.A)
+	}
+	pa, pb := sp.PA, sp.PB
+	if pa == 0 {
+		pa = Medium
+	}
+	if pb == 0 {
+		pb = Medium
+	}
+	return fmt.Sprintf("%s+%s(%d,%d)", sp.A, sp.B, pa, pb)
+}
+
+// normalize validates a spec and applies the explicit defaults.
+func (sp Spec) normalize() (Spec, error) {
+	if sp.A == "" {
+		return Spec{}, errors.New("power5prio: Spec needs a workload name in A")
+	}
+	level := func(field string, l Level) (Level, error) {
+		switch {
+		case l == 0:
+			return Medium, nil // the explicit default
+		case l >= 1 && l <= 7:
+			return l, nil
+		default:
+			return 0, fmt.Errorf("power5prio: spec %s: invalid priority %s=%d (running threads take levels 1-7; 0 selects the Medium default)",
+				sp, field, l)
+		}
+	}
+	var err error
+	if sp.PA, err = level("PA", sp.PA); err != nil {
+		return Spec{}, err
+	}
+	if sp.B == "" {
+		if sp.PB != 0 {
+			return Spec{}, fmt.Errorf("power5prio: single-workload spec %q sets PB=%d but has no second workload", sp.A, sp.PB)
+		}
+		return sp, nil
+	}
+	if sp.PB, err = level("PB", sp.PB); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// job translates a normalized spec into an engine job.
+func (s *System) job(sp Spec) (engine.Job, error) {
+	sp, err := sp.normalize()
+	if err != nil {
+		return engine.Job{}, err
+	}
+	reg := s.eng.Registry()
+	refA, err := reg.Resolve(sp.A)
+	if err != nil {
+		return engine.Job{}, fmt.Errorf("power5prio: %w", err)
+	}
+	if sp.B == "" {
+		j := engine.Single(refA, s.priv, 1.0, s.cfg, s.opts)
+		j.PrioP = sp.PA
+		return j, nil
+	}
+	refB, err := reg.Resolve(sp.B)
+	if err != nil {
+		return engine.Job{}, fmt.Errorf("power5prio: %w", err)
+	}
+	return engine.Pair(refA, refB, sp.PA, sp.PB, s.priv, 1.0, s.cfg, s.opts), nil
+}
+
+// specOf reconstructs the user-facing spec of an engine job for progress
+// reporting.
+func specOf(j engine.Job) Spec {
+	sp := Spec{A: j.Primary.Name, PA: j.PrioP}
+	if !j.Secondary.IsZero() {
+		sp.B = j.Secondary.Name
+		sp.PB = j.PrioS
+	}
+	return sp
+}
+
+// progressFunc adapts the System's Progress hook to the engine callback.
+func (s *System) progressFunc(total int) func(int, engine.Result) {
+	if s.progress == nil {
+		return nil
+	}
+	done := 0 // engine callbacks are serialized
+	return func(_ int, r engine.Result) {
+		if r.Err != nil {
+			return
+		}
+		done++
+		s.progress(done, total, specOf(r.Job), r.Pair)
+	}
+}
+
+// isCancel reports whether an error came from a cancelled batch context.
+func isCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Measure runs one spec (nil ctx = background). Identical specs measured
+// earlier on this System are served from the result cache.
+func (s *System) Measure(ctx context.Context, sp Spec) (PairResult, error) {
+	res, err := s.MeasureBatch(ctx, []Spec{sp})
+	if err != nil {
+		return PairResult{}, err
+	}
+	return res[0], nil
+}
+
+// MeasureSingleSpec measures spec.A alone and returns the active
+// thread's result (a Measure convenience for single-thread specs).
+func (s *System) MeasureSingleSpec(ctx context.Context, sp Spec) (ThreadResult, error) {
+	if sp.B != "" {
+		return ThreadResult{}, fmt.Errorf("power5prio: MeasureSingleSpec needs a single-workload spec, got %s", sp)
+	}
+	res, err := s.Measure(ctx, sp)
+	if err != nil {
+		return ThreadResult{}, err
+	}
+	return res.Thread[0], nil
+}
+
+// MeasureBatch runs a batch of measurements concurrently on the worker
+// pool and returns results in submission order. Identical specs — within
+// the batch or across earlier batches on this System — are simulated
+// once and served from the cache; results are bit-identical to running
+// each spec alone, regardless of the worker count.
+//
+// Cancelling ctx stops the batch: in-flight measurements finish (and are
+// cached), and MeasureBatch returns the completed prefix of results
+// together with an error wrapping the context's. A WithProgress callback
+// observes every completed measurement as it lands.
+func (s *System) MeasureBatch(ctx context.Context, specs []Spec) ([]PairResult, error) {
+	jobs := make([]engine.Job, len(specs))
+	for i, sp := range specs {
+		j, err := s.job(sp)
+		if err != nil {
+			return nil, err
+		}
+		jobs[i] = j
+	}
+	results := s.eng.RunFunc(ctx, jobs, s.progressFunc(len(jobs)))
+	out := make([]PairResult, 0, len(specs))
+	for i, r := range results {
+		if r.Err != nil {
+			if isCancel(r.Err) {
+				return out, fmt.Errorf("power5prio: batch cancelled after %d/%d measurements: %w", len(out), len(specs), r.Err)
+			}
+			return nil, fmt.Errorf("power5prio: batch job %d (%s): %w", i, specs[i], r.Err)
+		}
+		out = append(out, r.Pair)
+	}
+	return out, nil
+}
+
+// MatrixResult is a full priority-difference sweep: co-run measurements
+// for every (primary, secondary) pair at every difference, plus
+// single-thread IPCs, with the relative-performance accessors the
+// paper's figures use (At, RelPrimary, RelTotal).
+type MatrixResult = experiments.MatrixResult
+
+// MeasureMatrix sweeps every (primary, secondary) workload pair at every
+// priority difference in diffs (each in [-5,+5], mapped to the paper's
+// level pairs), plus each primary alone in ST mode. Names resolve in the
+// System's registry, so the axes may mix micro-benchmarks, SPEC
+// stand-ins and registered custom kernels. The whole matrix is submitted
+// to the worker pool as one batch.
+//
+// Cancelling ctx returns the partial matrix (Partial set; measured cells
+// intact, the rest absent) together with an error wrapping the
+// context's — and the completed cells stay cached, so re-running the
+// sweep resumes rather than restarts.
+func (s *System) MeasureMatrix(ctx context.Context, primaries, secondaries []string, diffs []int) (*MatrixResult, error) {
+	reg := s.eng.Registry()
+	for _, names := range [][]string{primaries, secondaries} {
+		for _, n := range names {
+			if _, err := reg.Resolve(n); err != nil {
+				return nil, fmt.Errorf("power5prio: %w", err)
+			}
+		}
+	}
+	for _, d := range diffs {
+		if d < -5 || d > 5 {
+			return nil, fmt.Errorf("power5prio: priority difference %d out of range [-5,5]", d)
+		}
+	}
+	h := s.harness()
+	total := len(primaries) * (1 + len(secondaries)*len(diffs))
+	if fn := s.progressFunc(total); fn != nil {
+		h.Progress = func(r engine.Result) { fn(0, r) }
+	}
+	m, err := experiments.RunMatrix(ctx, h, primaries, secondaries, diffs)
+	if err != nil {
+		return m, fmt.Errorf("power5prio: matrix cancelled: %w", err)
+	}
+	return m, nil
+}
+
+// harness builds the experiments harness sharing this System's engine.
+func (s *System) harness() experiments.Harness {
+	return experiments.Harness{
+		Chip:      s.cfg,
+		Fame:      s.opts,
+		IterScale: 1.0,
+		Privilege: s.priv,
+		Engine:    s.eng,
+	}
+}
+
 // MeasurePair co-schedules two kernels on one SMT core at the given
-// priorities and measures both threads.
+// priorities and measures both threads. This is the direct, uncached
+// reference path: the engine's batch results are defined to be
+// bit-identical to it. Prefer RegisterWorkload + Measure, which caches.
 func (s *System) MeasurePair(a, b *Kernel, pa, pb Level) (PairResult, error) {
 	if a == nil || b == nil {
 		return PairResult{}, fmt.Errorf("power5prio: MeasurePair needs two kernels")
@@ -222,7 +540,8 @@ func (s *System) MeasurePair(a, b *Kernel, pa, pb Level) (PairResult, error) {
 	return fame.Measure(ch, s.opts), nil
 }
 
-// MeasureSingle runs one kernel alone on the core (single-thread mode).
+// MeasureSingle runs one kernel alone on the core (single-thread mode),
+// uncached; see MeasurePair.
 func (s *System) MeasureSingle(k *Kernel) (ThreadResult, error) {
 	if k == nil {
 		return ThreadResult{}, fmt.Errorf("power5prio: MeasureSingle needs a kernel")
@@ -236,6 +555,9 @@ func (s *System) MeasureSingle(k *Kernel) (ThreadResult, error) {
 }
 
 // MeasureMicroPair is MeasurePair over named micro-benchmarks.
+//
+// Deprecated: use Measure with a Spec — it accepts the same names, runs
+// through the cache, and is not limited to one workload family.
 func (s *System) MeasureMicroPair(nameA, nameB string, pa, pb Level) (PairResult, error) {
 	a, err := microbench.Build(nameA)
 	if err != nil {
@@ -249,6 +571,9 @@ func (s *System) MeasureMicroPair(nameA, nameB string, pa, pb Level) (PairResult
 }
 
 // MeasureSpecPair is MeasurePair over named synthetic SPEC workloads.
+//
+// Deprecated: use Measure with a Spec — it accepts the same names, runs
+// through the cache, and is not limited to one workload family.
 func (s *System) MeasureSpecPair(nameA, nameB string, pa, pb Level) (PairResult, error) {
 	a, err := spec.Build(nameA)
 	if err != nil {
@@ -261,117 +586,13 @@ func (s *System) MeasureSpecPair(nameA, nameB string, pa, pb Level) (PairResult,
 	return s.MeasurePair(a, b, pa, pb)
 }
 
-// BatchSpec names one measurement for MeasureBatch: a workload pair (or
-// a single workload when B is empty) at explicit priority levels. Names
-// are resolved against the micro-benchmarks first, then the synthetic
-// SPEC workloads, like the p5sim command line. For single-workload
-// specs, PA sets the running thread's level (0 = the Medium default)
-// and PB must be zero — the sibling thread is off.
-type BatchSpec struct {
-	A, B   string
-	PA, PB Level
-}
-
-// workloadKind resolves which family a named workload belongs to. It
-// checks names only — kernels are built by the engine's workers.
-func workloadKind(name string) (engine.Kind, error) {
-	if slices.Contains(microbench.Names(), name) {
-		return engine.Micro, nil
-	}
-	if slices.Contains(spec.Names(), name) {
-		return engine.Spec, nil
-	}
-	return 0, fmt.Errorf("power5prio: unknown workload %q", name)
-}
-
-// batchJob translates a spec into an engine job. Both workloads of a
-// pair must come from the same family (the engine resolves a job's names
-// in one family); mixed pairs return an error.
-func (s *System) batchJob(bs BatchSpec) (engine.Job, error) {
-	if bs.A == "" {
-		return engine.Job{}, fmt.Errorf("power5prio: BatchSpec needs a workload name")
-	}
-	kind, err := workloadKind(bs.A)
-	if err != nil {
-		return engine.Job{}, err
-	}
-	if bs.B == "" {
-		if bs.PB != 0 {
-			return engine.Job{}, fmt.Errorf("power5prio: single-workload spec %q sets PB %d but has no second workload", bs.A, bs.PB)
-		}
-		j := engine.Single(kind, bs.A, s.priv, 1.0, s.cfg, s.opts)
-		if bs.PA != 0 {
-			j.PrioP = bs.PA
-		}
-		return j, nil
-	}
-	kindB, err := workloadKind(bs.B)
-	if err != nil {
-		return engine.Job{}, err
-	}
-	if kindB != kind {
-		return engine.Job{}, fmt.Errorf("power5prio: cannot co-schedule %s workload %q with %s workload %q",
-			kind, bs.A, kindB, bs.B)
-	}
-	return engine.Pair(kind, bs.A, bs.B, bs.PA, bs.PB, s.priv, 1.0, s.cfg, s.opts), nil
-}
-
-// MeasureBatch runs a batch of measurements concurrently on the worker
-// pool and returns results in submission order. Identical specs — within
-// the batch or across earlier batches on this System — are simulated
-// once and served from the cache; results are bit-identical to running
-// each spec alone, regardless of the worker count.
-func (s *System) MeasureBatch(specs []BatchSpec) ([]PairResult, error) {
-	jobs := make([]engine.Job, len(specs))
-	for i, bs := range specs {
-		j, err := s.batchJob(bs)
-		if err != nil {
-			return nil, err
-		}
-		jobs[i] = j
-	}
-	out := make([]PairResult, len(specs))
-	for i, r := range s.eng.Run(jobs) {
-		if r.Err != nil {
-			return nil, fmt.Errorf("power5prio: batch job %d (%s+%s): %w", i, specs[i].A, specs[i].B, r.Err)
-		}
-		out[i] = r.Pair
-	}
-	return out, nil
-}
-
-// MatrixResult is a full priority-difference sweep: co-run measurements
-// for every (primary, secondary) pair at every difference, plus
-// single-thread IPCs, with the relative-performance accessors the
-// paper's figures use (At, RelPrimary, RelTotal).
-type MatrixResult = experiments.MatrixResult
-
-// MeasureMatrix sweeps every (primary, secondary) micro-benchmark pair
-// at every priority difference in diffs (each in [-5,+5], mapped to the
-// paper's level pairs), plus each primary alone in ST mode. The whole
-// matrix is submitted to the worker pool as one batch.
-func (s *System) MeasureMatrix(primaries, secondaries []string, diffs []int) (*MatrixResult, error) {
-	for _, names := range [][]string{primaries, secondaries} {
-		for _, n := range names {
-			if !slices.Contains(microbench.Names(), n) {
-				return nil, fmt.Errorf("power5prio: unknown micro-benchmark %q", n)
-			}
-		}
-	}
-	for _, d := range diffs {
-		if d < -5 || d > 5 {
-			return nil, fmt.Errorf("power5prio: priority difference %d out of range [-5,5]", d)
-		}
-	}
-	h := experiments.Harness{
-		Chip:      s.cfg,
-		Fame:      s.opts,
-		IterScale: 1.0,
-		Privilege: s.priv,
-		Engine:    s.eng,
-	}
-	return experiments.RunMatrix(h, primaries, secondaries, diffs), nil
-}
+// BatchSpec is the pre-registry name of Spec.
+//
+// Deprecated: use Spec. Note the semantic fix that came with it: a zero
+// priority now always means Medium — the historical BatchSpec silently
+// reinterpreted PA=0 that way for single-workload specs only, while a
+// pair at (0,0) meant the nonsensical both-threads-off placement.
+type BatchSpec = Spec
 
 // PipelineResult is the outcome of an FFT/LU software-pipeline run.
 type PipelineResult = apps.Result
@@ -387,17 +608,29 @@ func (s *System) RunPipeline(prioFFT, prioLU Level) (PipelineResult, error) {
 // TuneResult reports an automatic priority search.
 type TuneResult = tuner.Result
 
-// TuneTotalIPC hill-climbs the priority difference of a micro-benchmark
-// pair to maximize total IPC (extension beyond the paper). Differences map
-// to level pairs the way the paper's sweeps do ((5,4), (6,4), (6,3), ...).
-func (s *System) TuneTotalIPC(nameA, nameB string) (TuneResult, error) {
-	eval := func(diff int) float64 {
-		pa, pb := experiments.DiffPair(diff)
-		res, err := s.MeasureMicroPair(nameA, nameB, pa, pb)
-		if err != nil {
-			return 0
+// TuneTotalIPC hill-climbs the priority difference of a workload pair to
+// maximize total IPC (extension beyond the paper). Differences map to
+// level pairs the way the paper's sweeps do ((5,4), (6,4), (6,3), ...).
+// The names may come from any registered family. Every evaluation goes
+// through the batch engine: a step's candidate neighbours simulate
+// concurrently, and settings revisited by this or any earlier search on
+// the System are cache hits. Cancelling ctx aborts the search.
+func (s *System) TuneTotalIPC(ctx context.Context, nameA, nameB string) (TuneResult, error) {
+	eval := func(diffs []int) ([]float64, error) {
+		specs := make([]Spec, len(diffs))
+		for i, d := range diffs {
+			pa, pb := experiments.DiffPair(d)
+			specs[i] = Spec{A: nameA, B: nameB, PA: pa, PB: pb}
 		}
-		return res.TotalIPC
+		res, err := s.MeasureBatch(ctx, specs)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(res))
+		for i, r := range res {
+			out[i] = r.TotalIPC
+		}
+		return out, nil
 	}
 	return tuner.HillClimb(eval, 0, -5, 5)
 }

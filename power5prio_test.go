@@ -1,12 +1,14 @@
 package power5prio
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // quickSystem returns a System with reduced measurement effort for tests.
 func quickSystem() *System {
-	s := New(DefaultConfig())
-	s.SetMeasureOptions(MeasureOptions{MinReps: 3, WarmupReps: 1, MaxCycles: 60_000_000})
-	return s
+	return New(DefaultConfig(), WithMeasureOptions(
+		MeasureOptions{MinReps: 3, WarmupReps: 1, MaxCycles: 60_000_000}))
 }
 
 func TestCatalogues(t *testing.T) {
@@ -49,6 +51,22 @@ func TestBuildWorkloads(t *testing.T) {
 	}
 	if _, err := SPECWorkload("nope"); err == nil {
 		t.Error("SPECWorkload accepted unknown name")
+	}
+	// The unified resolver covers both families.
+	for _, name := range []string{"cpu_int", "mcf"} {
+		if _, err := Workload(name); err != nil {
+			t.Errorf("Workload(%s): %v", name, err)
+		}
+	}
+	if _, err := Workload("nope"); err == nil {
+		t.Error("Workload accepted unknown name")
+	}
+}
+
+func TestSystemWorkloadsCatalogue(t *testing.T) {
+	s := quickSystem()
+	if got, want := len(s.Workloads()), len(Microbenchmarks())+len(SPECWorkloads()); got != want {
+		t.Errorf("Workloads() = %d names, want %d", got, want)
 	}
 }
 
@@ -144,7 +162,7 @@ func TestTuneTotalIPC(t *testing.T) {
 		t.Skip("tuning runs many simulations")
 	}
 	s := quickSystem()
-	r, err := s.TuneTotalIPC("ldint_l1", "ldint_mem")
+	r, err := s.TuneTotalIPC(context.Background(), "ldint_l1", "ldint_mem")
 	if err != nil {
 		t.Fatal(err)
 	}
