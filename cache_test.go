@@ -1,0 +1,102 @@
+package power5prio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWithCacheDirWarmSystem: two Systems sharing a cache directory —
+// the public face of the persistent tier. The second System must serve
+// every measurement from disk without simulating, with identical
+// results, including a content-fingerprinted custom kernel.
+func TestWithCacheDirWarmSystem(t *testing.T) {
+	dir := t.TempDir()
+	specs := []Spec{
+		{A: "cpu_int"},
+		{A: "cpu_int", B: "ldint_l1", PA: High, PB: Low},
+		{A: "cpu_int", B: "tiny_custom", PA: Medium, PB: Medium},
+	}
+	tiny := func() *Kernel {
+		b := NewKernelBuilder("tiny_custom")
+		it, one := b.Reg("it"), b.Reg("one")
+		b.Op2(OpIntAdd, it, it, one)
+		b.Branch(BranchLoop, it)
+		k, err := b.Build(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return k
+	}
+
+	run := func() ([]PairResult, BatchStats) {
+		sys := batchSystem(WithCacheDir(dir), WithWorkers(2))
+		if sys.Cache() == nil {
+			t.Fatal("WithCacheDir left the System without a cache")
+		}
+		if err := sys.RegisterWorkload(tiny()); err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.MeasureBatch(nil, specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sys.BatchStats()
+	}
+
+	coldRes, cold := run()
+	if cold.Simulated != len(specs) || cold.DiskWrites != len(specs) {
+		t.Fatalf("cold stats %+v: want %d simulated and persisted", cold, len(specs))
+	}
+
+	warmRes, warm := run()
+	if warm.Simulated != 0 || warm.DiskMisses != 0 || warm.DiskHits != len(specs) {
+		t.Errorf("warm stats %+v: want all %d measurements from disk", warm, len(specs))
+	}
+	for i := range specs {
+		if warmRes[i] != coldRes[i] {
+			t.Errorf("spec %d (%s): warm result differs from cold", i, specs[i])
+		}
+	}
+}
+
+// TestWithCacheSharedStore: an explicitly opened Cache attached with
+// WithCache behaves like WithCacheDir and is inspectable.
+func TestWithCacheSharedStore(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := batchSystem(WithCache(c))
+	if sys.Cache() != c {
+		t.Fatal("Cache() does not return the attached store")
+	}
+	if _, err := sys.Measure(nil, Spec{A: "cpu_int"}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Info()
+	if err != nil || info.Entries != 1 {
+		t.Fatalf("cache info = %+v, %v; want 1 entry", info, err)
+	}
+}
+
+// TestWithCacheDirOpenFailure: a System whose requested cache directory
+// cannot be opened must fail measurements loudly, not run uncached.
+func TestWithCacheDirOpenFailure(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := batchSystem(WithCacheDir(file))
+	_, err := sys.Measure(nil, Spec{A: "cpu_int"})
+	if err == nil {
+		t.Fatal("measurement succeeded despite unopenable cache dir")
+	}
+	if !strings.Contains(err.Error(), "cache dir") {
+		t.Errorf("error does not identify the cache dir: %v", err)
+	}
+	if _, err := sys.MeasureMatrix(nil, []string{"cpu_int"}, []string{"ldint_l1"}, []int{0}); err == nil {
+		t.Error("MeasureMatrix succeeded despite unopenable cache dir")
+	}
+}

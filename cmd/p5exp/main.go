@@ -7,10 +7,19 @@
 //	p5exp -exp table3            # one experiment
 //	p5exp -exp all -quick        # everything, at reduced fidelity
 //	p5exp -exp fig2 -csv         # machine-readable output
+//	p5exp -exp all -quick -cache-dir ~/.cache/p5exp   # persist results
+//	p5exp -cache-dir ~/.cache/p5exp -cache stats      # inspect the cache
+//
+// With -cache-dir, results persist across invocations: a re-run of the
+// same experiments performs no simulations (all disk hits), and
+// -require-warm turns that expectation into an exit code for CI. The
+// -cache flag administers the store: stats, verify (checksum-scan and
+// drop corrupt entries) or clear.
 //
 // Ctrl-C cancels the sweep: whatever was measured before the interrupt
 // is rendered (unmeasured cells as zeros), and the completed work stays
-// in the engine cache for the next invocation of the same process.
+// in the engine cache — on disk, with -cache-dir — for the next
+// invocation.
 package main
 
 import (
@@ -21,32 +30,59 @@ import (
 	"os/signal"
 	"syscall"
 
+	"power5prio/internal/cachestore"
+	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/report"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
-		quick   = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify  = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
-		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		exp      = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		quick    = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify   = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		cacheDir = flag.String("cache-dir", "", "persist simulation results in this directory (reused across runs)")
+		cacheOp  = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
+		reqWarm  = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var store *cachestore.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = cachestore.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "p5exp:", err)
+			os.Exit(1)
+		}
+	}
+	if *cacheOp != "" {
+		os.Exit(runCacheOp(store, *cacheOp))
+	}
+	if *reqWarm && store == nil {
+		fmt.Fprintln(os.Stderr, "p5exp: -require-warm needs -cache-dir")
+		os.Exit(2)
+	}
+
 	h := experiments.Default()
 	if *quick {
 		h = experiments.Quick()
 	}
-	h.Engine.SetWorkers(*workers)
+	h.Engine = engine.NewWith(*workers, nil, engine.WithStore(store))
 	// exit reports the engine stats before terminating: os.Exit skips
 	// deferred functions, and the stats matter most on failed runs.
 	exit := func(code int) {
-		fmt.Fprintf(os.Stderr, "p5exp: engine: %s (%d workers)\n", h.Engine.Stats(), h.Engine.Workers())
+		stats := h.Engine.Stats()
+		fmt.Fprintf(os.Stderr, "p5exp: engine: %s (%d workers)\n", stats, h.Engine.Workers())
+		if code == 0 && *reqWarm && (stats.Simulated > 0 || stats.DiskMisses > 0) {
+			fmt.Fprintf(os.Stderr, "p5exp: -require-warm: cache was cold (%d simulated, %d disk misses)\n",
+				stats.Simulated, stats.DiskMisses)
+			code = 3
+		}
 		os.Exit(code)
 	}
 	// interrupted notes a cancelled sweep and picks the exit code.
@@ -137,6 +173,47 @@ func main() {
 	}
 	run(*exp)
 	exit(0)
+}
+
+// runCacheOp administers the persistent cache and returns the exit
+// code: stats prints entry count and size, verify checksum-scans every
+// entry and removes corrupt ones (non-zero exit if any were found),
+// clear empties the store.
+func runCacheOp(store *cachestore.Store, op string) int {
+	if store == nil {
+		fmt.Fprintln(os.Stderr, "p5exp: -cache needs -cache-dir")
+		return 2
+	}
+	switch op {
+	case "stats":
+		info, err := store.Info()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5exp:", err)
+			return 1
+		}
+		fmt.Printf("cache %s: %d entries, %d bytes\n", store.Dir(), info.Entries, info.Bytes)
+	case "verify":
+		vr, err := store.Verify(true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5exp:", err)
+			return 1
+		}
+		fmt.Printf("cache %s: %d entries checked, %d corrupt (%d removed)\n",
+			store.Dir(), vr.Checked, vr.Corrupt, vr.Removed)
+		if vr.Corrupt > 0 {
+			return 1
+		}
+	case "clear":
+		if err := store.Clear(); err != nil {
+			fmt.Fprintln(os.Stderr, "p5exp:", err)
+			return 1
+		}
+		fmt.Printf("cache %s: cleared\n", store.Dir())
+	default:
+		fmt.Fprintf(os.Stderr, "p5exp: unknown cache operation %q (stats|verify|clear)\n", op)
+		return 2
+	}
+	return 0
 }
 
 // table1 renders the priority/privilege/or-nop table (Table 1 is

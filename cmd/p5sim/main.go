@@ -34,17 +34,18 @@ import (
 
 func main() {
 	var (
-		nameA   = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
-		nameB   = flag.String("b", "", "second workload; empty with -single for ST mode")
-		pa      = flag.Int("pa", 4, "priority of the first workload (1-7)")
-		pb      = flag.Int("pb", 4, "priority of the second workload (1-7)")
-		single  = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
-		reps    = flag.Int("reps", 10, "minimum FAME repetitions per thread")
-		workers = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
-		sweep   = flag.Bool("sweep", false, "sweep the pair across all priority differences [-5,+5] as one batch")
-		list    = flag.Bool("list", false, "list available workloads and exit")
-		showPow = flag.Bool("power", false, "estimate core power with the activity model")
-		disasm  = flag.Bool("disasm", false, "print the first workload's loop body and exit")
+		nameA    = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
+		nameB    = flag.String("b", "", "second workload; empty with -single for ST mode")
+		pa       = flag.Int("pa", 4, "priority of the first workload (1-7)")
+		pb       = flag.Int("pb", 4, "priority of the second workload (1-7)")
+		single   = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
+		reps     = flag.Int("reps", 10, "minimum FAME repetitions per thread")
+		workers  = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
+		cacheDir = flag.String("cache-dir", "", "persist measurement results in this directory (reused across runs; shareable with p5exp)")
+		sweep    = flag.Bool("sweep", false, "sweep the pair across all priority differences [-5,+5] as one batch")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		showPow  = flag.Bool("power", false, "estimate core power with the activity model")
+		disasm   = flag.Bool("disasm", false, "print the first workload's loop body and exit")
 	)
 	flag.Parse()
 
@@ -59,9 +60,16 @@ func main() {
 
 	opts := power5prio.DefaultMeasureOptions()
 	opts.MinReps = *reps
-	sys := power5prio.New(power5prio.DefaultConfig(),
+	sysOpts := []power5prio.Option{
 		power5prio.WithMeasureOptions(opts),
-		power5prio.WithWorkers(*workers))
+		power5prio.WithWorkers(*workers),
+	}
+	if *cacheDir != "" {
+		// A re-run of the same workloads and settings — including a
+		// repeated -sweep — is then served from disk without simulating.
+		sysOpts = append(sysOpts, power5prio.WithCacheDir(*cacheDir))
+	}
+	sys := power5prio.New(power5prio.DefaultConfig(), sysOpts...)
 
 	build := func(name string) *power5prio.Kernel {
 		k, err := power5prio.Workload(name)

@@ -1,0 +1,130 @@
+package cachestore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"reflect"
+)
+
+// Key identifies one stored entry: a SHA-256 over the canonical encoding
+// of the value the entry memoizes. Keys are stable across processes,
+// architectures and Go versions — unlike Go's built-in map hashing — so
+// they are safe to use as on-disk names.
+type Key [sha256.Size]byte
+
+// String renders the key as lower-case hex (the on-disk spelling).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// IsZero reports whether the key is the zero value (never produced by
+// HashValue, whose encoding always includes a schema prefix).
+func (k Key) IsZero() bool { return k == Key{} }
+
+// HashValue computes the canonical content key of a value under a schema
+// tag. The schema names the meaning of the value ("power5prio/job/v1");
+// bump it whenever the interpretation of equal bytes changes, so stale
+// entries become unreachable instead of wrong.
+//
+// The encoding walks the value by reflection in declaration order and is
+// designed so that every semantic change to the value changes the key:
+//
+//   - numeric leaves encode as fixed-width little-endian (floats by IEEE
+//     bit pattern), strings length-prefixed, so adjacent fields cannot
+//     alias each other;
+//   - struct fields contribute their names and types as well as their
+//     values, so renaming or retyping a field invalidates old keys
+//     (conservative: a rename can only cause misses, never false hits);
+//   - only deterministic kinds are accepted. A value reaching a map,
+//     slice, pointer, func, chan or interface returns an error — such a
+//     field must be given an explicit stable digest (the way
+//     workload.Ref fingerprints kernel content) before it can be part of
+//     a key.
+func HashValue(schema string, v any) (Key, error) {
+	h := sha256.New()
+	writeString(h, schema)
+	if err := encodeValue(h, reflect.ValueOf(v), "value"); err != nil {
+		return Key{}, err
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// MustHashValue is HashValue for values the caller guarantees hashable
+// (e.g. engine Jobs, whose hashability is enforced by tests). It panics
+// on error.
+func MustHashValue(schema string, v any) Key {
+	k, err := HashValue(schema, v)
+	if err != nil {
+		panic(fmt.Sprintf("cachestore: %v", err))
+	}
+	return k
+}
+
+// writeString writes a length-prefixed string.
+func writeString(h hash.Hash, s string) {
+	writeUint64(h, uint64(len(s)))
+	h.Write([]byte(s))
+}
+
+// writeUint64 writes a fixed-width little-endian word.
+func writeUint64(h hash.Hash, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	h.Write(buf[:])
+}
+
+// encodeValue canonically encodes one value. path names the value's
+// position for error messages ("value.Chip.Mem.LatL2").
+func encodeValue(h hash.Hash, v reflect.Value, path string) error {
+	if !v.IsValid() {
+		return fmt.Errorf("cachestore: cannot hash invalid value at %s", path)
+	}
+	// Unwrap interface values (e.g. the any parameter itself).
+	if v.Kind() == reflect.Interface && path == "value" && !v.IsNil() {
+		return encodeValue(h, v.Elem(), path)
+	}
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			writeUint64(h, 1)
+		} else {
+			writeUint64(h, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		writeUint64(h, uint64(v.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		writeUint64(h, v.Uint())
+	case reflect.Float32, reflect.Float64:
+		writeUint64(h, math.Float64bits(v.Float()))
+	case reflect.String:
+		writeString(h, v.String())
+	case reflect.Array:
+		writeString(h, "array")
+		writeUint64(h, uint64(v.Len()))
+		for i := 0; i < v.Len(); i++ {
+			if err := encodeValue(h, v.Index(i), fmt.Sprintf("%s[%d]", path, i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Struct:
+		t := v.Type()
+		writeString(h, "struct")
+		writeString(h, t.String())
+		writeUint64(h, uint64(t.NumField()))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			writeString(h, f.Name)
+			writeString(h, f.Type.String())
+			if err := encodeValue(h, v.Field(i), path+"."+f.Name); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("cachestore: cannot hash %s at %s (give the field an explicit stable digest instead)", v.Kind(), path)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package cachestore
+
+import (
+	"strings"
+	"testing"
+)
+
+type hashFixture struct {
+	A int
+	B string
+	C float64
+	D [2]uint8
+	E bool
+}
+
+var fixture = hashFixture{A: -3, B: "x", C: 1.5, D: [2]uint8{7, 9}, E: true}
+
+// TestHashDeterministic pins the canonical encoding: the key of a fixed
+// value must never change across runs, processes or refactors — a silent
+// algorithm change would strand (at best) or misread (at worst) every
+// persisted cache. If this test fails because the encoding was changed
+// deliberately, bump the schema everywhere and update the constant.
+func TestHashDeterministic(t *testing.T) {
+	const pinned = "2f2418376b68238c397e8948fb20a0882deabca657dba9831637c4d4db5ec57a"
+	k1, err := HashValue("test/v1", fixture)
+	if err != nil {
+		t.Fatalf("HashValue: %v", err)
+	}
+	k2, err := HashValue("test/v1", fixture)
+	if err != nil {
+		t.Fatalf("HashValue: %v", err)
+	}
+	if k1 != k2 {
+		t.Fatalf("HashValue not deterministic: %s vs %s", k1, k2)
+	}
+	if k1.String() != pinned {
+		t.Errorf("canonical encoding changed: key %s, pinned %s", k1, pinned)
+	}
+	if k1.IsZero() {
+		t.Error("real key reads as zero")
+	}
+}
+
+// TestHashSchemaSeparation: the same value under different schemas must
+// produce different keys, so bumping a schema orphans old entries.
+func TestHashSchemaSeparation(t *testing.T) {
+	k1 := MustHashValue("test/v1", fixture)
+	k2 := MustHashValue("test/v2", fixture)
+	if k1 == k2 {
+		t.Error("schema change did not change the key")
+	}
+}
+
+// TestHashFieldNameSensitivity: identical field values under renamed
+// fields must not alias (a struct refactor must invalidate, not hit).
+func TestHashFieldNameSensitivity(t *testing.T) {
+	type a struct{ X int }
+	type b struct{ Y int }
+	if MustHashValue("s", a{1}) == MustHashValue("s", b{1}) {
+		t.Error("renamed field did not change the key")
+	}
+}
+
+// TestHashStringBoundaries: length prefixes must prevent adjacent
+// strings from aliasing ("ab"+"c" vs "a"+"bc").
+func TestHashStringBoundaries(t *testing.T) {
+	type s struct{ A, B string }
+	if MustHashValue("s", s{"ab", "c"}) == MustHashValue("s", s{"a", "bc"}) {
+		t.Error("string boundary aliasing")
+	}
+}
+
+// TestHashRejectsUnstableKinds: kinds with no deterministic content
+// (maps, slices, pointers, funcs) must be rejected with the field path,
+// not silently hashed by address.
+func TestHashRejectsUnstableKinds(t *testing.T) {
+	type bad struct {
+		Inner struct{ M map[string]int }
+	}
+	_, err := HashValue("s", bad{})
+	if err == nil {
+		t.Fatal("map field was accepted")
+	}
+	if !strings.Contains(err.Error(), "Inner.M") {
+		t.Errorf("error does not name the offending field path: %v", err)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("MustHashValue did not panic on unhashable value")
+		}
+	}()
+	MustHashValue("s", bad{})
+}
+
+// TestHashDistinguishesValues: a spread of single-field changes, each of
+// which must move the key.
+func TestHashDistinguishesValues(t *testing.T) {
+	seen := map[Key]string{MustHashValue("s", fixture): "base"}
+	for name, v := range map[string]hashFixture{
+		"A":    {A: -4, B: "x", C: 1.5, D: [2]uint8{7, 9}, E: true},
+		"B":    {A: -3, B: "y", C: 1.5, D: [2]uint8{7, 9}, E: true},
+		"C":    {A: -3, B: "x", C: 1.25, D: [2]uint8{7, 9}, E: true},
+		"D[1]": {A: -3, B: "x", C: 1.5, D: [2]uint8{7, 10}, E: true},
+		"E":    {A: -3, B: "x", C: 1.5, D: [2]uint8{7, 9}, E: false},
+	} {
+		k := MustHashValue("s", v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("perturbing %s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}

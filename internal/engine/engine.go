@@ -6,6 +6,12 @@
 // several sweeps (e.g. the (4,4) co-run of Figures 2-4, or a benchmark's
 // single-thread IPC) is simulated exactly once.
 //
+// The cache has two tiers: the in-memory map, and an optional persistent
+// store (WithStore) keyed by a stable hash of the full Job, so repeated
+// invocations across processes reuse each other's completed work. The
+// disk tier verifies per-entry checksums and falls back to recomputing
+// (then rewriting) anything corrupt.
+//
 // Workloads are named through a workload.Registry: a job's kernels are
 // identified by fingerprinted workload.Refs, so micro-benchmarks,
 // synthetic SPEC stand-ins and user-registered custom kernels co-schedule
@@ -26,10 +32,12 @@ package engine
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"power5prio/internal/cachestore"
 	"power5prio/internal/core"
 	"power5prio/internal/fame"
 	"power5prio/internal/isa"
@@ -95,10 +103,21 @@ type Stats struct {
 	Submitted int
 	// Simulated jobs (cache misses that ran on a worker).
 	Simulated int
-	// Hits served from the cache without simulating.
+	// Hits served from a cache tier without simulating (in-memory or
+	// disk; disk serves are additionally counted in DiskHits).
 	Hits int
 	// Skipped jobs that never started because their batch was cancelled.
 	Skipped int
+	// DiskHits are lookups served from the persistent store (results
+	// computed by an earlier process, or an earlier engine sharing the
+	// store). Disk hits also count in Hits.
+	DiskHits int
+	// DiskMisses are persistent-store probes that found no usable entry
+	// (absent, corrupt, or undecodable) and fell through to simulation.
+	// Memo misses count here too.
+	DiskMisses int
+	// DiskWrites are results persisted to the store.
+	DiskWrites int
 }
 
 // String renders the counters in one line.
@@ -106,6 +125,9 @@ func (s Stats) String() string {
 	out := fmt.Sprintf("%d jobs submitted, %d simulated, %d cache hits", s.Submitted, s.Simulated, s.Hits)
 	if s.Skipped > 0 {
 		out += fmt.Sprintf(", %d skipped", s.Skipped)
+	}
+	if s.DiskHits != 0 || s.DiskMisses != 0 || s.DiskWrites != 0 {
+		out += fmt.Sprintf("; disk: %d hits, %d misses, %d writes", s.DiskHits, s.DiskMisses, s.DiskWrites)
 	}
 	return out
 }
@@ -118,6 +140,7 @@ type Engine struct {
 	mu      sync.Mutex
 	workers int
 	reg     *workload.Registry
+	store   *cachestore.Store
 	cache   map[Job]outcome
 	stats   Stats
 }
@@ -127,23 +150,42 @@ type outcome struct {
 	err  error
 }
 
+// Option configures an engine at construction.
+type Option func(*Engine)
+
+// WithStore attaches a persistent result store as the second cache tier
+// behind the in-memory map (nil = memory only, the default). Lookups
+// that miss in memory probe the store; simulated results are written
+// back, so engines — across processes — sharing one store directory
+// reuse each other's completed work. Only successful results persist;
+// job errors stay in the in-memory tier.
+func WithStore(st *cachestore.Store) Option { return func(e *Engine) { e.store = st } }
+
 // New returns an engine bounded to the given number of workers with a
 // fresh registry of the built-in workloads; workers <= 0 selects
 // GOMAXPROCS (all cores).
 func New(workers int) *Engine { return NewWith(workers, nil) }
 
 // NewWith returns an engine using the given workload registry (nil = a
-// fresh built-ins-only registry). Sharing one registry between engines
-// lets them resolve the same custom kernels.
-func NewWith(workers int, reg *workload.Registry) *Engine {
+// fresh built-ins-only registry), configured by options. Sharing one
+// registry between engines lets them resolve the same custom kernels.
+func NewWith(workers int, reg *workload.Registry, opts ...Option) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if reg == nil {
 		reg = workload.NewRegistry()
 	}
-	return &Engine{workers: workers, reg: reg, cache: make(map[Job]outcome)}
+	e := &Engine{workers: workers, reg: reg, cache: make(map[Job]outcome)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
+
+// Store returns the engine's persistent store (nil when the engine is
+// memory-only).
+func (e *Engine) Store() *cachestore.Store { return e.store }
 
 // Registry returns the engine's workload registry; register custom
 // kernels here to make them resolvable in jobs.
@@ -200,14 +242,15 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 	}
 	out := make([]Result, len(jobs))
 
-	// Partition under the lock: cache hits resolve immediately; the first
-	// occurrence of each uncached job is scheduled; later duplicates wait
-	// for it. followers is read-only once workers start.
+	// Partition under the lock: memory-cache hits resolve immediately;
+	// the first occurrence of each uncached job becomes a candidate;
+	// later duplicates wait for it. followers is read-only once workers
+	// start.
 	e.mu.Lock()
 	workers := e.workers
 	reg := e.reg
 	e.stats.Submitted += len(jobs)
-	var toRun []int
+	var candidates []int
 	followers := make(map[Job][]int)
 	var hitIdx []int
 	for i, j := range jobs {
@@ -222,7 +265,7 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 			continue
 		}
 		followers[j] = []int{}
-		toRun = append(toRun, i)
+		candidates = append(candidates, i)
 	}
 	e.mu.Unlock()
 
@@ -238,6 +281,38 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 		}
 	}
 	report(hitIdx...)
+
+	// Probe the persistent tier for first-in-process sightings — outside
+	// the engine lock, because each probe is file I/O and must not stall
+	// concurrent batches. A disk hit is promoted into the memory map (one
+	// probe per job per process) and resolves its in-batch followers.
+	toRun := candidates
+	if e.store != nil {
+		toRun = make([]int, 0, len(candidates))
+		for _, idx := range candidates {
+			j := jobs[idx]
+			pair, ok := e.diskGet(j)
+			e.mu.Lock()
+			if ok {
+				e.cache[j] = outcome{pair: pair}
+				e.stats.Hits += 1 + len(followers[j])
+				e.stats.DiskHits++
+			} else {
+				e.stats.DiskMisses++
+			}
+			e.mu.Unlock()
+			if !ok {
+				toRun = append(toRun, idx)
+				continue
+			}
+			out[idx] = Result{Job: j, Pair: pair, CacheHit: true}
+			final := append([]int{idx}, followers[j]...)
+			for _, f := range followers[j] {
+				out[f] = Result{Job: j, Pair: pair, CacheHit: true}
+			}
+			report(final...)
+		}
+	}
 
 	if len(toRun) == 0 {
 		return out
@@ -261,6 +336,11 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 				e.stats.Simulated++
 				e.stats.Hits += len(followers[j])
 				e.mu.Unlock()
+				if e.store != nil && err == nil && e.diskPut(j, pair) {
+					e.mu.Lock()
+					e.stats.DiskWrites++
+					e.mu.Unlock()
+				}
 				done[k] = true
 				out[idx] = Result{Job: j, Pair: pair, Err: err}
 				final := append([]int{idx}, followers[j]...)
@@ -394,4 +474,86 @@ func Execute(reg *workload.Registry, j Job) (fame.PairResult, error) {
 // the cache — the serial reference path for this engine's jobs.
 func (e *Engine) Execute(j Job) (fame.PairResult, error) {
 	return Execute(e.reg, j)
+}
+
+// jobKeySchema versions the meaning of a Job's canonical hash. Bump it
+// when simulation semantics change in a way the Job value cannot express
+// (so existing persistent entries become unreachable rather than stale).
+const jobKeySchema = "power5prio/job/v1"
+
+// JobKey returns the job's persistent cache key: a stable content hash
+// over every Job field — workload fingerprints, priority levels,
+// privilege, iteration scale, the full chip configuration and the FAME
+// options. Two jobs share a key exactly when they describe the same
+// measurement; the key is identical across processes, which is what
+// makes the disk tier sound. Job is guaranteed hashable by the engine's
+// key-stability tests, so JobKey never fails.
+func JobKey(j Job) cachestore.Key {
+	return cachestore.MustHashValue(jobKeySchema, j)
+}
+
+// diskGet probes the persistent tier for a job's result. Corrupt or
+// undecodable entries read as misses (the store already unlinked them),
+// so the caller recomputes and the write-back restores a clean entry.
+func (e *Engine) diskGet(j Job) (fame.PairResult, bool) {
+	payload, err := e.store.Get(JobKey(j))
+	if err != nil {
+		return fame.PairResult{}, false
+	}
+	var pair fame.PairResult
+	if json.Unmarshal(payload, &pair) != nil {
+		return fame.PairResult{}, false
+	}
+	return pair, true
+}
+
+// diskPut persists a successful result, reporting whether it landed.
+// Persistence is best-effort: a full disk degrades the engine to
+// memory-only caching rather than failing the batch.
+func (e *Engine) diskPut(j Job, pair fame.PairResult) bool {
+	payload, err := json.Marshal(pair)
+	if err != nil {
+		return false
+	}
+	return e.store.Put(JobKey(j), payload) == nil
+}
+
+// Memo routes a non-Job computation through the persistent tier: the
+// escape hatch that makes ForEach-style measurements (e.g. the FFT/LU
+// pipeline rows of Table 4) cacheable across processes. keyVal is hashed
+// under the caller's schema; on a hit the stored JSON is decoded into
+// out and compute is skipped, otherwise compute must fill out, which is
+// then persisted. With no store attached, Memo just runs compute.
+// Lookups and writes count in the engine's Disk* stats. Memo is safe for
+// concurrent use; concurrent calls with the same key may both compute
+// (last write wins — results are deterministic, so both are identical).
+func (e *Engine) Memo(schema string, keyVal, out any, compute func() error) (hit bool, err error) {
+	if e.store == nil {
+		return false, compute()
+	}
+	key, err := cachestore.HashValue(schema, keyVal)
+	if err != nil {
+		return false, fmt.Errorf("engine: memo key: %w", err)
+	}
+	if payload, gerr := e.store.Get(key); gerr == nil {
+		if json.Unmarshal(payload, out) == nil {
+			e.mu.Lock()
+			e.stats.DiskHits++
+			e.mu.Unlock()
+			return true, nil
+		}
+		e.store.Delete(key) // stored JSON no longer matches out's shape
+	}
+	e.mu.Lock()
+	e.stats.DiskMisses++
+	e.mu.Unlock()
+	if err := compute(); err != nil {
+		return false, err
+	}
+	if payload, merr := json.Marshal(out); merr == nil && e.store.Put(key, payload) == nil {
+		e.mu.Lock()
+		e.stats.DiskWrites++
+		e.mu.Unlock()
+	}
+	return false, nil
 }

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/fame"
+	"power5prio/internal/prio"
+)
+
+// updateGolden refreshes the committed golden files from the current
+// simulator:
+//
+//	go test ./internal/experiments -run Golden -update
+//
+// Do this only when a simulator change is intentional, and review the
+// diff — these files are the regression baseline for the paper's tables
+// and figures.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files from the current simulator")
+
+// goldenHarness pins the quick-mode measurement parameters the golden
+// files were generated with, independently of Quick(): retuning Quick()
+// must not silently invalidate the regression baseline.
+func goldenHarness() Harness {
+	h := Default()
+	h.Fame = fame.Options{MinReps: 3, WarmupReps: 1, MaxCycles: 120_000_000}
+	h.IterScale = 0.25
+	h.Chip = core.DefaultConfig()
+	return h
+}
+
+// goldenShared shares one engine across the golden tests so the tables
+// and figures reuse each other's baselines, like one p5exp run.
+var goldenShared = goldenHarness()
+
+// checkGolden compares v's canonical JSON against the committed golden
+// file (or rewrites it under -update).
+func checkGolden(t *testing.T, name string, v any) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file %s (generate with -update): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s: regenerated results differ from the golden baseline at %s\n"+
+			"first difference near byte %d\n"+
+			"if the simulator change is intentional, refresh with:\n"+
+			"  go test ./internal/experiments -run Golden -update",
+			t.Name(), path, firstDiff(got, want))
+	}
+}
+
+// firstDiff returns the first index where the two byte slices differ.
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// Golden documents use only slices in deterministic order (never maps),
+// so the serialized form is canonical.
+
+type goldenIPC struct {
+	Name string
+	IPC  float64
+}
+
+type goldenTable3 struct {
+	Names     []string
+	SingleIPC []goldenIPC
+	// Cells in primary-major order: primary IPC ("pt") and total IPC
+	// ("tt") for every (primary, secondary) pair at priorities (4,4).
+	Cells []goldenTable3Cell
+}
+
+type goldenTable3Cell struct {
+	Primary   string
+	Secondary string
+	PT        float64
+	ST        float64
+	TT        float64
+}
+
+type goldenTable4 struct {
+	Rows           []Table4Row
+	BestLabel      string
+	BestGain       float64
+	InversionWorse bool
+}
+
+type goldenFig5 struct {
+	NameP, NameS string
+	Points       []Fig5Point
+	PeakGain     float64
+}
+
+type goldenFig6 struct {
+	Names     []string
+	FGLevels  []prio.Level
+	SingleIPC []goldenIPC
+	// Cells in foreground-major, background-minor, level order.
+	Cells []goldenFig6Cell
+}
+
+type goldenFig6Cell struct {
+	FG, BG string
+	Level  prio.Level
+	FGIPC  float64
+	BGIPC  float64
+}
+
+// TestGoldenTables regenerates Table 3 and Table 4 in quick mode and
+// diffs them against the committed baselines.
+func TestGoldenTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	ctx := context.Background()
+
+	t3, err := Table3(ctx, goldenShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g3 := goldenTable3{Names: t3.Names}
+	for _, n := range t3.Names {
+		g3.SingleIPC = append(g3.SingleIPC, goldenIPC{Name: n, IPC: t3.Matrix.SingleIPC[n]})
+	}
+	for _, p := range t3.Names {
+		for _, s := range t3.Names {
+			m := t3.Matrix.At(p, s, 0)
+			g3.Cells = append(g3.Cells, goldenTable3Cell{
+				Primary: p, Secondary: s, PT: m.Primary, ST: m.Secondary, TT: m.Total,
+			})
+		}
+	}
+	checkGolden(t, "table3.json", g3)
+
+	t4, err := Table4(ctx, goldenShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4.json", goldenTable4{
+		Rows: t4.Rows, BestLabel: t4.BestLabel, BestGain: t4.BestGain,
+		InversionWorse: t4.InversionWorse,
+	})
+}
+
+// TestGoldenFigures regenerates Figures 5 and 6 in quick mode and diffs
+// them against the committed baselines.
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	ctx := context.Background()
+
+	for _, fig := range []struct {
+		name string
+		run  func(context.Context, Harness) (Fig5Result, error)
+	}{
+		{"fig5a.json", Fig5a},
+		{"fig5b.json", Fig5b},
+	} {
+		r, err := fig.run(ctx, goldenShared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, fig.name, goldenFig5{
+			NameP: r.NameP, NameS: r.NameS, Points: r.Points, PeakGain: r.PeakGain,
+		})
+	}
+
+	f6, err := Fig6(ctx, goldenShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g6 := goldenFig6{Names: f6.Names, FGLevels: f6.FGLevels}
+	for _, n := range f6.Names {
+		g6.SingleIPC = append(g6.SingleIPC, goldenIPC{Name: n, IPC: f6.STIPC[n]})
+	}
+	for _, fg := range f6.Names {
+		for _, bg := range f6.Names {
+			for _, lv := range f6.FGLevels {
+				c := f6.Cells[fg][bg][lv]
+				g6.Cells = append(g6.Cells, goldenFig6Cell{
+					FG: fg, BG: bg, Level: lv, FGIPC: c.FG, BGIPC: c.BG,
+				})
+			}
+		}
+	}
+	checkGolden(t, "fig6.json", g6)
+}
+
+// TestGoldenFilesCommitted guards against a refreshed simulator without
+// refreshed baselines reaching CI half-updated: every expected golden
+// file must exist (content is checked by the tests above).
+func TestGoldenFilesCommitted(t *testing.T) {
+	for _, name := range []string{"table3.json", "table4.json", "fig5a.json", "fig5b.json", "fig6.json"} {
+		if _, err := os.Stat(filepath.Join("testdata", "golden", name)); err != nil {
+			t.Errorf("golden file %s missing (generate with -update): %v", name, err)
+		}
+	}
+}

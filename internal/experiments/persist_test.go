@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"power5prio/internal/cachestore"
+	"power5prio/internal/engine"
+)
+
+// regenerate runs a representative slice of the paper's evaluation —
+// Table 3 (the 6x6 matrix + ST column), Table 4 (the non-Job pipeline
+// rows, exercising the Memo path) and both Figure 5 sweeps — on a fresh
+// engine backed by the persistent store at dir, returning the rendered
+// output and the engine counters.
+func regenerate(t *testing.T, dir string) (string, engine.Stats) {
+	t.Helper()
+	st, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Quick()
+	h.Engine = engine.NewWith(2, nil, engine.WithStore(st))
+	ctx := context.Background()
+
+	var out strings.Builder
+	t3, err := Table3(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(t3.Render().CSV())
+	t4, err := Table4(ctx, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.WriteString(t4.Render().CSV())
+	for _, fig := range []func(context.Context, Harness) (Fig5Result, error){Fig5a, Fig5b} {
+		f, err := fig(ctx, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out.WriteString(f.Render().CSV())
+	}
+	return out.String(), h.Engine.Stats()
+}
+
+// TestPersistentWarmRegeneration is the acceptance scenario: a second
+// quick regeneration sharing the first run's cache directory must
+// perform zero simulations for the built-in workloads — every lookup a
+// disk hit — and produce bit-identical output.
+func TestPersistentWarmRegeneration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	dir := t.TempDir()
+
+	coldOut, cold := regenerate(t, dir)
+	if cold.Simulated == 0 || cold.DiskWrites == 0 {
+		t.Fatalf("cold run did no work: %+v", cold)
+	}
+	if cold.DiskHits != 0 {
+		t.Fatalf("cold run hit a fresh store: %+v", cold)
+	}
+
+	warmOut, warm := regenerate(t, dir)
+	if warm.Simulated != 0 {
+		t.Errorf("warm run simulated %d jobs, want 0", warm.Simulated)
+	}
+	if warm.DiskMisses != 0 {
+		t.Errorf("warm run missed the disk cache %d times, want 0", warm.DiskMisses)
+	}
+	// Every entry the cold run persisted (jobs + memoized pipeline runs)
+	// is consumed exactly once by the warm run's unique lookups.
+	if warm.DiskHits != cold.DiskWrites {
+		t.Errorf("warm disk hits %d, want one per cold write (%d)", warm.DiskHits, cold.DiskWrites)
+	}
+	if warm.Hits != warm.Submitted {
+		t.Errorf("warm run: %d/%d jobs served from cache", warm.Hits, warm.Submitted)
+	}
+	if warmOut != coldOut {
+		t.Error("warm regeneration output differs from cold run")
+	}
+}

@@ -13,13 +13,16 @@
 package workload
 
 import (
+	crand "crypto/rand"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"power5prio/internal/isa"
 	"power5prio/internal/microbench"
@@ -93,6 +96,34 @@ type Registry struct {
 // patternNonce distinguishes fingerprints of kernels whose branch-pattern
 // functions cannot be content-hashed; see Register.
 var patternNonce atomic.Uint64
+
+// patternSalt makes pattern nonces unique across processes, not only
+// within one. A pattern function's behaviour is not part of the content
+// fingerprint, so fingerprints of pattern-bearing kernels minted by two
+// different processes must never collide either — they feed the
+// persistent cache key, and a shared cache directory would otherwise
+// serve one process's results for the other's behaviourally different
+// kernel. The flip side is intentional: pattern-kernel results are
+// never reused across processes, because no process can prove another's
+// pattern function equal to its own.
+var patternSalt = func() uint64 {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return uint64(time.Now().UnixNano()) // exceptional fallback
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}()
+
+// nextPatternNonce mints a nonce unique within the process (counter)
+// and across processes (salt).
+func nextPatternNonce() uint64 {
+	h := fnv.New64a()
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], patternSalt)
+	binary.LittleEndian.PutUint64(buf[8:], patternNonce.Add(1))
+	h.Write(buf[:])
+	return h.Sum64()
+}
 
 // NewRegistry returns a registry preloaded with the built-in workloads:
 // the fifteen micro-benchmarks and the four synthetic SPEC stand-ins.
@@ -188,9 +219,16 @@ func (r *Registry) Register(k *isa.Kernel) (Ref, error) {
 	if e, ok := r.custom[k.Name]; ok {
 		// Idempotent only while the content still hashes to the recorded
 		// fingerprint: a mutated kernel must not get its stale Ref back.
-		// Pattern-bearing kernels additionally require pointer identity —
-		// content equality cannot prove two pattern functions equal.
-		samePattern := e.orig == k || (k.Pattern == nil && e.k.Pattern == nil)
+		// Pattern-bearing kernels additionally require pointer identity
+		// of both the kernel and the pattern function's code — content
+		// equality cannot prove two pattern functions equal, and a
+		// swapped Pattern on the same kernel pointer must not be served
+		// the old registration. (Re-binding the same closure code over
+		// different captured state remains undetectable; treat pattern
+		// functions as immutable after registration.)
+		samePattern := (k.Pattern == nil && e.k.Pattern == nil) ||
+			(e.orig == k && k.Pattern != nil && e.k.Pattern != nil &&
+				reflect.ValueOf(k.Pattern).Pointer() == reflect.ValueOf(e.k.Pattern).Pointer())
 		if samePattern && contentFingerprint(k, e.nonce) == e.ref.Fingerprint {
 			return e.ref, nil
 		}
@@ -198,7 +236,7 @@ func (r *Registry) Register(k *isa.Kernel) (Ref, error) {
 	}
 	var nonce uint64
 	if k.Pattern != nil {
-		nonce = patternNonce.Add(1)
+		nonce = nextPatternNonce()
 	}
 	ref := Ref{Name: k.Name, Family: Custom, Fingerprint: contentFingerprint(k, nonce)}
 	r.custom[k.Name] = customEntry{k: snapshotKernel(k), orig: k, nonce: nonce, ref: ref}

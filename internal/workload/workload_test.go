@@ -213,6 +213,39 @@ func TestPatternKernelsNeverAlias(t *testing.T) {
 	}
 }
 
+// TestPatternSwapRejected: swapping the Pattern function on an
+// already-registered kernel must not be served the stale registration —
+// the registry snapshot would keep simulating the old behaviour.
+func TestPatternSwapRejected(t *testing.T) {
+	b := isa.NewBuilder("pat_swap")
+	a := b.Reg("a")
+	b.Op2(isa.OpIntAdd, a, a, a)
+	b.Branch(isa.BranchPattern, a)
+	b.Branch(isa.BranchLoop, a)
+	b.Pattern(func(n uint64) bool { return n%2 == 0 })
+	k := b.MustBuild(16)
+
+	r := NewRegistry()
+	ref1, err := r.Register(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The unmutated kernel is still idempotent.
+	ref2, err := r.Register(k)
+	if err != nil || ref1 != ref2 {
+		t.Fatalf("unmutated re-registration: ref %v vs %v, err %v", ref1, ref2, err)
+	}
+	// Same kernel pointer, different pattern code: must be rejected.
+	k.Pattern = alwaysTaken
+	if _, err := r.Register(k); err == nil {
+		t.Error("re-registration with a swapped pattern function returned the stale ref")
+	}
+}
+
+// alwaysTaken is a distinct pattern function (separate code pointer
+// from the closure in TestPatternSwapRejected).
+func alwaysTaken(uint64) bool { return true }
+
 func TestBuild(t *testing.T) {
 	r := NewRegistry()
 	ref, _ := r.Resolve("cpu_int")

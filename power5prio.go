@@ -42,6 +42,7 @@ import (
 	"fmt"
 
 	"power5prio/internal/apps"
+	"power5prio/internal/cachestore"
 	"power5prio/internal/core"
 	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
@@ -222,6 +223,42 @@ func WithPrivilege(p Privilege) Option { return func(s *System) { s.priv = p } }
 // decide when to cancel the batch's context.
 func WithProgress(fn Progress) Option { return func(s *System) { s.progress = fn } }
 
+// Cache is a disk-backed, versioned result store: measurements keyed by
+// a stable content hash of the job that produced them, shared between
+// Systems and surviving process restarts. Entries carry per-entry
+// checksums; anything corrupt is detected, recomputed and rewritten.
+// Open one with OpenCache and attach it with WithCache.
+type Cache = cachestore.Store
+
+// CacheInfo summarizes a Cache's contents (entry count and bytes).
+type CacheInfo = cachestore.Info
+
+// OpenCache creates (if needed) and opens the persistent result cache
+// rooted at dir. Multiple Systems — and multiple processes — may share
+// one cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	c, err := cachestore.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("power5prio: %w", err)
+	}
+	return c, nil
+}
+
+// WithCache attaches an opened persistent result cache as the second
+// cache tier behind the System's in-memory one: measurements missing in
+// memory are served from disk when an earlier run — in this process or a
+// previous one — already simulated them, and newly simulated results are
+// written back.
+func WithCache(c *Cache) Option { return func(s *System) { s.store = c } }
+
+// WithCacheDir is WithCache over OpenCache(dir): the idiomatic way to
+// make a System's measurements persistent when no error handling or
+// cache administration is needed at open time. If the directory cannot
+// be opened, the System is still constructed but every measurement
+// returns the open error (a cache the caller asked for must not be
+// silently dropped).
+func WithCacheDir(dir string) Option { return func(s *System) { s.cacheDir = dir } }
+
 // System is a configured simulator factory: each measurement runs on a
 // fresh chip so results are independent and deterministic. All
 // measurements resolve workload names in the System's registry and go
@@ -235,6 +272,9 @@ type System struct {
 	priv     Privilege
 	workers  int
 	progress Progress
+	store    *Cache
+	cacheDir string
+	cacheErr error
 	eng      *engine.Engine
 }
 
@@ -248,8 +288,25 @@ func New(cfg Config, options ...Option) *System {
 	for _, o := range options {
 		o(s)
 	}
-	s.eng = engine.New(s.workers)
+	if s.store == nil && s.cacheDir != "" {
+		s.store, s.cacheErr = cachestore.Open(s.cacheDir)
+	}
+	s.eng = engine.NewWith(s.workers, nil, engine.WithStore(s.store))
 	return s
+}
+
+// Cache returns the System's persistent result cache (nil when the
+// System caches in memory only).
+func (s *System) Cache() *Cache { return s.store }
+
+// cacheReady surfaces a WithCacheDir open failure: measurements on a
+// System whose requested cache could not be opened fail rather than
+// silently running uncached.
+func (s *System) cacheReady() error {
+	if s.cacheErr != nil {
+		return fmt.Errorf("power5prio: cache dir %q: %w", s.cacheDir, s.cacheErr)
+	}
+	return nil
 }
 
 // SetMeasureOptions replaces the FAME options used by measurements.
@@ -289,7 +346,8 @@ func (s *System) Workloads() []string { return s.eng.Registry().Names() }
 
 // BatchStats reports the batch engine's lifetime counters: jobs
 // submitted, jobs actually simulated, cache hits, and jobs skipped by
-// cancelled batches.
+// cancelled batches — plus, on a System with a persistent cache, the
+// disk tier's hit/miss/write counters.
 type BatchStats = engine.Stats
 
 // BatchStats returns a snapshot of the engine counters.
@@ -445,6 +503,9 @@ func (s *System) MeasureSingleSpec(ctx context.Context, sp Spec) (ThreadResult, 
 // together with an error wrapping the context's. A WithProgress callback
 // observes every completed measurement as it lands.
 func (s *System) MeasureBatch(ctx context.Context, specs []Spec) ([]PairResult, error) {
+	if err := s.cacheReady(); err != nil {
+		return nil, err
+	}
 	jobs := make([]engine.Job, len(specs))
 	for i, sp := range specs {
 		j, err := s.job(sp)
@@ -485,6 +546,9 @@ type MatrixResult = experiments.MatrixResult
 // context's — and the completed cells stay cached, so re-running the
 // sweep resumes rather than restarts.
 func (s *System) MeasureMatrix(ctx context.Context, primaries, secondaries []string, diffs []int) (*MatrixResult, error) {
+	if err := s.cacheReady(); err != nil {
+		return nil, err
+	}
 	reg := s.eng.Registry()
 	for _, names := range [][]string{primaries, secondaries} {
 		for _, n := range names {
