@@ -1,0 +1,37 @@
+# Convenience targets; CI runs the same commands.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-smoke regen
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# bench writes the committed perf report: raw step throughput, A/B
+# fast-forward speedups on the memory-bound regimes, and per-experiment
+# quick regeneration times. Run on a quiet machine and commit the result
+# so the perf trajectory is reviewable PR over PR.
+bench:
+	$(GO) run ./cmd/p5bench -out BENCH_simulator.json
+
+# bench-smoke is the CI-sized variant (seconds, not minutes); it also
+# asserts fast-forward results are identical to stepped results.
+bench-smoke:
+	$(GO) run ./cmd/p5bench -quick -out /tmp/BENCH_simulator.json
+
+regen:
+	$(GO) run ./cmd/p5exp -exp all -quick

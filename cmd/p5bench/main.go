@@ -1,0 +1,254 @@
+// Command p5bench measures simulator performance and writes a JSON
+// report (BENCH_simulator.json by convention, committed at the repo
+// root) so the performance trajectory is tracked from PR to PR:
+//
+//   - raw pipeline throughput (simulated cycles per wall second for a
+//     busy SMT pair, stepping cycle by cycle);
+//   - FAME measurement wall times for the paper's memory-bound regimes,
+//     with the idle-cycle fast-forward on and off, and the resulting
+//     speedup (results are bit-identical either way — the report
+//     asserts it);
+//   - quick-mode regeneration wall time per experiment.
+//
+// Usage:
+//
+//	p5bench                      # full report to BENCH_simulator.json
+//	p5bench -quick -out /tmp/b.json   # CI smoke (seconds, not minutes)
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"power5prio/internal/core"
+	"power5prio/internal/experiments"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// Report is the emitted document. Field names are stable: downstream
+// tooling diffs reports across commits.
+type Report struct {
+	Schema  int    `json:"schema"`
+	GoOS    string `json:"go_os"`
+	GoArch  string `json:"go_arch"`
+	CPUs    int    `json:"cpus"`
+	Quick   bool   `json:"quick"`
+	Workers int    `json:"workers"`
+
+	StepThroughput StepThroughput `json:"step_throughput"`
+	Measurements   []Measurement  `json:"measurements"`
+	Regeneration   []Regeneration `json:"regeneration"`
+}
+
+// StepThroughput is the raw per-cycle cost of the pipeline model.
+type StepThroughput struct {
+	Cycles          uint64  `json:"cycles"`
+	Seconds         float64 `json:"seconds"`
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+}
+
+// Measurement is one FAME measurement A/B-timed with the fast-forward
+// on and off.
+type Measurement struct {
+	Name            string  `json:"name"`
+	SimCycles       uint64  `json:"sim_cycles"`
+	FastSeconds     float64 `json:"fastforward_seconds"`
+	SteppedSeconds  float64 `json:"stepped_seconds"`
+	Speedup         float64 `json:"speedup"`
+	FastCyclesPerS  float64 `json:"fastforward_sim_cycles_per_sec"`
+	ResultIdentical bool    `json:"result_identical"`
+}
+
+// Regeneration is the wall time of one quick-mode experiment.
+type Regeneration struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_simulator.json", "output file")
+		quick   = flag.Bool("quick", false, "reduced scale for CI smoke runs")
+		workers = flag.Int("workers", 1, "regeneration worker pool size (1 keeps timings comparable)")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:  1,
+		GoOS:    runtime.GOOS,
+		GoArch:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Quick:   *quick,
+		Workers: *workers,
+	}
+
+	stepCycles := uint64(4_000_000)
+	if *quick {
+		stepCycles = 400_000
+	}
+	rep.StepThroughput = stepThroughput(stepCycles)
+	fmt.Fprintf(os.Stderr, "p5bench: step throughput %.0f sim_cycles/s\n", rep.StepThroughput.SimCyclesPerSec)
+
+	iters := 48
+	if *quick {
+		iters = 12
+	}
+	micro := func(name string) func() *isa.Kernel {
+		return func() *isa.Kernel {
+			k, err := microbench.BuildWith(name, microbench.Params{Iters: iters})
+			if err != nil {
+				panic(err)
+			}
+			return k
+		}
+	}
+	for _, m := range []struct {
+		name   string
+		a, b   func() *isa.Kernel
+		pa, pb prio.Level
+	}{
+		{"fig3_cpu_int_vs_ldint_mem_diff-5", micro(microbench.CPUInt), micro(microbench.LdIntMem), prio.VeryLow, prio.High},
+		{"mem_pair_ldint_mem_4_4", micro(microbench.LdIntMem), micro(microbench.LdIntMem), prio.Medium, prio.Medium},
+		{"mlp_chase_single", chaseKernel, nil, prio.Medium, prio.Medium},
+	} {
+		mm := measureAB(m.name, m.a, m.b, m.pa, m.pb)
+		rep.Measurements = append(rep.Measurements, mm)
+		fmt.Fprintf(os.Stderr, "p5bench: %-34s %6.2fx speedup (%.3fs -> %.3fs, identical=%v)\n",
+			mm.Name, mm.Speedup, mm.SteppedSeconds, mm.FastSeconds, mm.ResultIdentical)
+		if !mm.ResultIdentical {
+			fmt.Fprintln(os.Stderr, "p5bench: FATAL: fast-forward changed a result")
+			os.Exit(1)
+		}
+	}
+
+	rep.Regeneration = regeneration(*quick, *workers)
+	for _, r := range rep.Regeneration {
+		fmt.Fprintf(os.Stderr, "p5bench: regen %-8s %.2fs\n", r.Name, r.Seconds)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "p5bench: wrote %s\n", *out)
+}
+
+// stepThroughput times raw Chip.Step on a busy SMT pair (no idle
+// windows, so the fast-forward never engages: this is the per-cycle
+// bookkeeping cost).
+func stepThroughput(cycles uint64) StepThroughput {
+	k, err := microbench.BuildWith(microbench.CPUInt, microbench.Params{Iters: 64})
+	if err != nil {
+		panic(err)
+	}
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(k, k, prio.Medium, prio.Medium, prio.User)
+	start := time.Now()
+	for i := uint64(0); i < cycles; i++ {
+		ch.Step()
+	}
+	sec := time.Since(start).Seconds()
+	return StepThroughput{Cycles: cycles, Seconds: sec, SimCyclesPerSec: float64(cycles) / sec}
+}
+
+// chaseKernel is the MLP~1 ablation workload: a 64MB pointer chase, the
+// most idle-cycle-dense regime the simulator has.
+func chaseKernel() *isa.Kernel {
+	kb := isa.NewBuilder("mlp_chase")
+	v := kb.Reg("v")
+	iter := kb.Reg("iter")
+	one := kb.Reg("one")
+	s := kb.Stream(isa.StreamSpec{Kind: isa.StreamChase, Footprint: 64 << 20, Stride: 4224, Seed: 9})
+	kb.Load(v, s, isa.Reg(-1))
+	kb.Op2(isa.OpIntAdd, iter, iter, one)
+	kb.Branch(isa.BranchLoop, iter)
+	return kb.MustBuild(32)
+}
+
+// measureAB runs one FAME measurement twice — fast-forward off then on —
+// and reports both wall times and whether the results matched exactly.
+func measureAB(name string, a, b func() *isa.Kernel, pa, pb prio.Level) Measurement {
+	build := func() *core.Chip {
+		var kb *isa.Kernel
+		if b != nil {
+			kb = b()
+		}
+		ch := core.NewChip(core.DefaultConfig())
+		ch.PlacePair(a(), kb, pa, pb, prio.Supervisor)
+		return ch
+	}
+	opt := fame.Options{MinReps: 3, WarmupReps: 1, MAIV: 0.01, MaxCycles: 200_000_000}
+
+	prev := fame.SetFastForward(false)
+	chOff := build()
+	start := time.Now()
+	resOff := fame.Measure(chOff, opt)
+	stepped := time.Since(start).Seconds()
+
+	fame.SetFastForward(true)
+	chOn := build()
+	start = time.Now()
+	resOn := fame.Measure(chOn, opt)
+	fast := time.Since(start).Seconds()
+	fame.SetFastForward(prev)
+
+	return Measurement{
+		Name:            name,
+		SimCycles:       resOn.Cycles,
+		FastSeconds:     fast,
+		SteppedSeconds:  stepped,
+		Speedup:         stepped / fast,
+		FastCyclesPerS:  float64(resOn.Cycles) / fast,
+		ResultIdentical: reflect.DeepEqual(resOff, resOn),
+	}
+}
+
+// regeneration times each quick-mode experiment on a fresh harness (no
+// cross-experiment cache reuse, so the times are attributable).
+func regeneration(quick bool, workers int) []Regeneration {
+	ctx := context.Background()
+	var out []Regeneration
+	timeIt := func(name string, run func(h experiments.Harness) error) {
+		h := experiments.Quick()
+		if quick {
+			h.IterScale = 0.1
+		}
+		h.Workers = workers
+		h.Engine = nil // fresh private engine per experiment
+		start := time.Now()
+		if err := run(h); err != nil {
+			fmt.Fprintf(os.Stderr, "p5bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		out = append(out, Regeneration{Name: name, Seconds: time.Since(start).Seconds()})
+	}
+	timeIt("table3", func(h experiments.Harness) error { _, err := experiments.Table3(ctx, h); return err })
+	timeIt("fig2", func(h experiments.Harness) error { _, err := experiments.Fig2(ctx, h); return err })
+	timeIt("fig3", func(h experiments.Harness) error { _, err := experiments.Fig3(ctx, h); return err })
+	timeIt("fig4", func(h experiments.Harness) error { _, err := experiments.Fig4(ctx, h); return err })
+	timeIt("fig5a", func(h experiments.Harness) error { _, err := experiments.Fig5a(ctx, h); return err })
+	timeIt("fig5b", func(h experiments.Harness) error { _, err := experiments.Fig5b(ctx, h); return err })
+	timeIt("table4", func(h experiments.Harness) error { _, err := experiments.Table4(ctx, h); return err })
+	timeIt("fig6", func(h experiments.Harness) error { _, err := experiments.Fig6(ctx, h); return err })
+	return out
+}

@@ -31,6 +31,7 @@ import (
 	"syscall"
 
 	"power5prio/internal/cachestore"
+	"power5prio/internal/cmdutil"
 	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/report"
@@ -38,16 +39,20 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
-		quick    = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify   = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
-		cacheDir = flag.String("cache-dir", "", "persist simulation results in this directory (reused across runs)")
-		cacheOp  = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
-		reqWarm  = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
+		exp        = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		quick      = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify     = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		cacheDir   = flag.String("cache-dir", "", "persist simulation results in this directory (reused across runs)")
+		cacheOp    = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
+		reqWarm    = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
+		ff         = flag.String("fastforward", "on", "idle-cycle fast-forward: on|off (results are identical either way; off for A/B debugging)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	cmdutil.SetFastForward("p5exp", *ff)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -67,6 +72,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p5exp: -require-warm needs -cache-dir")
 		os.Exit(2)
 	}
+	// Started after the administrative early exits above, so a live
+	// profile can never be abandoned by os.Exit.
+	stopProfiles := cmdutil.StartProfiles("p5exp", *cpuprofile, *memprofile)
 
 	h := experiments.Default()
 	if *quick {
@@ -76,6 +84,7 @@ func main() {
 	// exit reports the engine stats before terminating: os.Exit skips
 	// deferred functions, and the stats matter most on failed runs.
 	exit := func(code int) {
+		stopProfiles()
 		stats := h.Engine.Stats()
 		fmt.Fprintf(os.Stderr, "p5exp: engine: %s (%d workers)\n", stats, h.Engine.Workers())
 		if code == 0 && *reqWarm && (stats.Simulated > 0 || stats.DiskMisses > 0) {

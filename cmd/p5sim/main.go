@@ -25,6 +25,7 @@ import (
 
 	"power5prio"
 
+	"power5prio/internal/cmdutil"
 	"power5prio/internal/core"
 	"power5prio/internal/experiments"
 	"power5prio/internal/fame"
@@ -33,6 +34,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		nameA    = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
 		nameB    = flag.String("b", "", "second workload; empty with -single for ST mode")
@@ -46,13 +51,18 @@ func main() {
 		list     = flag.Bool("list", false, "list available workloads and exit")
 		showPow  = flag.Bool("power", false, "estimate core power with the activity model")
 		disasm   = flag.Bool("disasm", false, "print the first workload's loop body and exit")
+		ff       = flag.String("fastforward", "on", "idle-cycle fast-forward: on|off (results are identical either way; off for A/B debugging)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	cmdutil.SetFastForward("p5sim", *ff)
+	defer cmdutil.StartProfiles("p5sim", *cpuprof, *memprof)()
 
 	if *list {
 		fmt.Println("micro-benchmarks:", strings.Join(power5prio.Microbenchmarks(), " "))
 		fmt.Println("spec workloads:  ", strings.Join(power5prio.SPECWorkloads(), " "))
-		return
+		return 0
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -82,33 +92,32 @@ func main() {
 
 	if *disasm {
 		fmt.Print(build(*nameA).Disassemble())
-		return
+		return 0
 	}
 
 	if *showPow {
 		runWithPower(build(*nameA), buildOrNil(build, *nameB, *single),
 			prio.Level(*pa), prio.Level(*pb), *reps)
-		return
+		return 0
 	}
 
 	if *sweep {
 		if *nameB == "" {
 			fmt.Fprintln(os.Stderr, "p5sim: -sweep needs two workloads (-a and -b)")
-			os.Exit(2)
+			return 2
 		}
-		runSweep(ctx, sys, *nameA, *nameB)
-		return
+		return runSweep(ctx, sys, *nameA, *nameB)
 	}
 
 	if *single || *nameB == "" {
 		res, err := sys.MeasureSingleSpec(ctx, power5prio.Spec{A: *nameA, PA: power5prio.Level(*pa)})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "p5sim:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("%s (single-thread): IPC %.3f, %.0f cycles/rep over %d reps\n",
 			*nameA, res.IPC, res.AvgRepCycles, res.Reps)
-		return
+		return 0
 	}
 
 	res, err := sys.Measure(ctx, power5prio.Spec{
@@ -117,7 +126,7 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("priorities (%d,%d)  decode share %.4f : %.4f\n",
 		*pa, *pb, power5prio.Share(*pa-*pb), 1-power5prio.Share(*pa-*pb))
@@ -129,12 +138,14 @@ func main() {
 	if res.TimedOut {
 		fmt.Println("  WARNING: measurement hit the cycle budget before converging")
 	}
+	return 0
 }
 
 // runSweep submits the pair at every priority difference in [-5,+5] as
 // one batch; independent points simulate concurrently on the worker
-// pool. A cancelled sweep prints the completed prefix.
-func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) {
+// pool. A cancelled sweep prints the completed prefix. It returns the
+// process exit code.
+func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) int {
 	diffs := []int{-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5}
 	specs := make([]power5prio.Spec, len(diffs))
 	for i, d := range diffs {
@@ -144,7 +155,7 @@ func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) 
 	results, err := sys.MeasureBatch(ctx, specs)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("%-6s %-10s %12s %12s %10s\n", "diff", "priorities", nameA, nameB, "total")
 	for i, r := range results {
@@ -154,8 +165,9 @@ func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) 
 	fmt.Printf("engine: %s\n", sys.BatchStats())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "p5sim: interrupted after %d/%d settings\n", len(results), len(specs))
-		os.Exit(130)
+		return 130
 	}
+	return 0
 }
 
 // buildOrNil returns nil when running single-threaded.

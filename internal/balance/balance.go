@@ -150,6 +150,41 @@ func (m *Monitor) Observe(thread, gctHeld, outstandingMisses int, siblingActive 
 	return d
 }
 
+// CanSkip reports whether Observe calls with these constant inputs are
+// transition-free: no watermark stall or unstall, and no dispatch flush.
+// While it holds, the only monitor state that evolves is the periodic
+// miss-throttle countdown, which SkipObserve advances in closed form —
+// the precondition the simulator's idle-cycle fast-forward checks before
+// skipping the per-cycle Observe calls.
+func (m *Monitor) CanSkip(thread, gctHeld int, siblingActive bool) bool {
+	if m.cfg.Mode == Off || !siblingActive {
+		// Observe's early path clears any stall episode: that is a
+		// transition unless the episode state is already clear.
+		return !m.stalled[thread] && !m.flushed[thread]
+	}
+	if m.stalled[thread] {
+		return gctHeld >= m.cfg.GCTLow
+	}
+	return gctHeld < m.cfg.GCTHigh
+}
+
+// SkipObserve advances the monitor by n Observe calls with constant
+// inputs in closed form. The caller must have checked CanSkip with the
+// same inputs; only the miss-throttle countdown changes, and it is
+// periodic with period ThrottleRate.
+func (m *Monitor) SkipObserve(thread, outstandingMisses int, siblingActive bool, n uint64) {
+	if n == 0 || m.cfg.Mode == Off || !siblingActive {
+		return
+	}
+	if outstandingMisses >= m.cfg.MissHigh {
+		rate := uint64(m.cfg.ThrottleRate)
+		t := uint64(m.throttle[thread])
+		m.throttle[thread] = int((t + rate - n%rate) % rate)
+	} else {
+		m.throttle[thread] = 0
+	}
+}
+
 // Stalled reports whether the thread is currently decode-stalled by the
 // GCT watermark mechanism.
 func (m *Monitor) Stalled(thread int) bool { return m.stalled[thread] }

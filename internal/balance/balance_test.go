@@ -176,3 +176,74 @@ func TestZeroValueMonitorIsOff(t *testing.T) {
 		t.Errorf("zero-value monitor acted: %+v", d)
 	}
 }
+
+// TestSkipObserveMatchesStepping proves CanSkip + SkipObserve are
+// bit-identical to n successive Observe calls with constant inputs: when
+// CanSkip holds, the closed-form advance leaves the monitor in exactly
+// the state stepping would, and the stepped calls perform no watermark
+// transition or flush.
+func TestSkipObserveMatchesStepping(t *testing.T) {
+	cfg := DefaultConfig()
+	inputs := []struct {
+		gct, misses int
+		sibling     bool
+	}{
+		{0, 0, true}, {5, 0, true}, {13, 0, true}, {16, 0, true},
+		{16, 3, true}, {16, 8, true}, {5, 8, true}, {13, 6, true},
+		{0, 0, false}, {16, 8, false},
+	}
+	// Prehistories drive the monitor into every episode state (stalled,
+	// flushed, mid-throttle) before the skip is attempted.
+	prehistories := [][]struct {
+		gct, misses int
+		sibling     bool
+	}{
+		nil,
+		{{16, 0, true}}, // stalled, no flush
+		{{16, 3, true}}, // stalled + flushed
+		{{5, 8, true}},  // throttling
+		{{5, 8, true}, {5, 8, true}, {5, 8, true}},
+		{{16, 8, true}, {5, 8, true}},
+	}
+	for _, mode := range []Mode{Off, Stall, Flush} {
+		cfg := cfg
+		cfg.Mode = mode
+		for pi, pre := range prehistories {
+			for _, in := range inputs {
+				for _, n := range []uint64{1, 2, 3, 7, 8, 9, 15, 16, 100, 1000} {
+					ref := NewMonitor(cfg)
+					ff := NewMonitor(cfg)
+					for _, p := range pre {
+						ref.Observe(0, p.gct, p.misses, p.sibling)
+						ff.Observe(0, p.gct, p.misses, p.sibling)
+					}
+					if ref.CanSkip(0, in.gct, in.sibling) != ff.CanSkip(0, in.gct, in.sibling) {
+						t.Fatal("CanSkip must be deterministic")
+					}
+					if !ff.CanSkip(0, in.gct, in.sibling) {
+						continue
+					}
+					first := ref.Observe(0, in.gct, in.misses, in.sibling)
+					if first.FlushDispatch {
+						t.Fatalf("mode=%v pre=%d in=%+v: CanSkip allowed a flush", mode, pi, in)
+					}
+					for i := uint64(1); i < n; i++ {
+						ref.Observe(0, in.gct, in.misses, in.sibling)
+					}
+					ff.SkipObserve(0, in.misses, in.sibling, n)
+					if *ref != *ff {
+						t.Fatalf("mode=%v pre=%d in=%+v n=%d: stepped %+v, skipped %+v", mode, pi, in, n, *ref, *ff)
+					}
+					// Subsequent decisions must agree exactly.
+					for i := 0; i < 3*cfg.ThrottleRate; i++ {
+						a := ref.Observe(0, in.gct, in.misses, in.sibling)
+						b := ff.Observe(0, in.gct, in.misses, in.sibling)
+						if a != b {
+							t.Fatalf("mode=%v pre=%d in=%+v n=%d: decisions diverged after skip", mode, pi, in, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+// Package cmdutil holds the flag plumbing shared by the p5* commands:
+// CPU/heap profiling setup and the -fastforward switch. Commands are
+// expected to call the returned stop function on every exit path that
+// matters (os.Exit skips deferred functions).
+package cmdutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"power5prio/internal/fame"
+)
+
+// SetFastForward parses a -fastforward flag value (on|off, with
+// true/false/1/0 accepted as spellings) and applies it globally. It
+// exits with code 2 on anything else, prefixing messages with prog.
+func SetFastForward(prog, v string) {
+	switch v {
+	case "on", "true", "1":
+		fame.SetFastForward(true)
+	case "off", "false", "0":
+		fame.SetFastForward(false)
+	default:
+		fmt.Fprintf(os.Stderr, "%s: -fastforward must be on or off, got %q\n", prog, v)
+		os.Exit(2)
+	}
+}
+
+// StartProfiles begins CPU profiling (when cpu is non-empty) and
+// returns the function that stops it and writes the heap profile (when
+// mem is non-empty). Call the returned function exactly once before the
+// process exits; it is safe to call when neither profile was requested.
+func StartProfiles(prog, cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			os.Exit(1)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			}
+		}
+	}
+}

@@ -75,6 +75,13 @@ type Chip struct {
 	cfg   Config
 	Hier  *mem.Hierarchy
 	Cores []*pipeline.Core
+
+	// Idle-skip backoff: after a failed SkipIdle attempt the next try is
+	// deferred, doubling up to skipBackoffMax, so busy phases pay almost
+	// nothing for the idle analysis. Which windows get skipped never
+	// affects results, so the backoff is free to be heuristic.
+	skipDefer   uint64
+	skipBackoff uint64
 }
 
 // NewChip builds a chip. It panics on an invalid configuration.
@@ -101,6 +108,81 @@ func (ch *Chip) Step() {
 	for _, c := range ch.Cores {
 		c.Step()
 	}
+}
+
+// minSkip declines idle windows shorter than this many cycles. By the
+// time a window's length is known the analysis cost is already sunk, so
+// the threshold is low: it only guards the closed-form jump itself.
+// The decode-grant early bail inside IdleWake uses the same value to
+// reject busy cores in O(1) before any queue walking. Any positive
+// value is semantics-preserving.
+const minSkip = 2
+
+// skipBackoffMax caps the failed-attempt backoff. Busy stretches then
+// pay for one idle analysis per ~61 cycles instead of one per cycle,
+// while the onset of a long stall is detected within the same bound.
+// The cap is prime on purpose: simulator activity is periodic with
+// power-of-two periods (the decode-slot windows R = 2..64), and a
+// power-of-two cap would re-attempt at the same window phase forever,
+// never landing on the idle stretch. A prime cap drifts across phases.
+const skipBackoffMax = 61
+
+// SkipIdle fast-forwards the whole chip past a provably idle window:
+// when every core reports idle (pipeline.Core.IdleWake), all cores jump
+// to the earliest wake, never beyond bound cycles (measured on the
+// cores' shared clock). It returns the number of cycles skipped, zero
+// when any core has actionable work, the window is too short, or bound
+// has been reached. Skipping is bit-identical to stepping: results,
+// statistics and timeouts are unchanged, only wall-clock time is saved.
+func (ch *Chip) SkipIdle(bound uint64) uint64 {
+	now := ch.Cores[0].Cycle()
+	if bound <= now || now < ch.skipDefer {
+		return 0
+	}
+	wake := pipeline.NoEvent
+	for _, c := range ch.Cores {
+		w, idle := c.IdleWake(minSkip)
+		if !idle {
+			ch.backoff(now)
+			return 0
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if wake > bound {
+		wake = bound
+	}
+	if wake <= now || wake-now < minSkip {
+		// Idle but too short to jump: the wake cycle is when work can
+		// resume, so aim the next attempt there instead of ramping the
+		// failure backoff.
+		if wake > now {
+			ch.skipDefer = wake
+			ch.skipBackoff = 0
+		} else {
+			ch.backoff(now)
+		}
+		return 0
+	}
+	for _, c := range ch.Cores {
+		c.FastForward(wake)
+	}
+	ch.skipBackoff = 0
+	return wake - now
+}
+
+// backoff defers the next skip attempt after a failed one.
+func (ch *Chip) backoff(now uint64) {
+	if ch.skipBackoff < 1 {
+		ch.skipBackoff = 1
+	} else {
+		ch.skipBackoff *= 2
+		if ch.skipBackoff > skipBackoffMax {
+			ch.skipBackoff = skipBackoffMax
+		}
+	}
+	ch.skipDefer = now + ch.skipBackoff
 }
 
 // PlacePair installs two kernels on the experiment core with the given

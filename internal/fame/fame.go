@@ -12,6 +12,7 @@ package fame
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"power5prio/internal/pipeline"
 )
@@ -22,6 +23,33 @@ type Machine interface {
 	Step()
 	ExperimentCore() *pipeline.Core
 }
+
+// Skipper is the optional fast-path a Machine may provide: SkipIdle
+// advances the machine past cycles that provably perform no
+// architectural work, never beyond bound, and returns the number of
+// cycles skipped (zero when there is actionable work). Implementations
+// must be bit-identical to stepping — core.Chip and oskernel.OS both
+// qualify — so Measure uses the fast path whenever it is offered.
+type Skipper interface {
+	SkipIdle(bound uint64) uint64
+}
+
+// fastForward gates Measure's use of the Skipper fast path. It defaults
+// to on; SetFastForward(false) is the A/B escape hatch (the -fastforward
+// command flags, the equivalence tests) forcing pure cycle stepping.
+// The flag is process-wide and atomic: concurrent measurement workers
+// read it freely, but it should be set before measurements start.
+var fastForward atomic.Bool
+
+func init() { fastForward.Store(true) }
+
+// SetFastForward toggles the idle-cycle fast-forward globally and
+// returns the previous setting. Results are identical either way; only
+// wall-clock time changes.
+func SetFastForward(on bool) (prev bool) { return fastForward.Swap(on) }
+
+// FastForwardEnabled reports whether Measure uses the Skipper fast path.
+func FastForwardEnabled() bool { return fastForward.Load() }
 
 // Options controls a measurement.
 type Options struct {
@@ -112,13 +140,32 @@ func Measure(ch Machine, opt Options) PairResult {
 		return true
 	}
 
+	sk, _ := ch.(Skipper)
+	if !fastForward.Load() {
+		sk = nil
+	}
+
+	// doneAll only changes when a repetition completes (both the
+	// rep-count and MAIV tests depend solely on repetition boundaries),
+	// so the convergence check is gated on the Repetitions counters
+	// advancing instead of re-run every cycle. Idle windows are skipped
+	// through the machine's fast path when it offers one: a skip cannot
+	// retire anything, so it cannot change doneAll either.
 	timedOut := false
-	for !doneAll() {
+	reps := c.Repetitions(0) + c.Repetitions(1)
+	for done := doneAll(); !done; {
 		if c.Cycle() >= opt.MaxCycles {
 			timedOut = true
 			break
 		}
+		if sk != nil && sk.SkipIdle(opt.MaxCycles) > 0 {
+			continue
+		}
 		ch.Step()
+		if r := c.Repetitions(0) + c.Repetitions(1); r != reps {
+			reps = r
+			done = doneAll()
+		}
 	}
 
 	var res PairResult

@@ -1,0 +1,173 @@
+package fame
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/isa"
+	"power5prio/internal/microbench"
+	"power5prio/internal/oskernel"
+	"power5prio/internal/prio"
+)
+
+// ffKernels caches small-iteration kernels per benchmark name: building
+// the 64MB chase permutations dominates test time otherwise. Kernels
+// with a Pattern function are stateful closures and must be built fresh
+// for every machine, or runs would interfere through the shared state.
+var ffKernels = map[string]*isa.Kernel{}
+
+func ffKernel(t *testing.T, name string) *isa.Kernel {
+	t.Helper()
+	if k, ok := ffKernels[name]; ok {
+		return k
+	}
+	k, err := microbench.BuildWith(name, microbench.Params{Iters: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Pattern == nil {
+		ffKernels[name] = k
+	}
+	return k
+}
+
+// ffOptions keeps equivalence runs short but exercises warmup, MAIV
+// convergence and the repetition-gated done check.
+func ffOptions() Options {
+	return Options{MinReps: 2, WarmupReps: 1, MAIV: 0.01, MaxCycles: 5_000_000}
+}
+
+// measureBoth runs the machine built by build twice — fast-forward off,
+// then on — and asserts the measurement, every thread's statistics,
+// every core's statistics and the cycle counts are identical.
+func measureBoth(t *testing.T, label string, opt Options, build func() (Machine, *core.Chip)) {
+	t.Helper()
+	prev := SetFastForward(false)
+	defer SetFastForward(prev)
+
+	mOff, chOff := build()
+	resOff := Measure(mOff, opt)
+
+	SetFastForward(true)
+	mOn, chOn := build()
+	resOn := Measure(mOn, opt)
+
+	if !reflect.DeepEqual(resOff, resOn) {
+		t.Errorf("%s: PairResult diverged\n  off: %+v\n  on:  %+v", label, resOff, resOn)
+	}
+	for ci := range chOff.Cores {
+		cOff, cOn := chOff.Cores[ci], chOn.Cores[ci]
+		if cOff.Cycle() != cOn.Cycle() {
+			t.Errorf("%s: core %d cycle count diverged: off %d, on %d", label, ci, cOff.Cycle(), cOn.Cycle())
+		}
+		if !reflect.DeepEqual(cOff.CoreStats(), cOn.CoreStats()) {
+			t.Errorf("%s: core %d CoreStats diverged\n  off: %+v\n  on:  %+v",
+				label, ci, cOff.CoreStats(), cOn.CoreStats())
+		}
+		for th := 0; th < 2; th++ {
+			if !reflect.DeepEqual(cOff.Stats(th), cOn.Stats(th)) {
+				t.Errorf("%s: core %d thread %d ThreadStats diverged\n  off: %+v\n  on:  %+v",
+					label, ci, th, cOff.Stats(th), cOn.Stats(th))
+			}
+		}
+	}
+}
+
+// pairBuilder places freshly resolved kernels a/b (b may be empty for a
+// single-thread run) on a fresh default chip at the given levels.
+func pairBuilder(t *testing.T, a, b string, pa, pb prio.Level) func() (Machine, *core.Chip) {
+	return func() (Machine, *core.Chip) {
+		var kb *isa.Kernel
+		if b != "" {
+			kb = ffKernel(t, b)
+		}
+		ch := core.NewChip(core.DefaultConfig())
+		ch.PlacePair(ffKernel(t, a), kb, pa, pb, prio.Supervisor)
+		return ch, ch
+	}
+}
+
+// TestFastForwardEquivalence proves the idle-cycle fast-forward is
+// bit-identical to stepping: every microbench pair at the default
+// priorities, representative pairs across the full priority range
+// (including single-thread, thread-off and the (1,1) low-power mode),
+// and an oskernel-wrapped machine all produce identical ThreadStats,
+// CoreStats, cycle counts and PairResults with the skip on and off.
+func TestFastForwardEquivalence(t *testing.T) {
+	names := microbench.Names()
+
+	t.Run("AllPairsMedium", func(t *testing.T) {
+		opt := ffOptions()
+		for _, a := range names {
+			for _, b := range names {
+				label := fmt.Sprintf("%s+%s(4,4)", a, b)
+				measureBoth(t, label, opt, pairBuilder(t, a, b, prio.Medium, prio.Medium))
+			}
+		}
+	})
+
+	t.Run("PriorityLevels", func(t *testing.T) {
+		opt := ffOptions()
+		primaries := []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntMem}
+		secondaries := []string{microbench.LdIntMem, microbench.CPUInt}
+		for _, a := range primaries {
+			for _, b := range secondaries {
+				for pa := prio.VeryLow; pa <= prio.VeryHigh; pa++ {
+					for _, pb := range []prio.Level{prio.VeryLow, prio.Medium, prio.High} {
+						label := fmt.Sprintf("%s+%s(%d,%d)", a, b, pa, pb)
+						measureBoth(t, label, opt, pairBuilder(t, a, b, pa, pb))
+					}
+				}
+			}
+		}
+	})
+
+	t.Run("SingleThread", func(t *testing.T) {
+		opt := ffOptions()
+		for _, a := range []string{microbench.CPUInt, microbench.LdIntL1, microbench.LdIntMem, microbench.LdIntL3} {
+			label := a + "(single)"
+			measureBoth(t, label, opt, pairBuilder(t, a, "", prio.Medium, prio.Medium))
+		}
+	})
+
+	t.Run("Timeout", func(t *testing.T) {
+		// A run that hits MaxCycles must time out on exactly the same
+		// cycle, with identical partial statistics.
+		opt := ffOptions()
+		opt.MaxCycles = 50_000
+		measureBoth(t, "ldint_mem+ldfp_mem(timeout)", opt,
+			pairBuilder(t, microbench.LdIntMem, microbench.LdFPMem, prio.Medium, prio.Medium))
+	})
+
+	t.Run("OSKernel", func(t *testing.T) {
+		opt := ffOptions()
+		for _, patched := range []bool{false, true} {
+			cfg := oskernel.Config{Patched: patched, TickCycles: 2_000, HandlerCycles: 40}
+			label := fmt.Sprintf("oskernel(patched=%v)", patched)
+			measureBoth(t, label, opt, func() (Machine, *core.Chip) {
+				ch := core.NewChip(core.DefaultConfig())
+				ch.PlacePair(ffKernel(t, microbench.CPUInt), ffKernel(t, microbench.LdIntMem),
+					prio.High, prio.Low, prio.Supervisor)
+				return oskernel.New(ch, cfg), ch
+			})
+		}
+	})
+}
+
+// TestSkipIdleNeverExceedsBound pins the Skipper contract Measure relies
+// on for exact timeout behaviour.
+func TestSkipIdleNeverExceedsBound(t *testing.T) {
+	ch := core.NewChip(core.DefaultConfig())
+	ch.PlacePair(ffKernel(t, microbench.LdIntMem), ffKernel(t, microbench.LdIntMem), prio.Medium, prio.Medium, prio.User)
+	c := ch.ExperimentCore()
+	for i := 0; i < 20_000; i++ {
+		bound := c.Cycle() + 37
+		ch.SkipIdle(bound)
+		if c.Cycle() > bound {
+			t.Fatalf("SkipIdle passed its bound: cycle %d > %d", c.Cycle(), bound)
+		}
+		ch.Step()
+	}
+}

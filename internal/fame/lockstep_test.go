@@ -1,0 +1,56 @@
+package fame
+
+import (
+	"reflect"
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// TestFastForwardLockstep steps a reference chip cycle by cycle while a
+// second chip uses SkipIdle, and compares statistics at every skip
+// boundary — much finer-grained than the end-to-end equivalence test, so
+// a divergence is pinned to the first bad window. The branchy pair keeps
+// squashes, redirects and balance flushes in constant rotation.
+func TestFastForwardLockstep(t *testing.T) {
+	pairs := [][2]string{
+		{microbench.BrMiss, microbench.BrMiss},
+		{microbench.LdIntMem, microbench.CPUInt},
+		{microbench.LdIntMem, microbench.LdIntMem},
+	}
+	for _, p := range pairs {
+		build := func() *core.Chip {
+			ch := core.NewChip(core.DefaultConfig())
+			ch.PlacePair(ffKernel(t, p[0]), ffKernel(t, p[1]), prio.Medium, prio.Medium, prio.Supervisor)
+			return ch
+		}
+		ref := build()
+		ff := build()
+		c0, c1 := ref.ExperimentCore(), ff.ExperimentCore()
+		for c0.Cycle() < 200_000 {
+			n := ff.SkipIdle(c0.Cycle() + 1_000_000)
+			for i := uint64(0); i < n; i++ {
+				ref.Step()
+			}
+			if n == 0 {
+				ref.Step()
+				ff.Step()
+			}
+			if c0.Cycle() != c1.Cycle() {
+				t.Fatalf("%v: cycle mismatch %d vs %d", p, c0.Cycle(), c1.Cycle())
+			}
+			for th := 0; th < 2; th++ {
+				if !reflect.DeepEqual(c0.Stats(th), c1.Stats(th)) {
+					t.Fatalf("%v: cycle %d (after skip %d) thread %d:\n ref %+v\n ff  %+v",
+						p, c0.Cycle(), n, th, c0.Stats(th), c1.Stats(th))
+				}
+			}
+			if !reflect.DeepEqual(c0.CoreStats(), c1.CoreStats()) {
+				t.Fatalf("%v: cycle %d (after skip %d) corestats:\n ref %+v\n ff  %+v",
+					p, c0.Cycle(), n, c0.CoreStats(), c1.CoreStats())
+			}
+		}
+	}
+}

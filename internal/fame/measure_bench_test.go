@@ -1,0 +1,52 @@
+package fame
+
+import (
+	"testing"
+
+	"power5prio/internal/core"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// benchmarkMeasure times a full FAME measurement of a co-scheduled pair,
+// reporting simulated cycles per wall second. The stepped variants pin
+// the measurement-loop overhead itself (the repetition-gated convergence
+// check replaced a per-cycle ThreadStats snapshot + convergence re-run);
+// the fastforward variants additionally exercise the idle-cycle skip,
+// which only pays off on the memory-bound pair.
+func benchmarkMeasure(b *testing.B, name string, ff bool) {
+	prev := SetFastForward(ff)
+	defer SetFastForward(prev)
+	k, err := microbench.BuildWith(name, microbench.Params{Iters: 48})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{MinReps: 3, WarmupReps: 1, MAIV: 0.01, MaxCycles: 200_000_000}
+	var cycles uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch := core.NewChip(core.DefaultConfig())
+		ch.PlacePair(k, k, prio.Medium, prio.Medium, prio.User)
+		res := Measure(ch, opt)
+		cycles += res.Cycles
+	}
+	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
+func BenchmarkMeasure(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		kernel string
+		ff     bool
+	}{
+		{"cpu_int/stepped", microbench.CPUInt, false},
+		{"cpu_int/fastforward", microbench.CPUInt, true},
+		{"ldint_mem/stepped", microbench.LdIntMem, false},
+		{"ldint_mem/fastforward", microbench.LdIntMem, true},
+	} {
+		bench := tc
+		b.Run(bench.name, func(b *testing.B) {
+			benchmarkMeasure(b, bench.kernel, bench.ff)
+		})
+	}
+}

@@ -13,6 +13,9 @@ import (
 const (
 	// notDone marks an in-flight instruction whose result is not ready.
 	notDone = ^uint64(0)
+	// NoEvent is the IdleWake sentinel for a core with no pending
+	// time-indexed event (an empty core is idle forever on its own).
+	NoEvent = ^uint64(0)
 	// replayRing must exceed the maximum in-flight window (GCT*GroupMax +
 	// fetch buffer) with margin; power of two for cheap masking.
 	replayRing = 1024
@@ -83,7 +86,15 @@ type threadState struct {
 
 	groups []*group // in-flight groups, oldest first
 
-	lmq    []lmqEntry
+	// Load-miss queue. The slice holds the in-flight entries (needed for
+	// squash filtering); the occupancy counters are maintained
+	// incrementally at insert, expiry and squash so the per-cycle cost is
+	// one compare against lmqNext instead of three slice scans.
+	lmq       []lmqEntry
+	lmqActive int    // entries with done > now
+	lmqMisses int    // active entries that missed to L2 or beyond
+	lmqNext   uint64 // earliest completion among active entries (NoEvent if none)
+
 	pendBr []brEvent
 
 	blockedUntil uint64 // decode blocked until this cycle (redirect)
@@ -94,38 +105,60 @@ type threadState struct {
 // gctHeld returns the number of GCT entries the thread occupies.
 func (t *threadState) gctHeld() int { return len(t.groups) }
 
-// pruneLMQ drops completed miss entries; called once per cycle so the
-// slice stays bounded by the LMQ capacity.
-func (t *threadState) pruneLMQ(c uint64) {
+// lmqTick expires completed miss entries once the earliest completion
+// time is due. Between expiries the counters are exact by construction,
+// so the common case is a single compare.
+func (t *threadState) lmqTick(now uint64) {
+	if now < t.lmqNext {
+		return
+	}
+	t.lmqRecount(now)
+}
+
+// lmqRecount rebuilds the occupancy counters, dropping expired entries.
+func (t *threadState) lmqRecount(now uint64) {
 	dst := t.lmq[:0]
+	t.lmqActive, t.lmqMisses = 0, 0
+	t.lmqNext = NoEvent
 	for _, e := range t.lmq {
-		if e.done > c {
-			dst = append(dst, e)
+		if e.done <= now {
+			continue
+		}
+		dst = append(dst, e)
+		t.lmqActive++
+		if e.level >= mem.HitL2 {
+			t.lmqMisses++
+		}
+		if e.done < t.lmqNext {
+			t.lmqNext = e.done
 		}
 	}
 	t.lmq = dst
 }
 
-// outstandingMisses counts active L2-or-beyond misses at cycle c.
-func (t *threadState) outstandingMisses(c uint64) int {
-	n := 0
-	for _, e := range t.lmq {
-		if e.done > c && e.level >= mem.HitL2 {
-			n++
-		}
+// lmqInsert records a newly issued missing load (done is always in the
+// future at insert time).
+func (t *threadState) lmqInsert(e lmqEntry) {
+	t.lmq = append(t.lmq, e)
+	t.lmqActive++
+	if e.level >= mem.HitL2 {
+		t.lmqMisses++
 	}
-	return n
+	if e.done < t.lmqNext {
+		t.lmqNext = e.done
+	}
 }
 
-// activeLMQ counts all outstanding missed loads at cycle c.
-func (t *threadState) activeLMQ(c uint64) int {
-	n := 0
+// lmqSquash cancels entries younger than seq and recounts.
+func (t *threadState) lmqSquash(seq, now uint64) {
+	dst := t.lmq[:0]
 	for _, e := range t.lmq {
-		if e.done > c {
-			n++
+		if e.seq <= seq {
+			dst = append(dst, e)
 		}
 	}
-	return n
+	t.lmq = dst
+	t.lmqRecount(now)
 }
 
 func (t *threadState) depReady(dep uint64, now uint64) bool {
@@ -172,7 +205,7 @@ func NewCore(cfg Config, hier *mem.Hierarchy, id int) *Core {
 		mon:   balance.NewMonitor(cfg.Balance),
 	}
 	for i := range c.thr {
-		c.thr[i] = &threadState{id: i}
+		c.thr[i] = &threadState{id: i, lmqNext: NoEvent}
 	}
 	for i := 0; i < cfg.GCTEntries+2; i++ {
 		c.pool = append(c.pool, &group{})
@@ -202,7 +235,7 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 // Passing a nil stream deactivates the thread.
 func (c *Core) SetWorkload(t int, s *isa.Stream, priv prio.Privilege) {
 	ts := c.thr[t]
-	*ts = threadState{id: t, stream: s, priv: priv, running: s != nil}
+	*ts = threadState{id: t, stream: s, priv: priv, running: s != nil, lmqNext: NoEvent}
 	for i := range ts.resultAt {
 		ts.resultAt[i] = notDone
 	}
@@ -244,6 +277,8 @@ func (c *Core) active(t int) bool {
 // Step advances the core by one cycle.
 func (c *Core) Step() {
 	now := c.cycle
+	c.thr[0].lmqTick(now)
+	c.thr[1].lmqTick(now)
 	c.resolveBranches(now)
 	c.retire(now)
 	c.issue(now)
@@ -258,11 +293,199 @@ func (c *Core) Step() {
 // CoreStats returns a snapshot of whole-core activity counters.
 func (c *Core) CoreStats() CoreStats { return c.cstats }
 
+// Repetitions returns thread t's completed-repetition counter without
+// copying the full ThreadStats snapshot; measurement loops poll it every
+// cycle to decide when convergence needs re-checking.
+func (c *Core) Repetitions(t int) uint64 { return c.thr[t].stats.Repetitions }
+
 // Run advances the core n cycles.
 func (c *Core) Run(n uint64) {
 	for i := uint64(0); i < n; i++ {
 		c.Step()
 	}
+}
+
+// IdleWake decides whether the core is provably idle at the current
+// cycle: stepping it cannot change architectural or statistical state
+// beyond the closed-form bookkeeping FastForward applies. When idle, it
+// returns the earliest future cycle at which work may resume — the skip
+// is legal (bit-identical to stepping) for any target up to that wake.
+//
+// A cycle is idle when, simultaneously:
+//   - no pending branch event is due, no head group is retirable, and no
+//     issue-queue entry is ready (each pending one either waits on a
+//     result with a known future time, on a producer that has not issued,
+//     or on a full LMQ);
+//   - every active thread's fetch buffer is full (fetch is a no-op);
+//   - every active thread either cannot decode for a reason that persists
+//     across the window — balance-stalled with the watermark episode
+//     stable, redirect-blocked, GCT full, or the issue queue of its next
+//     instruction full — or is not granted a decode slot before the wake;
+//   - the balance monitor is transition-free for both threads
+//     (balance.Monitor.CanSkip), so its evolution is closed-form.
+//
+// The wake is the minimum over pending-branch resolution times, LMQ
+// completion times, dependency result times, head-group completion
+// times, redirect expiries and the next decode grant of an unblocked
+// thread. minAhead declines windows shorter than that many cycles (the
+// closed-form jump is not worth it); a core with no pending event at all
+// reports idle with wake == NoEvent, leaving the bound to the caller.
+func (c *Core) IdleWake(minAhead uint64) (wake uint64, idle bool) {
+	now := c.cycle
+	c.thr[0].lmqTick(now)
+	c.thr[1].lmqTick(now)
+	wake = NoEvent
+
+	// Cheap phase: decode, fetch and monitor conditions — O(1) per
+	// thread, so busy cores bail before any queue walking.
+	for i, ts := range c.thr {
+		if !c.active(i) {
+			continue
+		}
+		if !c.mon.CanSkip(i, ts.gctHeld(), c.active(1-i)) {
+			return 0, false
+		}
+		if len(ts.fetchBuf)-ts.fbHead < c.cfg.FetchBufCap {
+			return 0, false // fetch would make progress
+		}
+		switch {
+		case c.mon.Stalled(i):
+			// Decode stalled by the balancer; CanSkip above proved the
+			// episode persists while GCT occupancy is unchanged.
+		case ts.blockedUntil > now:
+			// Redirect penalty; its expiry bounds the wake below.
+		case c.gctUsed() >= c.cfg.GCTEntries:
+			// Dispatch blocked until a retire, and no retire is due.
+		case len(c.queues[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]) >= c.cfg.QueueCap[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]:
+			// The next instruction's issue queue is full and cannot
+			// drain (no entry issues during the window).
+		default:
+			// The thread would decode when granted; the skip must end
+			// at its next decode slot.
+			d := c.alloc.NextGrantDelta(i)
+			if d < minAhead {
+				return 0, false
+			}
+			if d != prio.NeverGranted && now+d < wake {
+				wake = now + d
+			}
+		}
+	}
+
+	// Event phase: every time-indexed state change bounds the wake, and
+	// anything actionable right now vetoes the skip.
+	for _, ts := range c.thr {
+		for _, ev := range ts.pendBr {
+			if ev.at <= now {
+				return 0, false // due branch resolution
+			}
+			if ev.at < wake {
+				wake = ev.at
+			}
+		}
+		if ts.lmqNext < wake {
+			wake = ts.lmqNext
+		}
+		if ts.blockedUntil > now && ts.blockedUntil < wake {
+			wake = ts.blockedUntil
+		}
+		if len(ts.groups) > 0 {
+			g := ts.groups[0]
+			var done uint64
+			allIssued := true
+			for k := 0; k < g.n; k++ {
+				if !g.issued[k] {
+					allIssued = false
+					break
+				}
+				if r := ts.resultAt[(g.firstSeq+uint64(k))&(resultRing-1)]; r > done {
+					done = r
+				}
+			}
+			if allIssued {
+				if done <= now {
+					return 0, false // retirable now
+				}
+				if done < wake {
+					wake = done
+				}
+			}
+		}
+	}
+	for u := range c.queues {
+		q := c.queues[u]
+		for j := range q {
+			e := &q[j]
+			ts := c.thr[e.thread]
+			at, known := depResultAt(ts, e.depA)
+			if !known {
+				continue // producer not issued; it wakes first
+			}
+			at2, known := depResultAt(ts, e.depB)
+			if !known {
+				continue
+			}
+			if at2 > at {
+				at = at2
+			}
+			if at <= now {
+				if e.op == isa.OpLoad && !c.hier.L1Resident(c.id, e.addr) &&
+					ts.lmqActive >= c.cfg.LMQPerThread {
+					continue // LMQ-blocked; lmqNext already bounds the wake
+				}
+				return 0, false // issuable now
+			}
+			if at < wake {
+				wake = at
+			}
+		}
+	}
+	if wake != NoEvent && wake < now+minAhead {
+		return 0, false
+	}
+	return wake, true
+}
+
+// depResultAt returns the cycle a dependency's result becomes available
+// and whether that time is known (false while the producer has not
+// issued).
+func depResultAt(ts *threadState, dep uint64) (uint64, bool) {
+	if dep == isa.DepNone {
+		return 0, true
+	}
+	r := ts.resultAt[dep&(resultRing-1)]
+	if r == notDone {
+		return 0, false
+	}
+	return r, true
+}
+
+// FastForward jumps the core from the current cycle to target, applying
+// in closed form exactly the bookkeeping the skipped Steps would have
+// performed: decode-slot grants (and their stall statistics), balance
+// monitor throttling windows, and cycle/GCT-occupancy integrals. It is
+// only legal after IdleWake reported idle with wake >= target; the
+// result is bit-identical to calling Step target-cycle times.
+func (c *Core) FastForward(target uint64) {
+	n := target - c.cycle
+	if n == 0 || target < c.cycle {
+		return
+	}
+	grants := c.alloc.SkipGrants(n)
+	for i, ts := range c.thr {
+		if !c.active(i) {
+			continue
+		}
+		// Every skipped grant is a stalled decode slot: the idle
+		// condition proved the thread could not decode anywhere in the
+		// window.
+		ts.stats.DecodeGranted += grants[i]
+		ts.stats.DecodeStalled += grants[i]
+		c.mon.SkipObserve(i, ts.lmqMisses, c.active(1-i), n)
+	}
+	c.cstats.Cycles += n
+	c.cstats.GCTOccupSum += n * uint64(c.gctUsed())
+	c.cycle = target
 }
 
 // resolveBranches applies mispredict squashes whose resolution time is due.
@@ -313,13 +536,7 @@ func (c *Core) squash(ts *threadState, seq uint64, now uint64) {
 		c.queues[u] = dst
 	}
 	// Cancel younger outstanding misses.
-	lmq := ts.lmq[:0]
-	for _, e := range ts.lmq {
-		if e.seq <= seq {
-			lmq = append(lmq, e)
-		}
-	}
-	ts.lmq = lmq
+	ts.lmqSquash(seq, now)
 	// Drop younger pending branch events.
 	pb := ts.pendBr[:0]
 	for _, ev := range ts.pendBr {
@@ -411,7 +628,7 @@ func (c *Core) issue(now uint64) {
 			if e.op == isa.OpLoad {
 				// A load that may miss needs a free LMQ entry; probe the
 				// cache without side effects first.
-				if !c.hier.L1Resident(c.id, e.addr) && ts.activeLMQ(now) >= c.cfg.LMQPerThread {
+				if !c.hier.L1Resident(c.id, e.addr) && ts.lmqActive >= c.cfg.LMQPerThread {
 					if w != i {
 						q[w] = *e
 					}
@@ -429,7 +646,7 @@ func (c *Core) issue(now uint64) {
 				res := c.hier.Load(c.id, int(e.thread), e.addr, now)
 				doneAt = res.Done
 				if res.Level != mem.HitL1 {
-					ts.lmq = append(ts.lmq, lmqEntry{seq: e.seq, done: res.Done, level: res.Level})
+					ts.lmqInsert(lmqEntry{seq: e.seq, done: res.Done, level: res.Level})
 				}
 			case isa.OpStore:
 				c.hier.Store(c.id, int(e.thread), e.addr, now)
@@ -456,12 +673,11 @@ func (c *Core) issue(now uint64) {
 func (c *Core) balanceStep(now uint64) [2]bool {
 	var stall [2]bool
 	for i, ts := range c.thr {
-		ts.pruneLMQ(now)
 		if !c.active(i) {
 			continue
 		}
 		sibling := c.active(1 - i)
-		d := c.mon.Observe(i, ts.gctHeld(), ts.outstandingMisses(now), sibling)
+		d := c.mon.Observe(i, ts.gctHeld(), ts.lmqMisses, sibling)
 		stall[i] = d.StallDecode
 		if d.FlushDispatch && len(ts.fetchBuf)-ts.fbHead > 0 {
 			// Flush dispatch-pending instructions: they will be re-fetched.

@@ -232,6 +232,120 @@ func (a *Allocator) Priority(t int) Level {
 	return a.prio[t]
 }
 
+// NeverGranted is returned by NextGrantDelta for a thread the allocator
+// will never grant under the current priority pair (a switched-off
+// thread, or any thread while both are off).
+const NeverGranted = ^uint64(0)
+
+// NextGrantDelta returns how many Next calls from the current position
+// until thread t is granted a decode slot: 0 means the very next call
+// grants t. It does not advance the allocator. The simulator's idle-cycle
+// fast-forward uses it to bound a skip at the next cycle a runnable
+// thread would receive decode bandwidth.
+func (a *Allocator) NextGrantDelta(t int) uint64 {
+	a.ensureInit()
+	if t != 0 && t != 1 {
+		panic(fmt.Sprintf("prio: thread %d out of range", t))
+	}
+	p0, p1 := a.prio[0], a.prio[1]
+	switch {
+	case p0 == ThreadOff && p1 == ThreadOff:
+		return NeverGranted
+	case p0 == ThreadOff:
+		if t == 1 {
+			return 0
+		}
+		return NeverGranted
+	case p1 == ThreadOff:
+		if t == 0 {
+			return 0
+		}
+		return NeverGranted
+	case p0 == VeryLow && p1 == VeryLow:
+		m := uint64(2 * LowPowerPeriod)
+		slot := uint64(0)
+		if t == 1 {
+			slot = LowPowerPeriod
+		}
+		return (slot + m - uint64(a.pos)) % m
+	}
+	diff := int(p0) - int(p1)
+	if diff == 0 {
+		return (uint64(t) + 2 - uint64(a.pos)) % 2
+	}
+	r := uint64(R(diff))
+	hi := 0
+	if diff < 0 {
+		hi = 1
+	}
+	loDelta := (r - 1 - uint64(a.pos)) % r
+	if t == hi {
+		if loDelta == 0 {
+			return 1
+		}
+		return 0
+	}
+	return loDelta
+}
+
+// SkipGrants advances the allocator by n cycles in closed form and
+// returns the number of decode slots each thread would have been granted
+// over those cycles, exactly as n successive Next calls would have. The
+// fast-forward path uses it to account decode-slot statistics across a
+// skipped idle window without walking cycle by cycle.
+func (a *Allocator) SkipGrants(n uint64) [2]uint64 {
+	a.ensureInit()
+	var g [2]uint64
+	if n == 0 {
+		return g
+	}
+	p0, p1 := a.prio[0], a.prio[1]
+	switch {
+	case p0 == ThreadOff && p1 == ThreadOff:
+		return g
+	case p0 == ThreadOff:
+		g[1] = n
+		return g
+	case p1 == ThreadOff:
+		g[0] = n
+		return g
+	case p0 == VeryLow && p1 == VeryLow:
+		m := uint64(2 * LowPowerPeriod)
+		p := uint64(a.pos)
+		g[0] = hitCount(n, p, 0, m)
+		g[1] = hitCount(n, p, LowPowerPeriod, m)
+		a.pos = int((p + n) % m)
+		return g
+	}
+	diff := int(p0) - int(p1)
+	if diff == 0 {
+		p := uint64(a.pos)
+		g[0] = hitCount(n, p, 0, 2)
+		g[1] = n - g[0]
+		a.pos = int((p + n) % 2)
+		return g
+	}
+	r := uint64(R(diff))
+	hi, lo := 0, 1
+	if diff < 0 {
+		hi, lo = 1, 0
+	}
+	p := uint64(a.pos)
+	g[lo] = hitCount(n, p, r-1, r)
+	g[hi] = n - g[lo]
+	a.pos = int((p + n) % r)
+	return g
+}
+
+// hitCount counts k in [0,n) with (p+k) mod m == r.
+func hitCount(n, p, r, m uint64) uint64 {
+	off := (r + m - p%m) % m
+	if n <= off {
+		return 0
+	}
+	return (n-off-1)/m + 1
+}
+
 // Next returns the decode grant for the next cycle and advances the
 // allocator.
 func (a *Allocator) Next() Grant {

@@ -320,3 +320,74 @@ func TestAllocatorShareProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestSkipGrantsMatchesNext proves the closed-form SkipGrants is
+// bit-identical to stepping Next n times, for every priority pair,
+// every reachable window position, and a spread of window lengths.
+func TestSkipGrantsMatchesNext(t *testing.T) {
+	lengths := []uint64{0, 1, 2, 3, 5, 31, 32, 33, 63, 64, 65, 127, 1000}
+	for p0 := Level(0); p0 <= VeryHigh; p0++ {
+		for p1 := Level(0); p1 <= VeryHigh; p1++ {
+			// Visit every reachable position by warming up to 2*64 cycles.
+			for warm := 0; warm < 2*LowPowerPeriod; warm++ {
+				for _, n := range lengths {
+					ref := NewAllocator(p0, p1)
+					ff := NewAllocator(p0, p1)
+					for i := 0; i < warm; i++ {
+						ref.Next()
+						ff.Next()
+					}
+					var want [2]uint64
+					for i := uint64(0); i < n; i++ {
+						g := ref.Next()
+						if !g.None {
+							want[g.Thread]++
+						}
+					}
+					got := ff.SkipGrants(n)
+					if got != want {
+						t.Fatalf("(%v,%v) warm=%d n=%d: SkipGrants=%v stepped=%v", p0, p1, warm, n, got, want)
+					}
+					// After the skip both allocators must be in the same
+					// window position: the next grants must agree.
+					for i := 0; i < 3*LowPowerPeriod; i++ {
+						if a, b := ref.Next(), ff.Next(); a != b {
+							t.Fatalf("(%v,%v) warm=%d n=%d: diverged %d grants after skip: %v vs %v", p0, p1, warm, n, i, a, b)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNextGrantDelta proves NextGrantDelta points at exactly the next
+// Next call granting the thread, without advancing the allocator.
+func TestNextGrantDelta(t *testing.T) {
+	for p0 := Level(0); p0 <= VeryHigh; p0++ {
+		for p1 := Level(0); p1 <= VeryHigh; p1++ {
+			a := NewAllocator(p0, p1)
+			for warm := 0; warm < 3*LowPowerPeriod; warm++ {
+				for th := 0; th < 2; th++ {
+					d := a.NextGrantDelta(th)
+					probe := NewAllocator(p0, p1)
+					for i := 0; i < warm; i++ {
+						probe.Next()
+					}
+					// Find the stepped delta, bounded by two low-power windows.
+					want := NeverGranted
+					for i := uint64(0); i < 2*2*LowPowerPeriod; i++ {
+						if g := probe.Next(); !g.None && g.Thread == th {
+							want = i
+							break
+						}
+					}
+					if d != want {
+						t.Fatalf("(%v,%v) warm=%d thread=%d: NextGrantDelta=%d stepped=%d", p0, p1, warm, th, d, want)
+					}
+				}
+				a.Next()
+			}
+		}
+	}
+}
