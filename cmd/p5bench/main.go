@@ -26,7 +26,10 @@ import (
 	"runtime"
 	"time"
 
+	"power5prio/internal/cachestore"
+	"power5prio/internal/cmdutil"
 	"power5prio/internal/core"
+	"power5prio/internal/engine"
 	"power5prio/internal/experiments"
 	"power5prio/internal/fame"
 	"power5prio/internal/isa"
@@ -79,8 +82,15 @@ func main() {
 		out     = flag.String("out", "BENCH_simulator.json", "output file")
 		quick   = flag.Bool("quick", false, "reduced scale for CI smoke runs")
 		workers = flag.Int("workers", 1, "regeneration worker pool size (1 keeps timings comparable)")
+		common  = cmdutil.AddCommonFlags("p5bench", flag.CommandLine)
 	)
 	flag.Parse()
+	// The shared flags apply to the regeneration phase: -fastforward
+	// sets its mode (the A/B measurements toggle it explicitly either
+	// way), and -cache-dir times warm-cache regeneration instead of
+	// cold simulation.
+	store := common.Init()
+	defer common.StartProfiles()()
 
 	rep := Report{
 		Schema:  1,
@@ -130,7 +140,7 @@ func main() {
 		}
 	}
 
-	rep.Regeneration = regeneration(*quick, *workers)
+	rep.Regeneration = regeneration(*quick, *workers, store)
 	for _, r := range rep.Regeneration {
 		fmt.Fprintf(os.Stderr, "p5bench: regen %-8s %.2fs\n", r.Name, r.Seconds)
 	}
@@ -224,8 +234,9 @@ func measureAB(name string, a, b func() *isa.Kernel, pa, pb prio.Level) Measurem
 }
 
 // regeneration times each quick-mode experiment on a fresh harness (no
-// cross-experiment cache reuse, so the times are attributable).
-func regeneration(quick bool, workers int) []Regeneration {
+// cross-experiment cache reuse, so the times are attributable; a
+// -cache-dir store is attached to each engine, timing warm lookups).
+func regeneration(quick bool, workers int, store *cachestore.Store) []Regeneration {
 	ctx := context.Background()
 	var out []Regeneration
 	timeIt := func(name string, run func(h experiments.Harness) error) {
@@ -235,6 +246,9 @@ func regeneration(quick bool, workers int) []Regeneration {
 		}
 		h.Workers = workers
 		h.Engine = nil // fresh private engine per experiment
+		if store != nil {
+			h.Engine = engine.NewWith(workers, nil, engine.WithStore(store))
+		}
 		start := time.Now()
 		if err := run(h); err != nil {
 			fmt.Fprintf(os.Stderr, "p5bench: %s: %v\n", name, err)

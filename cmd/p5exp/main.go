@@ -9,12 +9,18 @@
 //	p5exp -exp fig2 -csv         # machine-readable output
 //	p5exp -exp all -quick -cache-dir ~/.cache/p5exp   # persist results
 //	p5exp -cache-dir ~/.cache/p5exp -cache stats      # inspect the cache
+//	p5exp -exp all -remote host1:7550,host2:7550      # shard across workers
 //
 // With -cache-dir, results persist across invocations: a re-run of the
 // same experiments performs no simulations (all disk hits), and
 // -require-warm turns that expectation into an exit code for CI. The
 // -cache flag administers the store: stats, verify (checksum-scan and
 // drop corrupt entries) or clear.
+//
+// With -remote, simulation jobs are sharded across p5worker processes
+// (results are byte-identical to a local run — see README "Distributed
+// runs"); the engine stats line then reports remote jobs, retries and
+// worker errors.
 //
 // Ctrl-C cancels the sweep: whatever was measured before the interrupt
 // is rendered (unmeasured cells as zeros), and the completed work stays
@@ -39,32 +45,22 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
-		quick      = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		verify     = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
-		workers    = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
-		cacheDir   = flag.String("cache-dir", "", "persist simulation results in this directory (reused across runs)")
-		cacheOp    = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
-		reqWarm    = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
-		ff         = flag.String("fastforward", "on", "idle-cycle fast-forward: on|off (results are identical either way; off for A/B debugging)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exp     = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		quick   = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		verify  = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
+		workers = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		cacheOp = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
+		reqWarm = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
+		remotes = flag.String("remote", "", "shard simulation across p5worker processes at host:port[,host:port...] instead of running locally")
+		common  = cmdutil.AddCommonFlags("p5exp", flag.CommandLine)
 	)
 	flag.Parse()
-	cmdutil.SetFastForward("p5exp", *ff)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var store *cachestore.Store
-	if *cacheDir != "" {
-		var err error
-		if store, err = cachestore.Open(*cacheDir); err != nil {
-			fmt.Fprintln(os.Stderr, "p5exp:", err)
-			os.Exit(1)
-		}
-	}
+	store := common.Init()
 	if *cacheOp != "" {
 		os.Exit(runCacheOp(store, *cacheOp))
 	}
@@ -72,15 +68,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p5exp: -require-warm needs -cache-dir")
 		os.Exit(2)
 	}
+	// Execution backend: the in-process pool, or a health-checked
+	// worker fleet with -remote. The engine's cache tiers (including
+	// -cache-dir) stay local either way, in front of the backend.
+	var engOpts []engine.Option
+	engOpts = append(engOpts, engine.WithStore(store))
+	if *remotes != "" {
+		engOpts = append(engOpts, engine.WithBackend(cmdutil.RemoteBackend(ctx, "p5exp", *remotes)))
+	}
 	// Started after the administrative early exits above, so a live
 	// profile can never be abandoned by os.Exit.
-	stopProfiles := cmdutil.StartProfiles("p5exp", *cpuprofile, *memprofile)
+	stopProfiles := common.StartProfiles()
 
 	h := experiments.Default()
 	if *quick {
 		h = experiments.Quick()
 	}
-	h.Engine = engine.NewWith(*workers, nil, engine.WithStore(store))
+	h.Engine = engine.NewWith(*workers, nil, engOpts...)
 	// exit reports the engine stats before terminating: os.Exit skips
 	// deferred functions, and the stats matter most on failed runs.
 	exit := func(code int) {

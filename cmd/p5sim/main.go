@@ -9,6 +9,7 @@
 //	p5sim -a cpu_int -b mcf            # mixed-family pair
 //	p5sim -a mcf -single
 //	p5sim -list
+//	p5sim -a mcf -b equake -sweep -remote host1:7550,host2:7550
 //
 // Ctrl-C during -sweep prints the settings measured so far.
 package main
@@ -39,25 +40,22 @@ func main() {
 
 func run() int {
 	var (
-		nameA    = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
-		nameB    = flag.String("b", "", "second workload; empty with -single for ST mode")
-		pa       = flag.Int("pa", 4, "priority of the first workload (1-7)")
-		pb       = flag.Int("pb", 4, "priority of the second workload (1-7)")
-		single   = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
-		reps     = flag.Int("reps", 10, "minimum FAME repetitions per thread")
-		workers  = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
-		cacheDir = flag.String("cache-dir", "", "persist measurement results in this directory (reused across runs; shareable with p5exp)")
-		sweep    = flag.Bool("sweep", false, "sweep the pair across all priority differences [-5,+5] as one batch")
-		list     = flag.Bool("list", false, "list available workloads and exit")
-		showPow  = flag.Bool("power", false, "estimate core power with the activity model")
-		disasm   = flag.Bool("disasm", false, "print the first workload's loop body and exit")
-		ff       = flag.String("fastforward", "on", "idle-cycle fast-forward: on|off (results are identical either way; off for A/B debugging)")
-		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		nameA   = flag.String("a", "cpu_int", "first workload (micro-benchmark or SPEC name)")
+		nameB   = flag.String("b", "", "second workload; empty with -single for ST mode")
+		pa      = flag.Int("pa", 4, "priority of the first workload (1-7)")
+		pb      = flag.Int("pb", 4, "priority of the second workload (1-7)")
+		single  = flag.Bool("single", false, "run the first workload alone (single-thread mode)")
+		reps    = flag.Int("reps", 10, "minimum FAME repetitions per thread")
+		workers = flag.Int("workers", 0, "worker pool size for -sweep (0 = all CPU cores)")
+		sweep   = flag.Bool("sweep", false, "sweep the pair across all priority differences [-5,+5] as one batch")
+		list    = flag.Bool("list", false, "list available workloads and exit")
+		showPow = flag.Bool("power", false, "estimate core power with the activity model")
+		disasm  = flag.Bool("disasm", false, "print the first workload's loop body and exit")
+		remotes = flag.String("remote", "", "run measurements on p5worker processes at host:port[,host:port...] instead of locally")
+		common  = cmdutil.AddCommonFlags("p5sim", flag.CommandLine)
 	)
 	flag.Parse()
-	cmdutil.SetFastForward("p5sim", *ff)
-	defer cmdutil.StartProfiles("p5sim", *cpuprof, *memprof)()
+	store := common.Init()
 
 	if *list {
 		fmt.Println("micro-benchmarks:", strings.Join(power5prio.Microbenchmarks(), " "))
@@ -74,11 +72,17 @@ func run() int {
 		power5prio.WithMeasureOptions(opts),
 		power5prio.WithWorkers(*workers),
 	}
-	if *cacheDir != "" {
+	if store != nil {
 		// A re-run of the same workloads and settings — including a
 		// repeated -sweep — is then served from disk without simulating.
-		sysOpts = append(sysOpts, power5prio.WithCacheDir(*cacheDir))
+		sysOpts = append(sysOpts, power5prio.WithCache(store))
 	}
+	if *remotes != "" {
+		// Built before profiling starts: an unreachable fleet exits here,
+		// and os.Exit must not abandon a live CPU profile.
+		sysOpts = append(sysOpts, power5prio.WithBackend(cmdutil.RemoteBackend(ctx, "p5sim", *remotes)))
+	}
+	defer common.StartProfiles()()
 	sys := power5prio.New(power5prio.DefaultConfig(), sysOpts...)
 
 	build := func(name string) *power5prio.Kernel {

@@ -1,0 +1,81 @@
+// Command p5worker serves the distributed execution protocol: it runs
+// simulation jobs posted by p5exp/p5sim -remote (or any program using a
+// remote backend) on a local worker pool, with the same two cache tiers
+// a local run has. Point a fleet's workers — and the client — at one
+// shared -cache-dir and a warm cache short-circuits remote simulation
+// entirely.
+//
+// Usage:
+//
+//	p5worker                                      # serve on 127.0.0.1:7550
+//	p5worker -listen 0.0.0.0:7550 -workers 8      # serve a LAN, bounded pool
+//	p5worker -listen 127.0.0.1:0                  # pick a free port (printed)
+//	p5worker -cache-dir /mnt/shared/p5cache       # join a shared result cache
+//
+// The worker prints its bound address on startup and one line per batch
+// served. SIGINT/SIGTERM shut it down gracefully (in-flight batches
+// finish). Results are bit-identical to local execution provided client
+// and workers run the same build; a version or schema skew is detected
+// per request and fails loudly instead of measuring the wrong thing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"power5prio/internal/cmdutil"
+	"power5prio/internal/remote"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:7550", "address to serve the worker protocol on (host:port; port 0 picks a free port)")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		maxBatch = flag.Int("max-batch", 4096, "largest job batch accepted in one request (0 = unlimited)")
+		quiet    = flag.Bool("quiet", false, "suppress the per-batch log lines")
+		common   = cmdutil.AddCommonFlags("p5worker", flag.CommandLine)
+	)
+	flag.Parse()
+	store := common.Init()
+	stopProfiles := common.StartProfiles()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "p5worker: "+format+"\n", args...)
+	}
+	cfg := remote.ServerConfig{
+		Workers:  *workers,
+		Store:    store,
+		MaxBatch: *maxBatch,
+	}
+	if !*quiet {
+		cfg.Logf = logf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("%v", err)
+		stopProfiles()
+		os.Exit(1)
+	}
+	cache := "memory-only cache"
+	if store != nil {
+		cache = "cache dir " + store.Dir()
+	}
+	logf("serving %s on %s (%s)", remote.ProtocolVersion, lis.Addr(), cache)
+
+	err = remote.Serve(ctx, lis, cfg)
+	stopProfiles()
+	if err != nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+	logf("shut down")
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"power5prio/internal/core"
+	"power5prio/internal/fame"
 	"power5prio/internal/isa"
 	"power5prio/internal/prio"
 )
@@ -141,9 +142,18 @@ func SingleThread(cfg Config) (StageTimes, error) {
 		ch.PlacePair(k, nil, prio.Medium, prio.Medium, prio.Supervisor)
 		c := ch.ExperimentCore()
 		target := uint64(cfg.Warmup + cfg.Iterations)
-		for c.Stats(0).Repetitions < target {
+		skip := fame.FastForwardEnabled()
+		for c.Repetitions(0) < target {
 			if c.Cycle() > cfg.MaxCycles {
 				return 0, fmt.Errorf("apps: single-thread run exceeded MaxCycles")
+			}
+			// Idle windows (memory stalls) jump in closed form; a skip
+			// is bit-identical to stepping and can never retire the
+			// loop branch, so the repetition count is re-read safely.
+			// The bound lands any over-long skip exactly on the cycle
+			// the stepped loop would call the timeout on.
+			if skip && ch.SkipIdle(cfg.MaxCycles+1) > 0 {
+				continue
 			}
 			ch.Step()
 		}
@@ -178,24 +188,41 @@ func Run(cfg Config, pf, pl prio.Level) (Result, error) {
 	c := ch.ExperimentCore()
 	res := Result{PrioFFT: pf, PrioLU: pl}
 	total := cfg.Warmup + cfg.Iterations
+	skip := fame.FastForwardEnabled()
 	for it := 0; it < total; it++ {
 		// Barrier: fresh stage executions, priorities restored.
 		ch.PlacePair(FFTKernel(cfg.Scale), LUKernel(cfg.Scale), pf, pl, prio.Supervisor)
 		start := c.Cycle()
 		var fftEnd, luEnd uint64
+		// A stage end is a repetition boundary, so the stage checks run
+		// only when a Repetitions counter advances, and the cycles in
+		// between — including the tail where one thread is switched off
+		// and the other stalls on memory — fast-forward through
+		// SkipIdle. A skip retires nothing, so it can neither complete
+		// a repetition nor move a barrier decision; the bound lands any
+		// over-long skip exactly on the stepped loop's timeout cycle.
+		reps := c.Repetitions(0) + c.Repetitions(1)
 		for fftEnd == 0 || luEnd == 0 {
 			if c.Cycle() > cfg.MaxCycles {
 				res.TimedOut = true
 				return res, nil
 			}
+			if skip && ch.SkipIdle(cfg.MaxCycles+1) > 0 {
+				continue
+			}
 			ch.Step()
-			if fftEnd == 0 && c.Stats(0).Repetitions >= 1 {
+			if r := c.Repetitions(0) + c.Repetitions(1); r != reps {
+				reps = r
+			} else {
+				continue
+			}
+			if fftEnd == 0 && c.Repetitions(0) >= 1 {
 				fftEnd = c.Stats(0).RepEndCycles[0]
 				if luEnd == 0 {
 					c.SetPriority(0, prio.ThreadOff) // FFT waits at the barrier
 				}
 			}
-			if luEnd == 0 && c.Stats(1).Repetitions >= 1 {
+			if luEnd == 0 && c.Repetitions(1) >= 1 {
 				luEnd = c.Stats(1).RepEndCycles[0]
 				if fftEnd == 0 {
 					c.SetPriority(1, prio.ThreadOff) // LU waits at the barrier

@@ -1,8 +1,10 @@
 package apps
 
 import (
+	"reflect"
 	"testing"
 
+	"power5prio/internal/fame"
 	"power5prio/internal/prio"
 )
 
@@ -144,5 +146,67 @@ func TestTimeoutReported(t *testing.T) {
 	}
 	if !res.TimedOut {
 		t.Error("expected timeout with a 100-cycle budget")
+	}
+}
+
+// TestPipelineFastForwardEquivalence: Run and SingleThread produce
+// results identical to pure cycle stepping when the barrier loop uses
+// Chip.SkipIdle — stage times, per-iteration series and the timeout
+// path all match exactly (PR-4's skip-legality invariant extended to
+// the apps layer).
+func TestPipelineFastForwardEquivalence(t *testing.T) {
+	runBoth := func(do func() any) (ff, stepped any) {
+		prev := fame.SetFastForward(true)
+		ff = do()
+		fame.SetFastForward(false)
+		stepped = do()
+		fame.SetFastForward(prev)
+		return ff, stepped
+	}
+
+	for _, pp := range []struct{ pf, pl prio.Level }{
+		{prio.Medium, prio.Medium},
+		{prio.MediumHigh, prio.Medium},
+		{prio.Low, prio.High},
+	} {
+		ff, stepped := runBoth(func() any {
+			res, err := Run(quickCfg(), pp.pf, pp.pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		})
+		if !reflect.DeepEqual(ff, stepped) {
+			t.Errorf("Run(%d,%d): fast-forward diverged from stepping\nff      %+v\nstepped %+v",
+				pp.pf, pp.pl, ff, stepped)
+		}
+	}
+
+	ff, stepped := runBoth(func() any {
+		st, err := SingleThread(quickCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	})
+	if !reflect.DeepEqual(ff, stepped) {
+		t.Errorf("SingleThread: fast-forward diverged from stepping\nff      %+v\nstepped %+v", ff, stepped)
+	}
+
+	// Timeout path: an impossible cycle budget must time out identically.
+	cfg := quickCfg()
+	cfg.MaxCycles = 5_000
+	ff, stepped = runBoth(func() any {
+		res, err := Run(cfg, prio.Medium, prio.Medium)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.TimedOut {
+			t.Fatal("tiny budget did not time out")
+		}
+		return res
+	})
+	if !reflect.DeepEqual(ff, stepped) {
+		t.Errorf("timeout path diverged\nff      %+v\nstepped %+v", ff, stepped)
 	}
 }

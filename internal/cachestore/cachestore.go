@@ -32,7 +32,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 )
 
 // FormatVersion is the on-disk format generation. Bumping it orphans all
@@ -76,6 +78,9 @@ type Option func(*Store)
 // gcEvery bounds how many writes may land between automatic GC passes
 // when a byte budget is set.
 const gcEvery = 64
+
+// putPrefix names Put's staging files; walkEntries ignores them.
+const putPrefix = "put-"
 
 // WithMaxBytes sets a byte budget: once writes accumulate, the store
 // periodically evicts oldest entries until it fits. n <= 0 (the default)
@@ -137,7 +142,7 @@ func (s *Store) Put(k Key, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("cachestore: put %s: %w", k, err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	tmp, err := os.CreateTemp(filepath.Dir(path), putPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("cachestore: put %s: %w", k, err)
 	}
@@ -201,8 +206,12 @@ type VerifyResult struct {
 
 // Verify scans every entry and validates its envelope, checksum and
 // filename-vs-embedded-key binding. With repair set, corrupt entries are
-// unlinked so later lookups recompute and rewrite them.
+// unlinked so later lookups recompute and rewrite them, and staging
+// files orphaned by crashed writers are swept.
 func (s *Store) Verify(repair bool) (VerifyResult, error) {
+	if repair {
+		s.sweepStaleTemps()
+	}
 	var vr VerifyResult
 	err := s.walkEntries(func(path string, fi fs.FileInfo) error {
 		vr.Checked++
@@ -225,6 +234,7 @@ func (s *Store) Verify(repair bool) (VerifyResult, error) {
 // total size fits maxBytes. It reports how many entries were removed and
 // how many bytes were reclaimed.
 func (s *Store) GC(maxBytes int64) (removed int, reclaimed int64, err error) {
+	s.sweepStaleTemps()
 	type entry struct {
 		path  string
 		size  int64
@@ -275,7 +285,35 @@ func (s *Store) maybeGC() {
 	}
 }
 
+// staleTempAge is how old a staging file must be before Verify/GC
+// treat it as an orphan of a crashed writer. A live Put holds its
+// staging file for milliseconds (plus arbitrary scheduler delay, hence
+// the generous margin); anything this old has no writer left to rename
+// it and would otherwise leak disk forever.
+const staleTempAge = 10 * time.Minute
+
+// sweepStaleTemps removes orphaned staging files; fresh ones (a
+// concurrent Put mid-write) are left for their writers. Best-effort:
+// a sweep that loses a remove race changes nothing.
+func (s *Store) sweepStaleTemps() {
+	cutoff := time.Now().Add(-staleTempAge)
+	filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), putPrefix) {
+			return nil
+		}
+		if fi, ierr := d.Info(); ierr == nil && fi.ModTime().Before(cutoff) {
+			os.Remove(path)
+		}
+		return nil
+	})
+}
+
 // walkEntries visits every entry file in the versioned directory.
+// In-flight staging files (Put's temp files, pre-rename) are not
+// entries and are skipped: unlinking one from a concurrent Verify or
+// GC would make the writer's rename fail, so a store shared between
+// processes could not be administered while in use. Orphaned staging
+// files are reclaimed separately (sweepStaleTemps).
 func (s *Store) walkEntries(fn func(path string, fi fs.FileInfo) error) error {
 	return filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -284,7 +322,7 @@ func (s *Store) walkEntries(fn func(path string, fi fs.FileInfo) error) error {
 			}
 			return err
 		}
-		if d.IsDir() {
+		if d.IsDir() || strings.HasPrefix(d.Name(), putPrefix) {
 			return nil
 		}
 		fi, err := d.Info()

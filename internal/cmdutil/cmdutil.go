@@ -1,17 +1,117 @@
-// Package cmdutil holds the flag plumbing shared by the p5* commands:
-// CPU/heap profiling setup and the -fastforward switch. Commands are
-// expected to call the returned stop function on every exit path that
-// matters (os.Exit skips deferred functions).
+// Package cmdutil holds the flag plumbing shared by the p5* commands —
+// the persistent cache directory, the fast-forward switch, CPU/heap
+// profiling and the -remote worker-fleet wiring — so every command
+// (including new ones like p5worker) spells them identically and gets
+// them from one place. Commands are expected to call the returned stop
+// function on every exit path that matters (os.Exit skips deferred
+// functions).
 package cmdutil
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
+	"power5prio/internal/cachestore"
 	"power5prio/internal/fame"
+	"power5prio/internal/remote"
 )
+
+// Common carries the flag values every p5* command shares. Register
+// with AddCommonFlags, then call Init after flag.Parse.
+type Common struct {
+	prog        string
+	CacheDir    string
+	FastForward string
+	CPUProfile  string
+	MemProfile  string
+}
+
+// AddCommonFlags registers the shared flags (-cache-dir, -fastforward,
+// -cpuprofile, -memprofile) on fs and returns their destination.
+func AddCommonFlags(prog string, fs *flag.FlagSet) *Common {
+	c := &Common{prog: prog}
+	fs.StringVar(&c.CacheDir, "cache-dir", "", "persist simulation results in this directory (reused across runs, shareable between commands and workers)")
+	fs.StringVar(&c.FastForward, "fastforward", "on", "idle-cycle fast-forward: on|off (results are identical either way; off for A/B debugging)")
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file on exit")
+	return c
+}
+
+// Init applies the parsed shared flags: it installs the fast-forward
+// setting and opens the persistent cache when -cache-dir was given
+// (exiting with a message when the directory cannot be opened — a cache
+// the user asked for must not be silently dropped). The returned store
+// is nil without -cache-dir. Profiling is started separately with
+// StartProfiles so commands with administrative early exits can defer
+// it past them.
+func (c *Common) Init() *cachestore.Store {
+	SetFastForward(c.prog, c.FastForward)
+	if c.CacheDir == "" {
+		return nil
+	}
+	store, err := cachestore.Open(c.CacheDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", c.prog, err)
+		os.Exit(1)
+	}
+	return store
+}
+
+// StartProfiles starts the profiles the shared flags requested; call
+// the returned stop function exactly once before the process exits.
+func (c *Common) StartProfiles() func() {
+	return StartProfiles(c.prog, c.CPUProfile, c.MemProfile)
+}
+
+// ParseRemote splits a -remote value ("host:port[,host:port...]", or
+// full http:// URLs) into worker addresses, exiting with code 2 when
+// none remain.
+func ParseRemote(prog, spec string) []string {
+	var addrs []string
+	for _, p := range strings.Split(spec, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			addrs = append(addrs, p)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: -remote needs at least one worker address (host:port[,host:port...])\n", prog)
+		os.Exit(2)
+	}
+	return addrs
+}
+
+// healthWait bounds how long RemoteBackend waits for workers to come
+// up — long enough for a fleet started moments earlier (e.g. by a CI
+// script) to bind its sockets, short enough that a typo fails fast.
+const healthWait = 5 * time.Second
+
+// RemoteBackend builds the sharded fleet backend for a -remote value
+// and health-checks every worker before any job is risked, retrying
+// briefly so a worker still binding its socket is not declared dead. An
+// unreachable or version-skewed worker exits with its error: a sweep
+// that silently lost part of its fleet would still be correct (retries
+// cover it) but slower than the user asked for.
+func RemoteBackend(ctx context.Context, prog, spec string) *remote.ShardedBackend {
+	b := remote.New(ParseRemote(prog, spec)...)
+	deadline := time.Now().Add(healthWait)
+	for {
+		err := b.Healthy(ctx)
+		if err == nil {
+			return b
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)
+			os.Exit(1)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
 
 // SetFastForward parses a -fastforward flag value (on|off, with
 // true/false/1/0 accepted as spellings) and applies it globally. It

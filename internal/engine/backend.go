@@ -1,0 +1,205 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"power5prio/internal/workload"
+)
+
+// Backend executes batches of jobs on behalf of an Engine. The engine
+// owns everything above execution — deduplication, the two cache tiers,
+// stats, progress fan-out — and hands a backend only the unique jobs
+// that actually need to run. The in-process worker pool (LocalBackend)
+// is the reference implementation; internal/remote adds HTTP-speaking
+// backends that run the same jobs on other machines. Because a job's
+// result is a pure function of the Job value, every backend must return
+// bit-identical results for the same job — which is what lets backends
+// be swapped, sharded and retried freely.
+//
+// Contract: Run returns one Result per job, in submission order. Job
+// failures (bad workload name, invalid config) are reported in
+// Result.Err, never as Run's error; Run's own error is reserved for
+// backend-level failures (e.g. every remote worker unreachable). Jobs
+// that were never attempted — the batch context was cancelled, or the
+// backend failed first — must carry Skipped set so the engine does not
+// cache their errors. A backend must be safe for concurrent Run calls.
+type Backend interface {
+	// Name identifies the backend in diagnostics.
+	Name() string
+	// Capacity is the number of jobs the backend can usefully execute
+	// concurrently (a scheduling hint, not a hard bound).
+	Capacity() int
+	// Healthy probes availability: nil when the backend can accept
+	// work. Local backends are always healthy; remote ones ping their
+	// workers.
+	Healthy(ctx context.Context) error
+	// Run executes jobs and returns their results in order.
+	Run(ctx context.Context, jobs []Job) ([]Result, error)
+}
+
+// ProgressBackend is optionally implemented by backends that can report
+// per-job completion while a batch is still running. done(i, r) must be
+// called at most once per index, from any goroutine, and every call
+// must have returned before Run returns; indices not reported through
+// done are taken from the returned slice. The engine uses this to fire
+// user progress callbacks as results land instead of at batch end.
+type ProgressBackend interface {
+	Backend
+	RunProgress(ctx context.Context, jobs []Job, done func(i int, r Result)) ([]Result, error)
+}
+
+// CapacitySetter is optionally implemented by backends whose
+// concurrency bound can be changed after construction (Engine.SetWorkers
+// forwards to it).
+type CapacitySetter interface {
+	SetCapacity(n int)
+}
+
+// RemoteStats counts work done through remote backends; see Stats.
+type RemoteStats struct {
+	// Jobs executed by remote workers (a worker serving a job from its
+	// own warm cache still counts: the job went over the wire).
+	Jobs int
+	// Retries are jobs re-dispatched to another worker after the one
+	// holding them failed.
+	Retries int
+	// WorkerErrors are worker-level failures observed (unreachable,
+	// bad protocol, non-2xx responses) — each typically excludes the
+	// worker for the rest of its batch.
+	WorkerErrors int
+}
+
+// RemoteStatser is implemented by backends that track RemoteStats; the
+// engine folds the counters into its Stats snapshot.
+type RemoteStatser interface {
+	RemoteStats() RemoteStats
+}
+
+// LocalBackend is the in-process execution backend: a bounded worker
+// pool running jobs on fresh simulated chips via Execute. It is the
+// engine's default backend and the reference semantics every other
+// backend must match bit-for-bit.
+//
+// The capacity bound is global across concurrent Run calls: however
+// many batches are in flight (concurrent engine batches in one
+// process, or concurrent requests on a p5worker), at most Capacity
+// simulations execute at once.
+type LocalBackend struct {
+	mu      sync.Mutex
+	workers int
+	sem     chan struct{} // capacity tokens, shared by every Run call
+	reg     *workload.Registry
+}
+
+// NewLocalBackend returns a local pool bounded to workers goroutines
+// (<= 0 selects GOMAXPROCS), resolving job refs in reg (nil = a fresh
+// built-ins-only registry).
+func NewLocalBackend(workers int, reg *workload.Registry) *LocalBackend {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if reg == nil {
+		reg = workload.NewRegistry()
+	}
+	return &LocalBackend{workers: workers, sem: make(chan struct{}, workers), reg: reg}
+}
+
+// Name identifies the backend.
+func (b *LocalBackend) Name() string { return "local" }
+
+// Registry returns the registry the backend resolves job refs in.
+func (b *LocalBackend) Registry() *workload.Registry { return b.reg }
+
+// Capacity returns the worker-pool bound.
+func (b *LocalBackend) Capacity() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.workers
+}
+
+// SetCapacity changes the pool bound for subsequent batches (n <= 0
+// selects GOMAXPROCS); batches already running keep their old bound.
+func (b *LocalBackend) SetCapacity(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	b.mu.Lock()
+	b.workers = n
+	b.sem = make(chan struct{}, n)
+	b.mu.Unlock()
+}
+
+// Healthy always succeeds: the local pool needs nothing external.
+func (b *LocalBackend) Healthy(context.Context) error { return nil }
+
+// Run executes the batch on the pool; see RunProgress.
+func (b *LocalBackend) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	return b.RunProgress(ctx, jobs, nil)
+}
+
+// RunProgress executes each job exactly once, reporting results as
+// they land. Jobs start in submission order, each gated on a capacity
+// token shared across every Run call on this backend. Cancelling ctx
+// stops dispatch: in-flight jobs run to completion, jobs that never
+// started return Skipped results carrying the context's error (with
+// one worker, the completed jobs form exactly the leading prefix of
+// the batch). The returned error is always nil: the local pool has no
+// backend-level failure mode.
+func (b *LocalBackend) RunProgress(ctx context.Context, jobs []Job, done func(i int, r Result)) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result, len(jobs))
+	b.mu.Lock()
+	sem := b.sem
+	b.mu.Unlock()
+	var doneMu sync.Mutex
+	finish := func(k int, r Result) {
+		out[k] = r
+		if done != nil {
+			doneMu.Lock()
+			done(k, r)
+			doneMu.Unlock()
+		}
+	}
+
+	completed := make([]bool, len(jobs))
+	var wg sync.WaitGroup
+dispatch:
+	for k := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break dispatch
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			pair, err := Execute(b.reg, jobs[k])
+			completed[k] = true
+			finish(k, Result{Job: jobs[k], Pair: pair, Err: err})
+		}(k)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		for k := range jobs {
+			if !completed[k] {
+				finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
+			}
+		}
+	}
+	return out, nil
+}
+
+// backendError wraps a backend-level failure for the jobs it stranded.
+func backendError(b Backend, err error) error {
+	return fmt.Errorf("engine: backend %s: %w", b.Name(), err)
+}

@@ -1,10 +1,13 @@
 // Package engine is the batch execution engine behind every measurement
 // path: experiments, the public System API and the command-line tools all
 // describe their simulations as Jobs and submit them in batches. The
-// engine fans independent jobs out across a bounded worker pool and
-// memoizes results in a content-keyed cache, so a baseline shared by
-// several sweeps (e.g. the (4,4) co-run of Figures 2-4, or a benchmark's
-// single-thread IPC) is simulated exactly once.
+// engine memoizes results in a content-keyed cache and hands the unique
+// uncached jobs to a pluggable Backend — the in-process worker pool
+// (LocalBackend) by default, or remote/sharded backends
+// (internal/remote) that run the same jobs on other machines — so a
+// baseline shared by several sweeps (e.g. the (4,4) co-run of Figures
+// 2-4, or a benchmark's single-thread IPC) is simulated exactly once,
+// wherever execution happens.
 //
 // The cache has two tiers: the in-memory map, and an optional persistent
 // store (WithStore) keyed by a stable hash of the full Job, so repeated
@@ -89,12 +92,16 @@ type Result struct {
 	// Pair holds the measurement; for single-thread jobs only Thread[0]
 	// is active.
 	Pair fame.PairResult
-	// Err is the job's failure: a build/validation error, or the batch
-	// context's error for jobs that never started before cancellation.
+	// Err is the job's failure: a build/validation error, or — with
+	// Skipped set — the reason the job never ran.
 	Err error
 	// CacheHit reports that the job was served from the result cache (a
 	// previous batch, or an identical job earlier in this batch).
 	CacheHit bool
+	// Skipped reports that the job was never attempted: its batch was
+	// cancelled first, or its backend failed. Err carries the cause.
+	// Skipped results are never cached — a retry re-runs the job.
+	Skipped bool
 }
 
 // Stats counts the engine's work across its lifetime.
@@ -118,6 +125,9 @@ type Stats struct {
 	DiskMisses int
 	// DiskWrites are results persisted to the store.
 	DiskWrites int
+	// Remote counts work done through a remote backend (all zero on the
+	// default local backend).
+	Remote RemoteStats
 }
 
 // String renders the counters in one line.
@@ -129,20 +139,30 @@ func (s Stats) String() string {
 	if s.DiskHits != 0 || s.DiskMisses != 0 || s.DiskWrites != 0 {
 		out += fmt.Sprintf("; disk: %d hits, %d misses, %d writes", s.DiskHits, s.DiskMisses, s.DiskWrites)
 	}
+	if r := s.Remote; r != (RemoteStats{}) {
+		out += fmt.Sprintf("; remote: %d jobs, %d retries, %d worker errors", r.Jobs, r.Retries, r.WorkerErrors)
+	}
 	return out
 }
 
-// Engine is a worker-pool job scheduler with a content-keyed result
-// cache and a workload registry that resolves job Refs to kernels. The
-// zero value is not usable; call New. An Engine is safe for concurrent
-// use.
+// Engine is a job scheduler with a content-keyed result cache and a
+// workload registry that resolves job Refs to kernels. Execution is
+// delegated to a pluggable Backend — the in-process worker pool by
+// default, or remote/sharded backends (internal/remote) that run the
+// same jobs on other machines with identical results. The zero value is
+// not usable; call New. An Engine is safe for concurrent use.
 type Engine struct {
 	mu      sync.Mutex
-	workers int
-	reg     *workload.Registry
-	store   *cachestore.Store
-	cache   map[Job]outcome
-	stats   Stats
+	backend Backend
+	// localWorkers bounds in-process concurrency for work that never
+	// reaches the backend (ForEach): with a remote backend, the fleet's
+	// capacity says nothing about how many simulations this machine
+	// should run at once.
+	localWorkers int
+	reg          *workload.Registry
+	store        *cachestore.Store
+	cache        map[Job]outcome
+	stats        Stats
 }
 
 type outcome struct {
@@ -161,6 +181,14 @@ type Option func(*Engine)
 // job errors stay in the in-memory tier.
 func WithStore(st *cachestore.Store) Option { return func(e *Engine) { e.store = st } }
 
+// WithBackend routes job execution through the given backend instead of
+// the default in-process worker pool. The engine's cache tiers sit in
+// front of any backend: only unique, uncached jobs reach it, and its
+// results are cached exactly like locally simulated ones. Results must
+// be — and for the backends in this repository are — bit-identical to
+// local execution.
+func WithBackend(b Backend) Option { return func(e *Engine) { e.backend = b } }
+
 // New returns an engine bounded to the given number of workers with a
 // fresh registry of the built-in workloads; workers <= 0 selects
 // GOMAXPROCS (all cores).
@@ -169,16 +197,22 @@ func New(workers int) *Engine { return NewWith(workers, nil) }
 // NewWith returns an engine using the given workload registry (nil = a
 // fresh built-ins-only registry), configured by options. Sharing one
 // registry between engines lets them resolve the same custom kernels.
+// Without WithBackend, execution runs on a LocalBackend pool of the
+// given worker count sharing the engine's registry.
 func NewWith(workers int, reg *workload.Registry, opts ...Option) *Engine {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if reg == nil {
 		reg = workload.NewRegistry()
 	}
-	e := &Engine{workers: workers, reg: reg, cache: make(map[Job]outcome)}
+	localWorkers := workers
+	if localWorkers <= 0 {
+		localWorkers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{localWorkers: localWorkers, reg: reg, cache: make(map[Job]outcome)}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.backend == nil {
+		e.backend = NewLocalBackend(workers, reg)
 	}
 	return e
 }
@@ -191,29 +225,38 @@ func (e *Engine) Store() *cachestore.Store { return e.store }
 // kernels here to make them resolvable in jobs.
 func (e *Engine) Registry() *workload.Registry { return e.reg }
 
-// Workers returns the concurrency bound.
-func (e *Engine) Workers() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.workers
-}
+// Backend returns the engine's execution backend.
+func (e *Engine) Backend() Backend { return e.backend }
 
-// SetWorkers changes the concurrency bound for subsequent batches; the
-// result cache is retained. n <= 0 selects GOMAXPROCS.
+// Workers returns the backend's concurrency capacity.
+func (e *Engine) Workers() int { return e.backend.Capacity() }
+
+// SetWorkers changes the concurrency bound for subsequent batches when
+// the backend supports it (the local pool does) and for in-process
+// ForEach runs; the result cache is retained. n <= 0 selects
+// GOMAXPROCS.
 func (e *Engine) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	e.mu.Lock()
-	e.workers = n
+	e.localWorkers = n
 	e.mu.Unlock()
+	if cs, ok := e.backend.(CapacitySetter); ok {
+		cs.SetCapacity(n)
+	}
 }
 
-// Stats returns a snapshot of the lifetime counters.
+// Stats returns a snapshot of the lifetime counters. On an engine with
+// a remote backend, the backend's remote counters are folded in.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	s := e.stats
+	e.mu.Unlock()
+	if rs, ok := e.backend.(RemoteStatser); ok {
+		s.Remote = rs.RemoteStats()
+	}
+	return s
 }
 
 // Run executes a batch of jobs and returns their results in submission
@@ -244,11 +287,9 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 
 	// Partition under the lock: memory-cache hits resolve immediately;
 	// the first occurrence of each uncached job becomes a candidate;
-	// later duplicates wait for it. followers is read-only once workers
-	// start.
+	// later duplicates wait for it. followers is read-only once the
+	// backend starts.
 	e.mu.Lock()
-	workers := e.workers
-	reg := e.reg
 	e.stats.Submitted += len(jobs)
 	var candidates []int
 	followers := make(map[Job][]int)
@@ -317,73 +358,75 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 	if len(toRun) == 0 {
 		return out
 	}
-	if workers > len(toRun) {
-		workers = len(toRun)
-	}
-	work := make(chan int)
-	done := make([]bool, len(toRun))
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for k := range work {
-				idx := toRun[k]
-				j := jobs[idx]
-				pair, err := Execute(reg, j)
-				e.mu.Lock()
-				e.cache[j] = outcome{pair: pair, err: err}
-				e.stats.Simulated++
-				e.stats.Hits += len(followers[j])
-				e.mu.Unlock()
-				if e.store != nil && err == nil && e.diskPut(j, pair) {
-					e.mu.Lock()
-					e.stats.DiskWrites++
-					e.mu.Unlock()
-				}
-				done[k] = true
-				out[idx] = Result{Job: j, Pair: pair, Err: err}
-				final := append([]int{idx}, followers[j]...)
-				for _, f := range followers[j] {
-					out[f] = Result{Job: j, Pair: pair, Err: err, CacheHit: true}
-				}
-				report(final...)
-			}
-		}()
-	}
-dispatch:
-	for k := range toRun {
-		if ctx.Err() != nil {
-			break
-		}
-		select {
-		case work <- k:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(work)
-	wg.Wait()
 
-	if err := ctx.Err(); err != nil {
-		var skipped []int
-		e.mu.Lock()
-		for k, idx := range toRun {
-			if done[k] {
-				continue
-			}
-			j := jobs[idx]
-			out[idx] = Result{Job: j, Err: err}
-			e.stats.Skipped++
-			skipped = append(skipped, idx)
+	// Hand the unique uncached jobs to the backend. resolve is called
+	// exactly once per batch index — live from the backend's done
+	// callback when it offers one, and from the returned slice (or a
+	// synthesized backend-failure result) for anything left over — and
+	// fans each result out to the job's in-batch followers.
+	batch := make([]Job, len(toRun))
+	for k, idx := range toRun {
+		batch[k] = jobs[idx]
+	}
+	var resMu sync.Mutex
+	resolved := make([]bool, len(batch))
+	resolve := func(k int, r Result) {
+		resMu.Lock()
+		if resolved[k] {
+			resMu.Unlock()
+			return
+		}
+		resolved[k] = true
+		resMu.Unlock()
+		idx := toRun[k]
+		j := jobs[idx]
+		if r.Skipped {
+			// Never attempted (cancellation or backend failure): do not
+			// cache, so a retry re-runs the job.
+			e.mu.Lock()
+			e.stats.Skipped += 1 + len(followers[j])
+			e.mu.Unlock()
+			out[idx] = Result{Job: j, Err: r.Err, Skipped: true}
 			for _, f := range followers[j] {
-				out[f] = Result{Job: j, Err: err}
-				e.stats.Skipped++
-				skipped = append(skipped, f)
+				out[f] = Result{Job: j, Err: r.Err, Skipped: true}
+			}
+		} else {
+			e.mu.Lock()
+			e.cache[j] = outcome{pair: r.Pair, err: r.Err}
+			e.stats.Simulated++
+			e.stats.Hits += len(followers[j])
+			e.mu.Unlock()
+			if e.store != nil && r.Err == nil && e.diskPut(j, r.Pair) {
+				e.mu.Lock()
+				e.stats.DiskWrites++
+				e.mu.Unlock()
+			}
+			out[idx] = Result{Job: j, Pair: r.Pair, Err: r.Err}
+			for _, f := range followers[j] {
+				out[f] = Result{Job: j, Pair: r.Pair, Err: r.Err, CacheHit: true}
 			}
 		}
-		e.mu.Unlock()
-		report(skipped...)
+		report(append([]int{idx}, followers[j]...)...)
+	}
+
+	var results []Result
+	var backendErr error
+	if pb, ok := e.backend.(ProgressBackend); ok {
+		results, backendErr = pb.RunProgress(ctx, batch, resolve)
+	} else {
+		results, backendErr = e.backend.Run(ctx, batch)
+	}
+	for k := range batch {
+		if k < len(results) {
+			resolve(k, results[k])
+			continue
+		}
+		// No result for this job: the backend failed before reaching it.
+		err := backendErr
+		if err == nil {
+			err = fmt.Errorf("returned %d results for %d jobs", len(results), len(batch))
+		}
+		resolve(k, Result{Job: batch[k], Err: backendError(e.backend, err), Skipped: true})
 	}
 	return out
 }
@@ -402,7 +445,12 @@ func (e *Engine) ForEach(ctx context.Context, n int, fn func(int)) error {
 	if n <= 0 {
 		return nil
 	}
-	workers := e.Workers()
+	// ForEach work runs in-process regardless of the execution backend,
+	// so it is bounded by the engine's local worker count, not the
+	// backend's capacity.
+	e.mu.Lock()
+	workers := e.localWorkers
+	e.mu.Unlock()
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,99 @@
+// Package remote distributes engine job batches across machines over a
+// versioned JSON/HTTP protocol, turning the batch engine's Backend
+// boundary into an RPC boundary.
+//
+// Topology. A worker process (cmd/p5worker) calls Serve, which wraps a
+// local engine — worker pool, in-memory cache and, when configured, a
+// persistent cachestore — behind two HTTP endpoints. The client side is
+// HTTPBackend (one worker) and ShardedBackend (a fleet): both implement
+// engine.Backend, so a client engine constructed with
+// engine.WithBackend executes its unique uncached jobs remotely while
+// keeping all caching, deduplication and progress fan-out local.
+//
+// Portability. A job travels as its engine.Job value plus its
+// engine.JobKey. Both ends recompute the key from the decoded value: a
+// mismatch means the two binaries disagree about what the job means
+// (schema drift, incompatible build) and fails the job loudly instead
+// of measuring the wrong thing. Built-in workloads resolve on the
+// worker by fingerprint-verified Ref; custom kernels exist only in the
+// registering process, so jobs naming them fail on the worker with a
+// clear error — register custom kernels locally or run them on a local
+// backend.
+//
+// Determinism. A job's result is a pure function of the Job value, so a
+// worker returns bit-identical bytes to local execution; results merge
+// by submission index. Any sharding — any worker count, any failure/
+// retry interleaving — therefore produces output byte-identical to a
+// local run.
+package remote
+
+import (
+	"fmt"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
+)
+
+// ProtocolVersion names the wire protocol. Client and worker must
+// match exactly: the version is embedded in every request and response,
+// and either side rejects a mismatch (a job's meaning is only stable
+// within one protocol generation).
+const ProtocolVersion = "p5remote/v1"
+
+// Endpoint paths served by a worker.
+const (
+	// RunPath executes a job batch (POST, RunRequest -> RunResponse).
+	RunPath = "/v1/run"
+	// HealthPath reports liveness and capability (GET -> Health).
+	HealthPath = "/v1/health"
+)
+
+// WireJob is one job on the wire: the Job value and the client's
+// JobKey, recomputed and verified by the worker.
+type WireJob struct {
+	Key string     `json:"key"`
+	Job engine.Job `json:"job"`
+}
+
+// RunRequest is the body of a RunPath POST.
+type RunRequest struct {
+	Protocol string    `json:"protocol"`
+	Jobs     []WireJob `json:"jobs"`
+}
+
+// WireResult is one job's outcome. Err is the job-level failure rendered
+// as text (errors do not survive JSON typed); an empty Err means Pair
+// holds a successful measurement.
+type WireResult struct {
+	Key    string          `json:"key"`
+	Pair   fame.PairResult `json:"pair"`
+	Err    string          `json:"err,omitempty"`
+	Cached bool            `json:"cached,omitempty"` // served from the worker's cache tiers
+}
+
+// RunResponse is the body of a RunPath response, results in request
+// order.
+type RunResponse struct {
+	Protocol string       `json:"protocol"`
+	Results  []WireResult `json:"results"`
+}
+
+// Health is the body of a HealthPath response.
+type Health struct {
+	Protocol string `json:"protocol"`
+	// Capacity is the worker's simulation pool size.
+	Capacity int `json:"capacity"`
+	// Jobs counts jobs served since the worker started.
+	Jobs int64 `json:"jobs"`
+	// CacheDir is the worker's persistent cache directory ("" = memory
+	// only) — useful when diagnosing whether a fleet shares one store.
+	CacheDir string `json:"cache_dir,omitempty"`
+}
+
+// checkProtocol validates a peer's protocol tag.
+func checkProtocol(got string) error {
+	if got != ProtocolVersion {
+		return fmt.Errorf("remote: protocol mismatch: peer speaks %q, this binary %q", got, ProtocolVersion)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"power5prio/internal/cachestore"
+	"power5prio/internal/engine"
+	"power5prio/internal/workload"
+)
+
+// ServerConfig configures a worker-side server.
+type ServerConfig struct {
+	// Workers bounds the worker's simulation pool (<= 0 = all cores).
+	Workers int
+	// Store, when non-nil, is the worker's persistent cache tier. Point
+	// a fleet's workers (and the client) at one shared directory and a
+	// warm cache short-circuits remote simulation entirely: repeated
+	// jobs are answered from disk without simulating.
+	Store *cachestore.Store
+	// Registry resolves job workload refs (nil = built-ins only; custom
+	// kernels cannot travel over the wire, see the package comment).
+	Registry *workload.Registry
+	// MaxBatch rejects run requests with more jobs than this (<= 0 = no
+	// limit). A fleet client already chunks to its in-flight limit; the
+	// bound protects a worker from an oversized hand-written request.
+	MaxBatch int
+	// Logf, when non-nil, receives one line per request served.
+	Logf func(format string, args ...any)
+}
+
+// Server executes job batches for remote clients by running them
+// through a local engine, so the worker gets in-memory deduplication
+// and the optional persistent cache tier exactly like a local run.
+type Server struct {
+	cfg  ServerConfig
+	eng  *engine.Engine
+	jobs atomic.Int64
+}
+
+// NewServer builds a worker-side server.
+func NewServer(cfg ServerConfig) *Server {
+	eng := engine.NewWith(cfg.Workers, cfg.Registry, engine.WithStore(cfg.Store))
+	return &Server{cfg: cfg, eng: eng}
+}
+
+// Engine returns the server's engine (its stats show cache hits vs
+// simulations performed on behalf of remote clients).
+func (s *Server) Engine() *engine.Engine { return s.eng }
+
+// Handler returns the HTTP handler serving the protocol endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(RunPath, s.handleRun)
+	mux.HandleFunc(HealthPath, s.handleHealth)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "health is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	h := Health{
+		Protocol: ProtocolVersion,
+		Capacity: s.eng.Workers(),
+		Jobs:     s.jobs.Load(),
+	}
+	if s.cfg.Store != nil {
+		h.CacheDir = s.cfg.Store.Dir()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "run is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad run request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkProtocol(req.Protocol); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.cfg.MaxBatch > 0 && len(req.Jobs) > s.cfg.MaxBatch {
+		http.Error(w, fmt.Sprintf("batch of %d jobs exceeds the worker's limit of %d", len(req.Jobs), s.cfg.MaxBatch), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	// Verify every job's key before executing anything: the client's key
+	// and a key recomputed from the decoded value must agree, or the two
+	// binaries disagree about what the job means (schema drift) and the
+	// result could alias a different measurement.
+	resp := RunResponse{Protocol: ProtocolVersion, Results: make([]WireResult, len(req.Jobs))}
+	var runnable []engine.Job
+	var runnableIdx []int
+	for i, wj := range req.Jobs {
+		resp.Results[i].Key = wj.Key
+		if key := engine.JobKey(wj.Job).String(); key != wj.Key {
+			resp.Results[i].Err = fmt.Sprintf(
+				"remote: job key mismatch: client sent %s, worker computes %s (incompatible binaries or corrupted request)",
+				wj.Key, key)
+			continue
+		}
+		runnable = append(runnable, wj.Job)
+		runnableIdx = append(runnableIdx, i)
+	}
+
+	start := time.Now()
+	results := s.eng.Run(r.Context(), runnable)
+	cached := 0
+	for k, res := range results {
+		i := runnableIdx[k]
+		if res.Err != nil {
+			resp.Results[i].Err = res.Err.Error()
+			continue
+		}
+		resp.Results[i].Pair = res.Pair
+		resp.Results[i].Cached = res.CacheHit
+		if res.CacheHit {
+			cached++
+		}
+	}
+	s.jobs.Add(int64(len(req.Jobs)))
+	s.logf("run: %d jobs (%d cached) in %s", len(req.Jobs), cached, time.Since(start).Round(time.Millisecond))
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.logf("run: response write failed: %v", err)
+	}
+}
+
+// Serve runs a worker on the listener until ctx is cancelled, then
+// shuts down gracefully (in-flight requests get a grace period to
+// finish). It returns nil on a clean shutdown.
+func Serve(ctx context.Context, lis net.Listener, cfg ServerConfig) error {
+	srv := &http.Server{Handler: NewServer(cfg).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

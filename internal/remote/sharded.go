@@ -1,0 +1,280 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"power5prio/internal/engine"
+)
+
+// ShardedBackend fans a job batch out across a fleet of workers and
+// merges the results deterministically: every result lands at its job's
+// submission index, and every job's result is a pure function of the
+// job, so any fleet size, chunking or failure interleaving produces
+// bytes identical to a local run.
+//
+// Scheduling is work-stealing rather than static: each worker pulls the
+// next chunk of at most its Capacity jobs when it becomes free, so a
+// fast worker takes more of the batch than a slow one. A worker-level
+// failure excludes that worker for the rest of the batch and requeues
+// its unfinished jobs for the surviving workers (retry-with-exclusion);
+// the batch fails only when every worker has failed with jobs still
+// pending. Job-level errors are deterministic and are not retried.
+type ShardedBackend struct {
+	workers []engine.Backend
+
+	mu sync.Mutex
+	rs engine.RemoteStats
+}
+
+// NewSharded builds a sharded backend over the given workers (typically
+// HTTPBackends; any engine.Backend works, which is how the retry path
+// is tested).
+func NewSharded(workers ...engine.Backend) *ShardedBackend {
+	if len(workers) == 0 {
+		panic("remote: NewSharded needs at least one worker")
+	}
+	return &ShardedBackend{workers: workers}
+}
+
+// New returns the standard client-side fleet backend: one HTTPBackend
+// per p5worker address, sharded.
+func New(addrs ...string) *ShardedBackend {
+	ws := make([]engine.Backend, len(addrs))
+	for i, a := range addrs {
+		ws[i] = NewHTTPBackend(a)
+	}
+	return NewSharded(ws...)
+}
+
+// Name identifies the fleet in diagnostics.
+func (s *ShardedBackend) Name() string {
+	if len(s.workers) == 1 {
+		return s.workers[0].Name()
+	}
+	return fmt.Sprintf("sharded(%d workers)", len(s.workers))
+}
+
+// Capacity sums the fleet's per-worker capacities.
+func (s *ShardedBackend) Capacity() int {
+	total := 0
+	for _, w := range s.workers {
+		total += w.Capacity()
+	}
+	return total
+}
+
+// Healthy probes every worker and reports every failure: a fleet with
+// an unreachable worker is surfaced at startup rather than discovered
+// as mid-batch retries.
+func (s *ShardedBackend) Healthy(ctx context.Context) error {
+	var errs []error
+	for _, w := range s.workers {
+		if err := w.Healthy(ctx); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RemoteStats sums the fleet's counters plus the sharding layer's own
+// retry bookkeeping.
+func (s *ShardedBackend) RemoteStats() engine.RemoteStats {
+	s.mu.Lock()
+	total := s.rs
+	s.mu.Unlock()
+	for _, w := range s.workers {
+		if ws, ok := w.(engine.RemoteStatser); ok {
+			r := ws.RemoteStats()
+			total.Jobs += r.Jobs
+			total.Retries += r.Retries
+			total.WorkerErrors += r.WorkerErrors
+		}
+	}
+	return total
+}
+
+// dispatcher is the shared batch state: pending job indices, plus an
+// in-flight count so an idle worker can tell "no work right now" (a
+// failed peer may requeue) from "the batch is drained".
+type dispatcher struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []int
+	inflight int
+}
+
+func newDispatcher(n int) *dispatcher {
+	d := &dispatcher{pending: make([]int, n)}
+	for i := range d.pending {
+		d.pending[i] = i
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// grab blocks until work is available (returning up to max indices and
+// raising the in-flight count) or the batch is finished or cancelled
+// (returning nil).
+func (d *dispatcher) grab(ctx context.Context, max int) []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.pending) == 0 && d.inflight > 0 && ctx.Err() == nil {
+		d.cond.Wait()
+	}
+	if len(d.pending) == 0 || ctx.Err() != nil {
+		return nil
+	}
+	if max < 1 {
+		max = 1
+	}
+	if max > len(d.pending) {
+		max = len(d.pending)
+	}
+	chunk := append([]int(nil), d.pending[:max]...)
+	d.pending = d.pending[max:]
+	d.inflight++
+	return chunk
+}
+
+// finish lowers the in-flight count, requeueing any indices the worker
+// could not run, and wakes idle workers.
+func (d *dispatcher) finish(requeue []int) {
+	d.mu.Lock()
+	d.inflight--
+	d.pending = append(d.pending, requeue...)
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// wake unblocks grab waiters (used when ctx is cancelled).
+func (d *dispatcher) wake() { d.cond.Broadcast() }
+
+// leftovers returns the indices still pending after all workers exited.
+func (d *dispatcher) leftovers() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.pending
+}
+
+// Run executes the batch across the fleet; see RunProgress.
+func (s *ShardedBackend) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	return s.RunProgress(ctx, jobs, nil)
+}
+
+// RunProgress executes the batch across the fleet, reporting each job's
+// result as it lands. On cancellation, unfinished jobs return Skipped
+// results with the context's error. If every worker fails while jobs
+// are still pending, those jobs return Skipped results carrying the
+// combined failure, which is also returned as the batch error.
+func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(i int, r Result)) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]Result, len(jobs))
+	var doneMu sync.Mutex
+	finish := func(k int, r Result) {
+		out[k] = r
+		if done != nil {
+			doneMu.Lock()
+			done(k, r)
+			doneMu.Unlock()
+		}
+	}
+
+	d := newDispatcher(len(jobs))
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // wake grab waiters when the batch context dies
+		select {
+		case <-ctx.Done():
+			d.wake()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var failMu sync.Mutex
+	var failures []error
+	for _, w := range s.workers {
+		wg.Add(1)
+		go func(w engine.Backend) {
+			defer wg.Done()
+			for {
+				chunk := d.grab(ctx, w.Capacity())
+				if chunk == nil {
+					return
+				}
+				chunkJobs := make([]Job, len(chunk))
+				for i, k := range chunk {
+					chunkJobs[i] = jobs[k]
+				}
+				res, err := w.Run(ctx, chunkJobs)
+				// Record what the worker did run; collect the rest.
+				var unfinished []int
+				for i, k := range chunk {
+					var r Result
+					if i < len(res) {
+						r = res[i]
+					} else {
+						r = Result{Job: jobs[k], Skipped: true}
+					}
+					if r.Skipped {
+						unfinished = append(unfinished, k)
+						continue
+					}
+					finish(k, r)
+				}
+				if err != nil && ctx.Err() == nil {
+					// Worker failure: exclude it for the rest of the
+					// batch, hand its unfinished jobs to the survivors.
+					s.mu.Lock()
+					s.rs.Retries += len(unfinished)
+					s.mu.Unlock()
+					failMu.Lock()
+					failures = append(failures, err)
+					failMu.Unlock()
+					d.finish(unfinished)
+					return
+				}
+				if ctx.Err() != nil {
+					// Cancelled: report, don't retry.
+					for _, k := range unfinished {
+						finish(k, Result{Job: jobs[k], Err: ctx.Err(), Skipped: true})
+					}
+					d.finish(nil)
+					return
+				}
+				// A worker that reports per-job Skipped without a
+				// worker-level error did not execute them (defensive:
+				// the HTTP client never does this); retry elsewhere.
+				s.mu.Lock()
+				s.rs.Retries += len(unfinished)
+				s.mu.Unlock()
+				d.finish(unfinished)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	left := d.leftovers()
+	if len(left) == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		for _, k := range left {
+			finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
+		}
+		return out, nil
+	}
+	failMu.Lock()
+	err := fmt.Errorf("remote: %d jobs undispatched: all %d workers failed: %w",
+		len(left), len(s.workers), errors.Join(failures...))
+	failMu.Unlock()
+	for _, k := range left {
+		finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
+	}
+	return out, err
+}

@@ -23,7 +23,9 @@
 // submits engine jobs that fan out across a worker pool and memoize in a
 // content-keyed result cache. Batches take a context: cancelling it
 // returns the completed prefix of results, and the finished work stays
-// cached for a retry.
+// cached for a retry. Execution is pluggable: WithRemoteWorkers shards
+// batches across p5worker processes on other machines with results
+// byte-identical to local runs.
 //
 // Quick start:
 //
@@ -50,6 +52,7 @@ import (
 	"power5prio/internal/isa"
 	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
+	"power5prio/internal/remote"
 	"power5prio/internal/spec"
 	"power5prio/internal/tuner"
 	"power5prio/internal/workload"
@@ -259,6 +262,35 @@ func WithCache(c *Cache) Option { return func(s *System) { s.store = c } }
 // silently dropped).
 func WithCacheDir(dir string) Option { return func(s *System) { s.cacheDir = dir } }
 
+// Backend executes measurement batches on behalf of a System: the
+// in-process worker pool by default, a fleet of remote workers with
+// WithRemoteWorkers, or any custom engine.Backend implementation. Every
+// backend returns bit-identical results for the same measurement, so
+// swapping backends never changes what a System reports — only where
+// and how fast the simulations run.
+type Backend = engine.Backend
+
+// WithBackend routes the System's simulations through the given
+// execution backend. The System's cache tiers (in-memory, and
+// WithCache/WithCacheDir when configured) stay local, in front of the
+// backend: only unique uncached measurements reach it.
+func WithBackend(b Backend) Option { return func(s *System) { s.backend = b } }
+
+// WithRemoteWorkers shards the System's simulations across p5worker
+// processes listening at the given addresses (host:port, or full
+// http:// URLs). Batches fan out across the fleet with work-stealing
+// scheduling and per-worker in-flight limits; a worker failing mid-batch
+// is excluded and its jobs retried on the survivors; results are
+// byte-identical to local execution for any fleet size or failure
+// interleaving. Custom kernels registered with RegisterWorkload cannot
+// travel over the wire and fail with a clear error; built-in workloads
+// shard freely. Worker liveness is probed lazily per batch — use
+// engine/remote.ShardedBackend.Healthy via WithBackend for an upfront
+// check.
+func WithRemoteWorkers(addrs ...string) Option {
+	return func(s *System) { s.backend = remote.New(addrs...) }
+}
+
 // System is a configured simulator factory: each measurement runs on a
 // fresh chip so results are independent and deterministic. All
 // measurements resolve workload names in the System's registry and go
@@ -275,6 +307,7 @@ type System struct {
 	store    *Cache
 	cacheDir string
 	cacheErr error
+	backend  Backend
 	eng      *engine.Engine
 }
 
@@ -291,7 +324,11 @@ func New(cfg Config, options ...Option) *System {
 	if s.store == nil && s.cacheDir != "" {
 		s.store, s.cacheErr = cachestore.Open(s.cacheDir)
 	}
-	s.eng = engine.NewWith(s.workers, nil, engine.WithStore(s.store))
+	engOpts := []engine.Option{engine.WithStore(s.store)}
+	if s.backend != nil {
+		engOpts = append(engOpts, engine.WithBackend(s.backend))
+	}
+	s.eng = engine.NewWith(s.workers, nil, engOpts...)
 	return s
 }
 

@@ -1,0 +1,73 @@
+package power5prio
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"power5prio/internal/remote"
+)
+
+// TestWithRemoteWorkers: a System sharding its measurements across two
+// workers returns bit-identical results to a local System, and the
+// batch stats account the remote traffic.
+func TestWithRemoteWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chip-level simulation")
+	}
+	w1 := httptest.NewServer(remote.NewServer(remote.ServerConfig{Workers: 2}).Handler())
+	defer w1.Close()
+	w2 := httptest.NewServer(remote.NewServer(remote.ServerConfig{Workers: 2}).Handler())
+	defer w2.Close()
+
+	opts := DefaultMeasureOptions()
+	opts.MinReps = 2
+	opts.WarmupReps = 0
+	specs := []Spec{
+		{A: "cpu_int"},
+		{A: "cpu_int", B: "ldint_l1", PA: High, PB: Low},
+		{A: "cpu_int", B: "mcf", PA: Medium, PB: Medium},
+		{A: "ldint_l1", B: "cpu_int", PA: Low, PB: VeryHigh},
+		{A: "cpu_int", B: "ldint_l1", PA: High, PB: Low}, // duplicate
+	}
+
+	local := New(DefaultConfig(), WithMeasureOptions(opts))
+	want, err := local.MeasureBatch(nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys := New(DefaultConfig(), WithMeasureOptions(opts), WithRemoteWorkers(w1.URL, w2.URL))
+	got, err := sys.MeasureBatch(nil, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if got[i] != want[i] {
+			t.Errorf("spec %v: remote result differs from local\nremote %+v\nlocal  %+v", specs[i], got[i], want[i])
+		}
+	}
+	st := sys.BatchStats()
+	if st.Remote.Jobs != 4 {
+		t.Errorf("Remote.Jobs = %d, want 4 unique measurements", st.Remote.Jobs)
+	}
+	if st.Remote.WorkerErrors != 0 || st.Remote.Retries != 0 {
+		t.Errorf("healthy fleet reported failures: %+v", st.Remote)
+	}
+
+	// WithBackend accepts the same fleet explicitly (upfront health
+	// check included).
+	backend := remote.New(w1.URL, w2.URL)
+	if err := backend.Healthy(nil); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := New(DefaultConfig(), WithMeasureOptions(opts), WithBackend(backend))
+	got2, err := sys2.MeasureBatch(nil, specs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got2 {
+		if got2[i] != want[i] {
+			t.Errorf("WithBackend spec %v diverged", specs[i])
+		}
+	}
+}
