@@ -21,17 +21,22 @@ vet:
 fmt:
 	gofmt -l .
 
-# bench writes the committed perf report: raw step throughput, A/B
+# bench writes the committed perf reports: raw step throughput, A/B
 # fast-forward speedups on the memory-bound regimes, and per-experiment
-# quick regeneration times. Run on a quiet machine and commit the result
-# so the perf trajectory is reviewable PR over PR.
+# quick regeneration times. Two baselines are committed because
+# fast-forward speedups depend on run length: the full report tracks
+# the PR-over-PR trajectory, the quick report is what CI's quick runs
+# are gated against. Run on a quiet machine and commit both.
 bench:
 	$(GO) run ./cmd/p5bench -out BENCH_simulator.json
+	$(GO) run ./cmd/p5bench -quick -out BENCH_simulator_quick.json
 
 # bench-smoke is the CI-sized variant (seconds, not minutes); it also
-# asserts fast-forward results are identical to stepped results.
+# asserts fast-forward results are identical to stepped results and
+# gates against the committed quick baseline: a >20% machine-normalized
+# fast-forward throughput regression fails the build.
 bench-smoke:
-	$(GO) run ./cmd/p5bench -quick -out /tmp/BENCH_simulator.json
+	$(GO) run ./cmd/p5bench -quick -out /tmp/BENCH_simulator.json -compare BENCH_simulator_quick.json
 
 regen:
 	$(GO) run ./cmd/p5exp -exp all -quick

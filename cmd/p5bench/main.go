@@ -14,6 +14,16 @@
 //
 //	p5bench                      # full report to BENCH_simulator.json
 //	p5bench -quick -out /tmp/b.json   # CI smoke (seconds, not minutes)
+//	p5bench -quick -compare BENCH_simulator_quick.json   # regression gate
+//
+// With -compare, the fresh report is checked against a baseline report:
+// the run exits non-zero if any measurement lost result identity, or if
+// its fast-forward throughput — normalized by each report's own raw
+// step throughput, so runs on different machines stay comparable —
+// regressed by more than 20% against the baseline. The baseline must
+// have the same -quick setting as the fresh run: speedups depend on
+// run length, so two committed baselines exist (full for the PR-over-PR
+// trajectory, quick for the CI gate) and make bench refreshes both.
 package main
 
 import (
@@ -82,6 +92,7 @@ func main() {
 		out     = flag.String("out", "BENCH_simulator.json", "output file")
 		quick   = flag.Bool("quick", false, "reduced scale for CI smoke runs")
 		workers = flag.Int("workers", 1, "regeneration worker pool size (1 keeps timings comparable)")
+		compare = flag.String("compare", "", "baseline report; exit non-zero on lost result identity or >20% normalized throughput regression")
 		common  = cmdutil.AddCommonFlags("p5bench", flag.CommandLine)
 	)
 	flag.Parse()
@@ -101,9 +112,11 @@ func main() {
 		Workers: *workers,
 	}
 
+	// The step throughput normalizes every -compare ratio, so even the
+	// quick run gives it a few hundred milliseconds of simulation.
 	stepCycles := uint64(4_000_000)
 	if *quick {
-		stepCycles = 400_000
+		stepCycles = 1_200_000
 	}
 	rep.StepThroughput = stepThroughput(stepCycles)
 	fmt.Fprintf(os.Stderr, "p5bench: step throughput %.0f sim_cycles/s\n", rep.StepThroughput.SimCyclesPerSec)
@@ -161,6 +174,90 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "p5bench: wrote %s\n", *out)
+
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5bench:", err)
+			os.Exit(1)
+		}
+		failures := compareReports(rep, base)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "p5bench: REGRESSION: %s\n", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "p5bench: no regression against %s\n", *compare)
+	}
+}
+
+// loadReport reads a previously emitted report.
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// regressionTolerance is the allowed relative loss in normalized
+// fast-forward throughput before -compare fails the run.
+const regressionTolerance = 0.20
+
+// compareReports checks cur against the baseline and returns one message
+// per failed check. Throughput is compared after dividing each report's
+// fast-forward sim-cycles/s by that report's own stepped throughput: the
+// ratio cancels the host machine's speed, so a committed baseline from
+// another machine remains a usable reference. Measurements present in
+// only one report are ignored (the set evolves across PRs). Scale
+// mismatches (quick vs full) are a hard error: fast-forward speedups
+// grow with run length (short runs amortize less fixed cost), so a
+// quick run gated against a full baseline fails spuriously — compare
+// like against like (make bench commits both baselines).
+func compareReports(cur, base Report) []string {
+	var failures []string
+	if cur.Quick != base.Quick {
+		return []string{fmt.Sprintf(
+			"scale mismatch: quick=%v run vs quick=%v baseline — speedups are run-length dependent, compare against the matching committed baseline",
+			cur.Quick, base.Quick)}
+	}
+	baseline := make(map[string]Measurement, len(base.Measurements))
+	for _, m := range base.Measurements {
+		baseline[m.Name] = m
+	}
+	for _, m := range cur.Measurements {
+		if !m.ResultIdentical {
+			failures = append(failures, fmt.Sprintf("%s: fast-forward result not identical to stepped", m.Name))
+		}
+		b, ok := baseline[m.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "p5bench: note: %s not in baseline, skipping\n", m.Name)
+			continue
+		}
+		if !b.ResultIdentical {
+			failures = append(failures, fmt.Sprintf("%s: baseline recorded a non-identical result", m.Name))
+			continue
+		}
+		norm := m.FastCyclesPerS / cur.StepThroughput.SimCyclesPerSec
+		bnorm := b.FastCyclesPerS / base.StepThroughput.SimCyclesPerSec
+		if bnorm <= 0 {
+			continue
+		}
+		ratio := norm / bnorm
+		fmt.Fprintf(os.Stderr, "p5bench: compare %-34s normalized throughput %.2fx of baseline (speedup %.2fx vs %.2fx)\n",
+			m.Name, ratio, m.Speedup, b.Speedup)
+		if ratio < 1-regressionTolerance {
+			failures = append(failures, fmt.Sprintf(
+				"%s: normalized fast-forward throughput fell to %.0f%% of baseline (%.3g vs %.3g step-normalized)",
+				m.Name, ratio*100, norm, bnorm))
+		}
+	}
+	return failures
 }
 
 // stepThroughput times raw Chip.Step on a busy SMT pair (no idle
@@ -209,17 +306,33 @@ func measureAB(name string, a, b func() *isa.Kernel, pa, pb prio.Level) Measurem
 	}
 	opt := fame.Options{MinReps: 3, WarmupReps: 1, MAIV: 0.01, MaxCycles: 200_000_000}
 
-	prev := fame.SetFastForward(false)
-	chOff := build()
-	start := time.Now()
-	resOff := fame.Measure(chOff, opt)
-	stepped := time.Since(start).Seconds()
+	// A single measurement can finish in well under a millisecond once
+	// the event wheel engages, far too short to time reliably, so each
+	// mode is re-run (fresh chip each time — the simulator is
+	// deterministic, asserted below) until enough wall time accumulates
+	// for the -compare gate to see real throughput, not scheduler noise.
+	const (
+		minMeasureSeconds = 0.25
+		measureRepCap     = 64
+	)
+	timed := func() (fame.PairResult, float64) {
+		var res fame.PairResult
+		var total float64
+		reps := 0
+		for total < minMeasureSeconds && reps < measureRepCap {
+			ch := build() // outside the timed region: prewarm is not simulation
+			start := time.Now()
+			res = fame.Measure(ch, opt)
+			total += time.Since(start).Seconds()
+			reps++
+		}
+		return res, total / float64(reps)
+	}
 
+	prev := fame.SetFastForward(false)
+	resOff, stepped := timed()
 	fame.SetFastForward(true)
-	chOn := build()
-	start = time.Now()
-	resOn := fame.Measure(chOn, opt)
-	fast := time.Since(start).Seconds()
+	resOn, fast := timed()
 	fame.SetFastForward(prev)
 
 	return Measurement{

@@ -152,7 +152,7 @@ func SingleThread(cfg Config) (StageTimes, error) {
 			// loop branch, so the repetition count is re-read safely.
 			// The bound lands any over-long skip exactly on the cycle
 			// the stepped loop would call the timeout on.
-			if skip && ch.SkipIdle(cfg.MaxCycles+1) > 0 {
+			if skip && ch.AdvanceToNextEvent(cfg.MaxCycles+1) > 0 {
 				continue
 			}
 			ch.Step()
@@ -198,7 +198,7 @@ func Run(cfg Config, pf, pl prio.Level) (Result, error) {
 		// only when a Repetitions counter advances, and the cycles in
 		// between — including the tail where one thread is switched off
 		// and the other stalls on memory — fast-forward through
-		// SkipIdle. A skip retires nothing, so it can neither complete
+		// AdvanceToNextEvent. A skip retires nothing, so it can neither complete
 		// a repetition nor move a barrier decision; the bound lands any
 		// over-long skip exactly on the stepped loop's timeout cycle.
 		reps := c.Repetitions(0) + c.Repetitions(1)
@@ -207,7 +207,7 @@ func Run(cfg Config, pf, pl prio.Level) (Result, error) {
 				res.TimedOut = true
 				return res, nil
 			}
-			if skip && ch.SkipIdle(cfg.MaxCycles+1) > 0 {
+			if skip && ch.AdvanceToNextEvent(cfg.MaxCycles+1) > 0 {
 				continue
 			}
 			ch.Step()

@@ -151,7 +151,7 @@ func TestTimeoutReported(t *testing.T) {
 
 // TestPipelineFastForwardEquivalence: Run and SingleThread produce
 // results identical to pure cycle stepping when the barrier loop uses
-// Chip.SkipIdle — stage times, per-iteration series and the timeout
+// Chip.AdvanceToNextEvent — stage times, per-iteration series and the timeout
 // path all match exactly (PR-4's skip-legality invariant extended to
 // the apps layer).
 func TestPipelineFastForwardEquivalence(t *testing.T) {

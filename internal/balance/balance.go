@@ -185,6 +185,23 @@ func (m *Monitor) SkipObserve(thread, outstandingMisses int, siblingActive bool,
 	}
 }
 
+// ThrottleWindow reports whether the thread's decode is miss-throttled
+// under the given constant inputs and, if so, the countdown geometry the
+// event-wheel fast-forward posts as the thread's next decode event:
+// delta is the number of Observe calls until the first stall-free one (0
+// means the very next Observe does not throttle-stall), period is the
+// throttle period, so the stall-free Observes are exactly those delta,
+// delta+period, delta+2*period, ... calls ahead. The values are only
+// meaningful while CanSkip holds for the same inputs (transition-free
+// episode) and the miss count stays constant — both of which the
+// fast-forward's idle analysis establishes before using them.
+func (m *Monitor) ThrottleWindow(thread, outstandingMisses int, siblingActive bool) (delta, period uint64, throttled bool) {
+	if m.cfg.Mode == Off || !siblingActive || outstandingMisses < m.cfg.MissHigh {
+		return 0, 0, false
+	}
+	return uint64(m.throttle[thread]), uint64(m.cfg.ThrottleRate), true
+}
+
 // Stalled reports whether the thread is currently decode-stalled by the
 // GCT watermark mechanism.
 func (m *Monitor) Stalled(thread int) bool { return m.stalled[thread] }

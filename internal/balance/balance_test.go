@@ -139,6 +139,58 @@ func TestMonitorMissThrottle(t *testing.T) {
 	}
 }
 
+// TestThrottleWindowMatchesStepping proves the countdown geometry
+// ThrottleWindow reports predicts exactly which future Observe calls are
+// throttle-stall-free: from any reachable countdown state, the k-th next
+// Observe (constant inputs, watermark quiet) stalls iff k is not
+// congruent to the reported delta modulo the reported period.
+func TestThrottleWindowMatchesStepping(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, misses := range []int{cfg.MissHigh, cfg.MissHigh + 3} {
+		m := NewMonitor(cfg)
+		for warm := 0; warm < 3*cfg.ThrottleRate; warm++ {
+			delta, period, throttled := m.ThrottleWindow(0, misses, true)
+			if !throttled {
+				t.Fatalf("misses=%d warm=%d: want throttled", misses, warm)
+			}
+			if period != uint64(cfg.ThrottleRate) {
+				t.Fatalf("misses=%d warm=%d: period=%d want %d", misses, warm, period, cfg.ThrottleRate)
+			}
+			if delta >= period {
+				t.Fatalf("misses=%d warm=%d: delta=%d not below period %d", misses, warm, delta, period)
+			}
+			probe := *m // Monitor state is a value; copying forks the episode
+			for k := uint64(0); k < 3*period; k++ {
+				d := probe.Observe(0, 1, misses, true)
+				free := k%period == delta
+				if d.StallDecode == free {
+					t.Fatalf("misses=%d warm=%d k=%d: stall=%v, window (delta=%d period=%d) predicts free=%v",
+						misses, warm, k, d.StallDecode, delta, period, free)
+				}
+			}
+			m.Observe(0, 1, misses, true)
+		}
+	}
+}
+
+// TestThrottleWindowNotThrottled pins the conditions under which no
+// throttle window exists: misses below the threshold, inactive sibling,
+// balancing off.
+func TestThrottleWindowNotThrottled(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMonitor(cfg)
+	if _, _, th := m.ThrottleWindow(0, cfg.MissHigh-1, true); th {
+		t.Error("misses below MissHigh: want not throttled")
+	}
+	if _, _, th := m.ThrottleWindow(0, cfg.MissHigh, false); th {
+		t.Error("sibling inactive: want not throttled")
+	}
+	off := &Monitor{}
+	if _, _, th := off.ThrottleWindow(0, 100, true); th {
+		t.Error("balancing off: want not throttled")
+	}
+}
+
 func TestMonitorPerThreadIndependence(t *testing.T) {
 	m := NewMonitor(DefaultConfig())
 	m.Observe(0, 20, 1, true) // thread 0 stalls

@@ -76,12 +76,11 @@ type Chip struct {
 	Hier  *mem.Hierarchy
 	Cores []*pipeline.Core
 
-	// Idle-skip backoff: after a failed SkipIdle attempt the next try is
-	// deferred, doubling up to skipBackoffMax, so busy phases pay almost
-	// nothing for the idle analysis. Which windows get skipped never
-	// affects results, so the backoff is free to be heuristic.
-	skipDefer   uint64
-	skipBackoff uint64
+	// skipDefer aims the next advance attempt at a known wake cycle
+	// after a skippable-but-short window, so the analysis is not redone
+	// on cycles the event wheel already proved uneventful. Which windows
+	// get skipped never affects results, only wall-clock time.
+	skipDefer uint64
 }
 
 // NewChip builds a chip. It panics on an invalid configuration.
@@ -110,40 +109,50 @@ func (ch *Chip) Step() {
 	}
 }
 
-// minSkip declines idle windows shorter than this many cycles. By the
+// minSkip declines event windows shorter than this many cycles. By the
 // time a window's length is known the analysis cost is already sunk, so
 // the threshold is low: it only guards the closed-form jump itself.
-// The decode-grant early bail inside IdleWake uses the same value to
-// reject busy cores in O(1) before any queue walking. Any positive
-// value is semantics-preserving.
+// The decode-grant early bail inside pipeline.Core.NextEvent uses the
+// same value to reject busy cores in O(1) before any queue walking. Any
+// positive value is semantics-preserving.
 const minSkip = 2
 
-// skipBackoffMax caps the failed-attempt backoff. Busy stretches then
-// pay for one idle analysis per ~61 cycles instead of one per cycle,
-// while the onset of a long stall is detected within the same bound.
-// The cap is prime on purpose: simulator activity is periodic with
-// power-of-two periods (the decode-slot windows R = 2..64), and a
-// power-of-two cap would re-attempt at the same window phase forever,
-// never landing on the idle stretch. A prime cap drifts across phases.
-const skipBackoffMax = 61
-
-// SkipIdle fast-forwards the whole chip past a provably idle window:
-// when every core reports idle (pipeline.Core.IdleWake), all cores jump
-// to the earliest wake, never beyond bound cycles (measured on the
-// cores' shared clock). It returns the number of cycles skipped, zero
-// when any core has actionable work, the window is too short, or bound
-// has been reached. Skipping is bit-identical to stepping: results,
-// statistics and timeouts are unchanged, only wall-clock time is saved.
-func (ch *Chip) SkipIdle(bound uint64) uint64 {
+// AdvanceToNextEvent fast-forwards the whole chip to its next posted
+// event: every core reports the earliest cycle at which its state can
+// change (pipeline.Core.NextEvent — decode grants including the
+// miss-throttle countdown, LMQ completions, dependency result times,
+// pending-branch resolutions, redirect expiries, balance-window
+// boundaries), and all cores jump to the minimum, never beyond bound
+// cycles (measured on the cores' shared clock). It returns the number
+// of cycles skipped, zero when any core has work due this cycle, the
+// window is too short, or bound has been reached.
+//
+// There is no failed-attempt backoff: events are exact, so an attempt
+// only comes back empty when work is genuinely due now — and busy
+// cycles never reach the event computation at all, because a cycle
+// that progressed (pipeline.Core.Progressed) cannot open a skippable
+// window, which makes the busy path two flag loads. (The previous
+// idle-only skipper needed an exponential backoff with a prime cap to
+// avoid phase-locking against the power-of-two decode windows; exact
+// events made it dead weight and it was removed — BenchmarkAdvanceBusy
+// pins the busy-path cost against BenchmarkStepBusy.)
+//
+// Advancing is bit-identical to stepping: results, statistics and
+// timeouts are unchanged, only wall-clock time is saved.
+func (ch *Chip) AdvanceToNextEvent(bound uint64) uint64 {
 	now := ch.Cores[0].Cycle()
 	if bound <= now || now < ch.skipDefer {
 		return 0
 	}
+	for _, c := range ch.Cores {
+		if c.Progressed() {
+			return 0
+		}
+	}
 	wake := pipeline.NoEvent
 	for _, c := range ch.Cores {
-		w, idle := c.IdleWake(minSkip)
-		if !idle {
-			ch.backoff(now)
+		w, ok := c.NextEvent(minSkip)
+		if !ok {
 			return 0
 		}
 		if w < wake {
@@ -154,35 +163,17 @@ func (ch *Chip) SkipIdle(bound uint64) uint64 {
 		wake = bound
 	}
 	if wake <= now || wake-now < minSkip {
-		// Idle but too short to jump: the wake cycle is when work can
-		// resume, so aim the next attempt there instead of ramping the
-		// failure backoff.
+		// Skippable but too short to jump: the wake cycle is when work
+		// can resume, so aim the next attempt there.
 		if wake > now {
 			ch.skipDefer = wake
-			ch.skipBackoff = 0
-		} else {
-			ch.backoff(now)
 		}
 		return 0
 	}
 	for _, c := range ch.Cores {
 		c.FastForward(wake)
 	}
-	ch.skipBackoff = 0
 	return wake - now
-}
-
-// backoff defers the next skip attempt after a failed one.
-func (ch *Chip) backoff(now uint64) {
-	if ch.skipBackoff < 1 {
-		ch.skipBackoff = 1
-	} else {
-		ch.skipBackoff *= 2
-		if ch.skipBackoff > skipBackoffMax {
-			ch.skipBackoff = skipBackoffMax
-		}
-	}
-	ch.skipDefer = now + ch.skipBackoff
 }
 
 // PlacePair installs two kernels on the experiment core with the given

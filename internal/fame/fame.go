@@ -24,14 +24,15 @@ type Machine interface {
 	ExperimentCore() *pipeline.Core
 }
 
-// Skipper is the optional fast-path a Machine may provide: SkipIdle
-// advances the machine past cycles that provably perform no
-// architectural work, never beyond bound, and returns the number of
-// cycles skipped (zero when there is actionable work). Implementations
-// must be bit-identical to stepping — core.Chip and oskernel.OS both
-// qualify — so Measure uses the fast path whenever it is offered.
+// Skipper is the optional fast-path a Machine may provide:
+// AdvanceToNextEvent jumps the machine to the next cycle at which its
+// state can change (its event wheel's minimum posted event), never
+// beyond bound, and returns the number of cycles skipped (zero when
+// work is due on the current cycle). Implementations must be
+// bit-identical to stepping — core.Chip and oskernel.OS both qualify —
+// so Measure uses the fast path whenever it is offered.
 type Skipper interface {
-	SkipIdle(bound uint64) uint64
+	AdvanceToNextEvent(bound uint64) uint64
 }
 
 // fastForward gates Measure's use of the Skipper fast path. It defaults
@@ -158,7 +159,7 @@ func Measure(ch Machine, opt Options) PairResult {
 			timedOut = true
 			break
 		}
-		if sk != nil && sk.SkipIdle(opt.MaxCycles) > 0 {
+		if sk != nil && sk.AdvanceToNextEvent(opt.MaxCycles) > 0 {
 			continue
 		}
 		ch.Step()

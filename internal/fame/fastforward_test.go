@@ -143,30 +143,80 @@ func TestFastForwardEquivalence(t *testing.T) {
 
 	t.Run("OSKernel", func(t *testing.T) {
 		opt := ffOptions()
+		tickCfgs := []oskernel.Config{
+			{TickCycles: 2_000, HandlerCycles: 40},
+			{TickCycles: 977, HandlerCycles: 13}, // prime period: ticks land mid-span
+			{TickCycles: 131, HandlerCycles: 0},  // dense, zero-overhead interrupts
+		}
 		for _, patched := range []bool{false, true} {
-			cfg := oskernel.Config{Patched: patched, TickCycles: 2_000, HandlerCycles: 40}
-			label := fmt.Sprintf("oskernel(patched=%v)", patched)
-			measureBoth(t, label, opt, func() (Machine, *core.Chip) {
-				ch := core.NewChip(core.DefaultConfig())
-				ch.PlacePair(ffKernel(t, microbench.CPUInt), ffKernel(t, microbench.LdIntMem),
-					prio.High, prio.Low, prio.Supervisor)
-				return oskernel.New(ch, cfg), ch
-			})
+			for _, tc := range tickCfgs {
+				cfg := tc
+				cfg.Patched = patched
+				label := fmt.Sprintf("oskernel(patched=%v,tick=%d)", patched, cfg.TickCycles)
+				var built []*oskernel.OS
+				measureBoth(t, label, opt, func() (Machine, *core.Chip) {
+					ch := core.NewChip(core.DefaultConfig())
+					ch.PlacePair(ffKernel(t, microbench.CPUInt), ffKernel(t, microbench.LdIntMem),
+						prio.High, prio.Low, prio.Supervisor)
+					os := oskernel.New(ch, cfg)
+					built = append(built, os)
+					return os, ch
+				})
+				// The kernel's observable side effects — interrupts delivered
+				// and priorities reset — must also match exactly.
+				if len(built) == 2 {
+					off, on := built[0], built[1]
+					if off.Ticks != on.Ticks || off.Resets != on.Resets {
+						t.Errorf("%s: kernel state diverged: off ticks=%d resets=%d, on ticks=%d resets=%d",
+							label, off.Ticks, off.Resets, on.Ticks, on.Resets)
+					}
+				}
+			}
 		}
 	})
 }
 
-// TestSkipIdleNeverExceedsBound pins the Skipper contract Measure relies
+// TestAdvanceNeverSkipsTimerTick pins the oskernel event-wheel contract:
+// an advance may never jump past a pending timer tick, no matter how far
+// the chip's own next event lies, for both stock and patched kernels and
+// for tick periods that land mid-span of the chip's skippable windows.
+func TestAdvanceNeverSkipsTimerTick(t *testing.T) {
+	for _, patched := range []bool{false, true} {
+		cfg := oskernel.Config{Patched: patched, TickCycles: 977, HandlerCycles: 13}
+		ch := core.NewChip(core.DefaultConfig())
+		ch.PlacePair(ffKernel(t, microbench.LdIntMem), ffKernel(t, microbench.LdIntMem),
+			prio.High, prio.Low, prio.Supervisor)
+		os := oskernel.New(ch, cfg)
+		c := ch.ExperimentCore()
+		for c.Cycle() < 300_000 {
+			// The next undelivered tick is a hard wall for any advance.
+			boundary := cfg.TickCycles * (os.Ticks + 1)
+			n := os.AdvanceToNextEvent(1 << 62)
+			if c.Cycle() > boundary {
+				t.Fatalf("patched=%v: advance of %d jumped past tick %d to cycle %d",
+					patched, n, boundary, c.Cycle())
+			}
+			if n == 0 {
+				os.Step()
+			}
+		}
+		if os.Ticks == 0 {
+			t.Fatalf("patched=%v: no timer ticks delivered", patched)
+		}
+	}
+}
+
+// TestAdvanceNeverExceedsBound pins the Skipper contract Measure relies
 // on for exact timeout behaviour.
-func TestSkipIdleNeverExceedsBound(t *testing.T) {
+func TestAdvanceNeverExceedsBound(t *testing.T) {
 	ch := core.NewChip(core.DefaultConfig())
 	ch.PlacePair(ffKernel(t, microbench.LdIntMem), ffKernel(t, microbench.LdIntMem), prio.Medium, prio.Medium, prio.User)
 	c := ch.ExperimentCore()
 	for i := 0; i < 20_000; i++ {
 		bound := c.Cycle() + 37
-		ch.SkipIdle(bound)
+		ch.AdvanceToNextEvent(bound)
 		if c.Cycle() > bound {
-			t.Fatalf("SkipIdle passed its bound: cycle %d > %d", c.Cycle(), bound)
+			t.Fatalf("AdvanceToNextEvent passed its bound: cycle %d > %d", c.Cycle(), bound)
 		}
 		ch.Step()
 	}

@@ -1,19 +1,57 @@
 package fame
 
 import (
+	"fmt"
+	"math/rand"
 	"reflect"
 	"testing"
 
+	"power5prio/internal/balance"
 	"power5prio/internal/core"
+	"power5prio/internal/isa"
 	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
 )
 
-// TestFastForwardLockstep steps a reference chip cycle by cycle while a
-// second chip uses SkipIdle, and compares statistics at every skip
-// boundary — much finer-grained than the end-to-end equivalence test, so
-// a divergence is pinned to the first bad window. The branchy pair keeps
-// squashes, redirects and balance flushes in constant rotation.
+// lockstep steps a reference chip cycle by cycle while a second chip
+// uses AdvanceToNextEvent, comparing cycle counts, per-thread statistics
+// and core statistics at every advance boundary until limit cycles have
+// elapsed — much finer-grained than the end-to-end equivalence test, so
+// a divergence is pinned to the first bad window.
+func lockstep(t *testing.T, label string, build func() *core.Chip, limit uint64) {
+	t.Helper()
+	ref := build()
+	ff := build()
+	c0, c1 := ref.ExperimentCore(), ff.ExperimentCore()
+	for c0.Cycle() < limit {
+		n := ff.AdvanceToNextEvent(c0.Cycle() + 1_000_000)
+		for i := uint64(0); i < n; i++ {
+			ref.Step()
+		}
+		if n == 0 {
+			ref.Step()
+			ff.Step()
+		}
+		if c0.Cycle() != c1.Cycle() {
+			t.Fatalf("%s: cycle mismatch %d vs %d", label, c0.Cycle(), c1.Cycle())
+		}
+		for th := 0; th < 2; th++ {
+			if !reflect.DeepEqual(c0.Stats(th), c1.Stats(th)) {
+				t.Fatalf("%s: cycle %d (after skip %d) thread %d:\n ref %+v\n ff  %+v",
+					label, c0.Cycle(), n, th, c0.Stats(th), c1.Stats(th))
+			}
+		}
+		if !reflect.DeepEqual(c0.CoreStats(), c1.CoreStats()) {
+			t.Fatalf("%s: cycle %d (after skip %d) corestats:\n ref %+v\n ff  %+v",
+				label, c0.Cycle(), n, c0.CoreStats(), c1.CoreStats())
+		}
+	}
+}
+
+// TestFastForwardLockstep pins the event wheel against stepping on the
+// hand-picked regressions: a branchy pair that keeps squashes, redirects
+// and balance flushes in constant rotation, a mixed pair, and the
+// miss-throttled memory pair the wheel exists to accelerate.
 func TestFastForwardLockstep(t *testing.T) {
 	pairs := [][2]string{
 		{microbench.BrMiss, microbench.BrMiss},
@@ -26,31 +64,68 @@ func TestFastForwardLockstep(t *testing.T) {
 			ch.PlacePair(ffKernel(t, p[0]), ffKernel(t, p[1]), prio.Medium, prio.Medium, prio.Supervisor)
 			return ch
 		}
-		ref := build()
-		ff := build()
-		c0, c1 := ref.ExperimentCore(), ff.ExperimentCore()
-		for c0.Cycle() < 200_000 {
-			n := ff.SkipIdle(c0.Cycle() + 1_000_000)
-			for i := uint64(0); i < n; i++ {
-				ref.Step()
-			}
-			if n == 0 {
-				ref.Step()
-				ff.Step()
-			}
-			if c0.Cycle() != c1.Cycle() {
-				t.Fatalf("%v: cycle mismatch %d vs %d", p, c0.Cycle(), c1.Cycle())
-			}
-			for th := 0; th < 2; th++ {
-				if !reflect.DeepEqual(c0.Stats(th), c1.Stats(th)) {
-					t.Fatalf("%v: cycle %d (after skip %d) thread %d:\n ref %+v\n ff  %+v",
-						p, c0.Cycle(), n, th, c0.Stats(th), c1.Stats(th))
-				}
-			}
-			if !reflect.DeepEqual(c0.CoreStats(), c1.CoreStats()) {
-				t.Fatalf("%v: cycle %d (after skip %d) corestats:\n ref %+v\n ff  %+v",
-					p, c0.Cycle(), n, c0.CoreStats(), c1.CoreStats())
-			}
-		}
+		lockstep(t, fmt.Sprintf("%v", p), build, 200_000)
 	}
+}
+
+// TestLockstepFuzz runs seeded random (workload pair, priority, config)
+// samples through the same per-advance-boundary lockstep, then through a
+// full measurement with the event wheel on and off, asserting identical
+// ThreadStats/CoreStats at every boundary and an identical PairResult.
+// The random configurations deliberately wander the balance thresholds
+// (mode, watermarks, miss threshold, throttle rate) and the structural
+// knobs the wheel's closed forms depend on (LMQ depth, redirect penalty,
+// GCT size), so phase interactions the curated pairs never reach —
+// throttle periods against odd grant windows, tiny GCTs that live at the
+// watermark, shallow LMQs — are exercised too.
+func TestLockstepFuzz(t *testing.T) {
+	const samples = 14
+	rng := rand.New(rand.NewSource(0x5005)) // fixed seed: failures reproduce
+	names := microbench.Names()
+	for s := 0; s < samples; s++ {
+		cfg := core.DefaultConfig()
+		cfg.Pipe.Balance = balance.Config{
+			Mode:         balance.Mode(rng.Intn(3)),
+			GCTHigh:      8 + rng.Intn(9),  // 8..16
+			MissHigh:     2 + rng.Intn(7),  // 2..8
+			ThrottleRate: 2 + rng.Intn(11), // 2..12
+		}
+		cfg.Pipe.Balance.GCTLow = 4 + rng.Intn(cfg.Pipe.Balance.GCTHigh-3) // 4..GCTHigh
+		cfg.Pipe.GCTEntries = 12 + rng.Intn(13)                            // 12..24
+		cfg.Pipe.LMQPerThread = 2 + rng.Intn(7)                            // 2..8
+		cfg.Pipe.MispredictPenalty = uint64(3 + rng.Intn(10))              // 3..12
+		a := names[rng.Intn(len(names))]
+		b := names[rng.Intn(len(names))]
+		pa := prio.Level(1 + rng.Intn(7))
+		pb := prio.Level(1 + rng.Intn(7))
+		if rng.Intn(8) == 0 {
+			pb = prio.ThreadOff // rare: sibling parked while placed
+		}
+		label := fmt.Sprintf("seed-sample %d: %s+%s(%d,%d) bal=%+v gct=%d lmq=%d redirect=%d",
+			s, a, b, pa, pb, cfg.Pipe.Balance, cfg.Pipe.GCTEntries, cfg.Pipe.LMQPerThread, cfg.Pipe.MispredictPenalty)
+		build := func() *core.Chip {
+			ch := core.NewChip(cfg)
+			ch.PlacePair(freshKernel(t, a), freshKernel(t, b), pa, pb, prio.Supervisor)
+			return ch
+		}
+		lockstep(t, label, build, 60_000)
+
+		opt := ffOptions()
+		opt.MaxCycles = 1_000_000
+		measureBoth(t, label, opt, func() (Machine, *core.Chip) {
+			ch := build()
+			return ch, ch
+		})
+	}
+}
+
+// freshKernel builds an uncached kernel: fuzz samples must not share
+// stateful pattern closures between the reference and wheeled machines.
+func freshKernel(t *testing.T, name string) *isa.Kernel {
+	t.Helper()
+	k, err := microbench.BuildWith(name, microbench.Params{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
 }

@@ -80,15 +80,16 @@ func (o *OS) ExperimentCore() *pipeline.Core { return o.chip.ExperimentCore() }
 // Chip returns the wrapped chip.
 func (o *OS) Chip() *core.Chip { return o.chip }
 
-// SkipIdle fast-forwards the wrapped chip past a provably idle window,
-// bounding any skip at the next timer tick so interrupt delivery (and
-// the priority resets of a stock kernel) happens on exactly the cycle it
-// would when stepping. It returns the number of cycles skipped.
-func (o *OS) SkipIdle(bound uint64) uint64 {
+// AdvanceToNextEvent fast-forwards the wrapped chip to its next posted
+// event, bounding any advance at the next timer tick — the kernel's own
+// event on the wheel — so interrupt delivery (and the priority resets of
+// a stock kernel) happens on exactly the cycle it would when stepping.
+// It returns the number of cycles skipped.
+func (o *OS) AdvanceToNextEvent(bound uint64) uint64 {
 	if o.nextTick < bound {
 		bound = o.nextTick
 	}
-	return o.chip.SkipIdle(bound)
+	return o.chip.AdvanceToNextEvent(bound)
 }
 
 // Step advances the machine one cycle, delivering timer interrupts.

@@ -29,8 +29,12 @@ type group struct {
 	n        int
 	firstSeq uint64
 	instr    [GroupMax]isa.Dyn
-	issued   [GroupMax]bool
 	mispred  [GroupMax]bool
+	// issuedCnt and doneAt are maintained at issue time so retirement
+	// eligibility is an O(1) check instead of a per-cycle slot scan:
+	// once issuedCnt == n, doneAt is the max result time of the group.
+	issuedCnt int
+	doneAt    uint64
 }
 
 func (g *group) lastSeq() uint64 { return g.firstSeq + uint64(g.n) - 1 }
@@ -43,6 +47,7 @@ type qent struct {
 	depA    uint64
 	depB    uint64
 	addr    uint64
+	readyAt uint64 // cached earliest dep-ready cycle; 0 while a producer is unissued
 	op      isa.Op
 	thread  int8
 	slot    int8
@@ -182,6 +187,14 @@ type Core struct {
 	pool   []*group // group free pool
 	cycle  uint64
 	cstats CoreStats
+	// progressed records whether the last Step changed architectural or
+	// statistical state beyond the closed-form bookkeeping FastForward
+	// applies (a decode, issue, retire, branch resolution, LMQ completion
+	// or balance flush; fetch refills are excluded — FastForward replays
+	// them). Inside a skippable window no cycle progresses, so a cycle
+	// that did progress cannot be the start of one, and the chip uses the
+	// flag to bypass the event-wheel probe entirely on busy cycles.
+	progressed bool
 }
 
 // NewCore builds a core attached to the given memory hierarchy. It panics
@@ -277,8 +290,10 @@ func (c *Core) active(t int) bool {
 // Step advances the core by one cycle.
 func (c *Core) Step() {
 	now := c.cycle
+	lmq0, lmq1 := c.thr[0].lmqActive, c.thr[1].lmqActive
 	c.thr[0].lmqTick(now)
 	c.thr[1].lmqTick(now)
+	c.progressed = c.thr[0].lmqActive != lmq0 || c.thr[1].lmqActive != lmq1
 	c.resolveBranches(now)
 	c.retire(now)
 	c.issue(now)
@@ -305,48 +320,50 @@ func (c *Core) Run(n uint64) {
 	}
 }
 
-// IdleWake decides whether the core is provably idle at the current
-// cycle: stepping it cannot change architectural or statistical state
-// beyond the closed-form bookkeeping FastForward applies. When idle, it
-// returns the earliest future cycle at which work may resume — the skip
-// is legal (bit-identical to stepping) for any target up to that wake.
+// NextEvent is the core's contribution to the chip event wheel: it
+// decides whether the span from the current cycle to the returned wake
+// is skippable — stepping through it cannot change architectural or
+// statistical state beyond the closed-form bookkeeping FastForward
+// applies — and posts the earliest future cycle at which a state change
+// may occur. The skip is legal (bit-identical to stepping) for any
+// target up to that wake.
 //
-// A cycle is idle when, simultaneously:
-//   - no pending branch event is due, no head group is retirable, and no
-//     issue-queue entry is ready (each pending one either waits on a
-//     result with a known future time, on a producer that has not issued,
-//     or on a full LMQ);
-//   - every active thread's fetch buffer is full (fetch is a no-op);
-//   - every active thread either cannot decode for a reason that persists
-//     across the window — balance-stalled with the watermark episode
-//     stable, redirect-blocked, GCT full, or the issue queue of its next
-//     instruction full — or is not granted a decode slot before the wake;
-//   - the balance monitor is transition-free for both threads
-//     (balance.Monitor.CanSkip), so its evolution is closed-form.
+// Every component posts its next state-change cycle, and the wake is
+// their minimum:
+//   - pending branch resolutions, LMQ completions, dependency resultAt
+//     times, head-group completion times and redirect blockedUntil
+//     expiries (exact, time-indexed events);
+//   - each thread's next effective decode slot: its next allocator grant
+//     or — while the balance monitor miss-throttles its decode — the
+//     first grant aligned with the throttle-free cycles of the countdown
+//     (prio.Allocator.NextGrantAligned), which is how the wheel advances
+//     even while a thread is "busy" in the throttled sense;
+//   - nothing for fetch: refills are replayed verbatim by FastForward,
+//     so an in-progress refill does not veto the skip.
 //
-// The wake is the minimum over pending-branch resolution times, LMQ
-// completion times, dependency result times, head-group completion
-// times, redirect expiries and the next decode grant of an unblocked
-// thread. minAhead declines windows shorter than that many cycles (the
-// closed-form jump is not worth it); a core with no pending event at all
-// reports idle with wake == NoEvent, leaving the bound to the caller.
-func (c *Core) IdleWake(minAhead uint64) (wake uint64, idle bool) {
+// A span is skippable when no event is due now — no branch resolution or
+// retirable head group, no issuable queue entry (each pending one waits
+// on a result with a known future time, on an unissued producer, or on a
+// full LMQ), no thread that can decode before the wake — and the balance
+// monitor is transition-free for both threads (balance.Monitor.CanSkip),
+// so its evolution is closed-form. minAhead declines windows shorter
+// than that many cycles (the jump is not worth it); a core with no
+// pending event at all reports ok with wake == NoEvent, leaving the
+// bound to the caller.
+func (c *Core) NextEvent(minAhead uint64) (wake uint64, ok bool) {
 	now := c.cycle
 	c.thr[0].lmqTick(now)
 	c.thr[1].lmqTick(now)
 	wake = NoEvent
 
-	// Cheap phase: decode, fetch and monitor conditions — O(1) per
-	// thread, so busy cores bail before any queue walking.
+	// Cheap phase: decode and monitor conditions — O(1) per thread, so
+	// busy cores bail before any queue walking.
 	for i, ts := range c.thr {
 		if !c.active(i) {
 			continue
 		}
 		if !c.mon.CanSkip(i, ts.gctHeld(), c.active(1-i)) {
 			return 0, false
-		}
-		if len(ts.fetchBuf)-ts.fbHead < c.cfg.FetchBufCap {
-			return 0, false // fetch would make progress
 		}
 		switch {
 		case c.mon.Stalled(i):
@@ -356,13 +373,22 @@ func (c *Core) IdleWake(minAhead uint64) (wake uint64, idle bool) {
 			// Redirect penalty; its expiry bounds the wake below.
 		case c.gctUsed() >= c.cfg.GCTEntries:
 			// Dispatch blocked until a retire, and no retire is due.
-		case len(c.queues[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]) >= c.cfg.QueueCap[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]:
+		case len(ts.fetchBuf)-ts.fbHead > 0 &&
+			len(c.queues[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]) >= c.cfg.QueueCap[isa.UnitOf(ts.fetchBuf[ts.fbHead].Op)]:
 			// The next instruction's issue queue is full and cannot
 			// drain (no entry issues during the window).
 		default:
-			// The thread would decode when granted; the skip must end
-			// at its next decode slot.
-			d := c.alloc.NextGrantDelta(i)
+			// The thread decodes at its next effective decode slot,
+			// which ends the skip: the next grant or, while the decode
+			// is miss-throttled, the first grant on a throttle-free
+			// cycle (the grants in between are granted-and-stalled,
+			// which FastForward accounts in closed form).
+			var d uint64
+			if off, period, throttled := c.mon.ThrottleWindow(i, ts.lmqMisses, c.active(1-i)); throttled {
+				d = c.alloc.NextGrantAligned(i, off, period)
+			} else {
+				d = c.alloc.NextGrantDelta(i)
+			}
 			if d < minAhead {
 				return 0, false
 			}
@@ -391,23 +417,12 @@ func (c *Core) IdleWake(minAhead uint64) (wake uint64, idle bool) {
 		}
 		if len(ts.groups) > 0 {
 			g := ts.groups[0]
-			var done uint64
-			allIssued := true
-			for k := 0; k < g.n; k++ {
-				if !g.issued[k] {
-					allIssued = false
-					break
-				}
-				if r := ts.resultAt[(g.firstSeq+uint64(k))&(resultRing-1)]; r > done {
-					done = r
-				}
-			}
-			if allIssued {
-				if done <= now {
+			if g.issuedCnt == g.n {
+				if g.doneAt <= now {
 					return 0, false // retirable now
 				}
-				if done < wake {
-					wake = done
+				if g.doneAt < wake {
+					wake = g.doneAt
 				}
 			}
 		}
@@ -460,11 +475,29 @@ func depResultAt(ts *threadState, dep uint64) (uint64, bool) {
 	return r, true
 }
 
+// depsResultAt resolves both dependencies at once; known is false while
+// either producer has not issued (its result time does not exist yet).
+func depsResultAt(ts *threadState, depA, depB uint64) (ra, rb uint64, known bool) {
+	ra, known = depResultAt(ts, depA)
+	if !known {
+		return 0, 0, false
+	}
+	rb, known = depResultAt(ts, depB)
+	if !known {
+		return 0, 0, false
+	}
+	return ra, rb, true
+}
+
 // FastForward jumps the core from the current cycle to target, applying
 // in closed form exactly the bookkeeping the skipped Steps would have
-// performed: decode-slot grants (and their stall statistics), balance
-// monitor throttling windows, and cycle/GCT-occupancy integrals. It is
-// only legal after IdleWake reported idle with wake >= target; the
+// performed: decode-slot grants (and their stall statistics, including
+// the granted-but-throttled slots of a miss-throttled thread), balance
+// monitor throttle-countdown advance, cycle/GCT-occupancy integrals,
+// and the fetch-buffer refills of the span (replayed verbatim — fetch
+// is cycle-independent, so running it for the cycles it would have
+// progressed is exact and it goes quiescent once the buffers fill). It
+// is only legal after NextEvent reported ok with wake >= target; the
 // result is bit-identical to calling Step target-cycle times.
 func (c *Core) FastForward(target uint64) {
 	n := target - c.cycle
@@ -476,17 +509,32 @@ func (c *Core) FastForward(target uint64) {
 		if !c.active(i) {
 			continue
 		}
-		// Every skipped grant is a stalled decode slot: the idle
-		// condition proved the thread could not decode anywhere in the
-		// window.
+		// Every skipped grant is a stalled decode slot: the event
+		// analysis proved the thread could not decode anywhere in the
+		// window (its first effective decode slot is at or past target).
 		ts.stats.DecodeGranted += grants[i]
 		ts.stats.DecodeStalled += grants[i]
 		c.mon.SkipObserve(i, ts.lmqMisses, c.active(1-i), n)
 	}
+	for k := uint64(0); k < n; k++ {
+		if !c.fetch(c.cycle + k) {
+			break // all fetch buffers full; later cycles fetch nothing
+		}
+	}
 	c.cstats.Cycles += n
 	c.cstats.GCTOccupSum += n * uint64(c.gctUsed())
 	c.cycle = target
+	// The wake this jump targeted is, by construction, a cycle on which
+	// some core's state changes; mark the arrival as progressed so the
+	// chip steps it instead of probing the wheel again.
+	c.progressed = true
 }
+
+// Progressed reports whether the core's last advanced cycle changed
+// state beyond FastForward's closed-form bookkeeping. A progressed cycle
+// cannot open a skippable window, so callers use it to bypass NextEvent
+// on busy cycles at the cost of at most one stepped cycle per window.
+func (c *Core) Progressed() bool { return c.progressed }
 
 // resolveBranches applies mispredict squashes whose resolution time is due.
 // Due events are processed oldest-first; each squash filters younger events
@@ -506,6 +554,7 @@ func (c *Core) resolveBranches(now uint64) {
 			seq := ts.pendBr[idx].seq
 			ts.pendBr[idx] = ts.pendBr[len(ts.pendBr)-1]
 			ts.pendBr = ts.pendBr[:len(ts.pendBr)-1]
+			c.progressed = true
 			c.squash(ts, seq, now)
 		}
 	}
@@ -561,16 +610,10 @@ func (c *Core) retire(now uint64) {
 			continue
 		}
 		g := ts.groups[0]
-		done := true
-		for i := 0; i < g.n; i++ {
-			if !g.issued[i] || !ts.depReady(g.firstSeq+uint64(i), now) {
-				done = false
-				break
-			}
-		}
-		if !done {
+		if g.issuedCnt < g.n || g.doneAt > now {
 			continue
 		}
+		c.progressed = true
 		for i := 0; i < g.n; i++ {
 			d := &g.instr[i]
 			ts.stats.Instructions++
@@ -617,8 +660,23 @@ func (c *Core) issue(now uint64) {
 				break
 			}
 			e := &q[i]
+			if e.readyAt > now {
+				if w != i {
+					q[w] = *e
+				}
+				w++
+				continue
+			}
 			ts := c.thr[e.thread]
-			if !ts.depReady(e.depA, now) || !ts.depReady(e.depB, now) {
+			if ra, rb, known := depsResultAt(ts, e.depA, e.depB); !known || ra > now || rb > now {
+				if known {
+					// Both producers issued: result times are final, so
+					// later scans can skip this entry on one compare.
+					if rb > ra {
+						ra = rb
+					}
+					e.readyAt = ra
+				}
 				if w != i {
 					q[w] = *e
 				}
@@ -638,8 +696,8 @@ func (c *Core) issue(now uint64) {
 			}
 			// Issue.
 			slots--
+			c.progressed = true
 			c.cstats.IssuedByUnit[u]++
-			e.g.issued[e.slot] = true
 			var doneAt uint64
 			switch e.op {
 			case isa.OpLoad:
@@ -660,6 +718,10 @@ func (c *Core) issue(now uint64) {
 				doneAt = now + c.cfg.latency(e.op)
 			}
 			ts.resultAt[e.seq&(resultRing-1)] = doneAt
+			e.g.issuedCnt++
+			if doneAt > e.g.doneAt {
+				e.g.doneAt = doneAt
+			}
 		}
 		if w != i {
 			w += copy(q[w:], q[i:])
@@ -685,6 +747,7 @@ func (c *Core) balanceStep(now uint64) [2]bool {
 			ts.fetchBuf = ts.fetchBuf[:0]
 			ts.fbHead = 0
 			ts.stats.BalanceFlushes++
+			c.progressed = true
 		}
 	}
 	return stall
@@ -732,7 +795,6 @@ func (c *Core) decode(now uint64, stall [2]bool) {
 		unitCount[u]++
 		slot := grp.n
 		grp.instr[slot] = d
-		grp.issued[slot] = false
 		grp.mispred[slot] = false
 		if d.Op == isa.OpBranch {
 			pred := c.pred.Predict(t, d.PC)
@@ -765,12 +827,16 @@ func (c *Core) decode(now uint64, stall [2]bool) {
 	}
 	ts.groups = append(ts.groups, grp)
 	ts.stats.DecodeUsed++
+	c.progressed = true
 	c.cstats.DecodedInstrs += uint64(grp.n)
 	c.cstats.DecodedGroups++
 }
 
-// fetch refills the fetch buffers from the replay ring or the stream.
-func (c *Core) fetch(now uint64) {
+// fetch refills the fetch buffers from the replay ring or the stream and
+// reports whether any thread made progress (false once every active
+// buffer is full, which lets FastForward stop replaying refills early).
+func (c *Core) fetch(now uint64) bool {
+	progress := false
 	for i, ts := range c.thr {
 		if !c.active(i) || ts.stream == nil {
 			continue
@@ -797,7 +863,11 @@ func (c *Core) fetch(now uint64) {
 			ts.fetchSeq++
 			fetched++
 		}
+		if fetched > 0 {
+			progress = true
+		}
 	}
+	return progress
 }
 
 // gctUsed returns the total GCT occupancy.
@@ -809,6 +879,8 @@ func (c *Core) newGroup() *group {
 		g := c.pool[n-1]
 		c.pool = c.pool[:n-1]
 		g.n = 0
+		g.issuedCnt = 0
+		g.doneAt = 0
 		return g
 	}
 	return &group{}

@@ -288,6 +288,99 @@ func (a *Allocator) NextGrantDelta(t int) uint64 {
 	return loDelta
 }
 
+// NextGrantAligned returns the smallest d >= 0 with d ≡ offset (mod
+// period) such that the d-th Next call from the current position would
+// grant thread t a decode slot (d = 0 means the very next call). It does
+// not advance the allocator.
+//
+// The event-wheel fast-forward uses it to post a miss-throttled thread's
+// next *effective* decode event: while the balance monitor throttles
+// decode, only one Observe in every ThrottleRate is stall-free, so the
+// thread's next slot that can actually decode is the first grant aligned
+// with the throttle countdown (offset = countdown, period = rate).
+//
+// It returns NeverGranted when no aligned grant exists: the grant window
+// and the throttle period are both periodic, so a phase-locked pair
+// (e.g. an equal-priority alternation whose parity never meets the
+// throttle-free cycles) never lines up, and the thread decodes again
+// only after some other event changes the pattern.
+func (a *Allocator) NextGrantAligned(t int, offset, period uint64) uint64 {
+	a.ensureInit()
+	if t != 0 && t != 1 {
+		panic(fmt.Sprintf("prio: thread %d out of range", t))
+	}
+	if period == 0 {
+		panic("prio: period must be positive")
+	}
+	p0, p1 := a.prio[0], a.prio[1]
+	var w uint64 // grant-pattern window length
+	switch {
+	case p0 == ThreadOff && p1 == ThreadOff:
+		return NeverGranted
+	case p0 == ThreadOff, p1 == ThreadOff:
+		w = 1
+	case p0 == VeryLow && p1 == VeryLow:
+		w = 2 * LowPowerPeriod
+	default:
+		if diff := int(p0) - int(p1); diff == 0 {
+			w = 2
+		} else {
+			w = uint64(R(diff))
+		}
+	}
+	// d walks offset, offset+period, ...; d mod w revisits its first
+	// residue after w/gcd(w,period) steps, so scanning one full residue
+	// cycle decides existence.
+	steps := w / gcd(w, period)
+	for k := uint64(0); k < steps; k++ {
+		d := offset + k*period
+		if a.grantedAt(t, (uint64(a.pos)+d)%w) {
+			return d
+		}
+	}
+	return NeverGranted
+}
+
+// grantedAt reports whether thread t receives the decode slot when the
+// allocator is at window position pos, mirroring Next without advancing.
+func (a *Allocator) grantedAt(t int, pos uint64) bool {
+	p0, p1 := a.prio[0], a.prio[1]
+	switch {
+	case p0 == ThreadOff && p1 == ThreadOff:
+		return false
+	case p0 == ThreadOff:
+		return t == 1
+	case p1 == ThreadOff:
+		return t == 0
+	case p0 == VeryLow && p1 == VeryLow:
+		if t == 0 {
+			return pos == 0
+		}
+		return pos == LowPowerPeriod
+	}
+	diff := int(p0) - int(p1)
+	if diff == 0 {
+		return pos == uint64(t)
+	}
+	r := uint64(R(diff))
+	hi := 0
+	if diff < 0 {
+		hi = 1
+	}
+	if t == hi {
+		return pos != r-1
+	}
+	return pos == r-1
+}
+
+// gcd returns the greatest common divisor of a and b.
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
 // SkipGrants advances the allocator by n cycles in closed form and
 // returns the number of decode slots each thread would have been granted
 // over those cycles, exactly as n successive Next calls would have. The

@@ -361,6 +361,68 @@ func TestSkipGrantsMatchesNext(t *testing.T) {
 	}
 }
 
+// TestNextGrantAligned proves the throttled-grant closed form points at
+// exactly the first Next call that both grants the thread and lands on
+// an aligned cycle (d ≡ offset mod period), without advancing the
+// allocator — for every priority pair, every reachable window position,
+// and a spread of throttle geometries including the power-of-two rates
+// that can phase-lock against the power-of-two grant windows.
+func TestNextGrantAligned(t *testing.T) {
+	periods := []uint64{1, 2, 3, 5, 8, 12, 32, 64}
+	for p0 := Level(0); p0 <= VeryHigh; p0++ {
+		for p1 := Level(0); p1 <= VeryHigh; p1++ {
+			a := NewAllocator(p0, p1)
+			for warm := 0; warm < 2*LowPowerPeriod; warm++ {
+				for th := 0; th < 2; th++ {
+					for _, period := range periods {
+						for offset := uint64(0); offset < period; offset += 1 + period/4 {
+							d := a.NextGrantAligned(th, offset, period)
+							probe := NewAllocator(p0, p1)
+							for i := 0; i < warm; i++ {
+								probe.Next()
+							}
+							// Stepped search over several combined periods
+							// (grant window ≤ 64, so lcm ≤ 64*period).
+							want := NeverGranted
+							for i := uint64(0); i < 2*64*period; i++ {
+								g := probe.Next()
+								if i >= offset && (i-offset)%period == 0 && !g.None && g.Thread == th {
+									want = i
+									break
+								}
+							}
+							if d != want {
+								t.Fatalf("(%v,%v) warm=%d thread=%d offset=%d period=%d: NextGrantAligned=%d stepped=%d",
+									p0, p1, warm, th, offset, period, d, want)
+							}
+						}
+					}
+				}
+				a.Next()
+			}
+		}
+	}
+}
+
+// TestNextGrantAlignedPhaseLock pins the documented never-aligns case:
+// equal priorities alternate with period 2, so a thread whose
+// throttle-free cycles have the opposite parity is never granted one.
+func TestNextGrantAlignedPhaseLock(t *testing.T) {
+	a := NewAllocator(Medium, Medium)
+	// From position 0 the next grant goes to thread 0 (delta 0), thread 1
+	// at delta 1. With period 8 and offset 1, thread 0's aligned cycles
+	// are odd deltas — all thread-1 slots.
+	if d := a.NextGrantAligned(0, 1, 8); d != NeverGranted {
+		t.Errorf("thread 0 offset 1: want NeverGranted, got %d", d)
+	}
+	if d := a.NextGrantAligned(1, 1, 8); d != 1 {
+		t.Errorf("thread 1 offset 1: want 1, got %d", d)
+	}
+	if d := a.NextGrantAligned(0, 2, 8); d != 2 {
+		t.Errorf("thread 0 offset 2: want 2, got %d", d)
+	}
+}
+
 // TestNextGrantDelta proves NextGrantDelta points at exactly the next
 // Next call granting the thread, without advancing the allocator.
 func TestNextGrantDelta(t *testing.T) {
