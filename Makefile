@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke regen
+# Pinned external lint tools. They are deliberately NOT in go.mod (the
+# module builds hermetically with zero dependencies); `make lint-tools`
+# installs exactly these versions, which is what CI runs, so local and
+# CI results agree. Bump both here, nowhere else.
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
-all: build test
+.PHONY: all build test race vet fmt lint lint-fix lint-tools bench bench-smoke regen
+
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -20,6 +27,34 @@ vet:
 
 fmt:
 	gofmt -l .
+
+# lint is the static-analysis gate: the repo's own p5lint multichecker
+# (detmap, nowallclock, keyhash, ctxflow — see README "Static
+# analysis"), then staticcheck and govulncheck when installed (CI
+# always installs them via lint-tools; offline checkouts skip them
+# with a note rather than failing).
+lint:
+	$(GO) run ./cmd/p5lint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; run 'make lint-tools' (skipping)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed; run 'make lint-tools' (skipping)"; \
+	fi
+
+# lint-fix applies p5lint's suggested fixes (e.g. detmap's
+# sort-after-loop repair) in place, then reports what remains.
+lint-fix:
+	$(GO) run ./cmd/p5lint -fix ./...
+
+# lint-tools installs the pinned external linters (network required).
+lint-tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # bench writes the committed perf reports: raw step throughput, A/B
 # fast-forward speedups on the memory-bound regimes, and per-experiment

@@ -1,0 +1,177 @@
+// Command p5lint is the repo's static-analysis gate: a multichecker
+// running the four repo-specific analyzers that enforce, at build
+// time, the invariants the test suite otherwise only catches at run
+// time:
+//
+//	detmap      map iteration order must never reach ordered output
+//	nowallclock no wall clock or ambient entropy inside the simulator
+//	keyhash     every hash-key type must be canonically hashable
+//	ctxflow     contexts must propagate; no ambient roots in libraries
+//
+// Usage:
+//
+//	p5lint [-fix] [-detmap.packages=...] [packages...]
+//
+// Patterns default to ./... and are resolved module-aware from the
+// working directory. Exit status is 1 when unsuppressed findings
+// exist, 2 on load or internal errors — the same contract as go vet,
+// so `make lint` and CI can gate on it directly. -fix applies the
+// analyzers' suggested fixes (currently detmap's sort-after-loop
+// repair) in place, then reports whatever remains.
+//
+// Findings are suppressed by a justification comment on the offending
+// line or the line above:
+//
+//	//p5lint:ordered <why this iteration order is safe>   (detmap)
+//	//p5lint:allow <analyzer> <why>                       (any analyzer)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"power5prio/internal/lint"
+	"power5prio/internal/lint/analysis"
+	"power5prio/internal/lint/loader"
+)
+
+var analyzers = lint.Analyzers()
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fix := flag.Bool("fix", false, "apply suggested fixes in place, then report remaining findings")
+	for _, a := range analyzers {
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			flag.Var(f.Value, a.Name+"."+f.Name, f.Usage+" ("+a.Name+")")
+		})
+	}
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: p5lint [flags] [packages]\n\nanalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5lint:", err)
+		return 2
+	}
+	pkgs, err := loader.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5lint:", err)
+		return 2
+	}
+	loadErrs := 0
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "p5lint: %s: %v\n", p.ImportPath, terr)
+			loadErrs++
+		}
+	}
+	if loadErrs > 0 {
+		return 2
+	}
+
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5lint:", err)
+		return 2
+	}
+	if *fix {
+		applied, err := applyFixes(pkgs, diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "p5lint:", err)
+			return 2
+		}
+		if applied > 0 {
+			fmt.Fprintf(os.Stderr, "p5lint: applied %d suggested fix(es); re-run to verify\n", applied)
+			// Re-analyze so the exit status reflects the fixed tree.
+			pkgs, err = loader.Load(cwd, patterns...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p5lint:", err)
+				return 2
+			}
+			diags, err = analysis.Run(pkgs, analyzers)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p5lint:", err)
+				return 2
+			}
+		}
+	}
+	for _, d := range diags {
+		for _, p := range pkgs {
+			if pos := p.Fset.Position(d.Pos); pos.IsValid() {
+				fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+				break
+			}
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "p5lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// applyFixes writes every suggested fix back to disk. Edits are
+// grouped per file, sorted, and rejected if they overlap.
+func applyFixes(pkgs []*loader.Package, diags []analysis.Diagnostic) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := make(map[string][]edit)
+	applied := 0
+	for _, d := range diags {
+		for _, fixItem := range d.SuggestedFixes {
+			for _, te := range fixItem.TextEdits {
+				for _, p := range pkgs {
+					pos := p.Fset.Position(te.Pos)
+					if !pos.IsValid() {
+						continue
+					}
+					end := p.Fset.Position(te.End)
+					perFile[pos.Filename] = append(perFile[pos.Filename], edit{pos.Offset, end.Offset, te.NewText})
+					break
+				}
+			}
+			applied++
+		}
+	}
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return applied, fmt.Errorf("overlapping fixes in %s; re-run -fix after resolving", file)
+			}
+		}
+		var out []byte
+		last := 0
+		for _, e := range edits {
+			out = append(out, src[last:e.start]...)
+			out = append(out, e.text...)
+			last = e.end
+		}
+		out = append(out, src[last:]...)
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,198 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis: just enough surface (Analyzer, Pass,
+// Diagnostic, suggested fixes, flags) for the repo's p5lint analyzers
+// and their fixture tests. The shapes deliberately mirror x/tools so
+// the analyzers could be ported to the real framework verbatim if the
+// repo ever takes on the dependency.
+//
+// Suppression is part of the framework contract: a diagnostic is
+// dropped when the offending line (or the line above it) carries
+//
+//	//p5lint:allow <analyzer-name>[ reason]
+//
+// or, for the detmap analyzer specifically, the spelling
+//
+//	//p5lint:ordered[ reason]
+//
+// so every suppression names the invariant it waives and reads as a
+// justification at the call site.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"power5prio/internal/lint/loader"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Flags holds analyzer-specific configuration; the driver exposes
+	// them namespaced as -<name>.<flag>.
+	Flags flag.FlagSet
+	Run   func(*Pass) (any, error)
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	ImportPath string
+	TypesInfo  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+	// SuggestedFixes, when non-empty, can be applied by the driver's
+	// -fix mode. Every fix must be safe to apply textually.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained textual repair.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces [Pos, End) with NewText (Pos == End inserts).
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  []byte
+}
+
+// Reportf records a finding against the pass's package.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Run executes the analyzers over the loaded packages and returns the
+// unsuppressed diagnostics in file/position order. Suppressed findings
+// are filtered here so every driver (CLI, fixture tests, the self
+// check) shares one suppression semantics.
+func Run(pkgs []*loader.Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				ImportPath: pkg.ImportPath,
+				TypesInfo:  pkg.TypesInfo,
+				diags:      &diags,
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				if !sup.allows(pkg.Fset, d) {
+					all = append(all, d)
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		fi := positionOf(pkgs, all[i])
+		fj := positionOf(pkgs, all[j])
+		if fi.Filename != fj.Filename {
+			return fi.Filename < fj.Filename
+		}
+		if fi.Line != fj.Line {
+			return fi.Line < fj.Line
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+func positionOf(pkgs []*loader.Package, d Diagnostic) token.Position {
+	for _, p := range pkgs {
+		if pos := p.Fset.Position(d.Pos); pos.IsValid() {
+			return pos
+		}
+	}
+	return token.Position{}
+}
+
+// MatchesAny reports whether the import path contains any of the
+// comma-separated substrings. Analyzers use it for their -packages
+// scoping flag; an empty list matches nothing.
+func MatchesAny(importPath, csv string) bool {
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" && strings.Contains(importPath, part) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions maps file -> line -> analyzer names allowed there.
+type suppressions map[string]map[int][]string
+
+func (s suppressions) allows(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	lines := s[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a package's comments for p5lint directives.
+func collectSuppressions(pkg *loader.Package) suppressions {
+	sup := make(suppressions)
+	add := func(pos token.Position, name string) {
+		if sup[pos.Filename] == nil {
+			sup[pos.Filename] = make(map[int][]string)
+		}
+		sup[pos.Filename][pos.Line] = append(sup[pos.Filename][pos.Line], name)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				pos := pkg.Fset.Position(c.Pos())
+				switch {
+				case strings.HasPrefix(text, "p5lint:ordered"):
+					add(pos, "detmap")
+				case strings.HasPrefix(text, "p5lint:allow"):
+					rest := strings.TrimPrefix(text, "p5lint:allow")
+					fields := strings.Fields(rest)
+					if len(fields) > 0 {
+						add(pos, fields[0])
+					}
+				}
+			}
+		}
+	}
+	return sup
+}

@@ -1,0 +1,151 @@
+// Package atest is the repo's stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it runs one analyzer
+// over fixture packages and matches its diagnostics against `// want`
+// comments in the fixture source.
+//
+// Fixtures live under <analyzer>/testdata/src, which carries its own
+// go.mod (module "fixtures") so the violating code is a real,
+// type-checkable module that the repo's own build never compiles. A
+// line expecting diagnostics ends with one or more
+//
+//	// want "regexp" "regexp"
+//
+// comments; every regexp must match a distinct diagnostic reported on
+// that line, and every diagnostic must be matched by some regexp.
+// Suppression directives (//p5lint:ordered, //p5lint:allow) are
+// honored before matching, so fixtures also pin the suppression
+// behavior by carrying a directive and no want comment.
+package atest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"power5prio/internal/lint/analysis"
+	"power5prio/internal/lint/loader"
+)
+
+// wantRE extracts quoted expectations from a want comment: either
+// double-quoted (backslash escapes honored) or backquoted (verbatim),
+// matching analysistest's syntax.
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// Run loads the fixture patterns rooted at dir (typically
+// "testdata/src") and checks the analyzer's diagnostics against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := loader.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("atest: load fixtures: %v", err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Errorf("atest: fixture %s has type errors: %v", p.ImportPath, terr)
+		}
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("atest: run %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]string)
+	var fset *token.FileSet
+	for _, p := range pkgs {
+		fset = p.Fset
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		got[key{pos.Filename, pos.Line}] = append(got[key{pos.Filename, pos.Line}], d.Message)
+	}
+
+	want := make(map[key][]*regexp.Regexp)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := p.Fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+						raw := m[2] // backquoted: verbatim
+						if m[1] != "" || m[2] == "" {
+							raw = unquote(m[1])
+						}
+						pat, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, raw, err)
+						}
+						want[k] = append(want[k], pat)
+					}
+				}
+			}
+		}
+	}
+
+	for k, pats := range want {
+		msgs := append([]string(nil), got[k]...)
+		for _, pat := range pats {
+			idx := -1
+			for i, msg := range msgs {
+				if pat.MatchString(msg) {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				t.Errorf("%s:%d: no diagnostic matching %q (got %s)", k.file, k.line, pat, render(msgs))
+				continue
+			}
+			msgs = append(msgs[:idx], msgs[idx+1:]...)
+		}
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+		delete(got, k)
+	}
+	for k, msgs := range got {
+		for _, msg := range msgs {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", k.file, k.line, msg)
+		}
+	}
+}
+
+// SetFlag sets an analyzer flag for the duration of the test (fixture
+// packages live under the "fixtures" module, so scoping flags must be
+// repointed at fixture paths).
+func SetFlag(t *testing.T, a *analysis.Analyzer, name, value string) {
+	t.Helper()
+	f := a.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("atest: analyzer %s has no flag %q", a.Name, name)
+	}
+	old := f.Value.String()
+	if err := f.Value.Set(value); err != nil {
+		t.Fatalf("atest: set %s.%s: %v", a.Name, name, err)
+	}
+	t.Cleanup(func() { _ = f.Value.Set(old) })
+}
+
+func unquote(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func render(msgs []string) string {
+	if len(msgs) == 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d: %s", len(msgs), strings.Join(msgs, " | "))
+}

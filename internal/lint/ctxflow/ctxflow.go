@@ -1,0 +1,242 @@
+// Package ctxflow implements the p5lint analyzer that guards
+// cancellation flow: contexts must propagate, and library code must
+// not mint ambient root contexts.
+//
+// The v2 measurement API's contract is that cancelling the caller's
+// context stops every in-flight job and returns completed-prefix
+// partials. That only holds if each layer hands its ctx down. A
+// context.Background()/context.TODO() in library code detaches the
+// work below it from the caller's cancellation, and an exported
+// function that accepts a ctx but never uses it while calling
+// ctx-aware callees silently severs the chain. Commands (package main)
+// own their root context, so they are exempt; the nil-guard idiom
+// `if ctx == nil { ctx = context.Background() }` is recognized as the
+// documented "nil means background" API affordance and allowed.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"power5prio/internal/lint/analysis"
+)
+
+// Analyzer flags broken context propagation.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "report context.Background()/TODO() in library (non-main, non-test) code and exported " +
+		"functions that accept a context.Context but call ctx-aware callees without propagating it",
+	Run: run,
+}
+
+// packages scopes the propagation check (exported func accepting but
+// not using ctx) to the concurrency-bearing layers. The root-context
+// check applies to every library package regardless.
+var packages string
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages",
+		"internal/engine,internal/remote,internal/experiments",
+		"comma-separated import-path substrings for the propagation check")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg.Name() == "main" {
+		return nil, nil // commands own their root context
+	}
+	for _, f := range pass.Files {
+		checkRootContexts(pass, f)
+		if analysis.MatchesAny(pass.ImportPath, packages) {
+			checkPropagation(pass, f)
+		}
+	}
+	return nil, nil
+}
+
+// checkRootContexts reports context.Background()/TODO() calls outside
+// the nil-guard idiom.
+func checkRootContexts(pass *analysis.Pass, f *ast.File) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := rootContextCall(pass, call)
+		if !ok {
+			return true
+		}
+		if inNilGuard(pass, stack, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"context.%s() in library code detaches callees from the caller's cancellation; "+
+				"thread the caller's ctx through (or justify with //p5lint:allow ctxflow)", name)
+		return true
+	})
+}
+
+// rootContextCall recognizes context.Background() and context.TODO().
+func rootContextCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return obj.Name(), true
+	}
+	return "", false
+}
+
+// inNilGuard reports whether the call is the right-hand side of
+// `x = context.Background()` directly guarded by `if x == nil`.
+func inNilGuard(pass *analysis.Pass, stack []ast.Node, call *ast.CallExpr) bool {
+	// stack ends with ... IfStmt, BlockStmt, AssignStmt, CallExpr.
+	if len(stack) < 4 {
+		return false
+	}
+	as, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Rhs[0] != ast.Expr(call) {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	target := pass.TypesInfo.Uses[lhs]
+	if target == nil {
+		return false
+	}
+	if _, ok := stack[len(stack)-3].(*ast.BlockStmt); !ok {
+		return false
+	}
+	ifs, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	bin, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return false
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if id, ok := side.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == target {
+			other := bin.Y
+			if side == bin.Y {
+				other = bin.X
+			}
+			if id2, ok := other.(*ast.Ident); ok && id2.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkPropagation reports exported functions that accept a ctx they
+// never use while calling ctx-aware callees.
+func checkPropagation(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || !fn.Name.IsExported() {
+			continue
+		}
+		ctxParam := contextParam(pass, fn)
+		if ctxParam == nil {
+			continue
+		}
+		if ctxParam.Name() == "" || ctxParam.Name() == "_" {
+			// Deliberately discarded; still flag if ctx-aware callees exist.
+		} else if usesObject(pass, fn.Body, ctxParam) {
+			continue
+		}
+		if callee := firstCtxCallee(pass, fn.Body); callee != "" {
+			pass.Reportf(fn.Name.Pos(),
+				"exported %s accepts a context.Context but calls %s without propagating it; "+
+					"pass the ctx down (or justify with //p5lint:allow ctxflow)",
+				fn.Name.Name, callee)
+		}
+	}
+}
+
+// contextParam returns the function's context.Context parameter object.
+func contextParam(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if isContextType(p.Type()) {
+			return p
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesObject reports whether the body references obj.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// firstCtxCallee returns the rendered name of the first called
+// function whose signature starts with a context.Context, or "".
+func firstCtxCallee(pass *analysis.Pass, body *ast.BlockStmt) string {
+	name := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+		if !ok || sig.Params().Len() == 0 || !isContextType(sig.Params().At(0).Type()) {
+			return true
+		}
+		name = calleeName(pass, call)
+		return name == ""
+	})
+	return name
+}
+
+// calleeName renders a human-readable callee name.
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil {
+			return obj.Name()
+		}
+		return fun.Sel.Name
+	}
+	return "a ctx-aware callee"
+}

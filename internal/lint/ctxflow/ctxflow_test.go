@@ -1,0 +1,16 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"power5prio/internal/lint/atest"
+)
+
+// TestCtxflowFixtures covers detached root contexts, the nil-guard
+// affordance, suppression, and severed propagation in exported
+// functions; the mainprog package pins the package-main exemption (it
+// carries a bare context.Background() and no want comments).
+func TestCtxflowFixtures(t *testing.T) {
+	atest.SetFlag(t, Analyzer, "packages", "fixtures/")
+	atest.Run(t, "testdata/src", Analyzer, "./ctxflow", "./mainprog")
+}

@@ -1,0 +1,72 @@
+// Package ctxflow holds fixtures for the ctxflow analyzer: ambient
+// root contexts in library code and severed propagation chains.
+package ctxflow
+
+import "context"
+
+// helper is a ctx-aware callee.
+func helper(ctx context.Context) error { return ctx.Err() }
+
+// detached mints a root context in library code.
+func detached() error {
+	return helper(context.Background()) // want `context.Background\(\) in library code detaches callees`
+}
+
+// todoDetached does the same with TODO.
+func todoDetached() error {
+	return helper(context.TODO()) // want `context.TODO\(\) in library code detaches callees`
+}
+
+// NilGuarded is the documented "nil means background" affordance:
+// allowed.
+func NilGuarded(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return helper(ctx)
+}
+
+// Waived carries an explicit justification: allowed.
+func Waived() error {
+	//p5lint:allow ctxflow detached audit goroutine outlives the request
+	return helper(context.Background())
+}
+
+// Propagates hands its ctx down: clean.
+func Propagates(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// Derives wraps the ctx before passing it on: still a use, clean.
+func Derives(ctx context.Context) error {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return helper(sub)
+}
+
+// Drops accepts a ctx it never uses while calling a ctx-aware callee:
+// the propagation chain is severed. The callee gets a root context so
+// the root-context check fires too, on its own line.
+func Drops(ctx context.Context) error { // want `exported Drops accepts a context.Context but calls helper without propagating it`
+	return helper(context.TODO()) // want `context.TODO\(\) in library code detaches callees`
+}
+
+// Discards declares the ctx away entirely: same severed chain.
+func Discards(_ context.Context, n int) int { // want `exported Discards accepts a context.Context but calls helper without propagating it`
+	if err := helper(nil); err != nil {
+		return 0
+	}
+	return n
+}
+
+// NoCtxCallees accepts a ctx it ignores but calls nothing ctx-aware:
+// nothing to propagate to, clean.
+func NoCtxCallees(ctx context.Context, n int) int {
+	return n * 2
+}
+
+// unexportedDrops is not exported: the propagation check only guards
+// the package's API surface.
+func unexportedDrops(ctx context.Context) error {
+	return helper(nil)
+}

@@ -1,0 +1,12 @@
+// Command mainprog pins the exemption: commands own their root
+// context, so context.Background() in package main is legal.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = run(ctx)
+}
+
+func run(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,362 @@
+// Package detmap implements the p5lint analyzer that guards the repo's
+// first determinism invariant: map iteration order must never reach an
+// ordered output.
+//
+// Every headline guarantee of the reproduction — bit-identical results
+// for any worker count, any fleet sharding, fast-forward on or off —
+// assumes the measurement pipeline is a pure function of its inputs.
+// Go randomizes map iteration order per run, so a `range` over a map
+// that feeds, in order, a returned slice, emitted output, a hash, or a
+// result merge silently breaks byte-identical regeneration. detmap
+// flags such loops in the order-sensitive packages and accepts either
+// an explicit sort after the loop or a //p5lint:ordered justification.
+package detmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"power5prio/internal/lint/analysis"
+)
+
+// Analyzer flags range-over-map loops whose iteration order can escape
+// into ordered output.
+var Analyzer = &analysis.Analyzer{
+	Name: "detmap",
+	Doc: "flag range-over-map loops whose nondeterministic order reaches a returned slice, " +
+		"emitted output, hash input, or result merge; fix with a sort after the loop or " +
+		"justify with //p5lint:ordered",
+	Run: run,
+}
+
+// packages restricts the analyzer to the order-sensitive layers: the
+// simulator proper never ranges maps on hot paths, but these packages
+// produce user-visible orderings (batch merges, reports, listings).
+var packages string
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages",
+		"internal/engine,internal/remote,internal/workload,internal/report,internal/experiments",
+		"comma-separated import-path substrings the analyzer applies to")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.MatchesAny(pass.ImportPath, packages) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fn, ok := n.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				return true
+			}
+			checkFunc(pass, fn)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkFunc examines every range-over-map statement in one function.
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink := findSink(pass, fn, rng); sink != nil {
+			d := analysis.Diagnostic{Pos: rng.For, Message: sink.message}
+			if fix := sortFix(pass, fn, rng, sink); fix != nil {
+				d.SuggestedFixes = []analysis.SuggestedFix{*fix}
+			}
+			pass.Report(d)
+		}
+		return true
+	})
+}
+
+// sink describes how iteration order escapes the loop.
+type sink struct {
+	message string
+	// appendTo is set for the collect-into-slice case: the slice
+	// variable receiving appends in map order.
+	appendTo *types.Var
+}
+
+// findSink reports the first order-sensitive effect in the loop body,
+// or nil if the body is order-insensitive (pure accumulation, map
+// writes, counting) or the escaping slice is sorted after the loop.
+func findSink(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) *sink {
+	var found *sink
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = &sink{message: "map iteration order reaches a channel send; " +
+				"collect and sort before sending, or justify with //p5lint:ordered"}
+		case *ast.ReturnStmt:
+			if usesVar(pass, n, rng.Key) || usesVar(pass, n, rng.Value) {
+				found = &sink{message: "returning from inside a range over a map picks an " +
+					"arbitrary element; select deterministically, or justify with //p5lint:ordered"}
+			}
+		case *ast.CallExpr:
+			if name, ok := orderedOutputCall(pass, n); ok {
+				found = &sink{message: "map iteration order reaches emitted output via " + name +
+					"; iterate sorted keys instead, or justify with //p5lint:ordered"}
+			}
+		case *ast.AssignStmt:
+			if v := appendTarget(pass, rng, n); v != nil {
+				if sortedAfter(pass, fn, rng, v) {
+					return true
+				}
+				found = &sink{
+					message: "map iteration order reaches slice " + v.Name() +
+						" via append; sort it after the loop, or justify with //p5lint:ordered",
+					appendTo: v,
+				}
+			} else if v := outerIndexedWrite(pass, rng, n); v != nil {
+				if sortedAfter(pass, fn, rng, v) {
+					return true
+				}
+				found = &sink{message: "map iteration order reaches slice " + v.Name() +
+					" via indexed writes; sort it after the loop, or justify with //p5lint:ordered"}
+			}
+		}
+		return found == nil
+	})
+	return found
+}
+
+// usesVar reports whether the subtree references the object bound by
+// expr (a range key/value identifier).
+func usesVar(pass *analysis.Pass, n ast.Node, expr ast.Expr) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return false
+	}
+	used := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if mid, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[mid] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// orderedOutputCall recognizes calls that emit ordered bytes: fmt
+// printing, Write-family methods (io.Writer, hash.Hash, bufio) and
+// stream encoders.
+func orderedOutputCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return "", false
+	}
+	name := obj.Name()
+	if pkg := obj.Pkg(); pkg != nil && pkg.Path() == "fmt" && obj.Type().(*types.Signature).Recv() == nil {
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return "fmt." + name, true
+		}
+		return "", false
+	}
+	if obj.Type().(*types.Signature).Recv() != nil {
+		if strings.HasPrefix(name, "Write") || name == "Encode" {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// appendTarget returns the outer-declared slice variable when the
+// assignment is `v = append(v, ...)` (possibly among other LHS) with v
+// declared outside the range statement.
+func appendTarget(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) *types.Var {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.TypesInfo.Uses[id] != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(as.Lhs) {
+			continue
+		}
+		if v := outerVar(pass, rng, as.Lhs[i]); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// outerIndexedWrite returns the outer slice variable when the
+// assignment writes through an index expression on it (out[i] = ...).
+func outerIndexedWrite(pass *analysis.Pass, rng *ast.RangeStmt, as *ast.AssignStmt) *types.Var {
+	for _, lhs := range as.Lhs {
+		ix, ok := lhs.(*ast.IndexExpr)
+		if !ok {
+			continue
+		}
+		t := pass.TypesInfo.TypeOf(ix.X)
+		if t == nil {
+			continue
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Pointer:
+		default:
+			continue // map writes are order-insensitive
+		}
+		if v := outerVar(pass, rng, ix.X); v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+// outerVar resolves expr to a variable declared outside the range
+// statement, or nil.
+func outerVar(pass *analysis.Pass, rng *ast.RangeStmt, expr ast.Expr) *types.Var {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		if obj, ok = pass.TypesInfo.Defs[id].(*types.Var); !ok {
+			return nil
+		}
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return nil // declared inside the loop: order cannot escape
+	}
+	return obj
+}
+
+// sortedAfter reports whether v is passed to a sort.* or slices.Sort*
+// call after the range statement in the same function — the canonical
+// collect-then-sort idiom, which is deterministic.
+func sortedAfter(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, v *types.Var) bool {
+	sorted := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || sorted {
+			return !sorted
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil {
+			return true
+		}
+		switch obj.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch name := obj.Name(); {
+		case strings.HasPrefix(name, "Sort"), strings.HasPrefix(name, "Slice"),
+			name == "Stable", name == "Strings", name == "Ints", name == "Float64s":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if refersTo(pass, arg, v) {
+				sorted = true
+			}
+		}
+		return !sorted
+	})
+	return sorted
+}
+
+// refersTo reports whether the expression subtree mentions v.
+func refersTo(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFix offers the sort-after-loop repair for the common
+// collect-keys case: the appended-to slice is []string or []int and
+// the file already imports the sort package, so inserting
+// `sort.Strings(v)` (or sort.Ints) directly after the loop is safe.
+func sortFix(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, s *sink) *analysis.SuggestedFix {
+	if s.appendTo == nil {
+		return nil
+	}
+	slice, ok := s.appendTo.Type().Underlying().(*types.Slice)
+	if !ok {
+		return nil
+	}
+	basic, ok := slice.Elem().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	var sortCall string
+	switch basic.Kind() {
+	case types.String:
+		sortCall = "sort.Strings"
+	case types.Int:
+		sortCall = "sort.Ints"
+	default:
+		return nil
+	}
+	if !importsSort(pass, rng.Pos()) {
+		return nil
+	}
+	indent := indentAt(pass.Fset, rng.For)
+	text := "\n" + indent + sortCall + "(" + s.appendTo.Name() + ")"
+	return &analysis.SuggestedFix{
+		Message:   "sort " + s.appendTo.Name() + " after the loop",
+		TextEdits: []analysis.TextEdit{{Pos: rng.End(), End: rng.End(), NewText: []byte(text)}},
+	}
+}
+
+// importsSort reports whether the file containing pos imports "sort".
+func importsSort(pass *analysis.Pass, pos token.Pos) bool {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			for _, imp := range f.Imports {
+				if imp.Path.Value == `"sort"` {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// indentAt reproduces the indentation of the line holding pos.
+func indentAt(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return strings.Repeat("\t", max(p.Column-1, 0))
+}

@@ -1,0 +1,53 @@
+package detmap
+
+import (
+	"strings"
+	"testing"
+
+	"power5prio/internal/lint/analysis"
+	"power5prio/internal/lint/atest"
+	"power5prio/internal/lint/loader"
+)
+
+func TestDetmapFixtures(t *testing.T) {
+	atest.SetFlag(t, Analyzer, "packages", "fixtures/")
+	atest.Run(t, "testdata/src", Analyzer, "./detmap")
+}
+
+// TestSortFixOffered pins the -fix contract: the collect-into-[]string
+// case in a file that imports sort must carry a suggested fix that
+// inserts the sort call directly after the loop.
+func TestSortFixOffered(t *testing.T) {
+	atest.SetFlag(t, Analyzer, "packages", "fixtures/")
+	pkgs, err := loader.Load("testdata/src", "./detmap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "slice keys via append") {
+			continue
+		}
+		found = true
+		if len(d.SuggestedFixes) != 1 {
+			t.Fatalf("keys finding carries %d fixes, want 1", len(d.SuggestedFixes))
+		}
+		fix := d.SuggestedFixes[0]
+		if len(fix.TextEdits) != 1 {
+			t.Fatalf("fix has %d edits, want 1", len(fix.TextEdits))
+		}
+		if got := string(fix.TextEdits[0].NewText); !strings.Contains(got, "sort.Strings(keys)") {
+			t.Errorf("fix inserts %q, want sort.Strings(keys)", got)
+		}
+		if fix.TextEdits[0].Pos != fix.TextEdits[0].End {
+			t.Error("fix should be a pure insertion")
+		}
+	}
+	if !found {
+		t.Fatal("no diagnostic for the keys collect loop")
+	}
+}

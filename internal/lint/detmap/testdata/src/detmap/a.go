@@ -1,0 +1,129 @@
+// Package detmap holds fixtures for the detmap analyzer: each case is
+// one way map iteration order can (or cannot) escape into ordered
+// output.
+package detmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches slice out via append"
+		out = append(out, k)
+	}
+	return out
+}
+
+// collectSorted is the canonical collect-then-sort idiom: clean.
+func collectSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// collectSortSlice also counts as sorted (sort.Slice with comparator).
+func collectSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// collectJustified carries an explicit justification: suppressed.
+func collectJustified(m map[string]int) []string {
+	var out []string
+	//p5lint:ordered feeds a set, consumer is order-insensitive
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// printLoop emits output in map order.
+func printLoop(m map[string]int) {
+	for k, v := range m { // want "map iteration order reaches emitted output via fmt.Println"
+		fmt.Println(k, v)
+	}
+}
+
+// writeLoop streams bytes in map order.
+func writeLoop(m map[string]int, b *strings.Builder) {
+	for k := range m { // want "map iteration order reaches emitted output via WriteString"
+		b.WriteString(k)
+	}
+}
+
+// sendLoop leaks order through a channel.
+func sendLoop(m map[string]int, ch chan string) {
+	for k := range m { // want "map iteration order reaches a channel send"
+		ch <- k
+	}
+}
+
+// pickArbitrary returns whichever element iteration happens to visit
+// first.
+func pickArbitrary(m map[string]int) string {
+	for k := range m { // want "returning from inside a range over a map picks an arbitrary element"
+		return k
+	}
+	return ""
+}
+
+// indexedWrites fills an outer slice in map order.
+func indexedWrites(m map[string]int) []string {
+	out := make([]string, len(m))
+	i := 0
+	for k := range m { // want "map iteration order reaches slice out via indexed writes"
+		out[i] = k
+		i++
+	}
+	return out
+}
+
+// accumulate is order-insensitive: addition commutes.
+func accumulate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// invert writes into a map: order-insensitive.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// localScratch appends to a slice declared inside the loop: order
+// cannot escape one iteration.
+func localScratch(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var scratch []int
+		scratch = append(scratch, vs...)
+		n += len(scratch)
+	}
+	return n
+}
+
+// sliceRange ranges a slice, not a map: out of scope.
+func sliceRange(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+package detmap
+
+import "sort"
+
+// keysNeedingSort is the case the analyzer can repair automatically:
+// the file imports sort, the slice is []string, so -fix inserts
+// sort.Strings(keys) after the loop. The unrelated call below keeps
+// the import alive.
+func keysNeedingSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "map iteration order reaches slice keys via append"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+var _ = sort.Strings

@@ -1,0 +1,19 @@
+package keyhash
+
+import (
+	"testing"
+
+	"power5prio/internal/lint/atest"
+)
+
+// TestKeyhashFixtures covers the acceptance-criterion case (a field
+// added to the Job mirror but not wired into the hash schema), nested
+// paths, the clean mirrored Job, suppression, and Memo call sites.
+func TestKeyhashFixtures(t *testing.T) {
+	atest.Run(t, "testdata/src", Analyzer, "./engine", "./memo")
+}
+
+// TestAliasFixture covers the reflect-string collision check.
+func TestAliasFixture(t *testing.T) {
+	atest.Run(t, "testdata/src", Analyzer, "./aliaspkg", "./aliaspkg/one/shape", "./aliaspkg/two/shape")
+}

@@ -1,0 +1,22 @@
+// Package aliaspkg exercises the encoding-ambiguity check: the
+// canonical encoding writes struct types by their reflect string,
+// which is not package-path qualified, so two same-named types from
+// same-named packages alias under it.
+package aliaspkg
+
+import (
+	oneshape "fixtures/aliaspkg/one/shape"
+	twoshape "fixtures/aliaspkg/two/shape"
+	"fixtures/cachestore"
+)
+
+// Doc holds both colliding types under one hash root.
+type Doc struct {
+	A oneshape.Geometry
+	B twoshape.Geometry
+}
+
+// DocKey hashes the ambiguous root.
+func DocKey(d Doc) cachestore.Key {
+	return cachestore.MustHashValue("fixtures/doc/v1", d) // want `both encode as "shape.Geometry"`
+}

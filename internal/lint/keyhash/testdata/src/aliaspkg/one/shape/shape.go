@@ -1,0 +1,9 @@
+// Package shape is one half of the alias fixture: a struct type whose
+// reflect string ("shape.Geometry") collides with a different type in
+// the sibling package of the same name.
+package shape
+
+// Geometry is one of the two colliding struct types.
+type Geometry struct {
+	Width int
+}

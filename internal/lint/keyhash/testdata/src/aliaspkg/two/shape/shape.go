@@ -1,0 +1,8 @@
+// Package shape is the other half of the alias fixture: same package
+// name, same type name, different field layout.
+package shape
+
+// Geometry is the other colliding struct type.
+type Geometry struct {
+	Height float64
+}

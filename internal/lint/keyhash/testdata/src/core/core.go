@@ -1,0 +1,24 @@
+// Package core mirrors the real core.Config nesting (mem + pipeline
+// sub-configs of plain numeric fields).
+package core
+
+// MemConfig stands in for mem.Config.
+type MemConfig struct {
+	LatL2, LatL3, LatMem int
+	L2SizeBytes          int
+	TLBWalkLat           int
+}
+
+// PipeConfig stands in for pipeline.Config.
+type PipeConfig struct {
+	DecodeWidth int
+	LatFPAdd    int
+	GCTSlots    [2]int
+}
+
+// Config mirrors the real chip configuration.
+type Config struct {
+	Mem            MemConfig
+	Pipe           PipeConfig
+	ExperimentCore int
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"fixtures/cachestore"
+	"fixtures/core"
+	"fixtures/fame"
+	"fixtures/prio"
+	"fixtures/workload"
+)
+
+// GrownJob is the acceptance-criterion case: the real Job shape plus
+// fields someone added without wiring them into the hash schema. Each
+// unhashable leaf must be reported at the hash-call site.
+type GrownJob struct {
+	Primary   workload.Ref
+	Secondary workload.Ref
+	PrioP     prio.Level
+	PrioS     prio.Level
+	Privilege prio.Privilege
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+
+	// The "added but never wired into the schema" fields:
+	Tags    []string          // no canonical form: rejected at runtime
+	Extra   map[string]string // randomized iteration: rejected at runtime
+	Parent  *GrownJob         // aliasable identity: rejected at runtime
+	Notify  func()            // no stable content: rejected at runtime
+	Payload any               // dynamic type: rejected at runtime
+}
+
+// GrownJobKey mirrors JobKey over the grown struct.
+func GrownJobKey(j GrownJob) cachestore.Key {
+	return cachestore.MustHashValue(jobKeySchema, j) // want `field value.Tags has kind slice` `field value.Extra has kind map` `field value.Parent has kind pointer` `field value.Notify has kind func` `field value.Payload has kind interface`
+}
+
+// deepBad buries the unhashable leaf two structs down; the path in the
+// diagnostic names the full chain.
+type deepBad struct {
+	Inner struct {
+		Scale   complex128 // no canonical byte encoding in the schema
+		History [4]chan int
+	}
+}
+
+// DeepKey exercises HashValue (the error-returning entry point) and
+// nested paths.
+func DeepKey(d deepBad) (cachestore.Key, error) {
+	return cachestore.HashValue("fixtures/deep/v1", d) // want `field value.Inner.Scale has kind complex128` `field value.Inner.History\[i\] has kind chan`
+}
+
+// WaivedKey defers to the runtime check with an explicit annotation.
+func WaivedKey(j GrownJob) cachestore.Key {
+	//p5lint:allow keyhash runtime perturbation test covers this root
+	return cachestore.MustHashValue(jobKeySchema, j)
+}

@@ -1,0 +1,32 @@
+// Package engine mirrors the real engine.Job hash root: the struct
+// shape, the schema constant and the JobKey call are all copies of the
+// real code, so the fixtures pin exactly what the analyzer sees there.
+package engine
+
+import (
+	"fixtures/cachestore"
+	"fixtures/core"
+	"fixtures/fame"
+	"fixtures/prio"
+	"fixtures/workload"
+)
+
+const jobKeySchema = "power5prio/job/v1"
+
+// Job mirrors the real engine.Job field for field: every leaf is a
+// canonically hashable kind, so this hash root is clean.
+type Job struct {
+	Primary   workload.Ref
+	Secondary workload.Ref
+	PrioP     prio.Level
+	PrioS     prio.Level
+	Privilege prio.Privilege
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+}
+
+// JobKey mirrors the real key derivation.
+func JobKey(j Job) cachestore.Key {
+	return cachestore.MustHashValue(jobKeySchema, j)
+}

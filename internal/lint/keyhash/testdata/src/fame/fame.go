@@ -1,0 +1,10 @@
+// Package fame mirrors the real fame.Options measurement parameters.
+package fame
+
+// Options mirrors the real FAME measurement options.
+type Options struct {
+	MinReps    int
+	WarmupReps int
+	MAIV       float64
+	MaxCycles  uint64
+}

@@ -1,0 +1,27 @@
+// Package memo exercises the Memo entry point: keyVal arguments are
+// hash roots exactly like HashValue's value argument.
+package memo
+
+import "fixtures/engine"
+
+// pipelineKey mirrors Table 4's non-Job memoization keys.
+type pipelineKey struct {
+	Kernel string
+	Reps   int
+}
+
+// badKey carries a slice that the canonical encoding rejects.
+type badKey struct {
+	Kernel string
+	Stages []string
+}
+
+// Lookup memoizes under a clean key: no findings.
+func Lookup(e *engine.Engine, out *float64) (bool, error) {
+	return e.Memo("fixtures/pipeline/v1", pipelineKey{Kernel: "fft", Reps: 3}, out, func() error { return nil })
+}
+
+// LookupBad memoizes under an unhashable key.
+func LookupBad(e *engine.Engine, out *float64) (bool, error) {
+	return e.Memo("fixtures/pipeline/v1", badKey{Kernel: "fft"}, out, func() error { return nil }) // want `field value.Stages has kind slice`
+}

@@ -1,0 +1,8 @@
+// Package prio mirrors the real priority level types.
+package prio
+
+// Level mirrors the real hardware thread priority level.
+type Level uint8
+
+// Privilege mirrors the real software privilege model.
+type Privilege uint8

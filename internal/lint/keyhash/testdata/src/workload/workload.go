@@ -1,0 +1,14 @@
+// Package workload mirrors the real workload.Ref: the exemplar of a
+// field with an explicit stable digest (Fingerprint) instead of an
+// unhashable function value.
+package workload
+
+// Family mirrors the real named string type.
+type Family string
+
+// Ref mirrors the real content-fingerprinted workload reference.
+type Ref struct {
+	Name        string
+	Family      Family
+	Fingerprint uint64
+}

@@ -1,0 +1,32 @@
+// Package lint assembles the repo's static-analysis suite: four
+// analyzers that enforce, at build time, the determinism and
+// cache-soundness invariants the test suite otherwise only catches
+// dynamically (lockstep, fuzz and perturbation tests).
+//
+//	detmap      map iteration order must never reach ordered output
+//	nowallclock no wall clock or ambient entropy inside the simulator
+//	keyhash     every hash-key type must be canonically hashable
+//	ctxflow     contexts must propagate; no ambient roots in libraries
+//
+// cmd/p5lint is the command-line driver; TestSelfCheck keeps the gate
+// green from inside `go test ./...` as well, so a violation fails both
+// `make lint` and the ordinary test run.
+package lint
+
+import (
+	"power5prio/internal/lint/analysis"
+	"power5prio/internal/lint/ctxflow"
+	"power5prio/internal/lint/detmap"
+	"power5prio/internal/lint/keyhash"
+	"power5prio/internal/lint/nowallclock"
+)
+
+// Analyzers returns the full p5lint suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		detmap.Analyzer,
+		nowallclock.Analyzer,
+		keyhash.Analyzer,
+		ctxflow.Analyzer,
+	}
+}

@@ -1,0 +1,223 @@
+// Package loader loads and type-checks Go packages for the lint layer
+// without any dependency outside the standard library.
+//
+// golang.org/x/tools/go/packages is the canonical way to do this, but
+// the repo builds hermetically (no module downloads), so the loader
+// reimplements the small slice of it the analyzers need: it shells out
+// to `go list -json -deps` for build-system facts (file lists, import
+// resolution, dependency order) and runs go/parser + go/types over the
+// result. `-deps` lists packages in depth-first post-order, so every
+// package's imports are type-checked before the package itself;
+// dependency-only packages are checked with IgnoreFuncBodies for speed.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Standard   bool // part of the Go distribution
+	DepOnly    bool // pulled in as a dependency, not named by the patterns
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+	// TypeErrors holds type-checking problems. Target packages with
+	// type errors are still returned (analyzers may run best-effort),
+	// but drivers should surface them.
+	TypeErrors []error
+}
+
+// listPkg mirrors the subset of `go list -json` output we consume.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir (module-aware, tests excluded), parses and
+// type-checks them along with their dependency closure, and returns the
+// packages matched by the patterns in `go list` order.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	raw, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byDir := make(map[string]*listPkg, len(raw)) // package dir -> list info (for ImportMap)
+	typesBy := make(map[string]*types.Package, len(raw))
+	imp := &mapImporter{typesBy: typesBy, byDir: byDir}
+
+	var out []*Package
+	for _, lp := range raw {
+		if lp.ImportPath == "unsafe" {
+			typesBy["unsafe"] = types.Unsafe
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loader: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			// CGO_ENABLED=0 is forced below, so this indicates a
+			// cgo-only package we cannot type-check from source.
+			return nil, fmt.Errorf("loader: %s needs cgo", lp.ImportPath)
+		}
+		byDir[lp.Dir] = lp
+
+		mode := parser.SkipObjectResolution
+		if !lp.DepOnly {
+			mode |= parser.ParseComments
+		}
+		var files []*ast.File
+		for _, f := range lp.GoFiles {
+			af, err := parser.ParseFile(fset, filepath.Join(lp.Dir, f), nil, mode)
+			if err != nil {
+				return nil, fmt.Errorf("loader: parse %s: %w", filepath.Join(lp.Dir, f), err)
+			}
+			files = append(files, af)
+		}
+
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Implicits:  make(map[ast.Node]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Scopes:     make(map[ast.Node]*types.Scope),
+			Instances:  make(map[*ast.Ident]types.Instance),
+		}
+		var terrs []error
+		cfg := types.Config{
+			Importer:         imp,
+			IgnoreFuncBodies: lp.DepOnly,
+			Sizes:            types.SizesFor("gc", runtime.GOARCH),
+			Error:            func(err error) { terrs = append(terrs, err) },
+		}
+		tpkg, _ := cfg.Check(lp.ImportPath, fset, files, info)
+		if tpkg == nil {
+			return nil, fmt.Errorf("loader: type-check %s: %v", lp.ImportPath, joinErrs(terrs))
+		}
+		if len(terrs) > 0 && lp.DepOnly {
+			// A broken dependency poisons everything above it.
+			return nil, fmt.Errorf("loader: type-check %s: %v", lp.ImportPath, joinErrs(terrs))
+		}
+		typesBy[lp.ImportPath] = tpkg
+
+		if lp.DepOnly {
+			continue
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Standard:   lp.Standard,
+			DepOnly:    lp.DepOnly,
+			Fset:       fset,
+			Files:      files,
+			Types:      tpkg,
+			TypesInfo:  info,
+			TypeErrors: terrs,
+		})
+	}
+	return out, nil
+}
+
+func joinErrs(errs []error) error {
+	if len(errs) == 0 {
+		return fmt.Errorf("unknown error")
+	}
+	var b strings.Builder
+	for i, e := range errs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.Error())
+		if i == 4 && len(errs) > 5 {
+			fmt.Fprintf(&b, "; ... (%d more)", len(errs)-5)
+			break
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// goList runs `go list -e -json -deps` and decodes the JSON stream.
+// CGO_ENABLED=0 keeps the file lists pure Go so everything can be
+// type-checked from source.
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list: %v: %s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	var pkgs []*listPkg
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// mapImporter resolves imports against the already-type-checked set.
+// It implements types.ImporterFrom so vendored standard-library paths
+// (e.g. net/http importing golang.org/x/net/http2/hpack) resolve via
+// the importing package's ImportMap.
+type mapImporter struct {
+	typesBy map[string]*types.Package
+	byDir   map[string]*listPkg
+}
+
+func (m *mapImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *mapImporter) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	resolved := path
+	if lp, ok := m.byDir[srcDir]; ok {
+		if r, ok := lp.ImportMap[path]; ok {
+			resolved = r
+		}
+	}
+	if p, ok := m.typesBy[resolved]; ok {
+		return p, nil
+	}
+	return nil, fmt.Errorf("loader: import %q (from %s) not in dependency closure", path, srcDir)
+}

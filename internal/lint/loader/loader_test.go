@@ -1,0 +1,47 @@
+package loader
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// repoRoot locates the enclosing module root so the test is independent
+// of the working directory the test binary runs from.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func TestLoadRepo(t *testing.T) {
+	pkgs, err := Load(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	var sawEngine bool
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			t.Errorf("%s: unexpected type error: %v", p.ImportPath, p.TypeErrors[0])
+		}
+		if p.DepOnly {
+			t.Errorf("%s: dependency-only package returned as target", p.ImportPath)
+		}
+		if strings.HasSuffix(p.ImportPath, "internal/engine") {
+			sawEngine = true
+			if p.Types.Scope().Lookup("JobKey") == nil {
+				t.Error("engine package loaded without JobKey in scope")
+			}
+		}
+	}
+	if !sawEngine {
+		t.Error("internal/engine not among loaded packages")
+	}
+	t.Logf("loaded %d target packages", len(pkgs))
+}

@@ -1,0 +1,91 @@
+// Package nowallclock implements the p5lint analyzer that guards the
+// simulator's replay determinism: no wall-clock reads and no ambient
+// entropy inside simulator packages.
+//
+// The simulator's notion of time is the simulated cycle counter;
+// fast-forward equivalence (event wheel vs stepping) and lockstep
+// tests compare runs cycle-for-cycle, so a time.Now, time.Since or a
+// call into math/rand's auto-seeded global source inside the simulator
+// would make two runs of the same Job diverge — poisoning cached
+// PairResults keyed only by the Job. Explicitly seeded sources
+// (rand.New(rand.NewSource(seed))) are fine: they are pure functions
+// of the seed, which is part of the configuration.
+package nowallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"power5prio/internal/lint/analysis"
+)
+
+// Analyzer flags wall-clock and ambient-entropy calls in simulator
+// packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc: "forbid time.Now/time.Since/time.Until and unseeded math/rand in simulator packages, " +
+		"where wall-clock or entropy breaks replay determinism and lockstep equivalence",
+	Run: run,
+}
+
+// packages lists the simulator layers where simulated time is the only
+// legal clock.
+var packages string
+
+func init() {
+	Analyzer.Flags.StringVar(&packages, "packages",
+		"internal/pipeline,internal/core,internal/fame,internal/prio,internal/balance,internal/mem,internal/oskernel",
+		"comma-separated import-path substrings the analyzer applies to")
+}
+
+// seededConstructors are the math/rand functions that take an explicit
+// seed (or wrap an explicitly seeded source) and are therefore
+// deterministic.
+var seededConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !analysis.MatchesAny(pass.ImportPath, packages) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			if obj.Type().(*types.Signature).Recv() != nil {
+				return true // methods (e.g. on a seeded *rand.Rand) are fine
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				switch obj.Name() {
+				case "Now", "Since", "Until":
+					pass.Reportf(call.Pos(),
+						"time.%s reads the wall clock inside a simulator package; "+
+							"simulated time is the cycle counter — derive timing from it "+
+							"(or justify with //p5lint:allow nowallclock)", obj.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if seededConstructors[obj.Name()] {
+					return true
+				}
+				pass.Reportf(call.Pos(),
+					"%s.%s draws from the auto-seeded global source inside a simulator package; "+
+						"use rand.New(rand.NewSource(seed)) with a configured seed "+
+						"(or justify with //p5lint:allow nowallclock)", obj.Pkg().Name(), obj.Name())
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

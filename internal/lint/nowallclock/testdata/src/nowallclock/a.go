@@ -1,0 +1,49 @@
+// Package nowallclock holds fixtures for the nowallclock analyzer:
+// wall-clock reads and ambient entropy are illegal inside simulator
+// packages, explicitly seeded sources are fine.
+package nowallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// stampCycle reads the wall clock.
+func stampCycle() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// elapsed uses Since and Until.
+func elapsed(start time.Time) (time.Duration, time.Duration) {
+	a := time.Since(start) // want `time.Since reads the wall clock`
+	b := time.Until(start) // want `time.Until reads the wall clock`
+	return a, b
+}
+
+// jitter draws from the auto-seeded global source.
+func jitter(n int) int {
+	return rand.Intn(n) // want `rand.Intn draws from the auto-seeded global source`
+}
+
+// shuffleGlobal also uses the global source.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand.Shuffle draws from the auto-seeded global source`
+}
+
+// seeded is the legal form: a pure function of the configured seed.
+func seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// durations are plain arithmetic, not clock reads.
+func durations(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// justified carries an explicit waiver (e.g. coarse progress logging
+// that provably cannot reach simulated state).
+func justified() int64 {
+	//p5lint:allow nowallclock progress logging only, never reaches state
+	return time.Now().UnixNano()
+}

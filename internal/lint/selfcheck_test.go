@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"power5prio/internal/lint/analysis"
+	"power5prio/internal/lint/loader"
+)
+
+// TestSelfCheck is the meta-test behind the lint gate: the full p5lint
+// suite must run clean over the repo's own tree (suppressions count as
+// clean — they are reviewed justifications). This is the same pass
+// `make lint` and CI run via cmd/p5lint, executed in-process so a
+// violating commit fails plain `go test ./...` too.
+func TestSelfCheck(t *testing.T) {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+
+	pkgs, err := loader.Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			t.Fatalf("%s: type error: %v", p.ImportPath, terr)
+		}
+	}
+	diags, err := analysis.Run(pkgs, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkgs[0].Fset.Position(d.Pos)
+		t.Errorf("%s: %s (%s)", pos, d.Message, d.Analyzer)
+	}
+	if t.Failed() {
+		t.Log("fix the findings or add a reviewed //p5lint:ordered / //p5lint:allow justification")
+	}
+}

@@ -158,6 +158,9 @@ func Serve(ctx context.Context, lis net.Listener, cfg ServerConfig) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		// The serve ctx is already dead here; the shutdown deadline
+		// must outlive it or in-flight requests would be cut off.
+		//p5lint:allow ctxflow graceful shutdown needs a root deadline
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"power5prio/internal/engine"
 )
@@ -20,23 +21,136 @@ import (
 // fast worker takes more of the batch than a slow one. A worker-level
 // failure excludes that worker for the rest of the batch and requeues
 // its unfinished jobs for the surviving workers (retry-with-exclusion);
-// the batch fails only when every worker has failed with jobs still
-// pending. Job-level errors are deterministic and are not retried.
+// the batch fails only when every usable worker has failed with jobs
+// still pending. Job-level errors are deterministic and are not
+// retried.
+//
+// Exclusions are remembered across batches (a circuit breaker): a
+// worker that failed stays out of subsequent batches until its
+// re-probe deadline passes, at which point one health probe decides
+// whether it rejoins; failed probes push the deadline out with
+// exponential backoff (capped at 8x the base interval, SetReprobe).
+// When every worker is excluded the breaker force-probes the whole
+// fleet rather than failing a batch nobody attempted. None of this
+// affects determinism: results merge by submission index, so any
+// exclusion/rejoin interleaving is byte-identical to a local run.
 type ShardedBackend struct {
 	workers []engine.Backend
+	reprobe time.Duration
+	now     func() time.Time // injectable for the circuit-breaker tests
 
-	mu sync.Mutex
-	rs engine.RemoteStats
+	mu    sync.Mutex
+	rs    engine.RemoteStats
+	state []workerState
 }
 
+// workerState is the per-worker circuit-breaker bookkeeping.
+type workerState struct {
+	excluded  bool
+	failures  int       // consecutive failures since last success
+	nextProbe time.Time // earliest time a re-probe may run
+}
+
+// DefaultReprobe is the base interval before an excluded worker is
+// probed for readmission.
+const DefaultReprobe = 30 * time.Second
+
 // NewSharded builds a sharded backend over the given workers (typically
-// HTTPBackends; any engine.Backend works, which is how the retry path
-// is tested).
+// HTTPBackends; any engine.Backend works, which is how the retry and
+// circuit-breaker paths are tested).
 func NewSharded(workers ...engine.Backend) *ShardedBackend {
 	if len(workers) == 0 {
 		panic("remote: NewSharded needs at least one worker")
 	}
-	return &ShardedBackend{workers: workers}
+	return &ShardedBackend{
+		workers: workers,
+		reprobe: DefaultReprobe,
+		now:     time.Now,
+		state:   make([]workerState, len(workers)),
+	}
+}
+
+// SetReprobe adjusts the circuit breaker's base re-probe interval
+// (DefaultReprobe when unset; d <= 0 resets to the default).
+func (s *ShardedBackend) SetReprobe(d time.Duration) {
+	if d <= 0 {
+		d = DefaultReprobe
+	}
+	s.mu.Lock()
+	s.reprobe = d
+	s.mu.Unlock()
+}
+
+// markFailed opens the breaker for worker i and schedules its re-probe.
+func (s *ShardedBackend) markFailed(i int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.state[i]
+	st.excluded = true
+	st.failures++
+	st.nextProbe = s.now().Add(s.backoffLocked(st.failures))
+}
+
+// backoffLocked returns the re-probe delay after n consecutive
+// failures: reprobe * 2^(n-1), capped at 8x.
+func (s *ShardedBackend) backoffLocked(n int) time.Duration {
+	d := s.reprobe
+	for i := 1; i < n && d < 8*s.reprobe; i++ {
+		d *= 2
+	}
+	if d > 8*s.reprobe {
+		d = 8 * s.reprobe
+	}
+	return d
+}
+
+// eligible returns the indices of workers allowed into this batch:
+// every closed-breaker worker, plus any excluded worker whose re-probe
+// deadline has passed and whose health probe succeeds. If that leaves
+// nobody, every excluded worker is force-probed — the breaker must
+// never fail a batch without at least attempting the fleet.
+func (s *ShardedBackend) eligible(ctx context.Context) []int {
+	var use, due, out []int
+	s.mu.Lock()
+	nowT := s.now()
+	for i := range s.workers {
+		switch st := s.state[i]; {
+		case !st.excluded:
+			use = append(use, i)
+		case !nowT.Before(st.nextProbe):
+			due = append(due, i)
+		default:
+			out = append(out, i)
+		}
+	}
+	s.mu.Unlock()
+
+	use = append(use, s.probe(ctx, due)...)
+	if len(use) == 0 {
+		use = s.probe(ctx, out)
+	}
+	return use
+}
+
+// probe health-checks the given excluded workers, readmitting the ones
+// that answer and extending the backoff of the ones that do not.
+func (s *ShardedBackend) probe(ctx context.Context, idxs []int) []int {
+	var ok []int
+	for _, i := range idxs {
+		err := s.workers[i].Healthy(ctx)
+		s.mu.Lock()
+		st := &s.state[i]
+		if err == nil {
+			st.excluded = false
+			st.failures = 0
+			ok = append(ok, i)
+		} else {
+			st.failures++
+			st.nextProbe = s.now().Add(s.backoffLocked(st.failures))
+		}
+		s.mu.Unlock()
+	}
+	return ok
 }
 
 // New returns the standard client-side fleet backend: one HTTPBackend
@@ -195,12 +309,22 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 		}
 	}()
 
+	active := s.eligible(ctx)
+	if len(active) == 0 {
+		err := fmt.Errorf("remote: %d jobs undispatched: all %d workers failed: circuit open, no worker passed its readmission probe", len(jobs), len(s.workers))
+		for k := range jobs {
+			finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
+		}
+		return out, err
+	}
+
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
 	var failures []error
-	for _, w := range s.workers {
+	for _, wi := range active {
 		wg.Add(1)
-		go func(w engine.Backend) {
+		go func(wi int) {
+			w := s.workers[wi]
 			defer wg.Done()
 			for {
 				chunk := d.grab(ctx, w.Capacity())
@@ -228,8 +352,11 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 					finish(k, r)
 				}
 				if err != nil && ctx.Err() == nil {
-					// Worker failure: exclude it for the rest of the
-					// batch, hand its unfinished jobs to the survivors.
+					// Worker failure: open its breaker (excluding it
+					// from this and subsequent batches until a
+					// re-probe readmits it), hand its unfinished jobs
+					// to the survivors.
+					s.markFailed(wi)
 					s.mu.Lock()
 					s.rs.Retries += len(unfinished)
 					s.mu.Unlock()
@@ -255,7 +382,7 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 				s.mu.Unlock()
 				d.finish(unfinished)
 			}
-		}(w)
+		}(wi)
 	}
 	wg.Wait()
 
@@ -270,8 +397,8 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 		return out, nil
 	}
 	failMu.Lock()
-	err := fmt.Errorf("remote: %d jobs undispatched: all %d workers failed: %w",
-		len(left), len(s.workers), errors.Join(failures...))
+	err := fmt.Errorf("remote: %d jobs undispatched: all %d dispatched workers failed: %w",
+		len(left), len(active), errors.Join(failures...))
 	failMu.Unlock()
 	for _, k := range left {
 		finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
