@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race vet fmt lint lint-fix lint-tools bench bench-smoke regen
+.PHONY: all build test race vet fmt lint lint-fix lint-tools bench bench-smoke regen daemon regen-submit
 
 all: build test lint
 
@@ -75,3 +75,15 @@ bench-smoke:
 
 regen:
 	$(GO) run ./cmd/p5exp -exp all -quick
+
+# daemon runs a local p5d measurement daemon with a persistent cache —
+# the quickest way to try the service loop. In another terminal, point
+# clients at it with `make regen-submit` (or any `p5exp -submit` /
+# `p5sim` invocation, or power5prio.WithService).
+daemon:
+	$(GO) run ./cmd/p5d -cache-dir /tmp/p5dcache
+
+# regen-submit is regen through a local `make daemon`: concurrent
+# invocations dedup against each other, repeats are pure cache hits.
+regen-submit:
+	$(GO) run ./cmd/p5exp -exp all -quick -submit 127.0.0.1:7551

@@ -1,0 +1,126 @@
+// Command p5d is the long-running measurement daemon: many concurrent
+// clients (p5exp -submit, power5prio.WithService, or raw p5queue/v1
+// HTTP) stream job submissions to one shared engine, with admission
+// control, weighted round-robin fairness across client IDs, and
+// cross-client deduplication — identical jobs from different clients
+// simulate once, and with -cache-dir repeat questions are answered
+// from disk without simulating at all.
+//
+// Usage:
+//
+//	p5d                                         # serve on 127.0.0.1:7551, local pool
+//	p5d -cache-dir /var/cache/p5 -workers 8     # persistent cache, bounded pool
+//	p5d -remote host1:7550,host2:7550           # execute on a p5worker fleet
+//	p5d -fleet -cache-dir /mnt/shared/p5cache   # start empty; workers register
+//
+// Execution modes: by default jobs simulate on an in-process pool.
+// With -remote, jobs fan out across the given p5worker fleet (the
+// circuit breaker keeps the daemon serving while individual workers
+// die and rejoin). With -fleet (or -remote), workers may also register
+// themselves at runtime via POST /v1/register — p5worker -register
+// does this and heartbeats it — so the fleet grows without restarting
+// the daemon.
+//
+// GET /v1/stats reports queue depth, tenant count, cache-tier hit
+// counters and per-worker circuit-breaker state. SIGINT/SIGTERM shut
+// down gracefully: queued jobs drain, in-flight streams finish.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"power5prio/internal/cmdutil"
+	"power5prio/internal/engine"
+	"power5prio/internal/remote"
+	"power5prio/internal/service"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", "127.0.0.1:7551", "address to serve the p5queue protocol on (host:port; port 0 picks a free port)")
+		workers     = flag.Int("workers", 0, "local simulation pool size when not executing remotely (0 = all CPU cores)")
+		remotes     = flag.String("remote", "", "execute on a p5worker fleet at host:port[,host:port...] (more workers may register at runtime)")
+		fleetMode   = flag.Bool("fleet", false, "start with an empty worker fleet and rely on runtime registration (POST /v1/register)")
+		maxQueue    = flag.Int("max-queue", 1024, "admission bound: queued jobs beyond this are rejected with 429")
+		weight      = flag.Int("weight", 8, "jobs one tenant contributes per round-robin turn")
+		batchMax    = flag.Int("batch-max", 32, "largest dispatch batch handed to the engine at once")
+		dispatchers = flag.Int("dispatchers", 2, "concurrent dispatch loops (an interactive job never waits for a bulk batch)")
+		quiet       = flag.Bool("quiet", false, "suppress the per-event log lines")
+		common      = cmdutil.AddCommonFlags("p5d", flag.CommandLine)
+	)
+	flag.Parse()
+	store := common.Init()
+	stopProfiles := common.StartProfiles()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "p5d: "+format+"\n", args...)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Execution backend: a worker fleet when -remote/-fleet asked for
+	// one (sharable, breaker-protected, grown by registration),
+	// otherwise the in-process pool. The daemon's cache tiers sit in
+	// front either way.
+	var fleet *remote.ShardedBackend
+	engOpts := []engine.Option{engine.WithStore(store)}
+	switch {
+	case *remotes != "":
+		fleet = cmdutil.RemoteBackend(ctx, "p5d", *remotes)
+	case *fleetMode:
+		fleet = remote.NewDynamic()
+	}
+	if fleet != nil {
+		engOpts = append(engOpts, engine.WithBackend(fleet))
+	}
+	eng := engine.NewWith(*workers, nil, engOpts...)
+
+	cfg := service.Config{
+		MaxQueue:    *maxQueue,
+		Weight:      *weight,
+		BatchMax:    *batchMax,
+		Dispatchers: *dispatchers,
+	}
+	if !*quiet {
+		cfg.Logf = logf
+	}
+	d := service.New(eng, fleet, cfg)
+
+	lis, err := net.Listen("tcp", *listen)
+	if err != nil {
+		logf("%v", err)
+		stopProfiles()
+		os.Exit(1)
+	}
+	mode := fmt.Sprintf("local pool (%d workers)", eng.Workers())
+	if fleet != nil {
+		mode = fmt.Sprintf("fleet (%d workers registered)", len(fleet.WorkerStates()))
+	}
+	cache := "memory-only cache"
+	if store != nil {
+		cache = "cache dir " + store.Dir()
+	}
+	logf("serving %s on %s (%s, %s)", service.ProtocolVersion, lis.Addr(), mode, cache)
+
+	done := make(chan struct{})
+	go func() {
+		d.Run(ctx)
+		close(done)
+	}()
+	err = service.Serve(ctx, lis, d)
+	<-done // queued work drains before the process exits
+	stopProfiles()
+	if err != nil {
+		logf("%v", err)
+		os.Exit(1)
+	}
+	stats := eng.Stats()
+	logf("shut down: engine: %s", stats)
+}

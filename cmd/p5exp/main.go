@@ -10,6 +10,7 @@
 //	p5exp -exp all -quick -cache-dir ~/.cache/p5exp   # persist results
 //	p5exp -cache-dir ~/.cache/p5exp -cache stats      # inspect the cache
 //	p5exp -exp all -remote host1:7550,host2:7550      # shard across workers
+//	p5exp -exp all -quick -submit daemon:7551         # run through a p5d daemon
 //
 // With -cache-dir, results persist across invocations: a re-run of the
 // same experiments performs no simulations (all disk hits), and
@@ -20,7 +21,9 @@
 // With -remote, simulation jobs are sharded across p5worker processes
 // (results are byte-identical to a local run — see README "Distributed
 // runs"); the engine stats line then reports remote jobs, retries and
-// worker errors.
+// worker errors. With -submit, jobs go to a shared p5d daemon instead:
+// concurrent clients submitting the same jobs get them simulated once,
+// and the daemon's cache answers repeat questions for everyone.
 //
 // Ctrl-C cancels the sweep: whatever was measured before the interrupt
 // is rendered (unmeasured cells as zeros), and the completed work stays
@@ -53,9 +56,15 @@ func main() {
 		cacheOp = flag.String("cache", "", "cache administration with -cache-dir: stats|verify|clear (runs no experiment)")
 		reqWarm = flag.Bool("require-warm", false, "with -cache-dir: exit non-zero if anything was simulated or missed the disk cache")
 		remotes = flag.String("remote", "", "shard simulation across p5worker processes at host:port[,host:port...] instead of running locally")
+		submit  = flag.String("submit", "", "submit simulation jobs to a p5d daemon at host:port instead of running locally (shares its queue, cache and fleet with other clients)")
+		client  = flag.String("client", "", "tenant name for -submit fair scheduling (default: a per-process id)")
 		common  = cmdutil.AddCommonFlags("p5exp", flag.CommandLine)
 	)
 	flag.Parse()
+	if *remotes != "" && *submit != "" {
+		fmt.Fprintln(os.Stderr, "p5exp: -remote and -submit are mutually exclusive (a daemon owns its own fleet)")
+		os.Exit(2)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -68,13 +77,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p5exp: -require-warm needs -cache-dir")
 		os.Exit(2)
 	}
-	// Execution backend: the in-process pool, or a health-checked
-	// worker fleet with -remote. The engine's cache tiers (including
-	// -cache-dir) stay local either way, in front of the backend.
+	// Execution backend: the in-process pool, a health-checked worker
+	// fleet with -remote, or a shared p5d daemon with -submit. The
+	// engine's cache tiers (including -cache-dir) stay local either
+	// way, in front of the backend — with -submit the daemon adds its
+	// own shared tiers behind them.
 	var engOpts []engine.Option
 	engOpts = append(engOpts, engine.WithStore(store))
-	if *remotes != "" {
+	switch {
+	case *remotes != "":
 		engOpts = append(engOpts, engine.WithBackend(cmdutil.RemoteBackend(ctx, "p5exp", *remotes)))
+	case *submit != "":
+		engOpts = append(engOpts, engine.WithBackend(cmdutil.ServiceBackend(ctx, "p5exp", *submit, *client)))
 	}
 	// Started after the administrative early exits above, so a live
 	// profile can never be abandoned by os.Exit.

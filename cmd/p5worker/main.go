@@ -11,6 +11,15 @@
 //	p5worker -listen 0.0.0.0:7550 -workers 8      # serve a LAN, bounded pool
 //	p5worker -listen 127.0.0.1:0                  # pick a free port (printed)
 //	p5worker -cache-dir /mnt/shared/p5cache       # join a shared result cache
+//	p5worker -register daemon:7551                # join a p5d daemon's fleet
+//
+// With -register, the worker announces itself to a p5d daemon on
+// startup and re-announces every heartbeat interval, so a daemon
+// started with -fleet grows its fleet as workers come up, and a worker
+// that the daemon's circuit breaker excluded (crash, restart, network
+// partition) is readmitted on its next heartbeat. -advertise overrides
+// the address the worker registers (needed behind NAT or when binding
+// a wildcard address).
 //
 // The worker prints its bound address on startup and one line per batch
 // served. SIGINT/SIGTERM shut it down gracefully (in-flight batches
@@ -27,18 +36,23 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"power5prio/internal/cmdutil"
 	"power5prio/internal/remote"
+	"power5prio/internal/service"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:7550", "address to serve the worker protocol on (host:port; port 0 picks a free port)")
-		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
-		maxBatch = flag.Int("max-batch", 4096, "largest job batch accepted in one request (0 = unlimited)")
-		quiet    = flag.Bool("quiet", false, "suppress the per-batch log lines")
-		common   = cmdutil.AddCommonFlags("p5worker", flag.CommandLine)
+		listen    = flag.String("listen", "127.0.0.1:7550", "address to serve the worker protocol on (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", 0, "simulation worker pool size (0 = all CPU cores)")
+		maxBatch  = flag.Int("max-batch", 4096, "largest job batch accepted in one request (0 = unlimited)")
+		register  = flag.String("register", "", "register with (and heartbeat to) a p5d daemon at host:port")
+		advertise = flag.String("advertise", "", "address to register with the daemon (default: the bound listen address)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "re-registration interval with -register (heals circuit-breaker exclusion)")
+		quiet     = flag.Bool("quiet", false, "suppress the per-batch log lines")
+		common    = cmdutil.AddCommonFlags("p5worker", flag.CommandLine)
 	)
 	flag.Parse()
 	store := common.Init()
@@ -70,6 +84,44 @@ func main() {
 		cache = "cache dir " + store.Dir()
 	}
 	logf("serving %s on %s (%s)", remote.ProtocolVersion, lis.Addr(), cache)
+
+	if *register != "" {
+		addr := *advertise
+		if addr == "" {
+			addr = lis.Addr().String()
+		}
+		// Register now and on every heartbeat: the first call joins the
+		// daemon's fleet, repeats are cheap no-ops that double as the
+		// liveness signal resetting this worker's circuit-breaker state
+		// after a crash or partition. Registration failures are warnings,
+		// not fatal — the daemon may simply not be up yet.
+		announce := func() {
+			added, err := service.RegisterWorker(ctx, *register, addr)
+			switch {
+			case err != nil:
+				logf("register with %s: %v (will retry)", *register, err)
+			case added:
+				logf("registered %s with daemon %s", addr, *register)
+			}
+		}
+		// The goroutine announces immediately, but only once remote.Serve
+		// below is accepting: the daemon health-checks the advertised
+		// address before admitting it, so a synchronous announce here
+		// would always fail against our own not-yet-serving listener.
+		go func() {
+			announce()
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					announce()
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 
 	err = remote.Serve(ctx, lis, cfg)
 	stopProfiles()

@@ -20,6 +20,7 @@ import (
 	"power5prio/internal/cachestore"
 	"power5prio/internal/fame"
 	"power5prio/internal/remote"
+	"power5prio/internal/service"
 )
 
 // Common carries the flag values every p5* command shares. Register
@@ -92,18 +93,53 @@ func ParseRemote(prog, spec string) []string {
 const healthWait = 5 * time.Second
 
 // RemoteBackend builds the sharded fleet backend for a -remote value
-// and health-checks every worker before any job is risked, retrying
-// briefly so a worker still binding its socket is not declared dead. An
-// unreachable or version-skewed worker exits with its error: a sweep
-// that silently lost part of its fleet would still be correct (retries
-// cover it) but slower than the user asked for.
+// and health-checks the fleet before any job is risked, retrying
+// briefly so a worker still binding its socket is not declared dead.
+// It waits for the *full* fleet within the grace window, but a fleet
+// that never completes starts degraded rather than failing: the
+// circuit breaker exists precisely so the survivors serve the sweep
+// while dead workers are excluded (and rejoin via re-probe). Each dead
+// worker is reported as a warning; only a fleet with no reachable
+// worker at all exits with an error.
 func RemoteBackend(ctx context.Context, prog, spec string) *remote.ShardedBackend {
-	b := remote.New(ParseRemote(prog, spec)...)
+	addrs := ParseRemote(prog, spec)
+	b := remote.New(addrs...)
 	deadline := time.Now().Add(healthWait)
 	for {
-		err := b.Healthy(ctx)
-		if err == nil {
+		alive, down := b.FleetHealth(ctx)
+		if alive == len(addrs) {
 			return b
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			if alive == 0 {
+				fmt.Fprintf(os.Stderr, "%s: no worker reachable (%d probed):\n", prog, len(addrs))
+				for _, err := range down {
+					fmt.Fprintf(os.Stderr, "%s:   %v\n", prog, err)
+				}
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "%s: warning: fleet degraded, %d of %d workers reachable; continuing (dead workers rejoin via re-probe):\n",
+				prog, alive, len(addrs))
+			for _, err := range down {
+				fmt.Fprintf(os.Stderr, "%s:   %v\n", prog, err)
+			}
+			return b
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// ServiceBackend builds the client backend for a -submit value (a p5d
+// daemon address), health-checking the daemon with the same grace
+// window RemoteBackend gives a fleet. clientID names the tenant for
+// the daemon's fair scheduling ("" = a per-process default).
+func ServiceBackend(ctx context.Context, prog, addr, clientID string) *service.Client {
+	c := service.NewClient(addr, service.WithClientID(clientID))
+	deadline := time.Now().Add(healthWait)
+	for {
+		err := c.Healthy(ctx)
+		if err == nil {
+			return c
 		}
 		if time.Now().After(deadline) || ctx.Err() != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", prog, err)

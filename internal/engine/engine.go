@@ -113,6 +113,11 @@ type Stats struct {
 	// Hits served from a cache tier without simulating (in-memory or
 	// disk; disk serves are additionally counted in DiskHits).
 	Hits int
+	// Coalesced jobs joined another batch's in-flight computation of
+	// the identical job (cross-batch singleflight) instead of
+	// simulating it again. A coalesced job also counts in Hits (or
+	// Skipped) when its flight lands.
+	Coalesced int
 	// Skipped jobs that never started because their batch was cancelled.
 	Skipped int
 	// DiskHits are lookups served from the persistent store (results
@@ -133,6 +138,9 @@ type Stats struct {
 // String renders the counters in one line.
 func (s Stats) String() string {
 	out := fmt.Sprintf("%d jobs submitted, %d simulated, %d cache hits", s.Submitted, s.Simulated, s.Hits)
+	if s.Coalesced > 0 {
+		out += fmt.Sprintf(", %d coalesced", s.Coalesced)
+	}
 	if s.Skipped > 0 {
 		out += fmt.Sprintf(", %d skipped", s.Skipped)
 	}
@@ -162,7 +170,12 @@ type Engine struct {
 	reg          *workload.Registry
 	store        *cachestore.Store
 	cache        map[Job]outcome
-	stats        Stats
+	// inflight is the cross-batch singleflight table (see flight.go):
+	// uncached jobs currently being computed by some batch, so a
+	// concurrent batch submitting the same job waits instead of
+	// simulating it again.
+	inflight map[Job]*flight
+	stats    Stats
 }
 
 type outcome struct {
@@ -207,7 +220,12 @@ func NewWith(workers int, reg *workload.Registry, opts ...Option) *Engine {
 	if localWorkers <= 0 {
 		localWorkers = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{localWorkers: localWorkers, reg: reg, cache: make(map[Job]outcome)}
+	e := &Engine{
+		localWorkers: localWorkers,
+		reg:          reg,
+		cache:        make(map[Job]outcome),
+		inflight:     make(map[Job]*flight),
+	}
 	for _, o := range opts {
 		o(e)
 	}
@@ -286,12 +304,16 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 	out := make([]Result, len(jobs))
 
 	// Partition under the lock: memory-cache hits resolve immediately;
-	// the first occurrence of each uncached job becomes a candidate;
-	// later duplicates wait for it. followers is read-only once the
-	// backend starts.
+	// the first occurrence of each uncached job becomes a candidate —
+	// registering a flight so concurrent batches coalesce onto it — or,
+	// when another batch already has the job in flight, a joiner that
+	// waits for that flight instead of re-submitting the job. Later
+	// duplicates wait for their first occurrence. followers is
+	// read-only once the backend starts.
 	e.mu.Lock()
 	e.stats.Submitted += len(jobs)
 	var candidates []int
+	var joiners []joinWait
 	followers := make(map[Job][]int)
 	var hitIdx []int
 	for i, j := range jobs {
@@ -306,6 +328,12 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 			continue
 		}
 		followers[j] = []int{}
+		if fl, ok := e.inflight[j]; ok {
+			joiners = append(joiners, joinWait{idx: i, fl: fl})
+			e.stats.Coalesced++
+			continue
+		}
+		e.inflight[j] = &flight{done: make(chan struct{})}
 		candidates = append(candidates, i)
 	}
 	e.mu.Unlock()
@@ -323,6 +351,31 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 	}
 	report(hitIdx...)
 
+	// Joined jobs wait concurrently with this batch's own backend work:
+	// each waiter serves its flight's cached outcome when it lands, or
+	// claims the job if the owning batch abandons it (see flight.go).
+	var joinWG sync.WaitGroup
+	for _, jn := range joiners {
+		joinWG.Add(1)
+		go func(jn joinWait) {
+			defer joinWG.Done()
+			j := jobs[jn.idx]
+			flw := followers[j]
+			e.awaitFlight(ctx, j, jn.fl, len(flw), func(r Result) {
+				out[jn.idx] = r
+				for _, f := range flw {
+					fr := r
+					if !r.Skipped {
+						fr.CacheHit = true
+					}
+					out[f] = fr
+				}
+				report(append([]int{jn.idx}, flw...)...)
+			})
+		}(jn)
+	}
+	defer joinWG.Wait()
+
 	// Probe the persistent tier for first-in-process sightings — outside
 	// the engine lock, because each probe is file I/O and must not stall
 	// concurrent batches. A disk hit is promoted into the memory map (one
@@ -338,6 +391,9 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 				e.cache[j] = outcome{pair: pair}
 				e.stats.Hits += 1 + len(followers[j])
 				e.stats.DiskHits++
+				if fl, ok := e.inflight[j]; ok {
+					e.completeLocked(j, fl)
+				}
 			} else {
 				e.stats.DiskMisses++
 			}
@@ -382,9 +438,14 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 		j := jobs[idx]
 		if r.Skipped {
 			// Never attempted (cancellation or backend failure): do not
-			// cache, so a retry re-runs the job.
+			// cache, so a retry re-runs the job. Completing the flight
+			// without a cache entry tells its waiters the job was
+			// abandoned; they re-join or claim it (flight.go).
 			e.mu.Lock()
 			e.stats.Skipped += 1 + len(followers[j])
+			if fl, ok := e.inflight[j]; ok {
+				e.completeLocked(j, fl)
+			}
 			e.mu.Unlock()
 			out[idx] = Result{Job: j, Err: r.Err, Skipped: true}
 			for _, f := range followers[j] {
@@ -395,6 +456,9 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 			e.cache[j] = outcome{pair: r.Pair, err: r.Err}
 			e.stats.Simulated++
 			e.stats.Hits += len(followers[j])
+			if fl, ok := e.inflight[j]; ok {
+				e.completeLocked(j, fl)
+			}
 			e.mu.Unlock()
 			if e.store != nil && r.Err == nil && e.diskPut(j, r.Pair) {
 				e.mu.Lock()

@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+)
+
+// Cross-batch singleflight.
+//
+// The in-memory and disk cache tiers dedup jobs that have *completed*;
+// they do nothing for jobs currently in the air. A long-running service
+// dispatches many concurrent batches through one engine, and N clients
+// asking for the same uncached job would start N identical simulations
+// — the expensive kind of waste the engine exists to prevent. The
+// flight table closes that window: the first batch to see an uncached
+// job owns its flight and runs it, and every concurrent batch
+// submitting the same job joins the flight and waits instead.
+//
+// The owner completes a flight (closes done, unregisters it) inside
+// the same e.mu critical section that publishes the result to the
+// memory cache, so a woken waiter re-checking the cache under the lock
+// always observes the published result — or its absence, which means
+// the owner abandoned the job (cancelled batch, failed backend;
+// Skipped results are never cached). An abandoned job must not fail
+// the waiters coalesced onto it: each waiter either joins the
+// replacement flight some other batch has registered by then, or
+// claims the job and runs it itself.
+
+// flight is one in-progress computation of a job, shared across
+// concurrent Run batches.
+type flight struct {
+	done chan struct{}
+}
+
+// joinWait records one batch index waiting on another batch's flight.
+type joinWait struct {
+	idx int
+	fl  *flight
+}
+
+// maxJoinRetries bounds how many successive abandoned flights a waiter
+// re-joins before claiming the job itself, so a pathological chain of
+// cancelled owners cannot defer a live waiter forever.
+const maxJoinRetries = 4
+
+// completeLocked closes fl (waking its waiters) and unregisters it if
+// it is still j's registered flight. The caller must hold e.mu and must
+// have published j's outcome — or decided not to — in the same
+// critical section.
+func (e *Engine) completeLocked(j Job, fl *flight) {
+	close(fl.done)
+	if e.inflight[j] == fl {
+		delete(e.inflight, j)
+	}
+}
+
+// awaitFlight waits for another batch's in-flight computation of j,
+// then serves the cached outcome through finish (which delivers to the
+// waiter's batch index and its in-batch followers). If the owner
+// abandoned the job, the waiter re-joins the replacement flight when
+// one exists, or claims the job and runs it on the backend itself.
+func (e *Engine) awaitFlight(ctx context.Context, j Job, fl *flight, nFollowers int, finish func(Result)) {
+	for attempt := 0; ; attempt++ {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			e.mu.Lock()
+			e.stats.Skipped += 1 + nFollowers
+			e.mu.Unlock()
+			finish(Result{Job: j, Err: ctx.Err(), Skipped: true})
+			return
+		}
+		e.mu.Lock()
+		if oc, ok := e.cache[j]; ok {
+			e.stats.Hits += 1 + nFollowers
+			e.mu.Unlock()
+			finish(Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: true})
+			return
+		}
+		// The owner abandoned the job without caching it.
+		if nfl, ok := e.inflight[j]; ok && nfl != fl && attempt < maxJoinRetries {
+			fl = nfl
+			e.mu.Unlock()
+			continue
+		}
+		mine := &flight{done: make(chan struct{})}
+		e.inflight[j] = mine
+		e.mu.Unlock()
+		e.runClaimed(ctx, j, mine, nFollowers, finish)
+		return
+	}
+}
+
+// runClaimed executes a claimed job and publishes its outcome exactly
+// as resolve does for a batch candidate: probe the disk tier, run on
+// the backend, cache non-skipped results — completing fl in the same
+// locked section — and deliver through finish.
+func (e *Engine) runClaimed(ctx context.Context, j Job, fl *flight, nFollowers int, finish func(Result)) {
+	if e.store != nil {
+		pair, ok := e.diskGet(j)
+		e.mu.Lock()
+		if ok {
+			e.cache[j] = outcome{pair: pair}
+			e.stats.Hits += 1 + nFollowers
+			e.stats.DiskHits++
+			e.completeLocked(j, fl)
+			e.mu.Unlock()
+			finish(Result{Job: j, Pair: pair, CacheHit: true})
+			return
+		}
+		e.stats.DiskMisses++
+		e.mu.Unlock()
+	}
+
+	res, err := e.backend.Run(ctx, []Job{j})
+	var r Result
+	if len(res) >= 1 {
+		r = res[0]
+	} else {
+		if err == nil {
+			err = fmt.Errorf("returned %d results for 1 job", len(res))
+		}
+		r = Result{Job: j, Err: backendError(e.backend, err), Skipped: true}
+	}
+
+	if r.Skipped {
+		e.mu.Lock()
+		e.stats.Skipped += 1 + nFollowers
+		e.completeLocked(j, fl)
+		e.mu.Unlock()
+		finish(Result{Job: j, Err: r.Err, Skipped: true})
+		return
+	}
+	e.mu.Lock()
+	e.cache[j] = outcome{pair: r.Pair, err: r.Err}
+	e.stats.Simulated++
+	e.stats.Hits += nFollowers
+	e.completeLocked(j, fl)
+	e.mu.Unlock()
+	if e.store != nil && r.Err == nil && e.diskPut(j, r.Pair) {
+		e.mu.Lock()
+		e.stats.DiskWrites++
+		e.mu.Unlock()
+	}
+	finish(Result{Job: j, Pair: r.Pair, Err: r.Err})
+}

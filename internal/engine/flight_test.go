@@ -1,0 +1,214 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"power5prio/internal/core"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+)
+
+// gatedBackend is a Backend whose first Run call blocks until gate is
+// closed (honouring ctx like the real backends: cancellation returns
+// Skipped results), so tests can hold a job in flight while a second
+// batch submits it. Results are synthesized — flight behaviour does not
+// depend on simulation.
+type gatedBackend struct {
+	gate    chan struct{} // first Run blocks on it when set
+	started chan struct{} // closed when the first Run begins
+
+	once sync.Once
+	mu   sync.Mutex
+	runs int // Run calls
+	jobs int // jobs across all Run calls
+}
+
+func (g *gatedBackend) Name() string                  { return "gated" }
+func (g *gatedBackend) Capacity() int                 { return 2 }
+func (g *gatedBackend) Healthy(context.Context) error { return nil }
+
+func (g *gatedBackend) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	g.mu.Lock()
+	g.runs++
+	first := g.runs == 1
+	g.jobs += len(jobs)
+	g.mu.Unlock()
+	if first {
+		g.once.Do(func() {
+			if g.started != nil {
+				close(g.started)
+			}
+		})
+		if g.gate != nil {
+			select {
+			case <-g.gate:
+			case <-ctx.Done():
+				out := make([]Result, len(jobs))
+				for i, j := range jobs {
+					out[i] = Result{Job: j, Err: ctx.Err(), Skipped: true}
+				}
+				return out, nil
+			}
+		}
+	}
+	out := make([]Result, len(jobs))
+	for i, j := range jobs {
+		out[i] = Result{Job: j}
+	}
+	return out, nil
+}
+
+func (g *gatedBackend) counts() (runs, jobs int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs, g.jobs
+}
+
+func flightJob(t *testing.T) Job {
+	return Single(ref(t, microbench.CPUInt), prio.Supervisor, testScale, core.DefaultConfig(), testOptions())
+}
+
+// waitFor polls cond briefly; flight hand-offs are all channel-driven,
+// so this only bridges goroutine scheduling, not simulation time.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// TestFlightCoalescesConcurrentBatches pins the cross-batch
+// singleflight: two concurrent batches submitting the same uncached job
+// trigger exactly one backend execution; the second batch (and its
+// in-batch duplicate) is served from the first batch's flight as cache
+// hits.
+func TestFlightCoalescesConcurrentBatches(t *testing.T) {
+	j := flightJob(t)
+	gb := &gatedBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	e := NewWith(0, nil, WithBackend(gb))
+
+	var wg sync.WaitGroup
+	var resA, resB []Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resA = e.Run(nil, []Job{j})
+	}()
+	<-gb.started
+
+	// The job is now in flight; a second batch with the job (twice)
+	// must join rather than re-submit.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resB = e.Run(nil, []Job{j, j})
+	}()
+	waitFor(t, func() bool { return e.Stats().Coalesced == 1 }, "batch B to join the flight")
+	close(gb.gate)
+	wg.Wait()
+
+	if runs, jobs := gb.counts(); runs != 1 || jobs != 1 {
+		t.Fatalf("backend saw %d runs / %d jobs, want 1/1 (coalescing failed)", runs, jobs)
+	}
+	if resA[0].Err != nil || resA[0].Skipped || resA[0].CacheHit {
+		t.Fatalf("owner result = %+v, want a plain success", resA[0])
+	}
+	for i, r := range resB {
+		if r.Err != nil || r.Skipped || !r.CacheHit {
+			t.Fatalf("joined result %d = %+v, want a cache hit", i, r)
+		}
+		if r.Pair != resA[0].Pair {
+			t.Fatalf("joined result %d differs from the owner's", i)
+		}
+	}
+	st := e.Stats()
+	if st.Simulated != 1 || st.Coalesced != 1 || st.Hits != 2 {
+		t.Fatalf("stats %+v, want 1 simulated, 1 coalesced, 2 hits", st)
+	}
+}
+
+// TestFlightOwnerAbandonedWaiterClaims pins the abandonment hand-off: a
+// waiter coalesced onto a flight whose owner's batch is cancelled must
+// not inherit the cancellation — it claims the job and runs it itself.
+func TestFlightOwnerAbandonedWaiterClaims(t *testing.T) {
+	j := flightJob(t)
+	gb := &gatedBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	e := NewWith(0, nil, WithBackend(gb))
+
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	var wg sync.WaitGroup
+	var resA, resB []Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resA = e.Run(ctxA, []Job{j})
+	}()
+	<-gb.started
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resB = e.Run(nil, []Job{j})
+	}()
+	waitFor(t, func() bool { return e.Stats().Coalesced == 1 }, "batch B to join the flight")
+
+	// Cancel the owner: its job resolves Skipped and is not cached.
+	// The waiter must claim the job and run it to completion.
+	cancelA()
+	wg.Wait()
+
+	if !resA[0].Skipped || !errors.Is(resA[0].Err, context.Canceled) {
+		t.Fatalf("owner result = %+v, want skipped with the context error", resA[0])
+	}
+	if resB[0].Err != nil || resB[0].Skipped {
+		t.Fatalf("waiter result = %+v, want a completed run after claiming", resB[0])
+	}
+	if runs, _ := gb.counts(); runs != 2 {
+		t.Fatalf("backend saw %d runs, want 2 (owner's cancelled run + waiter's claim)", runs)
+	}
+	st := e.Stats()
+	if st.Simulated != 1 || st.Skipped != 1 || st.Coalesced != 1 {
+		t.Fatalf("stats %+v, want 1 simulated, 1 skipped, 1 coalesced", st)
+	}
+
+	// The claimed result was cached: a fresh submission is a pure hit.
+	res := e.Run(nil, []Job{j})
+	if !res[0].CacheHit || res[0].Err != nil {
+		t.Fatalf("post-claim resubmission = %+v, want a cache hit", res[0])
+	}
+}
+
+// TestFlightSequentialBatchesDoNotCoalesce guards the bookkeeping: once
+// a batch completes, its flights are unregistered, so a later identical
+// submission is served by the cache (a hit), not the flight table.
+func TestFlightSequentialBatchesDoNotCoalesce(t *testing.T) {
+	j := flightJob(t)
+	gb := &gatedBackend{}
+	e := NewWith(0, nil, WithBackend(gb))
+
+	if res := e.Run(nil, []Job{j}); res[0].Err != nil {
+		t.Fatalf("batch 1: %+v", res[0])
+	}
+	e.mu.Lock()
+	pending := len(e.inflight)
+	e.mu.Unlock()
+	if pending != 0 {
+		t.Fatalf("%d flights still registered after the batch completed", pending)
+	}
+	if res := e.Run(nil, []Job{j}); !res[0].CacheHit {
+		t.Fatalf("batch 2 = %+v, want a cache hit", res[0])
+	}
+	if st := e.Stats(); st.Coalesced != 0 {
+		t.Fatalf("sequential batches coalesced: stats %+v", st)
+	}
+}

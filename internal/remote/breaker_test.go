@@ -23,6 +23,7 @@ type scriptedWorker struct {
 	mu      sync.Mutex
 	healthy bool
 	failRun bool
+	skipRun bool // return every job Skipped with no worker error
 	runs    int
 	probes  int
 }
@@ -30,7 +31,12 @@ type scriptedWorker struct {
 func (w *scriptedWorker) Name() string  { return w.name }
 func (w *scriptedWorker) Capacity() int { return 4 }
 
-func (w *scriptedWorker) Healthy(context.Context) error {
+func (w *scriptedWorker) Healthy(ctx context.Context) error {
+	if ctx != nil && ctx.Err() != nil {
+		// A dead ctx fails before any request reaches the worker,
+		// exactly like a real HTTP probe under a cancelled batch.
+		return ctx.Err()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.probes++
@@ -55,7 +61,7 @@ func (w *scriptedWorker) Run(_ context.Context, jobs []Job) ([]Result, error) {
 	}
 	out := make([]Result, len(jobs))
 	for i, j := range jobs {
-		out[i] = Result{Job: j}
+		out[i] = Result{Job: j, Skipped: w.skipRun}
 	}
 	return out, nil
 }
@@ -259,5 +265,172 @@ func TestBreakerAllDeadForceProbe(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "circuit open") {
 		t.Fatalf("want circuit-open error, got: %v", err)
+	}
+}
+
+// TestBreakerCancelledProbeLeavesStateUntouched pins the probe ctx fix:
+// a probe failing because the batch context is dead must not count as a
+// worker failure. Before the fix a Ctrl-C'd batch incremented failures
+// and pushed nextProbe out with exponential backoff, locking a healthy
+// worker out for minutes.
+func TestBreakerCancelledProbeLeavesStateUntouched(t *testing.T) {
+	gate := make(chan struct{})
+	good := &scriptedWorker{name: "good", healthy: true, await: gate}
+	bad := &scriptedWorker{name: "bad", healthy: true, failRun: true, signal: gate}
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+
+	s := NewSharded(good, bad)
+	s.now = clock.now
+	s.SetReprobe(time.Minute)
+
+	// Batch 1: bad fails and its breaker opens (failures=1).
+	if _, err := s.Run(nil, dummyJobs(8)); err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	s.mu.Lock()
+	before := s.state[1]
+	s.mu.Unlock()
+	if !before.excluded {
+		t.Fatal("failing worker not excluded after batch 1")
+	}
+
+	// The worker recovers and its re-probe deadline passes; then a
+	// batch arrives with an already-cancelled ctx. Its probe fails for
+	// ctx reasons only, and must leave the breaker untouched.
+	bad.set(true, false)
+	clock.advance(2 * time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, dummyJobs(4)); err != nil {
+		t.Fatalf("cancelled batch returned batch error: %v", err)
+	}
+	s.mu.Lock()
+	after := s.state[1]
+	s.mu.Unlock()
+	if !after.excluded || after.failures != before.failures || !after.nextProbe.Equal(before.nextProbe) {
+		t.Fatalf("dead-ctx probe mutated breaker state: before=%+v after=%+v", before, after)
+	}
+
+	// A live batch right after must probe and readmit immediately —
+	// with the bug, the phantom failure would have doubled the backoff
+	// and the worker would still be excluded here.
+	if _, err := s.Run(nil, dummyJobs(8)); err != nil {
+		t.Fatalf("recovery batch: %v", err)
+	}
+	s.mu.Lock()
+	excluded := s.state[1].excluded
+	s.mu.Unlock()
+	if excluded {
+		t.Fatal("worker still excluded after its recovery probe")
+	}
+}
+
+// TestHealthyDegradedFleet pins the fleet health contract: the fleet is
+// healthy while at least one worker answers (the breaker exists
+// precisely to run degraded), and unhealthy only when nobody does.
+// Before the fix one dead worker failed the whole fleet and cmdutil's
+// startup health loop never converged.
+func TestHealthyDegradedFleet(t *testing.T) {
+	good := &scriptedWorker{name: "good", healthy: true}
+	bad := &scriptedWorker{name: "bad", healthy: false}
+	s := NewSharded(good, bad)
+
+	ctx := context.Background()
+	if err := s.Healthy(ctx); err != nil {
+		t.Fatalf("fleet with one live worker reported unhealthy: %v", err)
+	}
+	alive, down := s.FleetHealth(ctx)
+	if alive != 1 || len(down) != 1 {
+		t.Fatalf("FleetHealth = (%d alive, %d down), want (1, 1)", alive, len(down))
+	}
+	if !strings.Contains(errorsJoin(down), "bad: down") {
+		t.Fatalf("down errors missing the dead worker: %v", down)
+	}
+
+	good.set(false, false)
+	if err := s.Healthy(ctx); err == nil {
+		t.Fatal("all-dead fleet reported healthy")
+	}
+
+	if err := NewDynamic().Healthy(ctx); err == nil {
+		t.Fatal("empty fleet reported healthy")
+	}
+}
+
+func errorsJoin(errs []error) string {
+	var b strings.Builder
+	for _, err := range errs {
+		b.WriteString(err.Error())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestRequeueCapConvergesOnSkippingWorker pins the defensive-requeue
+// cap: a worker that keeps returning jobs Skipped without a
+// worker-level error must not livelock the batch. Before the fix this
+// test spun forever — the skipped jobs requeued, the same worker
+// grabbed them again, ad infinitum.
+func TestRequeueCapConvergesOnSkippingWorker(t *testing.T) {
+	w := &scriptedWorker{name: "skipper", healthy: true, skipRun: true}
+	s := NewSharded(w)
+
+	res, err := s.Run(nil, dummyJobs(3))
+	if err != nil {
+		t.Fatalf("batch error = %v, want nil (per-job failures only)", err)
+	}
+	for i, r := range res {
+		if !r.Skipped || r.Err == nil || !strings.Contains(r.Err.Error(), "requeued") {
+			t.Fatalf("job %d = %+v, want skipped with a requeue-cap diagnostic", i, r)
+		}
+	}
+	// Capacity 4 covers all 3 jobs per grab: one initial run plus one
+	// per allowed requeue, then the cap fails the jobs.
+	if runs, _ := w.counts(); runs != maxRequeues+1 {
+		t.Fatalf("skipping worker ran %d chunks, want %d", runs, maxRequeues+1)
+	}
+}
+
+// TestDynamicFleetRegistration pins the service-facing fleet API: an
+// empty fleet fails batches with a clear error instead of panicking,
+// AddWorker grows it at runtime, and re-registering a known worker
+// closes its breaker instead of duplicating it.
+func TestDynamicFleetRegistration(t *testing.T) {
+	s := NewDynamic()
+	_, err := s.Run(nil, dummyJobs(2))
+	if err == nil || !strings.Contains(err.Error(), "no workers") {
+		t.Fatalf("empty-fleet batch error = %v, want a no-workers diagnostic", err)
+	}
+
+	w := &scriptedWorker{name: "w1", healthy: true}
+	if !s.AddWorker(w) {
+		t.Fatal("AddWorker reported no growth for a new worker")
+	}
+	res, err := s.Run(nil, dummyJobs(2))
+	if err != nil {
+		t.Fatalf("batch after registration: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d not completed after registration: %+v", i, r)
+		}
+	}
+
+	// Fail the worker so its breaker opens, then re-register it: the
+	// fleet must not grow, and the breaker must close.
+	w.set(true, true)
+	if _, err := s.Run(nil, dummyJobs(2)); err == nil {
+		t.Fatal("batch against failing single-worker fleet succeeded")
+	}
+	if st := s.WorkerStates(); len(st) != 1 || !st[0].Excluded {
+		t.Fatalf("worker states after failure = %+v, want one excluded entry", st)
+	}
+	w.set(true, false)
+	if s.AddWorker(&scriptedWorker{name: "w1", healthy: true}) {
+		t.Fatal("re-registering a known worker grew the fleet")
+	}
+	st := s.WorkerStates()
+	if len(st) != 1 || st[0].Excluded || st[0].Failures != 0 {
+		t.Fatalf("worker states after re-registration = %+v, want one closed-breaker entry", st)
 	}
 }

@@ -35,13 +35,13 @@ import (
 // affects determinism: results merge by submission index, so any
 // exclusion/rejoin interleaving is byte-identical to a local run.
 type ShardedBackend struct {
-	workers []engine.Backend
 	reprobe time.Duration
 	now     func() time.Time // injectable for the circuit-breaker tests
 
-	mu    sync.Mutex
-	rs    engine.RemoteStats
-	state []workerState
+	mu      sync.Mutex
+	workers []engine.Backend // append-only; elements are never replaced
+	rs      engine.RemoteStats
+	state   []workerState
 }
 
 // workerState is the per-worker circuit-breaker bookkeeping.
@@ -62,12 +62,79 @@ func NewSharded(workers ...engine.Backend) *ShardedBackend {
 	if len(workers) == 0 {
 		panic("remote: NewSharded needs at least one worker")
 	}
+	return NewDynamic(workers...)
+}
+
+// NewDynamic builds a sharded backend whose fleet may start empty and
+// grow at runtime through AddWorker — the shape a long-running service
+// with worker registration needs. With no workers, batches fail with a
+// no-workers error (and Healthy reports the fleet empty) rather than
+// panicking at construction.
+func NewDynamic(workers ...engine.Backend) *ShardedBackend {
 	return &ShardedBackend{
 		workers: workers,
 		reprobe: DefaultReprobe,
 		now:     time.Now,
 		state:   make([]workerState, len(workers)),
 	}
+}
+
+// AddWorker adds w to the fleet. If a worker with the same Name is
+// already present, the fleet does not grow: that worker's breaker is
+// closed instead, because a re-registering worker is announcing
+// liveness (the caller is expected to have health-checked it first —
+// the service's registration handler does). It reports whether the
+// fleet grew. Batches already running are unaffected; the worker joins
+// scheduling from the next batch.
+func (s *ShardedBackend) AddWorker(w engine.Backend) bool {
+	name := w.Name()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.workers {
+		if s.workers[i].Name() == name {
+			s.state[i] = workerState{}
+			return false
+		}
+	}
+	s.workers = append(s.workers, w)
+	s.state = append(s.state, workerState{})
+	return true
+}
+
+// WorkerStatus is a point-in-time snapshot of one worker's
+// circuit-breaker state, exposed for service /v1/stats reporting.
+type WorkerStatus struct {
+	Name     string `json:"name"`
+	Excluded bool   `json:"excluded,omitempty"`
+	// Failures counts consecutive failures since the last success.
+	Failures int `json:"failures,omitempty"`
+	// NextProbe is the earliest time a re-probe may readmit the worker
+	// (zero when the breaker is closed).
+	NextProbe time.Time `json:"next_probe,omitzero"`
+}
+
+// WorkerStates snapshots every worker's breaker state, in fleet order.
+func (s *ShardedBackend) WorkerStates() []WorkerStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WorkerStatus, len(s.workers))
+	for i, w := range s.workers {
+		st := s.state[i]
+		out[i] = WorkerStatus{Name: w.Name(), Excluded: st.excluded, Failures: st.failures}
+		if st.excluded {
+			out[i].NextProbe = st.nextProbe
+		}
+	}
+	return out
+}
+
+// snapshot returns the current worker list. The slice is append-only
+// and elements are never replaced, so indexing a snapshot stays valid
+// while AddWorker grows the fleet concurrently.
+func (s *ShardedBackend) snapshot() []engine.Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
 }
 
 // SetReprobe adjusts the circuit breaker's base re-probe interval
@@ -133,11 +200,20 @@ func (s *ShardedBackend) eligible(ctx context.Context) []int {
 }
 
 // probe health-checks the given excluded workers, readmitting the ones
-// that answer and extending the backoff of the ones that do not.
+// that answer and extending the backoff of the ones that do not. A
+// probe that fails because the batch context is cancelled or expired
+// says nothing about the worker — every probe fails under a dead ctx —
+// so breaker state is left untouched: counting those failures would
+// push nextProbe out with exponential backoff and lock healthy workers
+// out for minutes after a Ctrl-C'd batch.
 func (s *ShardedBackend) probe(ctx context.Context, idxs []int) []int {
+	workers := s.snapshot()
 	var ok []int
 	for _, i := range idxs {
-		err := s.workers[i].Healthy(ctx)
+		err := workers[i].Healthy(ctx)
+		if err != nil && ctx.Err() != nil {
+			continue
+		}
 		s.mu.Lock()
 		st := &s.state[i]
 		if err == nil {
@@ -165,32 +241,53 @@ func New(addrs ...string) *ShardedBackend {
 
 // Name identifies the fleet in diagnostics.
 func (s *ShardedBackend) Name() string {
-	if len(s.workers) == 1 {
-		return s.workers[0].Name()
+	workers := s.snapshot()
+	if len(workers) == 1 {
+		return workers[0].Name()
 	}
-	return fmt.Sprintf("sharded(%d workers)", len(s.workers))
+	return fmt.Sprintf("sharded(%d workers)", len(workers))
 }
 
 // Capacity sums the fleet's per-worker capacities.
 func (s *ShardedBackend) Capacity() int {
 	total := 0
-	for _, w := range s.workers {
+	for _, w := range s.snapshot() {
 		total += w.Capacity()
 	}
 	return total
 }
 
-// Healthy probes every worker and reports every failure: a fleet with
-// an unreachable worker is surfaced at startup rather than discovered
-// as mid-batch retries.
-func (s *ShardedBackend) Healthy(ctx context.Context) error {
-	var errs []error
-	for _, w := range s.workers {
+// FleetHealth probes every worker: alive counts the workers that
+// answered, down collects one error per worker that did not. Probing
+// does not touch circuit-breaker state.
+func (s *ShardedBackend) FleetHealth(ctx context.Context) (alive int, down []error) {
+	for _, w := range s.snapshot() {
 		if err := w.Healthy(ctx); err != nil {
-			errs = append(errs, err)
+			down = append(down, err)
+		} else {
+			alive++
 		}
 	}
-	return errors.Join(errs...)
+	return alive, down
+}
+
+// Healthy succeeds when at least one worker answers its probe. The
+// fleet is designed to run degraded — the circuit breaker exists
+// precisely to exclude dead workers while the survivors serve batches
+// — so a single unreachable worker must not fail a startup health
+// check (a health loop retrying until the whole fleet answers would
+// never converge). Healthy fails only when no worker is reachable, or
+// the fleet is empty. Use FleetHealth for the per-worker detail,
+// including which workers are down.
+func (s *ShardedBackend) Healthy(ctx context.Context) error {
+	alive, down := s.FleetHealth(ctx)
+	if alive > 0 {
+		return nil
+	}
+	if len(down) == 0 {
+		return errors.New("remote: fleet has no workers")
+	}
+	return fmt.Errorf("remote: no worker reachable (%d probed): %w", len(down), errors.Join(down...))
 }
 
 // RemoteStats sums the fleet's counters plus the sharding layer's own
@@ -199,7 +296,7 @@ func (s *ShardedBackend) RemoteStats() engine.RemoteStats {
 	s.mu.Lock()
 	total := s.rs
 	s.mu.Unlock()
-	for _, w := range s.workers {
+	for _, w := range s.snapshot() {
 		if ws, ok := w.(engine.RemoteStatser); ok {
 			r := ws.RemoteStats()
 			total.Jobs += r.Jobs
@@ -278,6 +375,15 @@ func (s *ShardedBackend) Run(ctx context.Context, jobs []Job) ([]Result, error) 
 	return s.RunProgress(ctx, jobs, nil)
 }
 
+// maxRequeues bounds how many times one job may be defensively
+// requeued after a worker returned it Skipped without a worker-level
+// error. Worker failures are not counted against it (each failing
+// worker is excluded, so those retries are bounded by the fleet size);
+// the cap exists for the pathological worker that keeps answering
+// batches while executing nothing, which would otherwise livelock the
+// dispatcher forever.
+const maxRequeues = 3
+
 // RunProgress executes the batch across the fleet, reporting each job's
 // result as it lands. On cancellation, unfinished jobs return Skipped
 // results with the context's error. If every worker fails while jobs
@@ -309,14 +415,25 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 		}
 	}()
 
+	workers := s.snapshot()
 	active := s.eligible(ctx)
 	if len(active) == 0 {
-		err := fmt.Errorf("remote: %d jobs undispatched: all %d workers failed: circuit open, no worker passed its readmission probe", len(jobs), len(s.workers))
+		var err error
+		if len(workers) == 0 {
+			err = fmt.Errorf("remote: %d jobs undispatched: fleet has no workers (none configured or registered yet)", len(jobs))
+		} else {
+			err = fmt.Errorf("remote: %d jobs undispatched: all %d workers failed: circuit open, no worker passed its readmission probe", len(jobs), len(workers))
+		}
 		for k := range jobs {
 			finish(k, Result{Job: jobs[k], Err: err, Skipped: true})
 		}
 		return out, err
 	}
+
+	// requeues counts per-job defensive requeues (worker returned the
+	// job Skipped with no worker-level error) toward maxRequeues.
+	requeues := make([]int, len(jobs))
+	var requeueMu sync.Mutex
 
 	var wg sync.WaitGroup
 	var failMu sync.Mutex
@@ -324,7 +441,7 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 	for _, wi := range active {
 		wg.Add(1)
 		go func(wi int) {
-			w := s.workers[wi]
+			w := workers[wi]
 			defer wg.Done()
 			for {
 				chunk := d.grab(ctx, w.Capacity())
@@ -376,11 +493,30 @@ func (s *ShardedBackend) RunProgress(ctx context.Context, jobs []Job, done func(
 				}
 				// A worker that reports per-job Skipped without a
 				// worker-level error did not execute them (defensive:
-				// the HTTP client never does this); retry elsewhere.
+				// the HTTP client never does this); retry elsewhere —
+				// but not forever. Without a cap, a worker that
+				// persistently skips jobs while reporting success
+				// livelocks the batch: its jobs requeue, it grabs them
+				// again, ad infinitum. After maxRequeues defensive
+				// requeues a job fails with a diagnostic instead.
+				var retry []int
+				for _, k := range unfinished {
+					requeueMu.Lock()
+					requeues[k]++
+					n := requeues[k]
+					requeueMu.Unlock()
+					if n > maxRequeues {
+						finish(k, Result{Job: jobs[k], Skipped: true, Err: fmt.Errorf(
+							"remote: job returned skipped without a worker error and was requeued %d times (last worker %s); giving up — the worker is accepting batches but not executing them",
+							maxRequeues, w.Name())})
+						continue
+					}
+					retry = append(retry, k)
+				}
 				s.mu.Lock()
-				s.rs.Retries += len(unfinished)
+				s.rs.Retries += len(retry)
 				s.mu.Unlock()
-				d.finish(unfinished)
+				d.finish(retry)
 			}
 		}(wi)
 	}

@@ -1,0 +1,357 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
+	"power5prio/internal/remote"
+)
+
+// DefaultSubmitChunk is the largest job batch one submit request
+// carries. A chunk is also the admission unit: it must fit under the
+// daemon's queue bound, and smaller chunks let fairness interleave
+// tenants sooner.
+const DefaultSubmitChunk = 256
+
+// retryBase is the pause before retrying a 429-rejected chunk when the
+// daemon sends no Retry-After hint.
+const retryBase = 500 * time.Millisecond
+
+// maxRetryWait caps how long one backpressure pause may be, whatever
+// the daemon's Retry-After says.
+const maxRetryWait = 10 * time.Second
+
+// Client submits jobs to a p5d daemon. It implements engine.Backend
+// (and the progress extension), so an engine constructed with
+// engine.WithBackend(service.NewClient(addr)) transparently executes
+// through the shared daemon: local cache tiers still apply, and only
+// locally-unknown jobs travel.
+type Client struct {
+	base   string
+	client *http.Client
+	id     string
+	chunk  int
+
+	mu sync.Mutex
+	rs engine.RemoteStats
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientID sets the tenant ID used for the daemon's fair
+// scheduling (default: derived from the process, so concurrent
+// processes are distinct tenants).
+func WithClientID(id string) ClientOption {
+	return func(c *Client) {
+		if id != "" {
+			c.id = id
+		}
+	}
+}
+
+// WithHTTPClient replaces the HTTP client (default: no overall timeout
+// — submissions legitimately stream for minutes; cancel via ctx).
+func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.client = h } }
+
+// WithSubmitChunk bounds jobs per submit request (<= 0 =
+// DefaultSubmitChunk).
+func WithSubmitChunk(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.chunk = n
+		}
+	}
+}
+
+// NewClient returns a client for a daemon address: host:port as passed
+// to p5d -listen, or a full http:// URL.
+func NewClient(addr string, opts ...ClientOption) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{},
+		id:     fmt.Sprintf("pid-%d", os.Getpid()),
+		chunk:  DefaultSubmitChunk,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name identifies the daemon in diagnostics.
+func (c *Client) Name() string { return "service(" + c.base + ")" }
+
+// Capacity is the submit chunk size — what one request keeps in
+// flight.
+func (c *Client) Capacity() int { return c.chunk }
+
+// RemoteStats returns the client's lifetime counters.
+func (c *Client) RemoteStats() engine.RemoteStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rs
+}
+
+// Healthy pings the daemon and verifies the protocol version.
+func (c *Client) Healthy(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+HealthPath, nil)
+	if err != nil {
+		return fmt.Errorf("service: %s: %w", c.base, err)
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("service: daemon %s unreachable: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("service: daemon %s health: %s", c.base, resp.Status)
+	}
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return fmt.Errorf("service: daemon %s health: %w", c.base, err)
+	}
+	return checkProtocol(h.Protocol)
+}
+
+// Run implements engine.Backend; see RunProgress.
+func (c *Client) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	return c.RunProgress(ctx, jobs, nil)
+}
+
+// RunProgress submits the batch in chunks, streaming each job's result
+// through done as the daemon reports it. A queue-full rejection backs
+// off (honouring Retry-After) and retries the chunk — backpressure is
+// flow control, not failure. A daemon-level failure skips the
+// remaining jobs and is returned so a caller can retry them, matching
+// the worker-backend contract.
+func (c *Client) RunProgress(ctx context.Context, jobs []engine.Job, done func(i int, r engine.Result)) ([]engine.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]engine.Result, len(jobs))
+	report := func(k int, r engine.Result) {
+		out[k] = r
+		if done != nil {
+			done(k, r)
+		}
+	}
+	for start := 0; start < len(jobs); start += c.chunk {
+		end := min(start+c.chunk, len(jobs))
+		if err := ctx.Err(); err != nil {
+			c.skipFrom(out, jobs, start, err, done)
+			return out, nil // cancellation is not a daemon failure
+		}
+		if err := c.submitChunk(ctx, jobs, start, end, report); err != nil {
+			if ctx.Err() != nil {
+				c.skipFrom(out, jobs, start, ctx.Err(), done)
+				return out, nil
+			}
+			c.mu.Lock()
+			c.rs.WorkerErrors++
+			c.mu.Unlock()
+			err = fmt.Errorf("service: daemon %s: %w", c.base, err)
+			c.skipFrom(out, jobs, start, err, done)
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+func (c *Client) skipFrom(out []engine.Result, jobs []engine.Job, start int, err error, done func(i int, r engine.Result)) {
+	for k := start; k < len(jobs); k++ {
+		out[k] = engine.Result{Job: jobs[k], Err: err, Skipped: true}
+		if done != nil {
+			done(k, out[k])
+		}
+	}
+}
+
+// errBackpressure marks a 429 admission rejection internally.
+type errBackpressure struct {
+	wait time.Duration
+	msg  string
+}
+
+func (e *errBackpressure) Error() string { return e.msg }
+
+// submitChunk posts jobs[start:end], retrying through admission
+// backpressure until the chunk is accepted or ctx dies.
+func (c *Client) submitChunk(ctx context.Context, jobs []engine.Job, start, end int, report func(int, engine.Result)) error {
+	for {
+		err := c.trySubmit(ctx, jobs, start, end, report)
+		var bp *errBackpressure
+		if !errors.As(err, &bp) {
+			return err
+		}
+		c.mu.Lock()
+		c.rs.Retries += end - start
+		c.mu.Unlock()
+		select {
+		case <-time.After(bp.wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Client) trySubmit(ctx context.Context, jobs []engine.Job, start, end int, report func(int, engine.Result)) error {
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: c.id, Jobs: make([]remote.WireJob, end-start)}
+	for k := start; k < end; k++ {
+		req.Jobs[k-start] = remote.WireJob{Key: engine.JobKey(jobs[k]).String(), Job: jobs[k]}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("encode submit request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+SubmitPath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode == http.StatusTooManyRequests {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return &errBackpressure{wait: retryWait(hresp.Header.Get("Retry-After")), msg: strings.TrimSpace(string(msg))}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return fmt.Errorf("%s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	// Decode the event stream. Every accepted job must resolve before
+	// EventDone; the daemon's key echoes are verified against ours, so
+	// drift fails loudly in both directions.
+	dec := json.NewDecoder(hresp.Body)
+	var header Event
+	if err := dec.Decode(&header); err != nil {
+		return fmt.Errorf("decode submit header: %w", err)
+	}
+	if header.Type != EventHeader {
+		return fmt.Errorf("submit stream opened with %q event, want %q", header.Type, EventHeader)
+	}
+	if err := checkProtocol(header.Protocol); err != nil {
+		return err
+	}
+	seen := make([]bool, end-start)
+	resolved := 0
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return fmt.Errorf("submit stream truncated after %d of %d results: %w", resolved, end-start, err)
+		}
+		switch ev.Type {
+		case EventResult:
+			k := ev.Index
+			if k < 0 || k >= end-start || ev.Result == nil {
+				return fmt.Errorf("submit stream returned malformed result event (index %d of %d jobs)", k, end-start)
+			}
+			if seen[k] {
+				return fmt.Errorf("submit stream resolved job %d twice", k)
+			}
+			if ev.Result.Key != req.Jobs[k].Key {
+				return fmt.Errorf("submit stream returned result for key %s at position of %s", ev.Result.Key, req.Jobs[k].Key)
+			}
+			seen[k] = true
+			resolved++
+			r := engine.Result{Job: jobs[start+k], Pair: ev.Result.Pair, CacheHit: ev.Result.Cached, Skipped: ev.Skipped}
+			if ev.Result.Err != "" {
+				r.Err = errors.New(ev.Result.Err)
+				r.Pair = fame.PairResult{}
+			}
+			report(start+k, r)
+		case EventDone:
+			if ev.Err != "" {
+				return fmt.Errorf("daemon reported: %s", ev.Err)
+			}
+			if resolved != end-start {
+				return fmt.Errorf("submit stream closed with %d of %d results", resolved, end-start)
+			}
+			c.mu.Lock()
+			c.rs.Jobs += end - start
+			c.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("submit stream sent unknown event type %q", ev.Type)
+		}
+	}
+}
+
+// RegisterWorker announces the worker at workerAddr to the daemon at
+// daemonAddr (host:port or http:// URL). The daemon health-checks the
+// worker before admitting it; re-registering is the heartbeat that
+// keeps a worker's circuit breaker closed, so workers call this
+// periodically. Added reports whether the fleet grew (false on a
+// heartbeat).
+func RegisterWorker(ctx context.Context, daemonAddr, workerAddr string) (added bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	base := daemonAddr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	body, err := json.Marshal(RegisterRequest{Protocol: ProtocolVersion, Addr: workerAddr})
+	if err != nil {
+		return false, fmt.Errorf("service: encode register request: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+RegisterPath, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		return false, fmt.Errorf("service: daemon %s unreachable: %w", base, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+		return false, fmt.Errorf("service: register with %s: %s: %s", base, hresp.Status, strings.TrimSpace(string(msg)))
+	}
+	var rr RegisterResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&rr); err != nil {
+		return false, fmt.Errorf("service: register with %s: %w", base, err)
+	}
+	if err := checkProtocol(rr.Protocol); err != nil {
+		return false, err
+	}
+	return rr.Added, nil
+}
+
+// retryWait parses a Retry-After header into a bounded pause.
+func retryWait(h string) time.Duration {
+	wait := retryBase
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs > 0 {
+		wait = time.Duration(secs) * time.Second
+	}
+	return min(wait, maxRetryWait)
+}

@@ -1,0 +1,204 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/remote"
+)
+
+// Handler returns the HTTP handler serving the p5queue/v1 endpoints.
+func (d *Daemon) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(SubmitPath, d.handleSubmit)
+	mux.HandleFunc(StatsPath, d.handleStats)
+	mux.HandleFunc(RegisterPath, d.handleRegister)
+	mux.HandleFunc(HealthPath, d.handleHealth)
+	return mux
+}
+
+func (d *Daemon) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "health is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	d.mu.Lock()
+	depth := d.depth
+	d.mu.Unlock()
+	h := Health{Protocol: ProtocolVersion, QueueDepth: depth}
+	if d.fleet != nil {
+		h.Workers = len(d.fleet.WorkerStates())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "stats is GET", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(d.Stats())
+}
+
+func (d *Daemon) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "register is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad register request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkProtocol(req.Protocol); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Addr == "" {
+		http.Error(w, "register: empty worker addr", http.StatusBadRequest)
+		return
+	}
+	added, err := d.RegisterWorker(r.Context(), req.Addr)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	resp := RegisterResponse{Protocol: ProtocolVersion, Added: added}
+	if d.fleet != nil {
+		resp.Workers = len(d.fleet.WorkerStates())
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleSubmit admits a job batch and streams its results as NDJSON
+// events. Jobs whose key does not match a recomputation from the
+// decoded value (schema drift between binaries) fail immediately and
+// are never queued; a submission that would overflow the queue is
+// rejected wholesale with 429 and a Retry-After hint.
+func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "submit is POST", http.StatusMethodNotAllowed)
+		return
+	}
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad submit request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := checkProtocol(req.Protocol); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Verify every key before anything queues; drifted jobs resolve
+	// immediately as per-job errors, exactly like the worker protocol.
+	var rejected []Event
+	var runnable []engine.Job
+	var runnableIdx []int
+	var runnableKey []string
+	for i, wj := range req.Jobs {
+		if key := engine.JobKey(wj.Job).String(); key != wj.Key {
+			res := wireResult(wj.Key, engine.Result{Err: fmt.Errorf(
+				"service: job key mismatch: client sent %s, daemon computes %s (incompatible binaries or corrupted request)",
+				wj.Key, key)})
+			rejected = append(rejected, Event{Type: EventResult, Index: i, Result: &res})
+			continue
+		}
+		runnable = append(runnable, wj.Job)
+		runnableIdx = append(runnableIdx, i)
+		runnableKey = append(runnableKey, wj.Key)
+	}
+
+	sub, err := d.enqueue(req.Client, runnable)
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusTooManyRequests)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(ev Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if !emit(Event{Type: EventHeader, Protocol: ProtocolVersion, Accepted: len(runnable)}) {
+		return
+	}
+	for _, ev := range rejected {
+		if !emit(ev) {
+			return
+		}
+	}
+	for served := 0; served < len(runnable); served++ {
+		select {
+		case ir := <-sub.ch:
+			res := wireResult(runnableKey[ir.idx], ir.res)
+			if !emit(Event{Type: EventResult, Index: runnableIdx[ir.idx], Result: &res, Skipped: ir.res.Skipped}) {
+				return
+			}
+		case <-r.Context().Done():
+			// Client gone. The queued jobs still dispatch (the
+			// submission channel is buffered) and warm the cache.
+			return
+		}
+	}
+	emit(Event{Type: EventDone})
+}
+
+// wireResult renders an engine result for the stream.
+func wireResult(key string, r engine.Result) remote.WireResult {
+	out := remote.WireResult{Key: key, Pair: r.Pair, Cached: r.CacheHit}
+	if r.Err != nil {
+		out.Err = r.Err.Error()
+	}
+	return out
+}
+
+// Serve runs the daemon's HTTP front end on the listener until ctx is
+// cancelled, then shuts down gracefully. The daemon's dispatch loops
+// (Run) are the caller's to start; Serve only owns the listener.
+func Serve(ctx context.Context, lis net.Listener, d *Daemon) error {
+	srv := &http.Server{Handler: d.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(lis) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		d.Close()
+		// The serve ctx is already dead here; the shutdown deadline
+		// must outlive it or in-flight streams would be cut off.
+		//p5lint:allow ctxflow graceful shutdown needs a root deadline
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			srv.Close()
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

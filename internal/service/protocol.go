@@ -1,0 +1,151 @@
+// Package service is the long-running measurement daemon behind
+// cmd/p5d: many concurrent clients stream job submissions to one
+// shared engine, instead of each process owning a private batch.
+//
+// The daemon exists for the traffic shape a batch RPC cannot serve:
+// many tenants asking overlapping questions at once. It adds, in front
+// of the engine/cachestore/fleet stack it reuses unchanged:
+//
+//   - Admission control: the waiting queue is bounded; a submission
+//     that would overflow it is rejected with an explicit 429-style
+//     error (and Retry-After over HTTP) rather than buffered without
+//     limit.
+//   - Per-tenant fairness: queued jobs are drained by weighted
+//     round-robin across client IDs, so one tenant's bulk sweep cannot
+//     starve another's interactive query — the interactive job enters
+//     the next dispatch batch.
+//   - Cross-client deduplication: dispatch batches run through one
+//     engine, whose cache tiers and cross-batch singleflight
+//     (engine/flight.go) collapse identical jobs from different
+//     clients into one simulation.
+//   - Worker registration: workers announce themselves at runtime and
+//     join the ShardedBackend fleet (heartbeats re-register, closing
+//     the circuit breaker), so the fleet scales without restarting the
+//     daemon.
+//
+// The wire protocol, p5queue/v1, layers on p5remote/v1: jobs travel as
+// remote.WireJob (Job value + JobKey, recomputed and verified on both
+// sides, so schema drift between binaries fails loudly), and results
+// as remote.WireResult. A submission's response is a stream of
+// newline-delimited JSON events — header, one result per job as it
+// lands, then a trailer — so a client sees cache hits immediately
+// while novel jobs simulate.
+package service
+
+import (
+	"fmt"
+
+	"power5prio/internal/remote"
+)
+
+// ProtocolVersion names the queue protocol. Client and daemon must
+// match exactly; either side rejects a mismatch.
+const ProtocolVersion = "p5queue/v1"
+
+// Endpoint paths served by the daemon.
+const (
+	// SubmitPath enqueues a job batch and streams its results (POST,
+	// SubmitRequest -> NDJSON Event stream).
+	SubmitPath = "/v1/submit"
+	// StatsPath reports queue, cache-tier and per-worker breaker state
+	// (GET -> Stats).
+	StatsPath = "/v1/stats"
+	// RegisterPath adds a worker to the fleet (POST, RegisterRequest ->
+	// RegisterResponse). Re-registering is the worker heartbeat.
+	RegisterPath = "/v1/register"
+	// HealthPath reports liveness (GET -> Health).
+	HealthPath = "/v1/health"
+)
+
+// SubmitRequest is the body of a SubmitPath POST. Client identifies
+// the tenant for fair scheduling; submissions with the same Client
+// share one round-robin turn.
+type SubmitRequest struct {
+	Protocol string           `json:"protocol"`
+	Client   string           `json:"client"`
+	Jobs     []remote.WireJob `json:"jobs"`
+}
+
+// Event types on a submit response stream.
+const (
+	// EventHeader opens the stream: protocol tag and accepted count.
+	EventHeader = "header"
+	// EventResult carries one job's final result.
+	EventResult = "result"
+	// EventDone closes the stream after every accepted job resolved.
+	EventDone = "done"
+)
+
+// Event is one newline-delimited JSON line of a submit response.
+type Event struct {
+	Type string `json:"type"`
+	// Header fields.
+	Protocol string `json:"protocol,omitempty"`
+	// Accepted is the number of jobs admitted to the queue (the rest
+	// produced immediate EventResult errors, e.g. key mismatches).
+	Accepted int `json:"accepted,omitempty"`
+	// Result fields: Index is the job's position in the submission,
+	// Result its outcome; Skipped marks a job that never ran (its
+	// Result.Err carries the cause).
+	Index   int                `json:"index,omitempty"`
+	Result  *remote.WireResult `json:"result,omitempty"`
+	Skipped bool               `json:"skipped,omitempty"`
+	// Done fields: Err is a submission-level failure, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Stats is the StatsPath payload: a point-in-time snapshot of the
+// daemon. Field names are stable lowercase JSON keys — CI and
+// dashboards grep them.
+type Stats struct {
+	Protocol string `json:"protocol"`
+	// QueueDepth is the number of jobs admitted but not yet dispatched.
+	QueueDepth int `json:"queue_depth"`
+	// Tenants is the number of client IDs with queued jobs.
+	Tenants int `json:"tenants"`
+	// Rejected counts submissions turned away by admission control.
+	Rejected int64 `json:"rejected"`
+	// Engine lifetime counters (see engine.Stats for semantics).
+	Submitted int `json:"submitted"`
+	Simulated int `json:"simulated"`
+	Hits      int `json:"hits"`
+	Coalesced int `json:"coalesced"`
+	DiskHits  int `json:"disk_hits"`
+	// Workers is the fleet's per-worker circuit-breaker state (absent
+	// when the daemon executes on a local pool).
+	Workers []remote.WorkerStatus `json:"workers,omitempty"`
+}
+
+// Health is the HealthPath payload.
+type Health struct {
+	Protocol string `json:"protocol"`
+	// QueueDepth mirrors Stats.QueueDepth, for cheap load probes.
+	QueueDepth int `json:"queue_depth"`
+	// Workers is the current fleet size (0 on a local-pool daemon).
+	Workers int `json:"workers"`
+}
+
+// RegisterRequest is the body of a RegisterPath POST: the worker's
+// reachable address (host:port or http:// URL).
+type RegisterRequest struct {
+	Protocol string `json:"protocol"`
+	Addr     string `json:"addr"`
+}
+
+// RegisterResponse reports the registration outcome. Added is false
+// when the worker was already in the fleet (a heartbeat — its breaker
+// is closed instead).
+type RegisterResponse struct {
+	Protocol string `json:"protocol"`
+	Added    bool   `json:"added"`
+	// Workers is the fleet size after the registration.
+	Workers int `json:"workers"`
+}
+
+// checkProtocol validates a peer's protocol tag.
+func checkProtocol(got string) error {
+	if got != ProtocolVersion {
+		return fmt.Errorf("service: protocol mismatch: peer speaks %q, this binary %q", got, ProtocolVersion)
+	}
+	return nil
+}

@@ -1,0 +1,296 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/remote"
+)
+
+// ErrQueueFull is the admission-control rejection: the submission
+// would push the waiting queue past its bound. Clients should back off
+// and retry (the HTTP layer maps it to 429 with Retry-After).
+var ErrQueueFull = errors.New("service: queue full")
+
+// ErrClosed rejects submissions to a daemon that has shut down.
+var ErrClosed = errors.New("service: daemon closed")
+
+// Config tunes the daemon. The zero value selects the defaults.
+type Config struct {
+	// MaxQueue bounds the jobs admitted but not yet dispatched
+	// (default 1024). Submissions that would overflow it are rejected
+	// with ErrQueueFull — explicit backpressure instead of unbounded
+	// buffering.
+	MaxQueue int
+	// Weight is the number of jobs one tenant contributes per
+	// round-robin turn (default 8): small enough that an interactive
+	// tenant reaches the front within one batch, large enough to keep
+	// dispatch batches dense.
+	Weight int
+	// BatchMax caps one dispatch batch (default 32), so a drained
+	// queue turns into engine batches of bounded latency.
+	BatchMax int
+	// Dispatchers is the number of concurrent dispatch loops (default
+	// 2): while one batch simulates, another forms — an interactive
+	// job never waits for a bulk batch to finish.
+	Dispatchers int
+	// Logf, when non-nil, receives one line per notable daemon event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 1024
+	}
+	if c.Weight <= 0 {
+		c.Weight = 8
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = 2
+	}
+	return c
+}
+
+// item is one queued job plus its delivery route.
+type item struct {
+	job engine.Job
+	idx int // position within the submission
+	sub *submission
+}
+
+// indexed is one delivered result.
+type indexed struct {
+	idx int
+	res engine.Result
+}
+
+// submission is one client batch in flight through the queue. Its
+// channel is buffered to the job count, so dispatchers never block on
+// a slow or departed reader — a disconnected client's jobs still run
+// and warm the cache.
+type submission struct {
+	ch chan indexed
+}
+
+func (s *submission) deliver(idx int, r engine.Result) {
+	s.ch <- indexed{idx: idx, res: r}
+}
+
+// tenantQueue is one client's FIFO of queued items.
+type tenantQueue struct {
+	items []item
+}
+
+// Daemon schedules submissions from many clients onto one engine. The
+// engine brings the cache tiers and cross-batch singleflight; the
+// daemon adds admission control and weighted round-robin fairness
+// across tenants, and (when executing on a ShardedBackend fleet)
+// runtime worker registration.
+type Daemon struct {
+	cfg   Config
+	eng   *engine.Engine
+	fleet *remote.ShardedBackend // nil when the engine runs a local pool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string]*tenantQueue
+	order    []string // round-robin ring of tenants with queued work
+	rrPos    int
+	depth    int // total queued jobs
+	rejected int64
+	closed   bool
+}
+
+// New builds a daemon over an engine. fleet may be nil (local
+// execution); when set it must be the engine's backend — it is what
+// RegisterWorker grows and Stats reports breaker state from.
+func New(eng *engine.Engine, fleet *remote.ShardedBackend, cfg Config) *Daemon {
+	d := &Daemon{
+		cfg:    cfg.withDefaults(),
+		eng:    eng,
+		fleet:  fleet,
+		queues: make(map[string]*tenantQueue),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	return d
+}
+
+// Engine returns the daemon's engine.
+func (d *Daemon) Engine() *engine.Engine { return d.eng }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+// enqueue admits a submission's jobs to the client's tenant queue, or
+// rejects the whole submission (admission is all-or-nothing so a
+// client never holds a half-queued batch across a 429).
+func (d *Daemon) enqueue(client string, jobs []engine.Job) (*submission, error) {
+	if client == "" {
+		client = "anonymous"
+	}
+	sub := &submission{ch: make(chan indexed, len(jobs))}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	if d.depth+len(jobs) > d.cfg.MaxQueue {
+		d.rejected++
+		return nil, fmt.Errorf("%w: %d queued + %d submitted exceeds the %d-job bound",
+			ErrQueueFull, d.depth, len(jobs), d.cfg.MaxQueue)
+	}
+	q := d.queues[client]
+	if q == nil {
+		q = &tenantQueue{}
+		d.queues[client] = q
+		d.order = append(d.order, client)
+	}
+	for i, j := range jobs {
+		q.items = append(q.items, item{job: j, idx: i, sub: sub})
+	}
+	d.depth += len(jobs)
+	d.cond.Broadcast()
+	return sub, nil
+}
+
+// nextBatch blocks until work is queued, then drains up to BatchMax
+// jobs by weighted round-robin: each tenant in the ring contributes at
+// most Weight jobs per turn, so a bulk sweep and an interactive query
+// share every batch. Returns nil when the daemon is closed (or ctx is
+// cancelled) with nothing queued.
+func (d *Daemon) nextBatch(ctx context.Context) []item {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for d.depth == 0 && !d.closed && ctx.Err() == nil {
+		d.cond.Wait()
+	}
+	if d.depth == 0 {
+		return nil
+	}
+	var batch []item
+	for len(batch) < d.cfg.BatchMax && d.depth > 0 {
+		if d.rrPos >= len(d.order) {
+			d.rrPos = 0
+		}
+		cl := d.order[d.rrPos]
+		q := d.queues[cl]
+		n := min(d.cfg.Weight, len(q.items), d.cfg.BatchMax-len(batch))
+		batch = append(batch, q.items[:n]...)
+		q.items = q.items[n:]
+		d.depth -= n
+		if len(q.items) == 0 {
+			// Drained tenants leave the ring so the tenant table stays
+			// proportional to *live* clients, not lifetime clients.
+			delete(d.queues, cl)
+			d.order = append(d.order[:d.rrPos], d.order[d.rrPos+1:]...)
+		} else {
+			d.rrPos++
+		}
+	}
+	return batch
+}
+
+// Run executes the dispatch loops until ctx is cancelled and the queue
+// has drained (jobs queued at cancellation resolve as Skipped through
+// the engine rather than vanishing). It blocks; a daemon serves
+// batches only while Run is running.
+func (d *Daemon) Run(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { // wake nextBatch waiters when the daemon context dies
+		select {
+		case <-ctx.Done():
+			d.cond.Broadcast()
+		case <-stop:
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < d.cfg.Dispatchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				batch := d.nextBatch(ctx)
+				if batch == nil {
+					return
+				}
+				jobs := make([]engine.Job, len(batch))
+				for i, it := range batch {
+					jobs[i] = it.job
+				}
+				// The dispatch runs under the daemon context, not any
+				// client's: a disconnected client must not cancel work
+				// other clients may be coalesced onto, and completed
+				// results warm the shared cache either way.
+				d.eng.RunFunc(ctx, jobs, func(i int, r engine.Result) {
+					batch[i].sub.deliver(batch[i].idx, r)
+				})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Close rejects future submissions and wakes idle dispatchers. Jobs
+// already queued still dispatch (Run drains them).
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.cond.Broadcast()
+}
+
+// RegisterWorker health-checks the worker at addr and adds it to the
+// fleet; re-registering an existing worker closes its breaker (this is
+// the heartbeat path). It reports whether the fleet grew.
+func (d *Daemon) RegisterWorker(ctx context.Context, addr string) (added bool, err error) {
+	if d.fleet == nil {
+		return false, errors.New("service: daemon executes locally; worker registration needs a fleet backend")
+	}
+	w := remote.NewHTTPBackend(addr)
+	if err := w.Healthy(ctx); err != nil {
+		return false, fmt.Errorf("service: refusing to register %s: %w", addr, err)
+	}
+	added = d.fleet.AddWorker(w)
+	if added {
+		d.logf("service: worker %s joined the fleet", addr)
+	}
+	return added, nil
+}
+
+// Stats snapshots the daemon: queue state, the engine's lifetime
+// cache-tier counters, and per-worker breaker state when running on a
+// fleet.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	st := Stats{
+		Protocol:   ProtocolVersion,
+		QueueDepth: d.depth,
+		Tenants:    len(d.order),
+		Rejected:   d.rejected,
+	}
+	d.mu.Unlock()
+	es := d.eng.Stats()
+	st.Submitted = es.Submitted
+	st.Simulated = es.Simulated
+	st.Hits = es.Hits
+	st.Coalesced = es.Coalesced
+	st.DiskHits = es.DiskHits
+	if d.fleet != nil {
+		st.Workers = d.fleet.WorkerStates()
+	}
+	return st
+}

@@ -1,0 +1,408 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/remote"
+)
+
+// countingBackend synthesizes results instantly (daemon tests exercise
+// scheduling, not simulation). When gate is set, the first Run blocks
+// until it closes, holding a batch in flight.
+type countingBackend struct {
+	gate    chan struct{}
+	started chan struct{}
+
+	once sync.Once
+	mu   sync.Mutex
+	runs int
+	jobs int
+}
+
+func (b *countingBackend) Name() string                  { return "counting" }
+func (b *countingBackend) Capacity() int                 { return 4 }
+func (b *countingBackend) Healthy(context.Context) error { return nil }
+
+func (b *countingBackend) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	b.mu.Lock()
+	b.runs++
+	first := b.runs == 1
+	b.jobs += len(jobs)
+	b.mu.Unlock()
+	if first && b.gate != nil {
+		b.once.Do(func() {
+			if b.started != nil {
+				close(b.started)
+			}
+		})
+		select {
+		case <-b.gate:
+		case <-ctx.Done():
+			out := make([]engine.Result, len(jobs))
+			for i, j := range jobs {
+				out[i] = engine.Result{Job: j, Err: ctx.Err(), Skipped: true}
+			}
+			return out, nil
+		}
+	}
+	out := make([]engine.Result, len(jobs))
+	for i, j := range jobs {
+		out[i] = engine.Result{Job: j}
+	}
+	return out, nil
+}
+
+func (b *countingBackend) counts() (runs, jobs int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.runs, b.jobs
+}
+
+// svcJobs builds placeholder jobs distinct per (base, index); the
+// counting backend never simulates them.
+func svcJobs(n int, base float64) []engine.Job {
+	jobs := make([]engine.Job, n)
+	for i := range jobs {
+		jobs[i].IterScale = base + float64(i)
+	}
+	return jobs
+}
+
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", msg)
+}
+
+// startDaemon runs the dispatch loops and an HTTP front end for the
+// test's lifetime.
+func startDaemon(t *testing.T, d *Daemon) *httptest.Server {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	go d.Run(ctx)
+	srv := httptest.NewServer(d.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		d.Close()
+		cancel()
+	})
+	return srv
+}
+
+// TestAdmissionControl pins the queue bound: a submission that would
+// overflow it is rejected wholesale with ErrQueueFull, one that fits
+// exactly is admitted, and rejections are counted.
+func TestAdmissionControl(t *testing.T) {
+	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil, Config{MaxQueue: 4})
+
+	if _, err := d.enqueue("a", svcJobs(3, 0)); err != nil {
+		t.Fatalf("first submission rejected: %v", err)
+	}
+	if _, err := d.enqueue("b", svcJobs(2, 100)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submission error = %v, want ErrQueueFull", err)
+	}
+	if _, err := d.enqueue("b", svcJobs(1, 100)); err != nil {
+		t.Fatalf("fitting submission rejected: %v", err)
+	}
+	st := d.Stats()
+	if st.QueueDepth != 4 || st.Rejected != 1 || st.Tenants != 2 {
+		t.Fatalf("stats %+v, want depth 4, 1 rejected, 2 tenants", st)
+	}
+}
+
+// TestWeightedRoundRobin pins fairness: with a bulk tenant and an
+// interactive tenant queued, one batch interleaves them at the
+// configured weight — the bulk sweep cannot starve the small query.
+func TestWeightedRoundRobin(t *testing.T) {
+	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil,
+		Config{Weight: 2, BatchMax: 6})
+
+	if _, err := d.enqueue("bulk", svcJobs(10, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.enqueue("tui", svcJobs(2, 200)); err != nil {
+		t.Fatal(err)
+	}
+
+	batch := d.nextBatch(context.Background())
+	var got []float64
+	for _, it := range batch {
+		got = append(got, it.job.IterScale)
+	}
+	want := []float64{100, 101, 200, 201, 102, 103}
+	if len(got) != len(want) {
+		t.Fatalf("batch = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch = %v, want %v (weighted round-robin order)", got, want)
+		}
+	}
+
+	// The interactive tenant drained; the rest of the queue is bulk's.
+	batch = d.nextBatch(context.Background())
+	if len(batch) != 6 {
+		t.Fatalf("second batch has %d jobs, want 6", len(batch))
+	}
+	for _, it := range batch {
+		if it.job.IterScale >= 200 {
+			t.Fatalf("drained tenant reappeared in batch: %v", it.job.IterScale)
+		}
+	}
+	if st := d.Stats(); st.QueueDepth != 0 || st.Tenants != 0 {
+		t.Fatalf("stats after draining = %+v, want empty queue and no tenants", st)
+	}
+}
+
+// TestServiceEndToEnd runs the full HTTP path: an engine behind a
+// service client submits a batch (with duplicates) to a daemon, gets
+// results identical to the backend's, and a second client's identical
+// batch is served entirely from the daemon's cache.
+func TestServiceEndToEnd(t *testing.T) {
+	cb := &countingBackend{}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(cb)), nil, Config{})
+	srv := startDaemon(t, d)
+
+	jobs := append(svcJobs(5, 0), svcJobs(2, 0)...) // 7 jobs, 5 unique
+	eng1 := engine.NewWith(0, nil, engine.WithBackend(NewClient(srv.URL, WithClientID("c1"))))
+	res := eng1.Run(nil, jobs)
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d: %+v", i, r)
+		}
+	}
+	if _, n := cb.counts(); n != 5 {
+		t.Fatalf("backend simulated %d jobs, want 5 unique", n)
+	}
+
+	// A different client, same jobs: all served from the daemon's
+	// cache — nothing new reaches the backend, and the results carry
+	// the daemon-side cached flag.
+	eng2 := engine.NewWith(0, nil, engine.WithBackend(NewClient(srv.URL, WithClientID("c2"))))
+	res2 := eng2.Run(nil, jobs)
+	for i, r := range res2 {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("warm job %d: %+v", i, r)
+		}
+		if r.Pair != res[i].Pair {
+			t.Fatalf("warm job %d differs from cold run", i)
+		}
+	}
+	if _, n := cb.counts(); n != 5 {
+		t.Fatalf("warm pass reached the backend: %d jobs total, want 5", n)
+	}
+	st := d.Stats()
+	if st.Simulated != 5 || st.Hits == 0 {
+		t.Fatalf("daemon stats %+v, want 5 simulated with cache hits", st)
+	}
+}
+
+// TestCrossClientDedup pins the service-level singleflight: two
+// clients submitting the same uncached job concurrently trigger one
+// backend execution, and the coalescing is visible in /v1/stats.
+func TestCrossClientDedup(t *testing.T) {
+	cb := &countingBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(cb)), nil, Config{Dispatchers: 2})
+	srv := startDaemon(t, d)
+
+	job := svcJobs(1, 42)
+
+	var wg sync.WaitGroup
+	var res1, res2 []engine.Result
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res1, _ = NewClient(srv.URL, WithClientID("c1")).Run(nil, job)
+	}()
+	<-cb.started // client 1's job is now in flight on the backend
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res2, _ = NewClient(srv.URL, WithClientID("c2")).Run(nil, job)
+	}()
+	waitFor(t, func() bool { return d.Stats().Coalesced == 1 }, "client 2 to coalesce onto the flight")
+	close(cb.gate)
+	wg.Wait()
+
+	if res1[0].Err != nil || res2[0].Err != nil {
+		t.Fatalf("results: %+v / %+v", res1[0], res2[0])
+	}
+	if runs, jobs := cb.counts(); runs != 1 || jobs != 1 {
+		t.Fatalf("backend saw %d runs / %d jobs, want 1/1", runs, jobs)
+	}
+
+	// The coalescing is externally observable.
+	resp, err := http.Get(srv.URL + StatsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Coalesced != 1 || st.Simulated != 1 {
+		t.Fatalf("/v1/stats = %+v, want 1 coalesced, 1 simulated", st)
+	}
+}
+
+// TestBackpressure pins the 429 contract: a submission that overflows
+// the queue of an idle daemon gets 429 with a Retry-After hint, and a
+// client engine rides the backpressure to completion once dispatch
+// drains the queue.
+func TestBackpressure(t *testing.T) {
+	// No dispatch loops: the queue cannot drain, so overflow is
+	// deterministic.
+	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil, Config{MaxQueue: 1})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: "c", Jobs: make([]remote.WireJob, 2)}
+	for i, j := range svcJobs(2, 0) {
+		req.Jobs[i] = remote.WireJob{Key: engine.JobKey(j).String(), Job: j}
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submission status = %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response has no Retry-After hint")
+	}
+
+	// With dispatch running, a chunked client submits more jobs than
+	// the queue holds and succeeds through retries.
+	d2 := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil,
+		Config{MaxQueue: 2, Dispatchers: 1})
+	srv2 := startDaemon(t, d2)
+	cl := NewClient(srv2.URL, WithClientID("c"), WithSubmitChunk(2))
+	res, err := cl.Run(nil, svcJobs(6, 0))
+	if err != nil {
+		t.Fatalf("chunked run through backpressure: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d: %+v", i, r)
+		}
+	}
+}
+
+// TestSubmitRejectsDrift pins both request-validation paths: a
+// protocol mismatch fails the whole request, and a job whose key does
+// not match its value resolves as an immediate per-job error without
+// queueing.
+func TestSubmitRejectsDrift(t *testing.T) {
+	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil, Config{})
+	srv := startDaemon(t, d)
+
+	// Protocol mismatch: rejected outright.
+	body, _ := json.Marshal(SubmitRequest{Protocol: "p5queue/v0", Client: "c"})
+	resp, err := http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("protocol mismatch status = %s, want 400", resp.Status)
+	}
+
+	// Key drift: the drifted job errors immediately, the valid one
+	// runs.
+	jobs := svcJobs(2, 0)
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: "c", Jobs: []remote.WireJob{
+		{Key: "sha256:0000", Job: jobs[0]},
+		{Key: engine.JobKey(jobs[1]).String(), Job: jobs[1]},
+	}}
+	body, _ = json.Marshal(req)
+	resp, err = http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit status = %s, want 200", resp.Status)
+	}
+	dec := json.NewDecoder(resp.Body)
+	byIndex := make(map[int]Event)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if ev.Type == EventDone {
+			break
+		}
+		if ev.Type == EventResult {
+			byIndex[ev.Index] = ev
+		}
+	}
+	if ev := byIndex[0]; ev.Result == nil || !strings.Contains(ev.Result.Err, "key mismatch") {
+		t.Fatalf("drifted job event = %+v, want a key-mismatch error", ev)
+	}
+	if ev := byIndex[1]; ev.Result == nil || ev.Result.Err != "" {
+		t.Fatalf("valid job event = %+v, want a clean result", ev)
+	}
+}
+
+// TestWorkerRegistration pins the fleet-growing path: a real worker
+// registers over HTTP and joins the breaker-visible fleet; a
+// re-registration is a heartbeat (no growth); an unreachable address
+// is refused.
+func TestWorkerRegistration(t *testing.T) {
+	worker := httptest.NewServer(remote.NewServer(remote.ServerConfig{Workers: 1}).Handler())
+	defer worker.Close()
+
+	fleet := remote.NewDynamic()
+	d := New(engine.NewWith(0, nil, engine.WithBackend(fleet)), fleet, Config{})
+	srv := startDaemon(t, d)
+
+	register := func(addr string) (RegisterResponse, int) {
+		t.Helper()
+		body, _ := json.Marshal(RegisterRequest{Protocol: ProtocolVersion, Addr: addr})
+		resp, err := http.Post(srv.URL+RegisterPath, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var rr RegisterResponse
+		json.NewDecoder(resp.Body).Decode(&rr)
+		return rr, resp.StatusCode
+	}
+
+	rr, code := register(worker.URL)
+	if code != http.StatusOK || !rr.Added || rr.Workers != 1 {
+		t.Fatalf("first registration = %+v (status %d), want added with fleet size 1", rr, code)
+	}
+	rr, code = register(worker.URL)
+	if code != http.StatusOK || rr.Added || rr.Workers != 1 {
+		t.Fatalf("re-registration = %+v (status %d), want heartbeat (not added, size 1)", rr, code)
+	}
+	if st := d.Stats(); len(st.Workers) != 1 || st.Workers[0].Excluded {
+		t.Fatalf("stats workers = %+v, want one closed-breaker worker", st.Workers)
+	}
+
+	if _, code := register("127.0.0.1:1"); code != http.StatusBadGateway {
+		t.Fatalf("unreachable worker registration status = %d, want 502", code)
+	}
+}

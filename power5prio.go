@@ -24,8 +24,10 @@
 // content-keyed result cache. Batches take a context: cancelling it
 // returns the completed prefix of results, and the finished work stays
 // cached for a retry. Execution is pluggable: WithRemoteWorkers shards
-// batches across p5worker processes on other machines with results
-// byte-identical to local runs.
+// batches across p5worker processes on other machines, and WithService
+// submits them to a shared p5d measurement daemon that queues, fairly
+// schedules and deduplicates jobs across many concurrent clients — in
+// every case with results byte-identical to local runs.
 //
 // Quick start:
 //
@@ -53,6 +55,7 @@ import (
 	"power5prio/internal/microbench"
 	"power5prio/internal/prio"
 	"power5prio/internal/remote"
+	"power5prio/internal/service"
 	"power5prio/internal/spec"
 	"power5prio/internal/tuner"
 	"power5prio/internal/workload"
@@ -289,6 +292,21 @@ func WithBackend(b Backend) Option { return func(s *System) { s.backend = b } }
 // check.
 func WithRemoteWorkers(addrs ...string) Option {
 	return func(s *System) { s.backend = remote.New(addrs...) }
+}
+
+// WithService routes the System's simulations through a p5d measurement
+// daemon at addr (host:port, or a full http:// URL) speaking the
+// p5queue/v1 protocol. Unlike WithRemoteWorkers — where this process
+// owns the fleet — the daemon is shared: it queues submissions from
+// many concurrent clients with per-client fair scheduling, deduplicates
+// identical in-flight jobs across clients, and answers repeats from its
+// own cache tiers. The System's local cache tiers stay in front, so
+// only locally-unknown measurements travel. Results are byte-identical
+// to local execution; the same custom-kernel restriction as
+// WithRemoteWorkers applies (registered kernels cannot travel over the
+// wire).
+func WithService(addr string) Option {
+	return func(s *System) { s.backend = service.NewClient(addr) }
 }
 
 // System is a configured simulator factory: each measurement runs on a
