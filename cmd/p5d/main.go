@@ -1,5 +1,5 @@
 // Command p5d is the long-running measurement daemon: many concurrent
-// clients (p5exp -submit, power5prio.WithService, or raw p5queue/v1
+// clients (p5exp -submit, power5prio.WithService, or raw p5queue/v2
 // HTTP) stream job submissions to one shared engine, with admission
 // control, weighted round-robin fairness across client IDs, and
 // cross-client deduplication — identical jobs from different clients
@@ -22,8 +22,15 @@
 // the daemon.
 //
 // GET /v1/stats reports queue depth, tenant count, cache-tier hit
-// counters and per-worker circuit-breaker state. SIGINT/SIGTERM shut
-// down gracefully: queued jobs drain, in-flight streams finish.
+// counters and per-worker circuit-breaker state. SIGINT/SIGTERM drain
+// gracefully: admission stops (503 + Retry-After), in-flight dispatches
+// finish, and every open stream ends with its terminal event — queued
+// jobs that never ran are handed back as a "drained" event so clients
+// resubmit them to the daemon's successor.
+//
+// -chaos loads a deterministic fault-injection plan (see
+// internal/chaos) and applies it to this daemon's execution backend and
+// cache store — for resilience testing only.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"power5prio/internal/chaos"
 	"power5prio/internal/cmdutil"
 	"power5prio/internal/engine"
 	"power5prio/internal/remote"
@@ -51,6 +59,8 @@ func main() {
 		weight      = flag.Int("weight", 8, "jobs one tenant contributes per round-robin turn")
 		batchMax    = flag.Int("batch-max", 32, "largest dispatch batch handed to the engine at once")
 		dispatchers = flag.Int("dispatchers", 2, "concurrent dispatch loops (an interactive job never waits for a bulk batch)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution deadline within a dispatch (0 = none; deadlined jobs requeue)")
+		chaosPlan   = flag.String("chaos", "", "fault-injection plan JSON (see internal/chaos) applied to the backend and cache store")
 		quiet       = flag.Bool("quiet", false, "suppress the per-event log lines")
 		common      = cmdutil.AddCommonFlags("p5d", flag.CommandLine)
 	)
@@ -60,6 +70,18 @@ func main() {
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "p5d: "+format+"\n", args...)
+	}
+
+	var inj *chaos.Injector
+	if *chaosPlan != "" {
+		plan, err := chaos.Load(*chaosPlan)
+		if err != nil {
+			logf("%v", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		inj = chaos.NewInjector(plan)
+		logf("CHAOS: injecting faults from %s (seed %d, %d rules)", *chaosPlan, plan.Seed, len(plan.Rules))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -77,8 +99,22 @@ func main() {
 	case *fleetMode:
 		fleet = remote.NewDynamic()
 	}
+	var backend engine.Backend
 	if fleet != nil {
-		engOpts = append(engOpts, engine.WithBackend(fleet))
+		backend = fleet
+	} else if inj != nil {
+		// Chaos on a local-pool daemon needs the backend constructed
+		// explicitly so the decorator can wrap it.
+		backend = engine.NewLocalBackend(*workers, nil)
+	}
+	if inj != nil {
+		backend = chaos.WrapBackend(backend, inj)
+		if store != nil {
+			store.SetPutHook(chaos.PutHook(inj))
+		}
+	}
+	if backend != nil {
+		engOpts = append(engOpts, engine.WithBackend(backend))
 	}
 	eng := engine.NewWith(*workers, nil, engOpts...)
 
@@ -87,6 +123,7 @@ func main() {
 		Weight:      *weight,
 		BatchMax:    *batchMax,
 		Dispatchers: *dispatchers,
+		JobTimeout:  *jobTimeout,
 	}
 	if !*quiet {
 		cfg.Logf = logf
@@ -109,12 +146,21 @@ func main() {
 	}
 	logf("serving %s on %s (%s, %s)", service.ProtocolVersion, lis.Addr(), mode, cache)
 
+	// The dispatch loops deliberately do NOT run on the signal context:
+	// SIGTERM must drain — finish in-flight dispatches, hand queued work
+	// back as drained events — not cancel mid-simulation (which would
+	// resolve jobs as skipped). Serve observes the signal, drains and
+	// closes the daemon; Run exits on Close, and the cancel below is
+	// only a safety net for an errored Serve.
+	runCtx, cancelRun := context.WithCancel(context.Background())
+	defer cancelRun()
 	done := make(chan struct{})
 	go func() {
-		d.Run(ctx)
+		d.Run(runCtx)
 		close(done)
 	}()
 	err = service.Serve(ctx, lis, d)
+	cancelRun()
 	<-done // queued work drains before the process exits
 	stopProfiles()
 	if err != nil {

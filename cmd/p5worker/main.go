@@ -32,12 +32,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"power5prio/internal/chaos"
 	"power5prio/internal/cmdutil"
 	"power5prio/internal/remote"
 	"power5prio/internal/service"
@@ -50,7 +53,8 @@ func main() {
 		maxBatch  = flag.Int("max-batch", 4096, "largest job batch accepted in one request (0 = unlimited)")
 		register  = flag.String("register", "", "register with (and heartbeat to) a p5d daemon at host:port")
 		advertise = flag.String("advertise", "", "address to register with the daemon (default: the bound listen address)")
-		heartbeat = flag.Duration("heartbeat", 15*time.Second, "re-registration interval with -register (heals circuit-breaker exclusion)")
+		heartbeat = flag.Duration("heartbeat", 15*time.Second, "re-registration interval with -register (±20%% jitter; heals circuit-breaker exclusion)")
+		chaosPlan = flag.String("chaos", "", "fault-injection plan JSON (see internal/chaos) applied to this worker's HTTP handler and cache store")
 		quiet     = flag.Bool("quiet", false, "suppress the per-batch log lines")
 		common    = cmdutil.AddCommonFlags("p5worker", flag.CommandLine)
 	)
@@ -60,6 +64,21 @@ func main() {
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "p5worker: "+format+"\n", args...)
+	}
+
+	var inj *chaos.Injector
+	if *chaosPlan != "" {
+		plan, err := chaos.Load(*chaosPlan)
+		if err != nil {
+			logf("%v", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		inj = chaos.NewInjector(plan)
+		logf("CHAOS: injecting faults from %s (seed %d, %d rules)", *chaosPlan, plan.Seed, len(plan.Rules))
+		if store != nil {
+			store.SetPutHook(chaos.PutHook(inj))
+		}
 	}
 	cfg := remote.ServerConfig{
 		Workers:  *workers,
@@ -104,18 +123,25 @@ func main() {
 				logf("registered %s with daemon %s", addr, *register)
 			}
 		}
-		// The goroutine announces immediately, but only once remote.Serve
+		// The goroutine announces immediately, but only once the server
 		// below is accepting: the daemon health-checks the advertised
 		// address before admitting it, so a synchronous announce here
 		// would always fail against our own not-yet-serving listener.
+		// Each interval is jittered ±20% so a fleet of workers started
+		// together (or restarted by the same supervisor) doesn't
+		// heartbeat the daemon in lockstep.
 		go func() {
 			announce()
-			t := time.NewTicker(*heartbeat)
+			jittered := func() time.Duration {
+				return time.Duration(float64(*heartbeat) * (1 + 0.2*(2*rand.Float64()-1)))
+			}
+			t := time.NewTimer(jittered())
 			defer t.Stop()
 			for {
 				select {
 				case <-t.C:
 					announce()
+					t.Reset(jittered())
 				case <-ctx.Done():
 					return
 				}
@@ -123,7 +149,11 @@ func main() {
 		}()
 	}
 
-	err = remote.Serve(ctx, lis, cfg)
+	var handler http.Handler = remote.NewServer(cfg).Handler()
+	if inj != nil {
+		handler = chaos.Middleware(handler, inj)
+	}
+	err = remote.ServeHandler(ctx, lis, handler)
 	stopProfiles()
 	if err != nil {
 		logf("%v", err)

@@ -69,8 +69,18 @@ type Store struct {
 
 	mu       sync.Mutex
 	maxBytes int64
-	putsToGC int // writes until the next automatic GC pass
+	putsToGC int     // writes until the next automatic GC pass
+	putHook  PutHook // write-fault seam; nil passes writes through
 }
+
+// PutHook intercepts an entry write just before it reaches the staging
+// file: it receives the key and the fully encoded entry (envelope
+// included) and returns the bytes to persist, or an error that fails
+// the Put. It exists as a fault-injection seam — internal/chaos uses it
+// to emulate full disks (error) and torn writes (a prefix of the
+// entry, which Get's checksum then catches) without touching the real
+// filesystem behaviour underneath.
+type PutHook func(k Key, encoded []byte) ([]byte, error)
 
 // Option configures a Store at Open.
 type Option func(*Store)
@@ -86,6 +96,9 @@ const putPrefix = "put-"
 // periodically evicts oldest entries until it fits. n <= 0 (the default)
 // disables automatic eviction; GC can still be called explicitly.
 func WithMaxBytes(n int64) Option { return func(s *Store) { s.maxBytes = n } }
+
+// WithPutHook installs a write-fault hook at Open; see PutHook.
+func WithPutHook(h PutHook) Option { return func(s *Store) { s.putHook = h } }
 
 // Open creates (if needed) and returns the store rooted at dir.
 func Open(dir string, opts ...Option) (*Store, error) {
@@ -105,6 +118,15 @@ func Open(dir string, opts ...Option) (*Store, error) {
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.root }
+
+// SetPutHook installs (or with nil, removes) the write-fault hook on a
+// store already open; see PutHook. Writes in flight keep the hook they
+// started with.
+func (s *Store) SetPutHook(h PutHook) {
+	s.mu.Lock()
+	s.putHook = h
+	s.mu.Unlock()
+}
 
 // EntryPath returns the file path an entry for the key occupies. The
 // file exists only while the entry is stored; the path itself is stable.
@@ -138,6 +160,16 @@ func (s *Store) Get(k Key) ([]byte, error) {
 // a partial write. Re-putting a key replaces its entry (used to rewrite
 // entries Get found corrupt).
 func (s *Store) Put(k Key, payload []byte) error {
+	encoded := encodeEntry(k, payload)
+	s.mu.Lock()
+	hook := s.putHook
+	s.mu.Unlock()
+	if hook != nil {
+		var err error
+		if encoded, err = hook(k, encoded); err != nil {
+			return fmt.Errorf("cachestore: put %s: %w", k, err)
+		}
+	}
 	path := s.EntryPath(k)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("cachestore: put %s: %w", k, err)
@@ -146,7 +178,7 @@ func (s *Store) Put(k Key, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("cachestore: put %s: %w", k, err)
 	}
-	_, werr := tmp.Write(encodeEntry(k, payload))
+	_, werr := tmp.Write(encoded)
 	cerr := tmp.Close()
 	if werr != nil || cerr != nil {
 		os.Remove(tmp.Name())

@@ -1,0 +1,107 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"power5prio/internal/engine"
+)
+
+// Backend wraps an engine.Backend with OpRun faults: crash-mid-batch,
+// skip-without-error and straggler delays. It preserves the backend
+// contract — one result per job in order, never-attempted jobs carry
+// Skipped — so everything above (engine caching, daemon requeue, client
+// resume) sees exactly the failures a real fleet produces.
+type Backend struct {
+	inner engine.Backend
+	inj   *Injector
+}
+
+// WrapBackend decorates a backend with the injector's OpRun rules
+// (matched against the inner backend's name).
+func WrapBackend(b engine.Backend, inj *Injector) *Backend {
+	return &Backend{inner: b, inj: inj}
+}
+
+// Name identifies the wrapper in diagnostics.
+func (b *Backend) Name() string { return "chaos(" + b.inner.Name() + ")" }
+
+// Capacity forwards to the wrapped backend.
+func (b *Backend) Capacity() int { return b.inner.Capacity() }
+
+// Healthy forwards to the wrapped backend: the injector breaks work,
+// not liveness probes (probe faults belong on the HTTP seam).
+func (b *Backend) Healthy(ctx context.Context) error { return b.inner.Healthy(ctx) }
+
+// Run implements engine.Backend; see RunProgress.
+func (b *Backend) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	return b.RunProgress(ctx, jobs, nil)
+}
+
+// RunProgress consults the plan once per batch, then executes through
+// the wrapped backend — whole, delayed, or cut short mid-batch.
+func (b *Backend) RunProgress(ctx context.Context, jobs []engine.Job, done func(i int, r engine.Result)) ([]engine.Result, error) {
+	d := b.inj.decide(OpRun, b.inner.Name())
+	if d == nil {
+		return b.runInner(ctx, jobs, done)
+	}
+	switch d.fault {
+	case FaultSlow:
+		select {
+		case <-time.After(d.delay):
+		case <-ctx.Done():
+			out := make([]engine.Result, len(jobs))
+			for i, j := range jobs {
+				out[i] = engine.Result{Job: j, Err: ctx.Err(), Skipped: true}
+				if done != nil {
+					done(i, out[i])
+				}
+			}
+			return out, nil
+		}
+		return b.runInner(ctx, jobs, done)
+	case FaultCrash, FaultSkip:
+		// Execute the leading half, strand the rest — the shape of a
+		// worker dying (crash: with a backend-level error) or silently
+		// dropping work (skip: no error at all).
+		n := len(jobs) / 2
+		prefix, innerErr := b.runInner(ctx, jobs[:n], done)
+		var cause error
+		if d.fault == FaultCrash {
+			cause = fmt.Errorf("chaos: injected worker crash after %d of %d jobs (rule %d)", n, len(jobs), d.rule)
+		} else {
+			cause = fmt.Errorf("chaos: injected skip of %d of %d jobs (rule %d)", len(jobs)-n, len(jobs), d.rule)
+		}
+		out := make([]engine.Result, len(jobs))
+		copy(out, prefix)
+		for k := n; k < len(jobs); k++ {
+			out[k] = engine.Result{Job: jobs[k], Err: cause, Skipped: true}
+			if done != nil {
+				done(k, out[k])
+			}
+		}
+		if innerErr != nil {
+			return out, innerErr
+		}
+		if d.fault == FaultCrash {
+			return out, cause
+		}
+		return out, nil
+	default:
+		return b.runInner(ctx, jobs, done)
+	}
+}
+
+func (b *Backend) runInner(ctx context.Context, jobs []engine.Job, done func(i int, r engine.Result)) ([]engine.Result, error) {
+	if pb, ok := b.inner.(engine.ProgressBackend); ok {
+		return pb.RunProgress(ctx, jobs, done)
+	}
+	out, err := b.inner.Run(ctx, jobs)
+	if done != nil {
+		for i, r := range out {
+			done(i, r)
+		}
+	}
+	return out, err
+}

@@ -1,0 +1,172 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDecideReplaysExactly pins the harness's core promise: the fault
+// schedule is a pure function of (seed, rule, match ordinal), so a
+// fresh injector fed the same call sequence makes identical decisions —
+// and a different seed diverges.
+func TestDecideReplaysExactly(t *testing.T) {
+	plan := func(seed int64) Plan {
+		return Plan{Seed: seed, Rules: []Rule{
+			{Op: OpRun, Fault: FaultCrash, P: 0.3},
+			{Op: OpHTTP, Target: "/v1/submit", Fault: FaultConnReset, P: 0.5, After: 2},
+			{Op: OpPut, Fault: FaultENOSPC, P: 0.2, Count: 3},
+		}}
+	}
+	drive := func(in *Injector) []int {
+		var got []int
+		for i := 0; i < 200; i++ {
+			ops := []struct {
+				op     Op
+				target string
+			}{
+				{OpRun, "fleet"},
+				{OpHTTP, "/v1/submit"},
+				{OpHTTP, "/v1/health"},
+				{OpPut, "sha256:abcd"},
+			}
+			c := ops[i%len(ops)]
+			if d := in.decide(c.op, c.target); d != nil {
+				got = append(got, d.rule)
+			} else {
+				got = append(got, -1)
+			}
+		}
+		return got
+	}
+
+	a := drive(NewInjector(plan(42)))
+	b := drive(NewInjector(plan(42)))
+	if len(a) != len(b) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(a), len(b))
+	}
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs on replay: %d vs %d", i, a[i], b[i])
+		}
+		if a[i] >= 0 {
+			fired++
+		}
+	}
+	if fired == 0 {
+		t.Fatal("probabilistic plan never fired in 200 calls; schedule is vacuous")
+	}
+
+	c := drive(NewInjector(plan(7)))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 42 and seed 7 produced identical schedules")
+	}
+}
+
+// TestDecideGates pins the deterministic gating knobs: After skips
+// leading matches, Count caps firings, Target selects by substring, and
+// the first firing rule wins a call while later rules still consume
+// their ordinals.
+func TestDecideGates(t *testing.T) {
+	in := NewInjector(Plan{Seed: 1, Rules: []Rule{
+		{Op: OpHTTP, Target: "/v1/submit", Fault: FaultHTTP500, After: 1, Count: 2},
+		{Op: OpHTTP, Fault: FaultConnReset, After: 3},
+	}})
+
+	if d := in.decide(OpHTTP, "/v1/health"); d != nil {
+		t.Fatalf("health call hit rule %d, want no match before After", d.rule)
+	}
+	// Submit call 1: rule 0 still in After (ordinal 0); rule 1 at
+	// ordinal 1 (health consumed 0), still in After.
+	if d := in.decide(OpHTTP, "/v1/submit"); d != nil {
+		t.Fatalf("submit call 1 fired rule %d, want pass-through", d.rule)
+	}
+	// Submit calls 2 and 3: rule 0 past After, fires — and keeps
+	// winning over rule 1, whose ordinal advances regardless.
+	for call := 2; call <= 3; call++ {
+		d := in.decide(OpHTTP, "/v1/submit")
+		if d == nil || d.rule != 0 || d.fault != FaultHTTP500 {
+			t.Fatalf("submit call %d = %+v, want rule 0 http-500", call, d)
+		}
+	}
+	// Rule 0 hit its Count cap; rule 1 (ordinal 4 now, past After 3)
+	// takes over.
+	d := in.decide(OpHTTP, "/v1/submit")
+	if d == nil || d.rule != 1 || d.fault != FaultConnReset {
+		t.Fatalf("post-cap call = %+v, want rule 1 conn-reset", d)
+	}
+	if in.Fired(0) != 2 || in.Fired(1) != 1 {
+		t.Fatalf("fired counts = %d/%d, want 2/1", in.Fired(0), in.Fired(1))
+	}
+	if in.TotalFired() != 3 {
+		t.Fatalf("TotalFired = %d, want 3", in.TotalFired())
+	}
+}
+
+// TestPlanValidate pins the rejection of unexpressible plans.
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		rule Rule
+	}{
+		{"unknown op", Rule{Op: "disk", Fault: FaultENOSPC}},
+		{"fault on wrong seam", Rule{Op: OpRun, Fault: FaultENOSPC}},
+		{"slow without delay", Rule{Op: OpRun, Fault: FaultSlow}},
+		{"http crash", Rule{Op: OpHTTP, Fault: FaultCrash}},
+	}
+	for _, c := range cases {
+		if err := (Plan{Rules: []Rule{c.rule}}).Validate(); err == nil {
+			t.Errorf("%s: plan validated, want error", c.name)
+		}
+	}
+	ok := Plan{Seed: 9, Rules: []Rule{
+		{Op: OpRun, Fault: FaultSlow, Delay: Duration(time.Millisecond)},
+		{Op: OpPut, Fault: FaultTornWrite, Bytes: 10},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+}
+
+// TestLoadPlan pins the file format: human-readable durations, strict
+// field checking, and validation at load time.
+func TestLoadPlan(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "plan.json")
+	if err := os.WriteFile(good, []byte(`{
+		"seed": 1234,
+		"rules": [
+			{"op": "run", "target": "fleet", "fault": "slow", "delay": "50ms"},
+			{"op": "http", "fault": "truncate", "bytes": 256, "after": 1}
+		]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(good)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if p.Seed != 1234 || len(p.Rules) != 2 || p.Rules[0].Delay.Std() != 50*time.Millisecond {
+		t.Fatalf("loaded plan = %+v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"seed": 1, "rules": [{"op": "run", "fault": "slow", "delay": "50ms", "chance": 0.5}]}`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("plan with unknown field loaded, want error")
+	}
+	invalid := filepath.Join(dir, "invalid.json")
+	os.WriteFile(invalid, []byte(`{"seed": 1, "rules": [{"op": "put", "fault": "crash"}]}`), 0o644)
+	if _, err := Load(invalid); err == nil {
+		t.Fatal("semantically invalid plan loaded, want error")
+	}
+}

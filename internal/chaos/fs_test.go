@@ -1,0 +1,104 @@
+package chaos
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"power5prio/internal/cachestore"
+	"power5prio/internal/engine"
+)
+
+// TestPutHookENOSPC pins the full-disk fault at the store layer: the
+// write fails with the injected error and no entry appears.
+func TestPutHookENOSPC(t *testing.T) {
+	store, err := cachestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetPutHook(PutHook(NewInjector(Plan{Rules: []Rule{{Op: OpPut, Fault: FaultENOSPC}}})))
+
+	k := cachestore.MustHashValue("test/v1", "payload")
+	if err := store.Put(k, []byte("payload")); err == nil || !strings.Contains(err.Error(), "no space left on device") {
+		t.Fatalf("hooked put error = %v, want injected ENOSPC", err)
+	}
+	if _, err := store.Get(k); !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatalf("get after failed put = %v, want ErrNotFound", err)
+	}
+}
+
+// TestPutHookTornWrite pins the torn-write fault: the put "succeeds",
+// the next read detects the corruption via the checksum, unlinks the
+// entry (self-heal), and a clean re-put restores it.
+func TestPutHookTornWrite(t *testing.T) {
+	store, err := cachestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetPutHook(PutHook(NewInjector(Plan{Rules: []Rule{{Op: OpPut, Fault: FaultTornWrite, Count: 1}}})))
+
+	k := cachestore.MustHashValue("test/v1", "payload")
+	if err := store.Put(k, []byte("payload")); err != nil {
+		t.Fatalf("torn put must look successful (power loss is silent): %v", err)
+	}
+	if _, err := store.Get(k); !errors.Is(err, cachestore.ErrCorrupt) {
+		t.Fatalf("get of torn entry = %v, want ErrCorrupt", err)
+	}
+	if _, err := store.Get(k); !errors.Is(err, cachestore.ErrNotFound) {
+		t.Fatalf("get after self-heal = %v, want ErrNotFound (bad entry unlinked)", err)
+	}
+	if err := store.Put(k, []byte("payload")); err != nil {
+		t.Fatalf("clean re-put: %v", err)
+	}
+	got, err := store.Get(k)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("get after re-put = %q / %v", got, err)
+	}
+}
+
+// TestEngineSurvivesWriteFailure pins the engine's degrade-to-memory
+// contract: when every cache write-back fails (full disk), each job
+// still resolves successfully — a dead cache tier is a performance
+// problem, never a batch error.
+func TestEngineSurvivesWriteFailure(t *testing.T) {
+	dir := t.TempDir()
+	store, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.SetPutHook(PutHook(NewInjector(Plan{Rules: []Rule{{Op: OpPut, Fault: FaultENOSPC}}})))
+
+	fb := &fakeBackend{}
+	eng := engine.NewWith(0, nil, engine.WithStore(store), engine.WithBackend(fb))
+	jobs := chaosJobs(4)
+	res := eng.Run(nil, jobs)
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d = %+v, want success despite dead cache writes", i, r)
+		}
+		if r.Pair.TotalIPC != jobs[i].IterScale {
+			t.Fatalf("job %d result drifted: %+v", i, r)
+		}
+	}
+	if st := eng.Stats(); st.DiskWrites != 0 || st.Simulated != 4 {
+		t.Fatalf("stats = %+v, want 4 simulated and 0 disk writes", st)
+	}
+
+	// Nothing persisted: a fresh engine on the same dir (no hook)
+	// misses disk and re-simulates, still cleanly.
+	store2, err := cachestore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb2 := &fakeBackend{}
+	eng2 := engine.NewWith(0, nil, engine.WithStore(store2), engine.WithBackend(fb2))
+	res2 := eng2.Run(nil, jobs)
+	for i, r := range res2 {
+		if r.Err != nil || r.Skipped || r.Pair != res[i].Pair {
+			t.Fatalf("re-run job %d = %+v, want %+v", i, r, res[i])
+		}
+	}
+	if st := eng2.Stats(); st.DiskHits != 0 || st.DiskWrites != 4 {
+		t.Fatalf("re-run stats = %+v, want 0 disk hits and 4 writes on the healthy store", st)
+	}
+}

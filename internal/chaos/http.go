@@ -1,0 +1,191 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Transport wraps an http.RoundTripper with OpHTTP faults on outgoing
+// requests: connection resets before the request leaves, injected
+// delays, synthesized 500s, and response bodies cut mid-stream (matched
+// against the request's URL path).
+type Transport struct {
+	inner http.RoundTripper
+	inj   *Injector
+}
+
+// WrapTransport decorates a transport (nil = http.DefaultTransport).
+func WrapTransport(rt http.RoundTripper, inj *Injector) *Transport {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &Transport{inner: rt, inj: inj}
+}
+
+// defaultTruncateBytes is how much body survives FaultTruncate when the
+// rule sets no byte count — enough for a stream header plus a result or
+// two, so truncation lands mid-stream rather than before it opens.
+const defaultTruncateBytes = 512
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	d := t.inj.decide(OpHTTP, req.URL.Path)
+	if d == nil {
+		return t.inner.RoundTrip(req)
+	}
+	switch d.fault {
+	case FaultConnReset:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("chaos: injected connection reset on %s (rule %d)", req.URL.Path, d.rule)
+	case FaultSlow:
+		select {
+		case <-time.After(d.delay):
+		case <-req.Context().Done():
+			if req.Body != nil {
+				req.Body.Close()
+			}
+			return nil, req.Context().Err()
+		}
+		return t.inner.RoundTrip(req)
+	case FaultHTTP500:
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1",
+			ProtoMajor: 1,
+			ProtoMinor: 1,
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(fmt.Sprintf("chaos: injected 500 on %s (rule %d)\n", req.URL.Path, d.rule))),
+			Request:    req,
+		}, nil
+	case FaultTruncate:
+		resp, err := t.inner.RoundTrip(req)
+		if err != nil {
+			return resp, err
+		}
+		remain := d.bytes
+		if remain <= 0 {
+			remain = defaultTruncateBytes
+		}
+		resp.Body = &truncatedBody{rc: resp.Body, remain: remain}
+		resp.ContentLength = -1
+		return resp, nil
+	default:
+		return t.inner.RoundTrip(req)
+	}
+}
+
+// truncatedBody yields the first remain bytes, then fails the read the
+// way a dropped connection does.
+type truncatedBody struct {
+	rc     io.ReadCloser
+	remain int64
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remain <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if int64(len(p)) > b.remain {
+		p = p[:b.remain]
+	}
+	n, err := b.rc.Read(p)
+	b.remain -= int64(n)
+	if err == nil && b.remain <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }
+
+// Middleware wraps an HTTP handler with OpHTTP faults on incoming
+// requests: delays before handling, 500 replies, connections aborted
+// mid-response, and responses cut after a byte budget. Wrap a worker's
+// or daemon's handler with it to inject faults on the serving side of
+// the wire (p5worker -chaos does exactly this).
+func Middleware(next http.Handler, inj *Injector) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := inj.decide(OpHTTP, r.URL.Path)
+		if d == nil {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch d.fault {
+		case FaultSlow:
+			select {
+			case <-time.After(d.delay):
+			case <-r.Context().Done():
+				return
+			}
+			next.ServeHTTP(w, r)
+		case FaultHTTP500:
+			http.Error(w, fmt.Sprintf("chaos: injected 500 on %s (rule %d)", r.URL.Path, d.rule), http.StatusInternalServerError)
+		case FaultConnReset:
+			// ErrAbortHandler makes the server drop the connection
+			// without a reply or a logged stack — the client sees the
+			// exchange die mid-air, exactly like a reset.
+			panic(http.ErrAbortHandler)
+		case FaultTruncate:
+			remain := d.bytes
+			if remain <= 0 {
+				remain = defaultTruncateBytes
+			}
+			tw := &truncatingWriter{w: w, remain: remain}
+			next.ServeHTTP(tw, r)
+			if tw.tripped {
+				panic(http.ErrAbortHandler)
+			}
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// truncatingWriter passes through remain bytes, then fails writes and
+// marks itself tripped so Middleware aborts the connection — the client
+// observes a stream cut mid-line, not a clean end-of-body.
+type truncatingWriter struct {
+	w       http.ResponseWriter
+	remain  int64
+	tripped bool
+}
+
+func (t *truncatingWriter) Header() http.Header { return t.w.Header() }
+
+func (t *truncatingWriter) WriteHeader(code int) { t.w.WriteHeader(code) }
+
+func (t *truncatingWriter) Write(p []byte) (int, error) {
+	if t.tripped {
+		return 0, io.ErrClosedPipe
+	}
+	if int64(len(p)) > t.remain {
+		p = p[:t.remain]
+		t.tripped = true
+	}
+	n, err := t.w.Write(p)
+	t.remain -= int64(n)
+	if err == nil && t.tripped {
+		if f, ok := t.w.(http.Flusher); ok {
+			f.Flush() // push the partial bytes out before the abort
+		}
+		err = io.ErrClosedPipe
+	}
+	return n, err
+}
+
+// Flush forwards to the wrapped writer (the NDJSON stream flushes per
+// event).
+func (t *truncatingWriter) Flush() {
+	if f, ok := t.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

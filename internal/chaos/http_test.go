@@ -1,0 +1,129 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// chattyHandler writes a known multi-kilobyte body so truncation lands
+// mid-stream.
+func chattyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		for i := 0; i < 64; i++ {
+			io.WriteString(w, strings.Repeat("x", 63)+"\n")
+		}
+	})
+}
+
+// TestTransportFaults pins the client-side seam: rules fire in plan
+// order against matching paths — a reset before the request leaves, a
+// synthesized 500, then clean pass-through.
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(chattyHandler())
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Rules: []Rule{
+		{Op: OpHTTP, Target: "/run", Fault: FaultConnReset, Count: 1},
+		{Op: OpHTTP, Target: "/run", Fault: FaultHTTP500, Count: 1},
+	}})
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+
+	if _, err := client.Get(srv.URL + "/run"); err == nil || !strings.Contains(err.Error(), "injected connection reset") {
+		t.Fatalf("first request error = %v, want injected reset", err)
+	}
+	resp, err := client.Get(srv.URL + "/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("second request status = %s, want injected 500", resp.Status)
+	}
+	// Non-matching path never faults; the armed rules are spent anyway.
+	resp, err = client.Get(srv.URL + "/health")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("health = %v / %v, want clean 200", resp, err)
+	}
+	resp.Body.Close()
+	resp, err = client.Get(srv.URL + "/run")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cap request = %v / %v, want clean 200", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestTransportTruncate pins the mid-stream cut: the response starts
+// normally, then the body read fails with ErrUnexpectedEOF after the
+// byte budget — a dropped connection, not a clean EOF.
+func TestTransportTruncate(t *testing.T) {
+	srv := httptest.NewServer(chattyHandler())
+	defer srv.Close()
+
+	inj := NewInjector(Plan{Rules: []Rule{{Op: OpHTTP, Fault: FaultTruncate, Bytes: 100}}})
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("read error = %v, want ErrUnexpectedEOF", err)
+	}
+	if len(body) != 100 {
+		t.Fatalf("read %d bytes before the cut, want 100", len(body))
+	}
+}
+
+// TestMiddlewareFaults pins the server-side seam: a delayed-but-intact
+// reply, an injected 500, a connection aborted before any response, and
+// a body cut after the byte budget.
+func TestMiddlewareFaults(t *testing.T) {
+	inj := NewInjector(Plan{Rules: []Rule{
+		{Op: OpHTTP, Fault: FaultHTTP500, Count: 1},
+		{Op: OpHTTP, Fault: FaultConnReset, Count: 1},
+		{Op: OpHTTP, Fault: FaultTruncate, Bytes: 64, Count: 1},
+	}})
+	srv := httptest.NewServer(Middleware(chattyHandler(), inj))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("first request status = %s, want injected 500", resp.Status)
+	}
+
+	if resp, err := http.Get(srv.URL); err == nil {
+		resp.Body.Close()
+		t.Fatal("aborted request returned a response, want a transport error")
+	}
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("truncated body read cleanly (%d bytes), want a mid-stream failure", len(body))
+	}
+	if len(body) != 64 {
+		t.Fatalf("read %d bytes before the cut, want 64", len(body))
+	}
+
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if b, _ := io.ReadAll(resp.Body); len(b) != 64*64 {
+		t.Fatalf("post-cap body = %d bytes, want the full %d", len(b), 64*64)
+	}
+}

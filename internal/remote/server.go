@@ -151,7 +151,14 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // shuts down gracefully (in-flight requests get a grace period to
 // finish). It returns nil on a clean shutdown.
 func Serve(ctx context.Context, lis net.Listener, cfg ServerConfig) error {
-	srv := &http.Server{Handler: NewServer(cfg).Handler()}
+	return ServeHandler(ctx, lis, NewServer(cfg).Handler())
+}
+
+// ServeHandler is Serve with the handler supplied by the caller —
+// usually a NewServer(cfg).Handler() wrapped in middleware (e.g.
+// chaos.Middleware for fault-injection runs).
+func ServeHandler(ctx context.Context, lis net.Listener, handler http.Handler) error {
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(lis) }()
 	select {

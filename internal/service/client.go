@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"power5prio/internal/engine"
@@ -25,12 +26,36 @@ import (
 // tenants sooner.
 const DefaultSubmitChunk = 256
 
-// retryBase is the pause before retrying a 429-rejected chunk when the
-// daemon sends no Retry-After hint.
+// Client failure-handling defaults; each has a With* option.
+const (
+	// DefaultIdleTimeout is the per-event idle deadline on the NDJSON
+	// stream: if no event arrives for this long the client treats the
+	// stream as stalled, drops it, and resubmits the unfinished jobs.
+	// Generous because a cold simulation legitimately takes minutes; a
+	// spurious trip only costs a reconnect — the daemon's singleflight
+	// coalesces the resubmission onto the still-running job.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultBackpressureCap bounds the *cumulative* wait one chunk
+	// spends in 429/503 backpressure before the client gives up with a
+	// clear error instead of retrying a stuck daemon forever.
+	DefaultBackpressureCap = 2 * time.Minute
+	// DefaultResumeAttempts is how many consecutive resumes may make no
+	// progress (no new result landed) before the client gives up. With
+	// exponential backoff this spans roughly a minute of daemon outage
+	// — enough to ride a restart.
+	DefaultResumeAttempts = 10
+	// DefaultHealthTimeout bounds one Healthy probe.
+	DefaultHealthTimeout = 5 * time.Second
+	// DefaultRegisterTimeout bounds one RegisterWorker exchange.
+	DefaultRegisterTimeout = 10 * time.Second
+)
+
+// retryBase is the shortest backoff pause: the first resume retry, and
+// a 429-rejected chunk when the daemon sends no Retry-After hint.
 const retryBase = 500 * time.Millisecond
 
-// maxRetryWait caps how long one backpressure pause may be, whatever
-// the daemon's Retry-After says.
+// maxRetryWait caps how long one backoff pause may be, whatever the
+// daemon's Retry-After says or the exponential backoff reaches.
 const maxRetryWait = 10 * time.Second
 
 // Client submits jobs to a p5d daemon. It implements engine.Backend
@@ -38,11 +63,23 @@ const maxRetryWait = 10 * time.Second
 // engine.WithBackend(service.NewClient(addr)) transparently executes
 // through the shared daemon: local cache tiers still apply, and only
 // locally-unknown jobs travel.
+//
+// The client rides failures out rather than surfacing them: admission
+// backpressure (429, or 503 + Retry-After from a draining daemon) backs
+// off under a cumulative cap; a stalled, truncated or drained stream is
+// dropped and only the unfinished jobs are resubmitted — against a
+// restarted daemon the warm cache and singleflight make the resume
+// cheap and the merged results byte-identical.
 type Client struct {
-	base   string
-	client *http.Client
-	id     string
-	chunk  int
+	base            string
+	client          *http.Client
+	id              string
+	chunk           int
+	idleTimeout     time.Duration
+	backpressureCap time.Duration
+	resumeAttempts  int
+	healthTimeout   time.Duration
+	registerTimeout time.Duration
 
 	mu sync.Mutex
 	rs engine.RemoteStats
@@ -63,7 +100,8 @@ func WithClientID(id string) ClientOption {
 }
 
 // WithHTTPClient replaces the HTTP client (default: no overall timeout
-// — submissions legitimately stream for minutes; cancel via ctx).
+// — submissions legitimately stream for minutes; cancel via ctx, the
+// per-event idle deadline handles silent stalls).
 func WithHTTPClient(h *http.Client) ClientOption { return func(c *Client) { c.client = h } }
 
 // WithSubmitChunk bounds jobs per submit request (<= 0 =
@@ -76,6 +114,49 @@ func WithSubmitChunk(n int) ClientOption {
 	}
 }
 
+// WithIdleTimeout sets the per-event stream idle deadline (<= 0
+// disables stall detection).
+func WithIdleTimeout(d time.Duration) ClientOption { return func(c *Client) { c.idleTimeout = d } }
+
+// WithBackpressureCap bounds the cumulative backpressure wait per
+// chunk (<= 0 keeps the default).
+func WithBackpressureCap(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.backpressureCap = d
+		}
+	}
+}
+
+// WithResumeAttempts bounds consecutive no-progress stream resumes
+// (<= 0 keeps the default).
+func WithResumeAttempts(n int) ClientOption {
+	return func(c *Client) {
+		if n > 0 {
+			c.resumeAttempts = n
+		}
+	}
+}
+
+// WithHealthTimeout bounds one Healthy probe (<= 0 keeps the default).
+func WithHealthTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.healthTimeout = d
+		}
+	}
+}
+
+// WithRegisterTimeout bounds one RegisterWorker exchange (<= 0 keeps
+// the default).
+func WithRegisterTimeout(d time.Duration) ClientOption {
+	return func(c *Client) {
+		if d > 0 {
+			c.registerTimeout = d
+		}
+	}
+}
+
 // NewClient returns a client for a daemon address: host:port as passed
 // to p5d -listen, or a full http:// URL.
 func NewClient(addr string, opts ...ClientOption) *Client {
@@ -84,10 +165,15 @@ func NewClient(addr string, opts ...ClientOption) *Client {
 		base = "http://" + base
 	}
 	c := &Client{
-		base:   strings.TrimRight(base, "/"),
-		client: &http.Client{},
-		id:     fmt.Sprintf("pid-%d", os.Getpid()),
-		chunk:  DefaultSubmitChunk,
+		base:            strings.TrimRight(base, "/"),
+		client:          &http.Client{},
+		id:              fmt.Sprintf("pid-%d", os.Getpid()),
+		chunk:           DefaultSubmitChunk,
+		idleTimeout:     DefaultIdleTimeout,
+		backpressureCap: DefaultBackpressureCap,
+		resumeAttempts:  DefaultResumeAttempts,
+		healthTimeout:   DefaultHealthTimeout,
+		registerTimeout: DefaultRegisterTimeout,
 	}
 	for _, o := range opts {
 		o(c)
@@ -109,12 +195,18 @@ func (c *Client) RemoteStats() engine.RemoteStats {
 	return c.rs
 }
 
+func (c *Client) addRetries(n int) {
+	c.mu.Lock()
+	c.rs.Retries += n
+	c.mu.Unlock()
+}
+
 // Healthy pings the daemon and verifies the protocol version.
 func (c *Client) Healthy(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, c.healthTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+HealthPath, nil)
 	if err != nil {
@@ -141,11 +233,12 @@ func (c *Client) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, e
 }
 
 // RunProgress submits the batch in chunks, streaming each job's result
-// through done as the daemon reports it. A queue-full rejection backs
-// off (honouring Retry-After) and retries the chunk — backpressure is
-// flow control, not failure. A daemon-level failure skips the
-// remaining jobs and is returned so a caller can retry them, matching
-// the worker-backend contract.
+// through done as the daemon reports it. Backpressure (429 or a
+// draining daemon's 503) backs off and retries under a cumulative cap;
+// a stalled, truncated or drained stream resubmits only its unfinished
+// jobs, riding out a daemon restart. When the retry budgets run out,
+// the remaining jobs are skipped and the failure returned so a caller
+// can retry them, matching the worker-backend contract.
 func (c *Client) RunProgress(ctx context.Context, jobs []engine.Job, done func(i int, r engine.Result)) ([]engine.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -188,7 +281,8 @@ func (c *Client) skipFrom(out []engine.Result, jobs []engine.Job, start int, err
 	}
 }
 
-// errBackpressure marks a 429 admission rejection internally.
+// errBackpressure marks an admission rejection (429 queue-full, or a
+// draining daemon's 503 + Retry-After) internally.
 type errBackpressure struct {
 	wait time.Duration
 	msg  string
@@ -196,155 +290,286 @@ type errBackpressure struct {
 
 func (e *errBackpressure) Error() string { return e.msg }
 
-// submitChunk posts jobs[start:end], retrying through admission
-// backpressure until the chunk is accepted or ctx dies.
+// errResumable marks a dropped stream the client may resume: transport
+// failure, mid-stream truncation, an idle-deadline stall, or a 5xx.
+type errResumable struct{ cause error }
+
+func (e *errResumable) Error() string { return e.cause.Error() }
+func (e *errResumable) Unwrap() error { return e.cause }
+
+// submitChunk drives jobs[start:end] to completion: it submits the
+// pending set, collects results, and loops — resubmitting only the
+// unfinished jobs — through backpressure, stream drops, drains and
+// daemon-side skips, until everything resolved or a retry budget runs
+// out.
 func (c *Client) submitChunk(ctx context.Context, jobs []engine.Job, start, end int, report func(int, engine.Result)) error {
+	pending := make([]int, 0, end-start)
+	for k := start; k < end; k++ {
+		pending = append(pending, k)
+	}
+	var bpWaited time.Duration // cumulative backpressure wait
+	stalls := 0                // consecutive resumes without progress
+	var lastCause error
 	for {
-		err := c.trySubmit(ctx, jobs, start, end, report)
-		var bp *errBackpressure
-		if !errors.As(err, &bp) {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		c.mu.Lock()
-		c.rs.Retries += end - start
-		c.mu.Unlock()
-		select {
-		case <-time.After(bp.wait):
-		case <-ctx.Done():
-			return ctx.Err()
+		unfinished, err := c.trySubmit(ctx, jobs, pending, report)
+		if err == nil && len(unfinished) == 0 {
+			return nil
+		}
+		var bp *errBackpressure
+		var rs *errResumable
+		switch {
+		case errors.As(err, &bp):
+			bpWaited += bp.wait
+			if bpWaited > c.backpressureCap {
+				return fmt.Errorf("backpressured for %s (cap %s) with %d jobs pending; giving up: %s",
+					bpWaited.Round(time.Millisecond), c.backpressureCap, len(pending), bp.msg)
+			}
+			c.addRetries(len(pending))
+			if err := sleepCtx(ctx, bp.wait); err != nil {
+				return err
+			}
+			continue
+		case err == nil:
+			// The stream finished cleanly but left work unfinished: a
+			// terminal drained event, or results the daemon marked
+			// skipped after exhausting its own dispatch attempts.
+			lastCause = errors.New("stream ended with unfinished jobs (daemon drained or skipped them)")
+		case errors.As(err, &rs):
+			lastCause = rs.cause
+		default:
+			return err
+		}
+		if len(unfinished) < len(pending) {
+			stalls = 0 // progress: results landed this attempt
+		} else {
+			stalls++
+		}
+		if stalls > c.resumeAttempts {
+			return fmt.Errorf("giving up after %d stream resumes without progress (%d of %d jobs unfinished): %w",
+				stalls, len(unfinished), end-start, lastCause)
+		}
+		pending = unfinished
+		c.addRetries(len(pending))
+		backoff := min(retryBase<<min(stalls, 5), maxRetryWait)
+		if err := sleepCtx(ctx, backoff); err != nil {
+			return err
 		}
 	}
 }
 
-func (c *Client) trySubmit(ctx context.Context, jobs []engine.Job, start, end int, report func(int, engine.Result)) error {
-	req := SubmitRequest{Protocol: ProtocolVersion, Client: c.id, Jobs: make([]remote.WireJob, end-start)}
-	for k := start; k < end; k++ {
-		req.Jobs[k-start] = remote.WireJob{Key: engine.JobKey(jobs[k]).String(), Job: jobs[k]}
+// trySubmit performs one submit exchange for the pending set (absolute
+// indices into jobs). Deterministic results are reported as they
+// stream; daemon-skipped results are withheld and returned as
+// unfinished instead, alongside anything a drained event or a dropped
+// stream left unresolved. The error classifies the exchange:
+// *errBackpressure and *errResumable are retryable, everything else is
+// final.
+func (c *Client) trySubmit(ctx context.Context, jobs []engine.Job, pending []int, report func(int, engine.Result)) ([]int, error) {
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: c.id, Jobs: make([]remote.WireJob, len(pending))}
+	for i, k := range pending {
+		req.Jobs[i] = remote.WireJob{Key: engine.JobKey(jobs[k]).String(), Job: jobs[k]}
 	}
 	body, err := json.Marshal(req)
 	if err != nil {
-		return fmt.Errorf("encode submit request: %w", err)
+		return pending, fmt.Errorf("encode submit request: %w", err)
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+SubmitPath, bytes.NewReader(body))
+
+	// The idle watchdog cancels the request context when no stream
+	// event arrives for idleTimeout; the stalled flag distinguishes
+	// that from the caller's own cancellation.
+	reqCtx := ctx
+	var stalled atomic.Bool
+	kick := func() {}
+	if c.idleTimeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		dog := time.AfterFunc(c.idleTimeout, func() {
+			stalled.Store(true)
+			cancel()
+		})
+		defer dog.Stop()
+		kick = func() { dog.Reset(c.idleTimeout) }
+	}
+	final := make([]bool, len(pending))
+	unfinished := func() []int {
+		var left []int
+		for i, k := range pending {
+			if !final[i] {
+				left = append(left, k)
+			}
+		}
+		return left
+	}
+	// classify wraps a transport/decode failure: the caller's
+	// cancellation is final, everything else (stall, truncation,
+	// connection loss) is resumable.
+	classify := func(err error) error {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if stalled.Load() {
+			return &errResumable{cause: fmt.Errorf("stream stalled: no event for %s: %w", c.idleTimeout, err)}
+		}
+		return &errResumable{cause: err}
+	}
+
+	hreq, err := http.NewRequestWithContext(reqCtx, http.MethodPost, c.base+SubmitPath, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return pending, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	hresp, err := c.client.Do(hreq)
 	if err != nil {
-		return err
+		return pending, classify(err)
 	}
 	defer hresp.Body.Close()
-	if hresp.StatusCode == http.StatusTooManyRequests {
-		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return &errBackpressure{wait: retryWait(hresp.Header.Get("Retry-After")), msg: strings.TrimSpace(string(msg))}
-	}
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return fmt.Errorf("%s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+		trimmed := strings.TrimSpace(string(msg))
+		retryAfter := hresp.Header.Get("Retry-After")
+		switch {
+		case hresp.StatusCode == http.StatusTooManyRequests,
+			hresp.StatusCode == http.StatusServiceUnavailable && retryAfter != "":
+			// Admission backpressure: queue full, or draining for a
+			// restart. Both mean "come back shortly".
+			return pending, &errBackpressure{wait: retryWait(retryAfter), msg: trimmed}
+		case hresp.StatusCode >= 500:
+			// A proxy blip or an injected 5xx burst: retryable.
+			return pending, &errResumable{cause: fmt.Errorf("%s: %s", hresp.Status, trimmed)}
+		default:
+			return pending, fmt.Errorf("%s: %s", hresp.Status, trimmed)
+		}
 	}
 
 	// Decode the event stream. Every accepted job must resolve before
 	// EventDone; the daemon's key echoes are verified against ours, so
-	// drift fails loudly in both directions.
+	// drift fails loudly in both directions. A drained trailer (or a
+	// dropped stream) leaves the unresolved jobs for the next attempt.
 	dec := json.NewDecoder(hresp.Body)
 	var header Event
 	if err := dec.Decode(&header); err != nil {
-		return fmt.Errorf("decode submit header: %w", err)
+		return pending, classify(fmt.Errorf("decode submit header: %w", err))
 	}
+	kick()
 	if header.Type != EventHeader {
-		return fmt.Errorf("submit stream opened with %q event, want %q", header.Type, EventHeader)
+		return pending, fmt.Errorf("submit stream opened with %q event, want %q", header.Type, EventHeader)
 	}
 	if err := checkProtocol(header.Protocol); err != nil {
-		return err
+		return pending, err
 	}
-	seen := make([]bool, end-start)
-	resolved := 0
+	resolved := 0 // final results + daemon-skipped, this attempt
+	reported := 0 // final results delivered to report
+	daemonSkipped := 0
 	for {
 		var ev Event
 		if err := dec.Decode(&ev); err != nil {
-			return fmt.Errorf("submit stream truncated after %d of %d results: %w", resolved, end-start, err)
+			return unfinished(), classify(fmt.Errorf("submit stream dropped after %d of %d results: %w", resolved, len(pending), err))
 		}
+		kick()
 		switch ev.Type {
 		case EventResult:
 			k := ev.Index
-			if k < 0 || k >= end-start || ev.Result == nil {
-				return fmt.Errorf("submit stream returned malformed result event (index %d of %d jobs)", k, end-start)
+			if k < 0 || k >= len(pending) || ev.Result == nil {
+				return unfinished(), fmt.Errorf("submit stream returned malformed result event (index %d of %d jobs)", k, len(pending))
 			}
-			if seen[k] {
-				return fmt.Errorf("submit stream resolved job %d twice", k)
+			if final[k] {
+				return unfinished(), fmt.Errorf("submit stream resolved job %d twice", k)
 			}
 			if ev.Result.Key != req.Jobs[k].Key {
-				return fmt.Errorf("submit stream returned result for key %s at position of %s", ev.Result.Key, req.Jobs[k].Key)
+				return unfinished(), fmt.Errorf("submit stream returned result for key %s at position of %s", ev.Result.Key, req.Jobs[k].Key)
 			}
-			seen[k] = true
+			if ev.Skipped {
+				// The daemon gave up dispatching this job (its requeue
+				// budget ran out — e.g. the whole fleet is down). Not a
+				// deterministic outcome, so withhold it and let the
+				// resume loop retry rather than surfacing a transient
+				// fleet failure as a job error.
+				resolved++
+				daemonSkipped++
+				continue
+			}
+			final[k] = true
 			resolved++
-			r := engine.Result{Job: jobs[start+k], Pair: ev.Result.Pair, CacheHit: ev.Result.Cached, Skipped: ev.Skipped}
+			reported++
+			r := engine.Result{Job: jobs[pending[k]], Pair: ev.Result.Pair, CacheHit: ev.Result.Cached}
 			if ev.Result.Err != "" {
 				r.Err = errors.New(ev.Result.Err)
 				r.Pair = fame.PairResult{}
 			}
-			report(start+k, r)
+			report(pending[k], r)
+		case EventDrained:
+			// Terminal: the daemon drained before everything ran. Our
+			// own bookkeeping already knows which jobs never resolved;
+			// the event's sorted key list is the daemon's word for it.
+			c.mu.Lock()
+			c.rs.Jobs += reported
+			c.mu.Unlock()
+			return unfinished(), nil
 		case EventDone:
 			if ev.Err != "" {
-				return fmt.Errorf("daemon reported: %s", ev.Err)
+				return unfinished(), fmt.Errorf("daemon reported: %s", ev.Err)
 			}
-			if resolved != end-start {
-				return fmt.Errorf("submit stream closed with %d of %d results", resolved, end-start)
+			if resolved != len(pending) {
+				return unfinished(), fmt.Errorf("submit stream closed with %d of %d results", resolved, len(pending))
 			}
 			c.mu.Lock()
-			c.rs.Jobs += end - start
+			c.rs.Jobs += reported
 			c.mu.Unlock()
-			return nil
+			return unfinished(), nil
 		default:
-			return fmt.Errorf("submit stream sent unknown event type %q", ev.Type)
+			return unfinished(), fmt.Errorf("submit stream sent unknown event type %q", ev.Type)
 		}
 	}
 }
 
-// RegisterWorker announces the worker at workerAddr to the daemon at
-// daemonAddr (host:port or http:// URL). The daemon health-checks the
-// worker before admitting it; re-registering is the heartbeat that
-// keeps a worker's circuit breaker closed, so workers call this
-// periodically. Added reports whether the fleet grew (false on a
-// heartbeat).
-func RegisterWorker(ctx context.Context, daemonAddr, workerAddr string) (added bool, err error) {
+// RegisterWorker announces the worker at workerAddr to the daemon. The
+// daemon health-checks the worker before admitting it; re-registering
+// is the heartbeat that keeps a worker's circuit breaker closed, so
+// workers call this periodically. Added reports whether the fleet grew
+// (false on a heartbeat).
+func (c *Client) RegisterWorker(ctx context.Context, workerAddr string) (added bool, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	base := daemonAddr
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
-	}
-	base = strings.TrimRight(base, "/")
 	body, err := json.Marshal(RegisterRequest{Protocol: ProtocolVersion, Addr: workerAddr})
 	if err != nil {
 		return false, fmt.Errorf("service: encode register request: %w", err)
 	}
-	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, c.registerTimeout)
 	defer cancel()
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+RegisterPath, bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+RegisterPath, bytes.NewReader(body))
 	if err != nil {
 		return false, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
-	hresp, err := http.DefaultClient.Do(hreq)
+	hresp, err := c.client.Do(hreq)
 	if err != nil {
-		return false, fmt.Errorf("service: daemon %s unreachable: %w", base, err)
+		return false, fmt.Errorf("service: daemon %s unreachable: %w", c.base, err)
 	}
 	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
-		return false, fmt.Errorf("service: register with %s: %s: %s", base, hresp.Status, strings.TrimSpace(string(msg)))
+		return false, fmt.Errorf("service: register with %s: %s: %s", c.base, hresp.Status, strings.TrimSpace(string(msg)))
 	}
 	var rr RegisterResponse
 	if err := json.NewDecoder(hresp.Body).Decode(&rr); err != nil {
-		return false, fmt.Errorf("service: register with %s: %w", base, err)
+		return false, fmt.Errorf("service: register with %s: %w", c.base, err)
 	}
 	if err := checkProtocol(rr.Protocol); err != nil {
 		return false, err
 	}
 	return rr.Added, nil
+}
+
+// RegisterWorker announces the worker at workerAddr to the daemon at
+// daemonAddr (host:port or http:// URL) with default timeouts; see
+// Client.RegisterWorker.
+func RegisterWorker(ctx context.Context, daemonAddr, workerAddr string) (added bool, err error) {
+	return NewClient(daemonAddr).RegisterWorker(ctx, workerAddr)
 }
 
 // retryWait parses a Retry-After header into a bounded pause.
@@ -354,4 +579,14 @@ func retryWait(h string) time.Duration {
 		wait = time.Duration(secs) * time.Second
 	}
 	return min(wait, maxRetryWait)
+}
+
+// sleepCtx pauses for d or until ctx dies.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

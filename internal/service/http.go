@@ -7,13 +7,14 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 
 	"power5prio/internal/engine"
 	"power5prio/internal/remote"
 )
 
-// Handler returns the HTTP handler serving the p5queue/v1 endpoints.
+// Handler returns the HTTP handler serving the p5queue endpoints.
 func (d *Daemon) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(SubmitPath, d.handleSubmit)
@@ -120,12 +121,19 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	sub, err := d.enqueue(req.Client, runnable)
 	if err != nil {
-		if errors.Is(err, ErrQueueFull) {
+		switch {
+		case errors.Is(err, ErrQueueFull):
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, err.Error(), http.StatusTooManyRequests)
-			return
+		case errors.Is(err, ErrDraining):
+			// Transient: a successor daemon will take the work. The
+			// Retry-After marks the 503 as back-off-and-retry for the
+			// client, distinguishing it from the terminal ErrClosed.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		}
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 
@@ -150,9 +158,17 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var unfinished []string
 	for served := 0; served < len(runnable); served++ {
 		select {
 		case ir := <-sub.ch:
+			if ir.drained {
+				// Flushed by shutdown: never attempted, never failed.
+				// Collected into the terminal drained event instead of
+				// being resolved as a skipped result.
+				unfinished = append(unfinished, runnableKey[ir.idx])
+				continue
+			}
 			res := wireResult(runnableKey[ir.idx], ir.res)
 			if !emit(Event{Type: EventResult, Index: runnableIdx[ir.idx], Result: &res, Skipped: ir.res.Skipped}) {
 				return
@@ -162,6 +178,11 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			// submission channel is buffered) and warm the cache.
 			return
 		}
+	}
+	if len(unfinished) > 0 {
+		sort.Strings(unfinished)
+		emit(Event{Type: EventDrained, Unfinished: unfinished})
+		return
 	}
 	emit(Event{Type: EventDone})
 }
@@ -175,9 +196,18 @@ func wireResult(key string, r engine.Result) remote.WireResult {
 	return out
 }
 
+// drainTimeout bounds the graceful-shutdown window: how long open
+// streams get to finish their in-flight dispatches and emit their
+// terminal drained/done events before the listener is torn down.
+const drainTimeout = 30 * time.Second
+
 // Serve runs the daemon's HTTP front end on the listener until ctx is
-// cancelled, then shuts down gracefully. The daemon's dispatch loops
-// (Run) are the caller's to start; Serve only owns the listener.
+// cancelled, then shuts down gracefully: Drain first — admission stops
+// with 503 + Retry-After, queued work flushes as drained markers, open
+// streams end with their terminal event — then the HTTP server waits
+// (up to drainTimeout) for those streams, and only then is the daemon
+// Closed. The daemon's dispatch loops (Run) are the caller's to start,
+// on a context that outlives ctx so in-flight dispatches finish.
 func Serve(ctx context.Context, lis net.Listener, d *Daemon) error {
 	srv := &http.Server{Handler: d.Handler()}
 	errc := make(chan error, 1)
@@ -186,13 +216,15 @@ func Serve(ctx context.Context, lis net.Listener, d *Daemon) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		d.Close()
+		d.Drain()
 		// The serve ctx is already dead here; the shutdown deadline
 		// must outlive it or in-flight streams would be cut off.
 		//p5lint:allow ctxflow graceful shutdown needs a root deadline
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		shutCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
-		if err := srv.Shutdown(shutCtx); err != nil {
+		err := srv.Shutdown(shutCtx)
+		d.Close()
+		if err != nil {
 			srv.Close()
 			return err
 		}

@@ -23,13 +23,16 @@
 //     the circuit breaker), so the fleet scales without restarting the
 //     daemon.
 //
-// The wire protocol, p5queue/v1, layers on p5remote/v1: jobs travel as
+// The wire protocol, p5queue/v2, layers on p5remote/v1: jobs travel as
 // remote.WireJob (Job value + JobKey, recomputed and verified on both
 // sides, so schema drift between binaries fails loudly), and results
 // as remote.WireResult. A submission's response is a stream of
 // newline-delimited JSON events — header, one result per job as it
 // lands, then a trailer — so a client sees cache hits immediately
-// while novel jobs simulate.
+// while novel jobs simulate. A daemon draining for shutdown ends each
+// open stream with a terminal "drained" event listing the unfinished
+// job keys; the client resubmits exactly those (service.Client does so
+// transparently, riding the warm cache).
 package service
 
 import (
@@ -40,7 +43,12 @@ import (
 
 // ProtocolVersion names the queue protocol. Client and daemon must
 // match exactly; either side rejects a mismatch.
-const ProtocolVersion = "p5queue/v1"
+//
+// v2 added the terminal "drained" stream event (a daemon draining for
+// shutdown ends each open stream with the unfinished job keys instead
+// of resolving them as skipped) — a new event type is an incompatible
+// stream change, hence the bump.
+const ProtocolVersion = "p5queue/v2"
 
 // Endpoint paths served by the daemon.
 const (
@@ -74,6 +82,13 @@ const (
 	EventResult = "result"
 	// EventDone closes the stream after every accepted job resolved.
 	EventDone = "done"
+	// EventDrained closes the stream instead of EventDone when the
+	// daemon drained for shutdown before every job could run: its
+	// Unfinished field lists the keys that never resolved. Those jobs
+	// were not attempted and were not failed — the client resubmits
+	// exactly that set (to this daemon's successor, typically) and the
+	// warm cache plus singleflight make the resume cheap.
+	EventDrained = "drained"
 )
 
 // Event is one newline-delimited JSON line of a submit response.
@@ -92,6 +107,9 @@ type Event struct {
 	Skipped bool               `json:"skipped,omitempty"`
 	// Done fields: Err is a submission-level failure, if any.
 	Err string `json:"err,omitempty"`
+	// Drained fields: the job keys left unresolved when the daemon
+	// drained (sorted, so the stream tail is deterministic).
+	Unfinished []string `json:"unfinished,omitempty"`
 }
 
 // Stats is the StatsPath payload: a point-in-time snapshot of the
@@ -105,6 +123,11 @@ type Stats struct {
 	Tenants int `json:"tenants"`
 	// Rejected counts submissions turned away by admission control.
 	Rejected int64 `json:"rejected"`
+	// Drained counts jobs flushed as drained markers by shutdown.
+	Drained int64 `json:"drained"`
+	// Requeued counts dispatch attempts re-admitted after coming back
+	// skipped (backend crash, per-job deadline), capped per job.
+	Requeued int64 `json:"requeued"`
 	// Engine lifetime counters (see engine.Stats for semantics).
 	Submitted int `json:"submitted"`
 	Simulated int `json:"simulated"`

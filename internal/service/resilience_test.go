@@ -1,0 +1,327 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"power5prio/internal/engine"
+	"power5prio/internal/remote"
+)
+
+// skipBackend skips every job (no backend error) for the first `fail`
+// runs, then succeeds — the shape of a fleet that is briefly empty
+// while workers re-register.
+type skipBackend struct {
+	mu   sync.Mutex
+	fail int
+	runs int
+	jobs int
+}
+
+func (b *skipBackend) Name() string                  { return "skips" }
+func (b *skipBackend) Capacity() int                 { return 4 }
+func (b *skipBackend) Healthy(context.Context) error { return nil }
+
+func (b *skipBackend) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	b.mu.Lock()
+	b.runs++
+	failing := b.runs <= b.fail
+	if !failing {
+		b.jobs += len(jobs)
+	}
+	b.mu.Unlock()
+	out := make([]engine.Result, len(jobs))
+	for i, j := range jobs {
+		if failing {
+			out[i] = engine.Result{Job: j, Skipped: true}
+		} else {
+			out[i] = engine.Result{Job: j}
+		}
+	}
+	return out, nil
+}
+
+// TestDrainEmitsUnfinished pins the v2 drain contract on the wire: a
+// daemon drained mid-batch finishes the in-flight dispatch, resolves
+// those jobs normally, and ends the stream with a terminal drained
+// event listing exactly the never-attempted keys, sorted.
+func TestDrainEmitsUnfinished(t *testing.T) {
+	cb := &countingBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(cb)), nil,
+		Config{BatchMax: 2, Dispatchers: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go d.Run(ctx)
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	defer d.Close()
+
+	jobs := svcJobs(5, 0)
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: "c", Jobs: make([]remote.WireJob, len(jobs))}
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = engine.JobKey(j).String()
+		req.Jobs[i] = remote.WireJob{Key: keys[i], Job: j}
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	<-cb.started // batch of 2 in flight, 3 still queued
+	d.Drain()
+	close(cb.gate)
+
+	var results []Event
+	var drainedEv *Event
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream decode: %v (results so far: %d)", err, len(results))
+		}
+		if ev.Type == EventResult {
+			results = append(results, ev)
+			continue
+		}
+		if ev.Type == EventDrained {
+			drainedEv = &ev
+			break
+		}
+		if ev.Type == EventDone {
+			t.Fatal("stream ended with done, want a terminal drained event")
+		}
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results delivered before the drain, want the in-flight 2", len(results))
+	}
+	for _, ev := range results {
+		if ev.Skipped || ev.Result.Err != "" {
+			t.Fatalf("in-flight result = %+v, want clean completion", ev)
+		}
+	}
+	want := append([]string(nil), keys[2:]...)
+	sort.Strings(want)
+	if len(drainedEv.Unfinished) != len(want) {
+		t.Fatalf("drained event lists %v, want %v", drainedEv.Unfinished, want)
+	}
+	for i := range want {
+		if drainedEv.Unfinished[i] != want[i] {
+			t.Fatalf("drained event lists %v, want %v (sorted)", drainedEv.Unfinished, want)
+		}
+	}
+	if st := d.Stats(); st.Drained != 3 {
+		t.Fatalf("stats drained = %d, want 3", st.Drained)
+	}
+
+	// A draining daemon refuses new work transiently: 503 + Retry-After.
+	resp2, err := http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable || resp2.Header.Get("Retry-After") == "" {
+		t.Fatalf("submit to draining daemon = %s (Retry-After %q), want 503 with a hint",
+			resp2.Status, resp2.Header.Get("Retry-After"))
+	}
+}
+
+// TestClientResumesAcrossRestart pins the end-to-end graceful-restart
+// story: a daemon drains mid-submission, the client receives the
+// in-flight results plus a drained event, and transparently resubmits
+// only the unfinished jobs to the restarted daemon — every job
+// resolves cleanly, nothing runs twice.
+func TestClientResumesAcrossRestart(t *testing.T) {
+	cb1 := &countingBackend{gate: make(chan struct{}), started: make(chan struct{})}
+	d1 := New(engine.NewWith(0, nil, engine.WithBackend(cb1)), nil,
+		Config{BatchMax: 2, Dispatchers: 1})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	go d1.Run(ctx1)
+
+	// The "listen address": a front that survives the daemon behind it
+	// being torn down and replaced, as a restarted process's port does.
+	var front atomic.Value // http.Handler
+	front.Store(d1.Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		front.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	jobs := svcJobs(5, 0)
+	var res []engine.Result
+	var runErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		res, runErr = NewClient(srv.URL, WithClientID("c")).Run(nil, jobs)
+	}()
+
+	<-cb1.started // first batch (2 jobs) in flight on daemon 1
+	d1.Drain()
+	close(cb1.gate) // in-flight batch completes; stream ends drained
+
+	// "Restart": a fresh daemon takes over the address.
+	cb2 := &countingBackend{}
+	d2 := New(engine.NewWith(0, nil, engine.WithBackend(cb2)), nil, Config{})
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go d2.Run(ctx2)
+	defer d2.Close()
+	front.Store(d2.Handler())
+	d1.Close()
+
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("client did not resume to completion within 15s")
+	}
+	if runErr != nil {
+		t.Fatalf("resumed run failed: %v", runErr)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d = %+v, want clean result across the restart", i, r)
+		}
+	}
+	_, n1 := cb1.counts()
+	_, n2 := cb2.counts()
+	if n1 != 2 || n2 != 3 {
+		t.Fatalf("daemon1 ran %d jobs, daemon2 %d; want 2 then exactly the 3 unfinished", n1, n2)
+	}
+}
+
+// TestBackpressureCap pins satellite behaviour: a client stuck in
+// admission backpressure gives up with a clear error once its
+// cumulative wait passes the cap, instead of retrying 429s forever.
+func TestBackpressureCap(t *testing.T) {
+	// No dispatch loops: the queue never drains, so the 429 repeats.
+	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil, Config{MaxQueue: 1})
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+
+	cl := NewClient(srv.URL, WithClientID("c"), WithBackpressureCap(500*time.Millisecond))
+	start := time.Now()
+	res, err := cl.Run(nil, svcJobs(2, 0))
+	if err == nil || !strings.Contains(err.Error(), "backpressured for") {
+		t.Fatalf("capped run error = %v, want a backpressure give-up", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("give-up took %s, want prompt once the cap is exceeded", elapsed)
+	}
+	for i, r := range res {
+		if !r.Skipped || r.Err == nil {
+			t.Fatalf("job %d = %+v, want skipped with the cap error", i, r)
+		}
+	}
+}
+
+// TestRequeueOnSkip pins the dispatch retry path: a batch the backend
+// skips (no error — e.g. a momentarily empty fleet) is requeued and
+// succeeds on a later attempt, invisibly to the client beyond latency,
+// and the retries are counted in stats.
+func TestRequeueOnSkip(t *testing.T) {
+	sb := &skipBackend{fail: 1}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(sb)), nil, Config{Dispatchers: 1})
+	srv := startDaemon(t, d)
+
+	res, err := NewClient(srv.URL, WithClientID("c")).Run(nil, svcJobs(3, 0))
+	if err != nil {
+		t.Fatalf("run through a skipping backend: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d = %+v, want success after requeue", i, r)
+		}
+	}
+	if st := d.Stats(); st.Requeued != 3 {
+		t.Fatalf("stats requeued = %d, want 3", st.Requeued)
+	}
+}
+
+// TestDispatchAttemptCap pins the requeue bound: against a backend that
+// never stops skipping, each job resolves as a terminal error naming
+// the attempt budget — not a livelock, and not an endlessly resumable
+// skip.
+func TestDispatchAttemptCap(t *testing.T) {
+	sb := &skipBackend{fail: 1 << 30}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(sb)), nil, Config{Dispatchers: 1})
+	srv := startDaemon(t, d)
+
+	jobs := svcJobs(2, 0)
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: "c", Jobs: make([]remote.WireJob, len(jobs))}
+	for i, j := range jobs {
+		req.Jobs[i] = remote.WireJob{Key: engine.JobKey(j).String(), Job: j}
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(srv.URL+SubmitPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	dec := json.NewDecoder(resp.Body)
+	results := 0
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if ev.Type == EventDone {
+			break
+		}
+		if ev.Type != EventResult {
+			continue
+		}
+		results++
+		if ev.Skipped {
+			t.Fatalf("capped job still marked skipped on the wire: %+v", ev)
+		}
+		if !strings.Contains(ev.Result.Err, "gave up after") {
+			t.Fatalf("capped job error = %q, want the attempt budget named", ev.Result.Err)
+		}
+	}
+	if results != 2 {
+		t.Fatalf("%d results, want 2 terminal failures", results)
+	}
+}
+
+// TestJobTimeout pins the per-job execution deadline: a wedged dispatch
+// is cut off at the batch-scaled deadline, its jobs requeue, and the
+// retry succeeds once the backend behaves.
+func TestJobTimeout(t *testing.T) {
+	// The gated backend's first run blocks until ctx death (the gate
+	// never closes), then skips; subsequent runs succeed instantly.
+	cb := &countingBackend{gate: make(chan struct{})}
+	d := New(engine.NewWith(0, nil, engine.WithBackend(cb)), nil,
+		Config{Dispatchers: 1, JobTimeout: 50 * time.Millisecond})
+	srv := startDaemon(t, d)
+
+	start := time.Now()
+	res, err := NewClient(srv.URL, WithClientID("c")).Run(nil, svcJobs(2, 0))
+	if err != nil {
+		t.Fatalf("run through a wedged first dispatch: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Skipped {
+			t.Fatalf("job %d = %+v, want success after the deadline requeue", i, r)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline recovery took %s", elapsed)
+	}
+	if st := d.Stats(); st.Requeued != 2 {
+		t.Fatalf("stats requeued = %d, want 2 (the deadlined batch)", st.Requeued)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"power5prio/internal/engine"
 	"power5prio/internal/remote"
@@ -17,6 +18,27 @@ var ErrQueueFull = errors.New("service: queue full")
 
 // ErrClosed rejects submissions to a daemon that has shut down.
 var ErrClosed = errors.New("service: daemon closed")
+
+// ErrDraining rejects submissions to a daemon draining for shutdown.
+// The HTTP layer maps it to 503 with Retry-After: unlike ErrClosed it
+// is transient — a successor daemon (or a restart) will accept the
+// work, so clients back off and retry instead of failing.
+var ErrDraining = errors.New("service: daemon draining for shutdown")
+
+// maxDispatchAttempts bounds how many times one job may be requeued
+// after its dispatch came back skipped (backend crash, injected skip,
+// per-job deadline). The cap turns a permanently failing fleet into a
+// per-job error after a bounded number of rounds instead of a requeue
+// livelock.
+const maxDispatchAttempts = 5
+
+// requeueBackoff is the pause a dispatcher takes before requeueing a
+// batch that came back entirely skipped — a backend-level failure such
+// as an empty or fully excluded fleet. Without it a dead fleet would
+// burn through every job's attempt budget in microseconds; with it the
+// budget spans long enough for workers to re-register (heartbeats are
+// seconds apart).
+const requeueBackoff = 250 * time.Millisecond
 
 // Config tunes the daemon. The zero value selects the defaults.
 type Config struct {
@@ -37,6 +59,12 @@ type Config struct {
 	// 2): while one batch simulates, another forms — an interactive
 	// job never waits for a bulk batch to finish.
 	Dispatchers int
+	// JobTimeout bounds one job's execution in the dispatch path: a
+	// batch of n jobs runs under a deadline of n×JobTimeout, so one
+	// wedged job (or a hung worker) cannot pin a dispatcher forever —
+	// the batch's unfinished jobs come back skipped and re-enter the
+	// queue (up to the per-job attempt cap). 0 disables the deadline.
+	JobTimeout time.Duration
 	// Logf, when non-nil, receives one line per notable daemon event.
 	Logf func(format string, args ...any)
 }
@@ -59,27 +87,36 @@ func (c Config) withDefaults() Config {
 
 // item is one queued job plus its delivery route.
 type item struct {
-	job engine.Job
-	idx int // position within the submission
-	sub *submission
+	job      engine.Job
+	idx      int    // position within the submission
+	client   string // tenant queue the item (re-)enters
+	attempts int    // dispatch attempts so far
+	sub      *submission
 }
 
-// indexed is one delivered result.
+// indexed is one delivered outcome: a result, or a drained marker for
+// a job flushed by shutdown (never attempted, never failed).
 type indexed struct {
-	idx int
-	res engine.Result
+	idx     int
+	res     engine.Result
+	drained bool
 }
 
 // submission is one client batch in flight through the queue. Its
 // channel is buffered to the job count, so dispatchers never block on
 // a slow or departed reader — a disconnected client's jobs still run
-// and warm the cache.
+// and warm the cache. Each index receives exactly one terminal event
+// (a result or a drained marker); requeued attempts deliver nothing.
 type submission struct {
 	ch chan indexed
 }
 
 func (s *submission) deliver(idx int, r engine.Result) {
 	s.ch <- indexed{idx: idx, res: r}
+}
+
+func (s *submission) deliverDrained(idx int) {
+	s.ch <- indexed{idx: idx, drained: true}
 }
 
 // tenantQueue is one client's FIFO of queued items.
@@ -104,6 +141,9 @@ type Daemon struct {
 	rrPos    int
 	depth    int // total queued jobs
 	rejected int64
+	drained  int64
+	requeued int64
+	draining bool
 	closed   bool
 }
 
@@ -143,6 +183,9 @@ func (d *Daemon) enqueue(client string, jobs []engine.Job) (*submission, error) 
 	if d.closed {
 		return nil, ErrClosed
 	}
+	if d.draining {
+		return nil, ErrDraining
+	}
 	if d.depth+len(jobs) > d.cfg.MaxQueue {
 		d.rejected++
 		return nil, fmt.Errorf("%w: %d queued + %d submitted exceeds the %d-job bound",
@@ -155,7 +198,7 @@ func (d *Daemon) enqueue(client string, jobs []engine.Job) (*submission, error) 
 		d.order = append(d.order, client)
 	}
 	for i, j := range jobs {
-		q.items = append(q.items, item{job: j, idx: i, sub: sub})
+		q.items = append(q.items, item{job: j, idx: i, client: client, sub: sub})
 	}
 	d.depth += len(jobs)
 	d.cond.Broadcast()
@@ -200,9 +243,11 @@ func (d *Daemon) nextBatch(ctx context.Context) []item {
 }
 
 // Run executes the dispatch loops until ctx is cancelled and the queue
-// has drained (jobs queued at cancellation resolve as Skipped through
-// the engine rather than vanishing). It blocks; a daemon serves
-// batches only while Run is running.
+// has drained. It blocks; a daemon serves batches only while Run is
+// running. Give Run a context that outlives the shutdown signal (p5d
+// does): the graceful path is Drain — flush queued work as drained
+// markers, finish in-flight dispatches — then Close; cancelling Run's
+// ctx mid-dispatch instead resolves in-flight work as Skipped.
 func (d *Daemon) Run(ctx context.Context) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -227,21 +272,164 @@ func (d *Daemon) Run(ctx context.Context) {
 				if batch == nil {
 					return
 				}
-				jobs := make([]engine.Job, len(batch))
-				for i, it := range batch {
-					jobs[i] = it.job
-				}
-				// The dispatch runs under the daemon context, not any
-				// client's: a disconnected client must not cancel work
-				// other clients may be coalesced onto, and completed
-				// results warm the shared cache either way.
-				d.eng.RunFunc(ctx, jobs, func(i int, r engine.Result) {
-					batch[i].sub.deliver(batch[i].idx, r)
-				})
+				d.dispatch(ctx, batch)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// dispatch runs one batch through the engine, delivering completed
+// results live and routing skipped ones (backend crash, injected skip,
+// deadline) back through the queue for another attempt.
+func (d *Daemon) dispatch(ctx context.Context, batch []item) {
+	jobs := make([]engine.Job, len(batch))
+	for i, it := range batch {
+		jobs[i] = it.job
+	}
+	// The dispatch runs under the daemon context, not any client's: a
+	// disconnected client must not cancel work other clients may be
+	// coalesced onto, and completed results warm the shared cache
+	// either way. JobTimeout adds a batch-scaled deadline on top so a
+	// wedged job frees this dispatcher after a bounded wait.
+	runCtx, cancel := ctx, context.CancelFunc(func() {})
+	if d.cfg.JobTimeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, time.Duration(len(batch))*d.cfg.JobTimeout)
+	}
+	out := d.eng.RunFunc(runCtx, jobs, func(i int, r engine.Result) {
+		if r.Skipped {
+			return // handled below once the batch settles
+		}
+		batch[i].sub.deliver(batch[i].idx, r)
+	})
+	cancel()
+
+	skipped := 0
+	for _, r := range out {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		return
+	}
+	if skipped == len(batch) && !d.isDraining() && ctx.Err() == nil {
+		// The whole batch failed at the backend level (empty fleet,
+		// every breaker open). Pause before requeueing so the attempt
+		// budget spans worker re-registration instead of burning out in
+		// a hot loop.
+		time.Sleep(requeueBackoff)
+	}
+	requeued := 0
+	for i, r := range out {
+		if !r.Skipped {
+			continue
+		}
+		it := batch[i]
+		it.attempts++
+		switch d.requeue(it) {
+		case requeueOK:
+			requeued++
+		case requeueDrained:
+			it.sub.deliverDrained(it.idx)
+		case requeueCapped:
+			cause := r.Err
+			if cause == nil {
+				cause = errors.New("dispatch skipped")
+			}
+			r.Err = fmt.Errorf("service: job gave up after %d dispatch attempts: %w", it.attempts, cause)
+			// No longer Skipped on the wire: the daemon *did* attempt it,
+			// repeatedly. Marking it terminal stops the client from
+			// treating the exhausted job as resumable and resubmitting a
+			// lost cause forever.
+			r.Skipped = false
+			it.sub.deliver(it.idx, r)
+		case requeueClosed:
+			it.sub.deliver(it.idx, r)
+		}
+	}
+	if requeued > 0 {
+		d.logf("service: requeued %d of %d skipped jobs for another attempt", requeued, skipped)
+	}
+}
+
+// requeueOutcome is requeue's verdict for one skipped item.
+type requeueOutcome int
+
+const (
+	requeueOK      requeueOutcome = iota // re-admitted for another attempt
+	requeueDrained                       // daemon draining: flush as a drained marker
+	requeueClosed                        // daemon closed: deliver the skipped result as-is
+	requeueCapped                        // attempt budget exhausted: deliver as a failure
+)
+
+// requeue re-admits a skipped item to its tenant queue, bypassing the
+// MaxQueue bound (the item was admitted once already; bouncing it now
+// would turn a transient backend failure into a lost job).
+func (d *Daemon) requeue(it item) requeueOutcome {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.draining {
+		d.drained++
+		return requeueDrained
+	}
+	if d.closed {
+		return requeueClosed
+	}
+	if it.attempts >= maxDispatchAttempts {
+		return requeueCapped
+	}
+	q := d.queues[it.client]
+	if q == nil {
+		q = &tenantQueue{}
+		d.queues[it.client] = q
+		d.order = append(d.order, it.client)
+	}
+	q.items = append(q.items, it)
+	d.depth++
+	d.requeued++
+	d.cond.Broadcast()
+	return requeueOK
+}
+
+func (d *Daemon) isDraining() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining
+}
+
+// Drain moves the daemon into shutdown: admission stops (ErrDraining,
+// which the HTTP layer maps to 503 + Retry-After), and every queued
+// item is flushed to its submission as a drained marker — the open
+// streams end with a terminal drained event listing unfinished keys
+// instead of resolving queued work as skipped. In-flight dispatches
+// are not interrupted; they deliver normally (skipped stragglers from
+// them flush as drained markers too). Idempotent; Close still follows
+// to stop the dispatch loops.
+func (d *Daemon) Drain() {
+	d.mu.Lock()
+	if d.draining {
+		d.mu.Unlock()
+		return
+	}
+	d.draining = true
+	var flushed []item
+	for _, q := range d.queues {
+		flushed = append(flushed, q.items...)
+	}
+	d.queues = make(map[string]*tenantQueue)
+	d.order = nil
+	d.rrPos = 0
+	d.depth = 0
+	d.drained += int64(len(flushed))
+	d.mu.Unlock()
+	d.cond.Broadcast()
+	for _, it := range flushed {
+		it.sub.deliverDrained(it.idx)
+	}
+	if len(flushed) > 0 {
+		d.logf("service: drain: flushed %d queued jobs as drained", len(flushed))
+	}
 }
 
 // Close rejects future submissions and wakes idle dispatchers. Jobs
@@ -281,6 +469,8 @@ func (d *Daemon) Stats() Stats {
 		QueueDepth: d.depth,
 		Tenants:    len(d.order),
 		Rejected:   d.rejected,
+		Drained:    d.drained,
+		Requeued:   d.requeued,
 	}
 	d.mu.Unlock()
 	es := d.eng.Stats()

@@ -296,7 +296,7 @@ func WithRemoteWorkers(addrs ...string) Option {
 
 // WithService routes the System's simulations through a p5d measurement
 // daemon at addr (host:port, or a full http:// URL) speaking the
-// p5queue/v1 protocol. Unlike WithRemoteWorkers — where this process
+// p5queue/v2 protocol. Unlike WithRemoteWorkers — where this process
 // owns the fleet — the daemon is shared: it queues submissions from
 // many concurrent clients with per-client fair scheduling, deduplicates
 // identical in-flight jobs across clients, and answers repeats from its
