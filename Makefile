@@ -57,21 +57,27 @@ lint-tools:
 	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 
 # bench writes the committed perf reports: raw step throughput, A/B
-# fast-forward speedups on the memory-bound regimes, and per-experiment
-# quick regeneration times. Two baselines are committed because
+# fast-forward speedups on the memory-bound regimes, per-experiment
+# quick regeneration times, and the tier-0 estimator document
+# (BENCH_estimator.json: model-vs-simulator speedup and residuals over
+# the calibration matrix). Two simulator baselines are committed because
 # fast-forward speedups depend on run length: the full report tracks
 # the PR-over-PR trajectory, the quick report is what CI's quick runs
-# are gated against. Run on a quiet machine and commit both.
+# are gated against; the estimator section always runs at the golden
+# quick fidelity, so one estimator baseline serves both. Run on a quiet
+# machine and commit all three.
 bench:
 	$(GO) run ./cmd/p5bench -out BENCH_simulator.json
-	$(GO) run ./cmd/p5bench -quick -out BENCH_simulator_quick.json
+	$(GO) run ./cmd/p5bench -quick -out BENCH_simulator_quick.json -estimator-out ""
 
 # bench-smoke is the CI-sized variant (seconds, not minutes); it also
 # asserts fast-forward results are identical to stepped results and
-# gates against the committed quick baseline: a >20% machine-normalized
-# fast-forward throughput regression fails the build.
+# gates against the committed quick baselines: a >20% machine-normalized
+# fast-forward throughput regression, a tier-0 residual past the
+# committed tolerance, or a halved estimator speedup fails the build.
 bench-smoke:
-	$(GO) run ./cmd/p5bench -quick -out /tmp/BENCH_simulator.json -compare BENCH_simulator_quick.json
+	$(GO) run ./cmd/p5bench -quick -out /tmp/BENCH_simulator.json -compare BENCH_simulator_quick.json \
+		-estimator-out /tmp/BENCH_estimator.json -estimator-compare BENCH_estimator.json
 
 regen:
 	$(GO) run ./cmd/p5exp -exp all -quick

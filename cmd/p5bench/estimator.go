@@ -1,0 +1,246 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"power5prio/internal/analytic"
+	"power5prio/internal/engine"
+	"power5prio/internal/experiments"
+	"power5prio/internal/prio"
+)
+
+// The estimator section benchmarks the tier-0 analytical model against
+// the simulator over the calibration matrix and writes its own document
+// (BENCH_estimator.json by convention, committed at the repo root). It
+// always runs at the golden quick fidelity — the parameters the residual
+// bounds in internal/analytic were measured at — so the numbers are
+// comparable across -quick and full p5bench runs and against the
+// committed calib.json golden.
+
+// EstimatorReport is the emitted document. Field names are stable:
+// downstream tooling diffs reports across commits.
+type EstimatorReport struct {
+	Schema  int    `json:"schema"`
+	GoOS    string `json:"go_os"`
+	GoArch  string `json:"go_arch"`
+	CPUs    int    `json:"cpus"`
+	Workers int    `json:"workers"`
+
+	Workloads []string `json:"workloads"`
+	Diffs     []int    `json:"diffs"`
+	Cells     int      `json:"cells"`
+
+	// CalibrationSeconds is the one-time cost of the model's lazy
+	// calibration: the single-thread feature runs plus the first full
+	// matrix of predictions.
+	CalibrationSeconds float64 `json:"calibration_seconds"`
+	// EstimateSeconds is one full matrix pass on the calibrated model —
+	// the steady-state cost of answering every cell from tier 0.
+	EstimateSeconds   float64 `json:"estimate_seconds"`
+	PerEstimateMicros float64 `json:"per_estimate_micros"`
+	// SimulateSeconds is the simulator answering the same cells cold.
+	SimulateSeconds float64 `json:"simulate_seconds"`
+	// Speedup is SimulateSeconds / EstimateSeconds: how much faster the
+	// calibrated model answers the whole matrix than the simulator.
+	Speedup float64 `json:"speedup"`
+
+	MaxAbsResidual  float64 `json:"max_abs_residual"`
+	MeanAbsResidual float64 `json:"mean_abs_residual"`
+	// Tolerance is the committed calibration bound
+	// (analytic.DefaultTolerance); MaxAbsResidual must stay within it.
+	Tolerance       float64 `json:"tolerance"`
+	WithinTolerance bool    `json:"within_tolerance"`
+	// BoundViolations counts cells whose residual escaped the error bar
+	// their own prediction promised (0 on a healthy model).
+	BoundViolations int `json:"bound_violations"`
+}
+
+// minEstimatorSpeedup is the interactive-latency contract: the
+// calibrated model must answer the matrix at least this much faster
+// than the simulator, or the estimator section fails the run.
+const minEstimatorSpeedup = 100.0
+
+// estimatorSection measures the tier-0 model against the simulator over
+// the calibration matrix and exits non-zero when the model misses its
+// accuracy or speed contract.
+func estimatorSection(workers int) EstimatorReport {
+	ctx := context.Background()
+	h := experiments.Quick()
+	names := experiments.CalibWorkloads()
+	diffs := experiments.CalibDiffs()
+
+	// Jobs are built once and shared by both sides, so the model and the
+	// simulator answer the identical question set.
+	eng := engine.New(workers)
+	var jobs []engine.Job
+	for _, p := range names {
+		for _, s := range names {
+			for _, d := range diffs {
+				pp, ps := experiments.DiffPair(d)
+				refP, err := eng.Registry().Resolve(p)
+				if err != nil {
+					panic(err)
+				}
+				refS, err := eng.Registry().Resolve(s)
+				if err != nil {
+					panic(err)
+				}
+				jobs = append(jobs, engine.Pair(refP, refS, pp, ps, prio.Supervisor, h.IterScale, h.Chip, h.Fame))
+			}
+		}
+	}
+
+	rep := EstimatorReport{
+		Schema:    1,
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   workers,
+		Workloads: names,
+		Diffs:     diffs,
+		Cells:     len(jobs),
+		Tolerance: analytic.DefaultTolerance(),
+	}
+
+	// Calibration: a fresh model's first pass over the matrix pays for
+	// the single-thread feature runs (on the model's own engine, so the
+	// ground-truth side below stays cold).
+	model := analytic.New(engine.New(workers))
+	estimates := make([]engine.Estimate, len(jobs))
+	start := time.Now()
+	for i, j := range jobs {
+		ev, ok := model.EstimateJob(j)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "p5bench: estimator declined in-domain job %d (%s+%s)\n", i, j.Primary, j.Secondary)
+			os.Exit(1)
+		}
+		estimates[i] = ev
+	}
+	rep.CalibrationSeconds = time.Since(start).Seconds()
+
+	// Steady state: repeat full passes on the now-calibrated model until
+	// enough wall time accumulates to time reliably (a pass is a few
+	// hundred microseconds).
+	const (
+		minEstimateSeconds = 0.1
+		estimateRepCap     = 4096
+	)
+	var total float64
+	reps := 0
+	for total < minEstimateSeconds && reps < estimateRepCap {
+		start = time.Now()
+		for _, j := range jobs {
+			if _, ok := model.EstimateJob(j); !ok {
+				panic("p5bench: calibrated estimator declined a job it served before")
+			}
+		}
+		total += time.Since(start).Seconds()
+		reps++
+	}
+	rep.EstimateSeconds = total / float64(reps)
+	rep.PerEstimateMicros = rep.EstimateSeconds / float64(len(jobs)) * 1e6
+
+	// Ground truth: the simulator answers the same cells on a cold
+	// engine (memoization still dedups repeated cells within the batch,
+	// exactly as a real sweep would).
+	start = time.Now()
+	results := eng.Run(ctx, jobs)
+	rep.SimulateSeconds = time.Since(start).Seconds()
+	rep.Speedup = rep.SimulateSeconds / rep.EstimateSeconds
+
+	var sum float64
+	for i, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(os.Stderr, "p5bench: estimator ground truth job %d: %v\n", i, r.Err)
+			os.Exit(1)
+		}
+		rp := estimates[i].Pair.Thread[0].IPC - r.Pair.Thread[0].IPC
+		rs := estimates[i].Pair.Thread[1].IPC - r.Pair.Thread[1].IPC
+		worst := math.Max(math.Abs(rp), math.Abs(rs))
+		sum += math.Abs(rp) + math.Abs(rs)
+		if worst > rep.MaxAbsResidual {
+			rep.MaxAbsResidual = worst
+		}
+		if worst > estimates[i].ErrorBar {
+			rep.BoundViolations++
+		}
+	}
+	rep.MeanAbsResidual = sum / float64(2*len(results))
+	rep.WithinTolerance = rep.MaxAbsResidual <= rep.Tolerance
+
+	fmt.Fprintf(os.Stderr, "p5bench: estimator %d cells: calib %.2fs, then %.0fµs/answer vs sim %.2fs — %.0fx; max residual %.4f (tolerance %.2f)\n",
+		rep.Cells, rep.CalibrationSeconds, rep.PerEstimateMicros, rep.SimulateSeconds, rep.Speedup, rep.MaxAbsResidual, rep.Tolerance)
+	if !rep.WithinTolerance || rep.BoundViolations > 0 {
+		fmt.Fprintf(os.Stderr, "p5bench: FATAL: estimator accuracy contract broken (max residual %.4f, tolerance %.2f, %d bound violations)\n",
+			rep.MaxAbsResidual, rep.Tolerance, rep.BoundViolations)
+		os.Exit(1)
+	}
+	if rep.Speedup < minEstimatorSpeedup {
+		fmt.Fprintf(os.Stderr, "p5bench: FATAL: estimator speedup %.0fx below the %.0fx interactive-latency contract\n",
+			rep.Speedup, minEstimatorSpeedup)
+		os.Exit(1)
+	}
+	return rep
+}
+
+// writeEstimatorReport emits the document.
+func writeEstimatorReport(rep EstimatorReport, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "p5bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "p5bench: wrote %s\n", path)
+}
+
+// loadEstimatorReport reads a previously emitted estimator document.
+func loadEstimatorReport(path string) (EstimatorReport, error) {
+	var rep EstimatorReport
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareEstimatorReports checks cur against a committed baseline and
+// returns one message per failed check. Speedup is a same-host ratio
+// (model vs simulator wall time), so it transfers across machines; a
+// fall below half the baseline's speedup means the model's answer path
+// got an order of magnitude slower relative to the simulator — e.g. a
+// per-call recalibration snuck in — and fails the gate. Accuracy is
+// gated against the baseline's committed tolerance, so a baseline from
+// before a tolerance loosening still protects it.
+func compareEstimatorReports(cur, base EstimatorReport) []string {
+	var failures []string
+	if cur.MaxAbsResidual > base.Tolerance {
+		failures = append(failures, fmt.Sprintf(
+			"estimator: max residual %.4f exceeds the baseline tolerance %.2f", cur.MaxAbsResidual, base.Tolerance))
+	}
+	if base.Speedup > 0 && cur.Speedup < base.Speedup/2 {
+		failures = append(failures, fmt.Sprintf(
+			"estimator: speedup fell to %.0fx from the baseline's %.0fx (more than half lost)", cur.Speedup, base.Speedup))
+	}
+	fmt.Fprintf(os.Stderr, "p5bench: compare estimator: speedup %.0fx vs baseline %.0fx, max residual %.4f vs %.4f\n",
+		cur.Speedup, base.Speedup, cur.MaxAbsResidual, base.MaxAbsResidual)
+	return failures
+}

@@ -8,13 +8,20 @@
 //     with the idle-cycle fast-forward on and off, and the resulting
 //     speedup (results are bit-identical either way — the report
 //     asserts it);
-//   - quick-mode regeneration wall time per experiment.
+//   - quick-mode regeneration wall time per experiment;
+//   - the tier-0 estimator section (a second document,
+//     BENCH_estimator.json by convention): the analytical model vs the
+//     simulator over the calibration matrix — per-answer latency,
+//     speedup, and residuals against the committed tolerance. It gates
+//     itself: a model that breaks its accuracy bound or falls below the
+//     100x interactive-latency contract fails the run.
 //
 // Usage:
 //
 //	p5bench                      # full report to BENCH_simulator.json
 //	p5bench -quick -out /tmp/b.json   # CI smoke (seconds, not minutes)
 //	p5bench -quick -compare BENCH_simulator_quick.json   # regression gate
+//	p5bench -estimator-compare BENCH_estimator.json      # estimator gate
 //
 // With -compare, the fresh report is checked against a baseline report:
 // the run exits non-zero if any measurement lost result identity, or if
@@ -93,6 +100,8 @@ func main() {
 		quick   = flag.Bool("quick", false, "reduced scale for CI smoke runs")
 		workers = flag.Int("workers", 1, "regeneration worker pool size (1 keeps timings comparable)")
 		compare = flag.String("compare", "", "baseline report; exit non-zero on lost result identity or >20% normalized throughput regression")
+		estOut  = flag.String("estimator-out", "BENCH_estimator.json", "tier-0 estimator report output file (empty skips the estimator section)")
+		estCmp  = flag.String("estimator-compare", "", "estimator baseline report; exit non-zero on accuracy or speedup regression")
 		common  = cmdutil.AddCommonFlags("p5bench", flag.CommandLine)
 	)
 	flag.Parse()
@@ -174,6 +183,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "p5bench: wrote %s\n", *out)
+
+	// The tier-0 estimator section is its own document: it always runs
+	// at the golden quick fidelity (where the residual bounds were
+	// measured), so one committed BENCH_estimator.json serves both the
+	// full and the quick simulator baselines.
+	if *estOut != "" || *estCmp != "" {
+		estRep := estimatorSection(*workers)
+		if *estOut != "" {
+			writeEstimatorReport(estRep, *estOut)
+		}
+		if *estCmp != "" {
+			base, err := loadEstimatorReport(*estCmp)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "p5bench:", err)
+				os.Exit(1)
+			}
+			failures := compareEstimatorReports(estRep, base)
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "p5bench: REGRESSION: %s\n", f)
+			}
+			if len(failures) > 0 {
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "p5bench: estimator: no regression against %s\n", *estCmp)
+		}
+	}
 
 	if *compare != "" {
 		base, err := loadReport(*compare)

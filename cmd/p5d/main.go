@@ -1,5 +1,5 @@
 // Command p5d is the long-running measurement daemon: many concurrent
-// clients (p5exp -submit, power5prio.WithService, or raw p5queue/v2
+// clients (p5exp -submit, power5prio.WithService, or raw p5queue/v3
 // HTTP) stream job submissions to one shared engine, with admission
 // control, weighted round-robin fairness across client IDs, and
 // cross-client deduplication — identical jobs from different clients
@@ -21,8 +21,17 @@
 // does this and heartbeats it — so the fleet grows without restarting
 // the daemon.
 //
-// GET /v1/stats reports queue depth, tenant count, cache-tier hit
-// counters and per-worker circuit-breaker state. SIGINT/SIGTERM drain
+// Every daemon carries the tier-0 analytical estimator: a submission
+// with an estimate spec (service.WithEstimate client-side) is answered
+// from the calibrated model when its error bar fits, without
+// simulating; -estimate sets the default policy for submissions that
+// carry no spec (off keeps the daemon exact, the seed behaviour).
+// Estimated results are flagged on the wire with their error bar and
+// never enter any cache tier.
+//
+// GET /v1/stats reports queue depth, tenant count, cache-tier and
+// estimator counters, a per-client answer-tier breakdown, and
+// per-worker circuit-breaker state. SIGINT/SIGTERM drain
 // gracefully: admission stops (503 + Retry-After), in-flight dispatches
 // finish, and every open stream ends with its terminal event — queued
 // jobs that never ran are handed back as a "drained" event so clients
@@ -42,6 +51,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"power5prio/internal/analytic"
 	"power5prio/internal/chaos"
 	"power5prio/internal/cmdutil"
 	"power5prio/internal/engine"
@@ -62,9 +72,11 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-job execution deadline within a dispatch (0 = none; deadlined jobs requeue)")
 		chaosPlan   = flag.String("chaos", "", "fault-injection plan JSON (see internal/chaos) applied to the backend and cache store")
 		quiet       = flag.Bool("quiet", false, "suppress the per-event log lines")
+		est         = flag.String("estimate", "off", cmdutil.EstimateFlagHelp+" Sets the default for submissions without their own estimate spec.")
 		common      = cmdutil.AddCommonFlags("p5d", flag.CommandLine)
 	)
 	flag.Parse()
+	estMode := cmdutil.ParseEstimate("p5d", *est)
 	store := common.Init()
 	stopProfiles := common.StartProfiles()
 
@@ -117,6 +129,12 @@ func main() {
 		engOpts = append(engOpts, engine.WithBackend(backend))
 	}
 	eng := engine.NewWith(*workers, nil, engOpts...)
+	// The estimator is always attached — clients opt in per submission
+	// even on an exact-by-default daemon; calibration runs lazily, so an
+	// estimator nobody consults costs nothing. -estimate only moves the
+	// default for spec-less submissions.
+	eng.SetEstimator(analytic.New(eng))
+	eng.SetEstimateMode(estMode)
 
 	cfg := service.Config{
 		MaxQueue:    *maxQueue,

@@ -11,6 +11,8 @@
 //	p5exp -cache-dir ~/.cache/p5exp -cache stats      # inspect the cache
 //	p5exp -exp all -remote host1:7550,host2:7550      # shard across workers
 //	p5exp -exp all -quick -submit daemon:7551         # run through a p5d daemon
+//	p5exp -exp fig5 -estimate default    # tier-0 analytical answers within tolerance
+//	p5exp -exp calib -quick              # model-vs-simulator residual gate
 //
 // With -cache-dir, results persist across invocations: a re-run of the
 // same experiments performs no simulations (all disk hits), and
@@ -39,6 +41,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"power5prio/internal/analytic"
 	"power5prio/internal/cachestore"
 	"power5prio/internal/cmdutil"
 	"power5prio/internal/engine"
@@ -48,7 +51,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|all")
+		exp     = flag.String("exp", "all", "experiment: table1|table3|fig2|fig3|fig4|fig5|table4|fig6|calib|all")
 		quick   = flag.Bool("quick", false, "reduced fidelity (fewer repetitions, shorter kernels)")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		verify  = flag.Bool("verify", false, "check the paper's headline claims and exit non-zero on failure")
@@ -58,6 +61,7 @@ func main() {
 		remotes = flag.String("remote", "", "shard simulation across p5worker processes at host:port[,host:port...] instead of running locally")
 		submit  = flag.String("submit", "", "submit simulation jobs to a p5d daemon at host:port instead of running locally (shares its queue, cache and fleet with other clients)")
 		client  = flag.String("client", "", "tenant name for -submit fair scheduling (default: a per-process id)")
+		est     = flag.String("estimate", "off", cmdutil.EstimateFlagHelp)
 		common  = cmdutil.AddCommonFlags("p5exp", flag.CommandLine)
 	)
 	flag.Parse()
@@ -65,6 +69,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "p5exp: -remote and -submit are mutually exclusive (a daemon owns its own fleet)")
 		os.Exit(2)
 	}
+	estMode := cmdutil.ParseEstimate("p5exp", *est)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -99,6 +104,15 @@ func main() {
 		h = experiments.Quick()
 	}
 	h.Engine = engine.NewWith(*workers, nil, engOpts...)
+	// Tier 0 sits in front of every cache tier and the backend alike:
+	// with -estimate, jobs the model can answer within tolerance never
+	// reach simulation (local, -remote or -submit). Off — or a zero
+	// tolerance — leaves every experiment byte-identical to a run
+	// without the flag.
+	if estMode.Enabled {
+		h.Engine.SetEstimator(analytic.New(h.Engine))
+		h.Engine.SetEstimateMode(estMode)
+	}
 	// exit reports the engine stats before terminating: os.Exit skips
 	// deferred functions, and the stats matter most on failed runs.
 	exit := func(code int) {
@@ -186,6 +200,21 @@ func main() {
 			r, err := experiments.Fig6(ctx, h)
 			emit(r.Render()...)
 			interrupted(err)
+		case "calib":
+			// The tier-0 accuracy gate: model vs simulator over the
+			// calibration matrix, non-zero exit when any residual escapes
+			// its committed error bar. Not part of "all" — it validates
+			// the estimator, not the paper.
+			r, err := experiments.Calib(ctx, h)
+			if err != nil {
+				interrupted(ctx.Err())
+				fmt.Fprintln(os.Stderr, "p5exp:", err)
+				exit(1)
+			}
+			fmt.Print(r.Render())
+			if !r.WithinBounds() || r.MaxAbsResidual > r.Tolerance {
+				exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "p5exp: unknown experiment %q\n", name)
 			exit(2)

@@ -52,9 +52,11 @@ func run() int {
 		showPow = flag.Bool("power", false, "estimate core power with the activity model")
 		disasm  = flag.Bool("disasm", false, "print the first workload's loop body and exit")
 		remotes = flag.String("remote", "", "run measurements on p5worker processes at host:port[,host:port...] instead of locally")
+		est     = flag.String("estimate", "off", cmdutil.EstimateFlagHelp)
 		common  = cmdutil.AddCommonFlags("p5sim", flag.CommandLine)
 	)
 	flag.Parse()
+	estMode := cmdutil.ParseEstimate("p5sim", *est)
 	store := common.Init()
 
 	if *list {
@@ -71,6 +73,7 @@ func run() int {
 	sysOpts := []power5prio.Option{
 		power5prio.WithMeasureOptions(opts),
 		power5prio.WithWorkers(*workers),
+		power5prio.WithEstimate(estMode),
 	}
 	if store != nil {
 		// A re-run of the same workloads and settings — including a
@@ -147,8 +150,9 @@ func run() int {
 
 // runSweep submits the pair at every priority difference in [-5,+5] as
 // one batch; independent points simulate concurrently on the worker
-// pool. A cancelled sweep prints the completed prefix. It returns the
-// process exit code.
+// pool. Each row reports the answer tier that served it — simulation,
+// cache, or a tier-0 estimate with its error bar. A cancelled sweep
+// prints the completed settings. It returns the process exit code.
 func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) int {
 	diffs := []int{-5, -4, -3, -2, -1, 0, 1, 2, 3, 4, 5}
 	specs := make([]power5prio.Spec, len(diffs))
@@ -156,19 +160,33 @@ func runSweep(ctx context.Context, sys *power5prio.System, nameA, nameB string) 
 		pa, pb := experiments.DiffPair(d)
 		specs[i] = power5prio.Spec{A: nameA, B: nameB, PA: pa, PB: pb}
 	}
-	results, err := sys.MeasureBatch(ctx, specs)
+	results, err := sys.MeasureResults(ctx, specs)
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "p5sim:", err)
 		return 1
 	}
-	fmt.Printf("%-6s %-10s %12s %12s %10s\n", "diff", "priorities", nameA, nameB, "total")
+	fmt.Printf("%-6s %-10s %12s %12s %10s  %s\n", "diff", "priorities", nameA, nameB, "total", "tier")
+	done := 0
 	for i, r := range results {
-		fmt.Printf("%+-6d (%d,%d)      %12.3f %12.3f %10.3f\n",
-			diffs[i], specs[i].PA, specs[i].PB, r.Thread[0].IPC, r.Thread[1].IPC, r.TotalIPC)
+		tier := "sim"
+		switch {
+		case r.Skipped:
+			tier = "-"
+		case r.Estimated:
+			tier = fmt.Sprintf("est ±%.2f", r.ErrorBar)
+		case r.CacheHit:
+			tier = "cache"
+		}
+		if !r.Skipped {
+			done++
+		}
+		fmt.Printf("%+-6d (%d,%d)      %12.3f %12.3f %10.3f  %s\n",
+			diffs[i], specs[i].PA, specs[i].PB,
+			r.Pair.Thread[0].IPC, r.Pair.Thread[1].IPC, r.Pair.TotalIPC, tier)
 	}
 	fmt.Printf("engine: %s\n", sys.BatchStats())
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "p5sim: interrupted after %d/%d settings\n", len(results), len(specs))
+		fmt.Fprintf(os.Stderr, "p5sim: interrupted after %d/%d settings\n", done, len(specs))
 		return 130
 	}
 	return 0

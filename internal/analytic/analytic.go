@@ -1,0 +1,294 @@
+// Package analytic is the tier-0 answer path: a closed-form model of
+// the POWER5 decode-slot allocator and miss-throttle that predicts the
+// per-thread IPCs of a co-scheduled pair from features measured once
+// per workload on cheap single-thread runs — no pair simulation.
+//
+// The model (model.go) composes three effects the simulator produces
+// cycle-by-cycle:
+//
+//   - Decode cap: a thread at priority difference diff receives
+//     prio.Share(diff) of decode cycles, slots its partner leaves idle
+//     are not redistributed, and each granted cycle decodes at most one
+//     dispatch group — so co-run IPC is capped at share × group size.
+//   - Flush refill: after a branch-mispredict flush the frontend
+//     refills at the granted rate, adding (1/share − 1) cycles per
+//     mispredict over the single-thread run.
+//   - Memory contention: two memory-bound threads split miss-queue
+//     occupancy and bandwidth in proportion to decode share, degrading
+//     each other by the product of their memory-boundedness.
+//
+// Calibration runs each workload once in single-thread mode on a fresh
+// chip — exactly the placement engine.Single describes — and extracts
+// Features from the pipeline's ThreadStats. Calibrations are memoized
+// in-process and, when the engine has a persistent store, across
+// processes under engine.Memo (schema power5prio/analytic/calib/v1).
+//
+// Every estimate carries an error bar: the committed worst-case
+// absolute IPC residual for the workload-class pair (residuals.go),
+// measured against the golden quick suite by the calib experiment
+// (internal/experiments). The engine escalates to simulation whenever
+// the bar exceeds the caller's tolerance, so the model's inaccuracy is
+// capped by contract, not hope.
+package analytic
+
+import (
+	"fmt"
+	"sync"
+
+	"power5prio/internal/core"
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
+	"power5prio/internal/isa"
+	"power5prio/internal/prio"
+	"power5prio/internal/workload"
+)
+
+// calibSchema versions the persistent calibration records. Bump it when
+// Features gains fields or the calibration placement changes.
+const calibSchema = "power5prio/analytic/calib/v1"
+
+// Features is one workload's calibration record: everything the model
+// needs, measured from a single-thread run. The struct is flat and
+// field-ordered for canonical hashing and stable JSON (it is persisted
+// under engine.Memo).
+type Features struct {
+	// IPC is the single-thread FAME IPC — the model's upper bound for
+	// the thread's co-run IPC.
+	IPC float64 `json:"ipc"`
+	// RepInstrs is the average retired instructions per repetition,
+	// used to synthesize AvgRepCycles for a predicted IPC.
+	RepInstrs float64 `json:"rep_instrs"`
+	// GroupSize is the average instructions per decoded dispatch group
+	// — the per-granted-slot decode bandwidth, which with the priority
+	// share forms the hard IPC ceiling (model.go).
+	GroupSize float64 `json:"group_size"`
+	// StallFrac is DecodeStalled/DecodeGranted: the fraction of offered
+	// slots lost to pipeline stalls.
+	StallFrac float64 `json:"stall_frac"`
+	// LoadFrac is the fraction of issued operations going through the
+	// load/store units; with StallFrac and GCTFull it forms MemBound,
+	// separating memory-bound stalls from execution-latency stalls.
+	LoadFrac float64 `json:"load_frac"`
+	// GCTFull is the mean global-completion-table occupancy as a
+	// fraction of its capacity: near 1 when long-latency operations
+	// keep the shared window full (the signature of outstanding cache
+	// misses), low for flush-dominated kernels that drain it.
+	GCTFull float64 `json:"gct_full"`
+	// MispredictsPerInstr is branch mispredictions per retired
+	// instruction (each flush refills at granted — not full — decode
+	// bandwidth in a co-run, which the share math alone cannot see).
+	MispredictsPerInstr float64 `json:"mispredicts_per_instr"`
+	// TimedOut records a calibration that hit the FAME cycle cap; the
+	// model declines jobs involving such workloads.
+	TimedOut bool `json:"timed_out,omitempty"`
+}
+
+// calKey identifies one calibration: the workload content plus every
+// job field that shapes its single-thread run. It hashes canonically
+// (all fields are flat values), which the keyhash tests pin.
+type calKey struct {
+	Ref       workload.Ref
+	Privilege prio.Privilege
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+}
+
+type calEntry struct {
+	once sync.Once
+	f    Features
+	err  error
+}
+
+// Model is a calibrated analytical estimator implementing
+// engine.Estimator. It is safe for concurrent use; calibration runs at
+// most once per distinct (workload, configuration) per process.
+type Model struct {
+	eng *engine.Engine
+
+	mu  sync.Mutex
+	cal map[calKey]*calEntry
+}
+
+// New returns a model calibrating through eng: workload refs resolve in
+// eng's registry, and calibration records persist in eng's store (when
+// it has one) so warm daemons skip even the single-thread runs.
+func New(eng *engine.Engine) *Model {
+	return &Model{eng: eng, cal: make(map[calKey]*calEntry)}
+}
+
+// Calibrations reports how many distinct (workload, configuration)
+// calibrations this model has resolved (computed or loaded from the
+// store).
+func (m *Model) Calibrations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.cal)
+}
+
+// EstimateJob implements engine.Estimator: a prediction for co-scheduled
+// pair jobs within the model's domain, ok=false otherwise.
+func (m *Model) EstimateJob(j engine.Job) (engine.Estimate, bool) {
+	p, err := m.Describe(j)
+	if err != nil {
+		return engine.Estimate{}, false
+	}
+	return p.Estimate, true
+}
+
+// Prediction is the full detail behind one estimate, for reports and
+// calibration tables.
+type Prediction struct {
+	// Estimate is what EstimateJob serves: the predicted PairResult and
+	// the class-pair error bar.
+	Estimate engine.Estimate
+	// Primary/Secondary are the calibration features the prediction was
+	// computed from.
+	Primary, Secondary Features
+	// ClassP/ClassS are the workload classes the error bar was looked
+	// up under.
+	ClassP, ClassS Class
+	// ShareP is the decode-slot fraction granted to the primary thread
+	// at the job's priority difference.
+	ShareP float64
+}
+
+// Describe computes the prediction for a pair job, calibrating its
+// workloads on first sight. It errors outside the model's domain:
+// single-thread jobs (those ARE the calibration — estimating them from
+// themselves would be circular), thread-off or low-power priority
+// pairs, unknown workloads, and workloads whose calibration timed out.
+func (m *Model) Describe(j engine.Job) (Prediction, error) {
+	if j.Primary.IsZero() || j.Secondary.IsZero() {
+		return Prediction{}, fmt.Errorf("analytic: single-thread jobs are not estimable")
+	}
+	if j.PrioP == prio.ThreadOff || j.PrioS == prio.ThreadOff {
+		return Prediction{}, fmt.Errorf("analytic: thread-off pair (%v,%v) outside model domain", j.PrioP, j.PrioS)
+	}
+	if j.PrioP == prio.VeryLow && j.PrioS == prio.VeryLow {
+		return Prediction{}, fmt.Errorf("analytic: low-power mode (1,1) outside model domain")
+	}
+	if err := j.Fame.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if err := j.Chip.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	fp, err := m.features(keyOf(j, j.Primary))
+	if err != nil {
+		return Prediction{}, err
+	}
+	fs, err := m.features(keyOf(j, j.Secondary))
+	if err != nil {
+		return Prediction{}, err
+	}
+	if fp.TimedOut || fs.TimedOut {
+		return Prediction{}, fmt.Errorf("analytic: calibration timed out; workload outside model domain")
+	}
+
+	shareP := prio.Share(int(j.PrioP) - int(j.PrioS))
+	ipcP := predictIPC(fp, fs, shareP)
+	ipcS := predictIPC(fs, fp, 1-shareP)
+	cp, cs := Classify(fp), Classify(fs)
+
+	var pair fame.PairResult
+	pair.Thread[0] = synthThread(fp, ipcP)
+	pair.Thread[1] = synthThread(fs, ipcS)
+	pair.TotalIPC = ipcP + ipcS
+	return Prediction{
+		Estimate: engine.Estimate{Pair: pair, ErrorBar: Bound(cp, cs)},
+		Primary:  fp, Secondary: fs,
+		ClassP: cp, ClassS: cs,
+		ShareP: shareP,
+	}, nil
+}
+
+// synthThread shapes a predicted IPC into the ThreadResult fields the
+// model can honestly fill. Counters only a simulation produces (Reps,
+// Instructions, Cycles) stay zero — an estimate does not fake them.
+func synthThread(f Features, ipc float64) fame.ThreadResult {
+	tr := fame.ThreadResult{Active: true, IPC: ipc}
+	if ipc > 0 {
+		tr.AvgRepCycles = f.RepInstrs / ipc
+	}
+	return tr
+}
+
+func keyOf(j engine.Job, ref workload.Ref) calKey {
+	return calKey{Ref: ref, Privilege: j.Privilege, IterScale: j.IterScale, Chip: j.Chip, Fame: j.Fame}
+}
+
+// features returns the calibration record for k, computing it at most
+// once per process and memoizing through the engine's persistent store.
+func (m *Model) features(k calKey) (Features, error) {
+	m.mu.Lock()
+	ent, ok := m.cal[k]
+	if !ok {
+		ent = &calEntry{}
+		m.cal[k] = ent
+	}
+	m.mu.Unlock()
+	ent.once.Do(func() {
+		_, ent.err = m.eng.Memo(calibSchema, k, &ent.f, func() error {
+			f, err := calibrate(m.eng.Registry(), k)
+			if err != nil {
+				return err
+			}
+			ent.f = f
+			return nil
+		})
+		if ent.err != nil {
+			// A failed calibration must not stick as a zero record;
+			// drop the entry so a later call can retry.
+			m.mu.Lock()
+			if m.cal[k] == ent {
+				delete(m.cal, k)
+			}
+			m.mu.Unlock()
+		}
+	})
+	return ent.f, ent.err
+}
+
+// calibrate measures one workload's Features from a single-thread run
+// on a fresh chip — the same placement engine.Single describes, so the
+// record is a pure function of the key.
+func calibrate(reg *workload.Registry, k calKey) (Features, error) {
+	kern, err := reg.Build(k.Ref, k.IterScale)
+	if err != nil {
+		return Features{}, err
+	}
+	ch := core.NewChip(k.Chip)
+	ch.PlacePair(kern, nil, prio.Medium, prio.Medium, k.Privilege)
+	res := fame.Measure(ch, k.Fame)
+
+	c := ch.ExperimentCore()
+	st := c.Stats(0)
+	cs := c.CoreStats()
+	tr := res.Thread[0]
+
+	f := Features{IPC: tr.IPC, TimedOut: res.TimedOut}
+	if tr.Reps > 0 {
+		f.RepInstrs = float64(tr.Instructions) / float64(tr.Reps)
+	}
+	if cs.DecodedGroups > 0 {
+		f.GroupSize = float64(cs.DecodedInstrs) / float64(cs.DecodedGroups)
+	}
+	if st.DecodeGranted > 0 {
+		f.StallFrac = float64(st.DecodeStalled) / float64(st.DecodeGranted)
+	}
+	var issued uint64
+	for _, n := range cs.IssuedByUnit {
+		issued += n
+	}
+	if issued > 0 {
+		f.LoadFrac = float64(cs.IssuedByUnit[isa.UnitLS]) / float64(issued)
+	}
+	if n := k.Chip.Pipe.GCTEntries; n > 0 {
+		f.GCTFull = cs.AvgGCTOccupancy() / float64(n)
+	}
+	if st.Instructions > 0 {
+		f.MispredictsPerInstr = float64(st.BranchMispredicts) / float64(st.Instructions)
+	}
+	return f, nil
+}

@@ -1,0 +1,292 @@
+package analytic
+
+import (
+	"testing"
+
+	"power5prio/internal/cachestore"
+	"power5prio/internal/core"
+	"power5prio/internal/engine"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+	"power5prio/internal/prio"
+	"power5prio/internal/workload"
+)
+
+// testOptions keeps calibration runs fast: two repetitions, tiny kernels.
+func testOptions() fame.Options {
+	return fame.Options{MinReps: 2, WarmupReps: 0, MaxCycles: 50_000_000}
+}
+
+const testScale = 0.02
+
+func ref(t testing.TB, name string) workload.Ref {
+	t.Helper()
+	r, err := workload.NewRegistry().Resolve(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func pairJob(t testing.TB, a, b string, pp, ps prio.Level) engine.Job {
+	t.Helper()
+	return engine.Pair(ref(t, a), ref(t, b), pp, ps, prio.Supervisor, testScale, core.DefaultConfig(), testOptions())
+}
+
+// TestEstimateShape: within the domain the model serves a full pair
+// prediction — both threads active, TotalIPC the sum, a positive error
+// bar, and honest zeros for the counters only a simulation produces.
+func TestEstimateShape(t *testing.T) {
+	m := New(engine.New(1))
+	j := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	ev, ok := m.EstimateJob(j)
+	if !ok {
+		t.Fatal("EstimateJob declined an in-domain pair job")
+	}
+	p0, p1 := ev.Pair.Thread[0], ev.Pair.Thread[1]
+	if !p0.Active || !p1.Active {
+		t.Errorf("predicted threads not both active: %+v", ev.Pair)
+	}
+	if p0.IPC <= 0 || p1.IPC <= 0 {
+		t.Errorf("predicted IPCs not positive: %v, %v", p0.IPC, p1.IPC)
+	}
+	if got, want := ev.Pair.TotalIPC, p0.IPC+p1.IPC; got != want {
+		t.Errorf("TotalIPC = %v, want %v", got, want)
+	}
+	if ev.ErrorBar <= 0 {
+		t.Errorf("ErrorBar = %v, want > 0", ev.ErrorBar)
+	}
+	if p0.Reps != 0 || p0.Instructions != 0 || p0.Cycles != 0 || ev.Pair.Cycles != 0 {
+		t.Errorf("estimate faked simulation counters: %+v", ev.Pair)
+	}
+	if ev.Pair.TimedOut {
+		t.Error("estimate marked TimedOut")
+	}
+}
+
+// TestEstimateDeterministic: the same job estimates to the identical
+// value, and a fresh model (fresh calibration) agrees exactly.
+func TestEstimateDeterministic(t *testing.T) {
+	j := pairJob(t, microbench.BrMiss, microbench.LdIntMem, prio.High, prio.Low)
+	m1, m2 := New(engine.New(1)), New(engine.New(4))
+	a, ok := m1.EstimateJob(j)
+	if !ok {
+		t.Fatal("declined")
+	}
+	b, _ := m1.EstimateJob(j)
+	c, ok := m2.EstimateJob(j)
+	if !ok {
+		t.Fatal("fresh model declined")
+	}
+	if a != b {
+		t.Errorf("repeat estimate differs:\n%+v\n%+v", a, b)
+	}
+	if a != c {
+		t.Errorf("fresh-model estimate differs:\n%+v\n%+v", a, c)
+	}
+}
+
+// TestCalibrationMemoized: estimating many pairs over two workloads
+// calibrates each workload exactly once.
+func TestCalibrationMemoized(t *testing.T) {
+	m := New(engine.New(1))
+	for _, pp := range []prio.Level{prio.VeryHigh, prio.Medium, prio.Low} {
+		if _, ok := m.EstimateJob(pairJob(t, microbench.CPUInt, microbench.LdIntL2, pp, prio.Medium)); !ok {
+			t.Fatalf("declined at priority %v", pp)
+		}
+	}
+	if got := m.Calibrations(); got != 2 {
+		t.Errorf("Calibrations() = %d after 3 pairs of 2 workloads, want 2", got)
+	}
+	// Swapped order reuses the same records.
+	if _, ok := m.EstimateJob(pairJob(t, microbench.LdIntL2, microbench.CPUInt, prio.Medium, prio.Medium)); !ok {
+		t.Fatal("declined swapped pair")
+	}
+	if got := m.Calibrations(); got != 2 {
+		t.Errorf("Calibrations() = %d after swapped pair, want 2", got)
+	}
+	// A different fidelity is a different calibration.
+	j := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	j.Fame.MinReps = 3
+	if _, ok := m.EstimateJob(j); !ok {
+		t.Fatal("declined at different fidelity")
+	}
+	if got := m.Calibrations(); got != 4 {
+		t.Errorf("Calibrations() = %d after fidelity change, want 4", got)
+	}
+}
+
+// TestModelDomain: everything outside the domain declines rather than
+// serving a wrong answer.
+func TestModelDomain(t *testing.T) {
+	m := New(engine.New(1))
+	cases := map[string]engine.Job{
+		"single-thread": engine.Single(ref(t, microbench.CPUInt), prio.Supervisor, testScale, core.DefaultConfig(), testOptions()),
+		"zero job":      {},
+		"thread-off":    pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.ThreadOff, prio.Medium),
+		"low-power":     pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.VeryLow, prio.VeryLow),
+	}
+	badFame := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	badFame.Fame.MinReps = 0
+	cases["invalid fame"] = badFame
+	badChip := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	badChip.Chip.ExperimentCore = 99
+	cases["invalid chip"] = badChip
+	forged := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	forged.Secondary = workload.Ref{Name: "no_such_bench", Family: workload.Micro, Fingerprint: 1}
+	cases["unknown workload"] = forged
+
+	for name, j := range cases {
+		if _, ok := m.EstimateJob(j); ok {
+			t.Errorf("%s: EstimateJob served an answer, want decline", name)
+		}
+	}
+	// Only the forged-partner case reaches calibration (its valid primary
+	// calibrates before the unknown secondary fails); everything else is
+	// rejected before any simulation.
+	if got := m.Calibrations(); got > 1 {
+		t.Errorf("declined jobs left %d calibrations, want at most 1", got)
+	}
+}
+
+// TestFeatureExtraction: calibration features carry the physical
+// signatures the model depends on.
+func TestFeatureExtraction(t *testing.T) {
+	m := New(engine.New(1))
+	j := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	p, err := m.Describe(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, ld := p.Primary, p.Secondary
+	if cpu.IPC <= 0 || ld.IPC <= 0 {
+		t.Fatalf("non-positive single-thread IPCs: %+v / %+v", cpu, ld)
+	}
+	if cpu.IPC <= ld.IPC {
+		t.Errorf("cpu_int ST IPC %v not above ldint_l2's %v", cpu.IPC, ld.IPC)
+	}
+	if cpu.LoadFrac != 0 {
+		t.Errorf("cpu_int LoadFrac = %v, want 0 (no memory ops)", cpu.LoadFrac)
+	}
+	if ld.LoadFrac <= 0 {
+		t.Errorf("ldint_l2 LoadFrac = %v, want > 0", ld.LoadFrac)
+	}
+	if cpu.GroupSize < 1 || ld.GroupSize < 1 {
+		t.Errorf("group sizes below 1: %v / %v", cpu.GroupSize, ld.GroupSize)
+	}
+	if ld.StallFrac <= cpu.StallFrac {
+		t.Errorf("cache-thrashing StallFrac %v not above compute's %v", ld.StallFrac, cpu.StallFrac)
+	}
+	if cpu.MemBound() >= ld.MemBound() {
+		t.Errorf("MemBound ordering wrong: cpu_int %v >= ldint_l2 %v", cpu.MemBound(), ld.MemBound())
+	}
+	if p.ClassP != ClassCPU {
+		t.Errorf("cpu_int classified %q, want %q", p.ClassP, ClassCPU)
+	}
+	if p.ShareP != 0.5 {
+		t.Errorf("ShareP at equal priority = %v, want 0.5", p.ShareP)
+	}
+}
+
+// TestPredictedSharesMonotone: boosting a thread's priority never
+// lowers its predicted IPC and never raises its partner's.
+func TestPredictedSharesMonotone(t *testing.T) {
+	m := New(engine.New(1))
+	lastP, lastS := 0.0, 2.0
+	for _, pp := range []prio.Level{prio.Low, prio.Medium, prio.High, prio.VeryHigh} {
+		p, err := m.Describe(pairJob(t, microbench.CPUInt, microbench.LdIntL2, pp, prio.Medium))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipcP, ipcS := p.Estimate.Pair.Thread[0].IPC, p.Estimate.Pair.Thread[1].IPC
+		if ipcP < lastP {
+			t.Errorf("priority %v: primary IPC %v fell below %v", pp, ipcP, lastP)
+		}
+		if ipcS > lastS {
+			t.Errorf("priority %v: secondary IPC %v rose above %v", pp, ipcS, lastS)
+		}
+		lastP, lastS = ipcP, ipcS
+	}
+}
+
+// TestBounds: the committed residual table is total over classes,
+// symmetric through Bound, and DefaultTolerance accepts all of it.
+func TestBounds(t *testing.T) {
+	classes := []Class{ClassCPU, ClassMixed, ClassMem}
+	tol := DefaultTolerance()
+	if tol <= 0 {
+		t.Fatalf("DefaultTolerance() = %v", tol)
+	}
+	for _, a := range classes {
+		for _, b := range classes {
+			bd := Bound(a, b)
+			if bd <= 0 {
+				t.Errorf("Bound(%s,%s) = %v, want > 0", a, b, bd)
+			}
+			if got := Bound(b, a); got != bd {
+				t.Errorf("Bound(%s,%s) = %v != Bound(%s,%s) = %v", a, b, bd, b, a, got)
+			}
+			if bd > tol {
+				t.Errorf("Bound(%s,%s) = %v exceeds DefaultTolerance %v", a, b, bd, tol)
+			}
+		}
+	}
+}
+
+// TestCalKeyHashable: the persistent calibration key hashes canonically
+// under its schema — the contract that lets records round-trip through
+// the engine store across processes.
+func TestCalKeyHashable(t *testing.T) {
+	j := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+	k1 := keyOf(j, j.Primary)
+	k2 := keyOf(j, j.Secondary)
+	h1, err := cachestore.HashValue(calibSchema, k1)
+	if err != nil {
+		t.Fatalf("HashValue(calKey): %v", err)
+	}
+	h2, err := cachestore.HashValue(calibSchema, k2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("distinct workloads hashed to the same calibration key")
+	}
+	if again, _ := cachestore.HashValue(calibSchema, k1); again != h1 {
+		t.Error("calKey hash not deterministic")
+	}
+}
+
+// TestCalibrationPersists: a second model sharing the first's store
+// loads calibration records instead of re-measuring.
+func TestCalibrationPersists(t *testing.T) {
+	st, err := cachestore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := pairJob(t, microbench.CPUInt, microbench.LdIntL2, prio.Medium, prio.Medium)
+
+	e1 := engine.NewWith(1, nil, engine.WithStore(st))
+	a, ok := New(e1).EstimateJob(j)
+	if !ok {
+		t.Fatal("declined")
+	}
+	w1 := e1.Stats().DiskWrites
+	if w1 < 2 {
+		t.Fatalf("first model persisted %d records, want >= 2", w1)
+	}
+
+	e2 := engine.NewWith(1, nil, engine.WithStore(st))
+	b, ok := New(e2).EstimateJob(j)
+	if !ok {
+		t.Fatal("second model declined")
+	}
+	if a != b {
+		t.Errorf("store round-trip changed the estimate:\n%+v\n%+v", a, b)
+	}
+	if got := e2.Stats().DiskWrites; got != 0 {
+		t.Errorf("second model re-measured: %d disk writes", got)
+	}
+	if got := e2.Stats().DiskHits; got < 2 {
+		t.Errorf("second model loaded %d records from the store, want >= 2", got)
+	}
+}

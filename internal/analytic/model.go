@@ -1,0 +1,107 @@
+package analytic
+
+// The closed-form pair model.
+//
+// predictIPC answers: given thread F's single-thread features, its
+// partner G's features, and the decode-slot share s the priority
+// allocator grants F, what IPC does F sustain co-scheduled with G?
+//
+// Three effects, each read directly off the simulator's behaviour on
+// the calibration matrix (the golden calib.json):
+//
+//	decode cap   s · GroupSize
+//	    The allocator offers F exactly s of decode cycles and slots the
+//	    partner leaves idle are NOT redistributed; each granted cycle
+//	    F can use decodes at most one dispatch group. Its long-run IPC
+//	    therefore cannot exceed the grant rate times its average group
+//	    size (cpu_int forms ~2-instruction groups and saturates at
+//	    2s; pointer-chase loads pack ~5 and saturate at 5s). This cap
+//	    is what makes a compute-bound thread at priority -4 collapse
+//	    to ~2/32 IPC regardless of its partner.
+//
+//	flush refill   CPI += mpki · (1/s − 1)
+//	    After a branch-mispredict flush the frontend refills at the
+//	    granted rate: every mispredict costs the extra cycles spent
+//	    waiting for grants that a single-thread run would have had
+//	    back-to-back — (1/s − 1) per mispredict. At s near 1 this
+//	    vanishes; at s = 1/2 it is one extra cycle per mispredict,
+//	    which is exactly the br_miss co-run degradation the simulator
+//	    shows against every partner class.
+//
+//	memory contention   × (1 − mbF·mbG·(1 − s))
+//	    Two memory-bound threads split load-miss-queue occupancy and
+//	    memory bandwidth in proportion to decode share (the simulator
+//	    weights memory service by priority — see pipeline's
+//	    syncMemWeights), so the degradation is the product of both
+//	    sides' memory-boundedness, relieved by the thread's own share.
+//	    Memory-boundedness (MemBound below) separates a cache-thrashing
+//	    load kernel — stalls, issues through the LSU, AND keeps the
+//	    completion table full behind outstanding misses — from an
+//	    FP-latency kernel that stalls decode just as often but touches
+//	    no memory, and from a flush-dominated branch kernel whose
+//	    window drains; the simulator shows neither of those interferes
+//	    with anything.
+//
+// What the model deliberately does not capture — and the committed
+// class-pair residual bounds (residuals.go) must cover: cache-capacity
+// blowup between specific footprint combinations (two L2-sized working
+// sets overflowing the shared L2 behave like L3-resident ones; an
+// L3-sized set next to a streaming one does not), which single-thread
+// features cannot see. Those pairs classify as mem×mem, carry the
+// widest bound, and escalate to simulation first as the caller's
+// tolerance tightens.
+const (
+	// minShare floors the share divisor (Share is never 0 inside the
+	// model's domain, but the guard keeps the math total).
+	minShare = 1.0 / 64
+	// minGroup floors the measured group size.
+	minGroup = 1.0
+	// loadSaturation is the LoadFrac at which a kernel counts as fully
+	// load-driven: pointer-chase loops interleave each load with ~1.5
+	// address-arithmetic ops, so their LS share saturates near 0.35
+	// rather than 1.
+	loadSaturation = 0.35
+)
+
+// predictIPC predicts thread F's co-run IPC from its own features f,
+// its partner's features g, and its decode-slot share s.
+func predictIPC(f, g Features, s float64) float64 {
+	if s < minShare {
+		s = minShare
+	}
+	groupSize := f.GroupSize
+	if groupSize < minGroup {
+		groupSize = minGroup
+	}
+	ceiling := s * groupSize
+
+	if f.IPC <= 0 {
+		return 0
+	}
+	flushCPI := f.MispredictsPerInstr * (1/s - 1)
+	memFactor := 1 - f.MemBound()*g.MemBound()*(1-s)
+	if memFactor < 0 {
+		memFactor = 0
+	}
+	natural := memFactor / (1/f.IPC + flushCPI)
+
+	if natural < ceiling {
+		return natural
+	}
+	return ceiling
+}
+
+// MemBound is the workload's memory-boundedness: the fraction of
+// offered decode slots lost to stalls, gated by whether the stalls look
+// like outstanding cache misses — issued work flows through the
+// load/store units AND the completion window stays full behind a
+// long-latency head. Near 1 for cache-thrashing load kernels; near 0
+// for compute kernels, FP-latency kernels (no loads), and
+// flush-dominated branch kernels (drained window).
+func (f Features) MemBound() float64 {
+	loads := f.LoadFrac / loadSaturation
+	if loads > 1 {
+		loads = 1
+	}
+	return f.StallFrac * loads * f.GCTFull
+}

@@ -1,0 +1,88 @@
+package analytic
+
+// Error bars.
+//
+// The model reports, with every estimate, the worst absolute per-thread
+// IPC error observed for its workload-class pair on the calibration
+// matrix (internal/experiments calib at quick fidelity, pinned as the
+// golden calib.json), padded with margin. The engine escalates to
+// simulation whenever this bar exceeds the caller's tolerance, so the
+// bound is the accuracy contract of tier 0: the calib golden test fails
+// if any residual ever exceeds its class bound, and CI runs it on every
+// change.
+
+// Class buckets workloads by how memory-bound their single-thread run
+// is; model error correlates with class much more than with individual
+// kernels, so residual bounds are committed per class pair.
+type Class string
+
+const (
+	// ClassCPU: compute-bound (MemBound below 0.2) — integer/FP
+	// kernels, branch kernels, L1-resident loads. Stall-heavy kernels
+	// whose stalls are execution latency, not memory, land here too.
+	ClassCPU Class = "cpu"
+	// ClassMixed: intermediate memory-boundedness.
+	ClassMixed Class = "mixed"
+	// ClassMem: memory-bound (MemBound above 0.6) — load kernels
+	// thrashing L2 and beyond, where cache-capacity interference the
+	// model cannot see from single-thread features concentrates.
+	ClassMem Class = "mem"
+)
+
+// Classify buckets a calibrated workload by its memory-boundedness.
+func Classify(f Features) Class {
+	switch mb := f.MemBound(); {
+	case mb < 0.2:
+		return ClassCPU
+	case mb > 0.6:
+		return ClassMem
+	default:
+		return ClassMixed
+	}
+}
+
+// bounds holds the committed worst-case absolute IPC residuals per
+// (class of the predicted thread, class of its partner), measured on
+// the quick calibration matrix and padded ~25%. Regenerate with
+// `p5exp -exp calib -quick` after any model change (see CONTRIBUTING).
+//
+// Measured worst residuals behind these numbers (quick matrix, 7
+// workloads × 7 × 5 priority diffs): cpu|cpu 0.067 (flush-refill
+// slope), cpu|mem 0.255 (a boosted compute thread throttled by its
+// partner's cache-capacity spill, invisible to single-thread
+// features), mem|cpu 0.031, mem|mem 0.302 (L2×L3 footprints
+// overflowing the shared cache). No calibration workload classifies
+// mixed; its rows carry the widest measured bound as a conservative
+// stand-in until one does.
+var bounds = map[Class]map[Class]float64{
+	ClassCPU:   {ClassCPU: 0.09, ClassMixed: 0.38, ClassMem: 0.32},
+	ClassMixed: {ClassCPU: 0.38, ClassMixed: 0.38, ClassMem: 0.38},
+	ClassMem:   {ClassCPU: 0.05, ClassMixed: 0.38, ClassMem: 0.38},
+}
+
+// Bound returns the error bar for a pair: the worst of the two
+// per-thread bounds, since the estimate serves both threads' IPCs.
+func Bound(cp, cs Class) float64 {
+	a := bounds[cp][cs]
+	b := bounds[cs][cp]
+	if b > a {
+		a = b
+	}
+	return a
+}
+
+// DefaultTolerance accepts every class pair: the loosest committed
+// bound. `-estimate default` and the benchmark gate use it; callers
+// wanting tighter accuracy pass their own τ and let the engine escalate
+// the pairs the model cannot promise.
+func DefaultTolerance() float64 {
+	max := 0.0
+	for _, row := range bounds {
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}

@@ -14,10 +14,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
+	"power5prio/internal/analytic"
 	"power5prio/internal/cachestore"
+	"power5prio/internal/engine"
 	"power5prio/internal/fame"
 	"power5prio/internal/remote"
 	"power5prio/internal/service"
@@ -147,6 +150,34 @@ func ServiceBackend(ctx context.Context, prog, addr, clientID string) *service.C
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
+}
+
+// EstimateFlagHelp is the shared usage string for the -estimate flag
+// the measurement commands register.
+const EstimateFlagHelp = "tier-0 analytical answers: off|always|default|<tolerance> — serve model predictions whose error bar (absolute per-thread IPC) is within the tolerance; \"default\" uses the committed calibration bound. Estimated results are flagged and never cached."
+
+// ParseEstimate parses an -estimate flag value into the engine mode it
+// names: "off" (exact answers only), "always" (serve every answer the
+// model offers), "default" (accept error bars up to the committed
+// calibration tolerance, so every in-domain pair is served by tier 0),
+// or a number — the largest error bar, in absolute per-thread IPC, to
+// accept before escalating to simulation. It exits with code 2 on
+// anything else, prefixing the message with prog.
+func ParseEstimate(prog, v string) engine.EstimateMode {
+	switch v {
+	case "off":
+		return engine.EstimateOff()
+	case "always":
+		return engine.EstimateAlways()
+	case "default":
+		return engine.EstimateTolerance(analytic.DefaultTolerance())
+	}
+	tol, err := strconv.ParseFloat(v, 64)
+	if err != nil || tol < 0 {
+		fmt.Fprintf(os.Stderr, "%s: -estimate must be off, always, default or a non-negative error-bar tolerance, got %q\n", prog, v)
+		os.Exit(2)
+	}
+	return engine.EstimateTolerance(tol)
 }
 
 // SetFastForward parses a -fastforward flag value (on|off, with

@@ -98,10 +98,25 @@ type Result struct {
 	// CacheHit reports that the job was served from the result cache (a
 	// previous batch, or an identical job earlier in this batch).
 	CacheHit bool
+	// Coalesced reports that the job was served by joining another
+	// batch's in-flight computation (cross-batch singleflight) rather
+	// than from an already-warm cache tier. Coalesced results also have
+	// CacheHit set: the flight publishes to the cache and the waiter is
+	// served from it.
+	Coalesced bool
 	// Skipped reports that the job was never attempted: its batch was
 	// cancelled first, or its backend failed. Err carries the cause.
 	// Skipped results are never cached — a retry re-runs the job.
 	Skipped bool
+	// Estimated reports a tier-0 answer: Pair is an analytical model's
+	// prediction, not a simulation, and ErrorBar carries the model's
+	// expected worst-case absolute IPC error. Estimated results are
+	// never cached — they must not alias exact results — so a
+	// re-submission with estimation off simulates from scratch.
+	Estimated bool
+	// ErrorBar is the model uncertainty of an Estimated result (absolute
+	// IPC); zero otherwise.
+	ErrorBar float64
 }
 
 // Stats counts the engine's work across its lifetime.
@@ -130,6 +145,14 @@ type Stats struct {
 	DiskMisses int
 	// DiskWrites are results persisted to the store.
 	DiskWrites int
+	// EstimatedHits are jobs answered by the tier-0 analytical estimator
+	// instead of any cache tier or simulation. Estimated answers are
+	// counted here only — never in Hits or Simulated.
+	EstimatedHits int
+	// EstimatedEscalated are jobs that asked for a tier-0 answer but
+	// fell through to the exact path: the model declined them, its error
+	// bar exceeded the caller's tolerance, or the tolerance was zero.
+	EstimatedEscalated int
 	// Remote counts work done through a remote backend (all zero on the
 	// default local backend).
 	Remote RemoteStats
@@ -143,6 +166,9 @@ func (s Stats) String() string {
 	}
 	if s.Skipped > 0 {
 		out += fmt.Sprintf(", %d skipped", s.Skipped)
+	}
+	if s.EstimatedHits != 0 || s.EstimatedEscalated != 0 {
+		out += fmt.Sprintf(", %d estimated (%d escalated)", s.EstimatedHits, s.EstimatedEscalated)
 	}
 	if s.DiskHits != 0 || s.DiskMisses != 0 || s.DiskWrites != 0 {
 		out += fmt.Sprintf("; disk: %d hits, %d misses, %d writes", s.DiskHits, s.DiskMisses, s.DiskWrites)
@@ -175,7 +201,12 @@ type Engine struct {
 	// concurrent batch submitting the same job waits instead of
 	// simulating it again.
 	inflight map[Job]*flight
-	stats    Stats
+	// estimator is the optional tier-0 analytical model (estimate.go);
+	// estMode is the default acceptance mode for batches that carry no
+	// per-job modes. Both default to off.
+	estimator Estimator
+	estMode   EstimateMode
+	stats     Stats
 }
 
 type outcome struct {
@@ -298,10 +329,60 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 // skipped by cancellation. Calls are serialized; progress must not
 // submit to the same engine.
 func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r Result)) []Result {
+	return e.RunEstimate(ctx, jobs, nil, progress)
+}
+
+// RunEstimate is RunFunc with explicit per-job estimation modes: before
+// any cache tier is consulted, each job whose mode can accept a tier-0
+// answer is offered to the engine's estimator, and a prediction within
+// tolerance is served directly — labelled Estimated, bypassing and
+// never entering the caches. Everything else (mode off, τ=0, model
+// declined, error bar too wide) escalates to the exact RunFunc path
+// unchanged. modes must be nil — every job uses the engine's default
+// mode (SetEstimateMode) — or exactly len(jobs) long, where a zero mode
+// means off for that job.
+func (e *Engine) RunEstimate(ctx context.Context, jobs []Job, modes []EstimateMode, progress func(i int, r Result)) []Result {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if modes != nil && len(modes) != len(jobs) {
+		panic(fmt.Sprintf("engine: RunEstimate: %d modes for %d jobs", len(modes), len(jobs)))
+	}
 	out := make([]Result, len(jobs))
+
+	// Tier 0: consult the estimator outside the engine lock (a first
+	// sighting of a workload calibrates, which simulates single-thread
+	// runs). A job is served here only when its mode accepts the model's
+	// error bar; a mode that cannot accept anything (off, τ=0) never
+	// consults the estimator at all, so those paths are bit-identical to
+	// an engine with no estimator.
+	e.mu.Lock()
+	est := e.estimator
+	defMode := e.estMode
+	e.mu.Unlock()
+	served := make([]bool, len(jobs))
+	var estHits, estEscalated []int
+	for i, j := range jobs {
+		m := defMode
+		if modes != nil {
+			m = modes[i]
+		}
+		if !m.Enabled {
+			continue
+		}
+		if est == nil || !m.canServe() {
+			estEscalated = append(estEscalated, i)
+			continue
+		}
+		ev, ok := est.EstimateJob(j)
+		if ok && m.serves(ev.ErrorBar) {
+			out[i] = Result{Job: j, Pair: ev.Pair, Estimated: true, ErrorBar: ev.ErrorBar}
+			served[i] = true
+			estHits = append(estHits, i)
+		} else {
+			estEscalated = append(estEscalated, i)
+		}
+	}
 
 	// Partition under the lock: memory-cache hits resolve immediately;
 	// the first occurrence of each uncached job becomes a candidate —
@@ -312,11 +393,16 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 	// read-only once the backend starts.
 	e.mu.Lock()
 	e.stats.Submitted += len(jobs)
+	e.stats.EstimatedHits += len(estHits)
+	e.stats.EstimatedEscalated += len(estEscalated)
 	var candidates []int
 	var joiners []joinWait
 	followers := make(map[Job][]int)
 	var hitIdx []int
 	for i, j := range jobs {
+		if served[i] {
+			continue
+		}
 		if oc, ok := e.cache[j]; ok {
 			out[i] = Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: true}
 			e.stats.Hits++
@@ -349,6 +435,7 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 			progress(i, out[i])
 		}
 	}
+	report(estHits...)
 	report(hitIdx...)
 
 	// Joined jobs wait concurrently with this batch's own backend work:
@@ -450,6 +537,23 @@ func (e *Engine) RunFunc(ctx context.Context, jobs []Job, progress func(i int, r
 			out[idx] = Result{Job: j, Err: r.Err, Skipped: true}
 			for _, f := range followers[j] {
 				out[f] = Result{Job: j, Err: r.Err, Skipped: true}
+			}
+		} else if r.Estimated {
+			// Tier-0 answer produced by the backend (a service daemon
+			// running its own estimator). Estimates must never alias
+			// exact results: deliver, but do not publish to the memory
+			// map or the persistent store. The flight completes without
+			// a cache entry, so cross-batch waiters re-run the job —
+			// which the daemon answers from tier 0 again, cheaply.
+			e.mu.Lock()
+			e.stats.EstimatedHits += 1 + len(followers[j])
+			if fl, ok := e.inflight[j]; ok {
+				e.completeLocked(j, fl)
+			}
+			e.mu.Unlock()
+			out[idx] = Result{Job: j, Pair: r.Pair, Estimated: true, ErrorBar: r.ErrorBar}
+			for _, f := range followers[j] {
+				out[f] = Result{Job: j, Pair: r.Pair, Estimated: true, ErrorBar: r.ErrorBar}
 			}
 		} else {
 			e.mu.Lock()

@@ -1,0 +1,122 @@
+package engine
+
+import "power5prio/internal/fame"
+
+// Tier 0: analytical estimation.
+//
+// The cache tiers answer questions the engine has seen before; tier 0
+// answers questions it has *never* seen, in microseconds, by evaluating
+// a calibrated analytical model instead of simulating. An Estimator is
+// the pluggable seam (internal/analytic provides the POWER5 decode-share
+// model): it either returns a predicted PairResult with a self-reported
+// error bar, or declines, and the caller's EstimateMode decides whether
+// the prediction is good enough to serve.
+//
+// The contract that keeps tier 0 sound:
+//
+//   - Estimated results are explicitly labelled (Result.Estimated, with
+//     Result.ErrorBar carrying the model's uncertainty) so no caller can
+//     mistake a prediction for a measurement.
+//   - Estimated results NEVER enter a cache tier — not the memory map,
+//     not the persistent store under JobKey. An estimate aliasing an
+//     exact result would silently poison every future exact answer for
+//     that job (the same invariant class as the fast-forward event
+//     wheel: approximations must not be observable on the exact path).
+//   - With estimation off, or with a tolerance of zero, the engine is
+//     bit-identical to an engine with no estimator attached: the
+//     estimator is not even consulted.
+
+// EstimateMode says whether — and how aggressively — a caller accepts
+// tier-0 analytical answers in place of simulation. The zero value is
+// "off": every job takes the exact path.
+type EstimateMode struct {
+	// Enabled turns tier 0 on. When false the other fields are ignored.
+	Enabled bool
+	// Always serves every estimate the model offers regardless of its
+	// error bar. For exploration sweeps where speed beats accuracy.
+	Always bool
+	// Tolerance is the largest model error bar (absolute IPC) the caller
+	// accepts; estimates with a larger bar — or jobs the model declines —
+	// escalate to the exact path. Zero tolerance escalates everything,
+	// so τ=0 is exactly "off" plus an EstimatedEscalated count.
+	Tolerance float64
+}
+
+// EstimateOff returns the zero mode: every job simulates.
+func EstimateOff() EstimateMode { return EstimateMode{} }
+
+// EstimateTolerance accepts estimates whose error bar is at most tol
+// (absolute IPC).
+func EstimateTolerance(tol float64) EstimateMode {
+	return EstimateMode{Enabled: true, Tolerance: tol}
+}
+
+// EstimateAlways accepts every estimate the model offers.
+func EstimateAlways() EstimateMode { return EstimateMode{Enabled: true, Always: true} }
+
+// serves reports whether an estimate with the given error bar is
+// acceptable under the mode.
+func (m EstimateMode) serves(errorBar float64) bool {
+	if !m.Enabled {
+		return false
+	}
+	return m.Always || (m.Tolerance > 0 && errorBar <= m.Tolerance)
+}
+
+// canServe reports whether the mode could accept any estimate at all —
+// when it cannot (off, or τ=0), the estimator is not consulted, which
+// is what makes τ=0 trivially bit-identical to seed behaviour.
+func (m EstimateMode) canServe() bool {
+	return m.Enabled && (m.Always || m.Tolerance > 0)
+}
+
+// Estimate is one tier-0 answer: a predicted measurement plus the
+// model's self-reported uncertainty.
+type Estimate struct {
+	// Pair is the predicted measurement. Only the IPC-shaped fields are
+	// modelled (per-thread IPC, AvgRepCycles, TotalIPC); cycle and
+	// repetition counters that only a simulation can produce are zero.
+	Pair fame.PairResult
+	// ErrorBar is the model's expected worst-case absolute IPC error for
+	// this job's workload-family pair, from calibration residuals. It is
+	// always positive: a model cannot promise exactness.
+	ErrorBar float64
+}
+
+// Estimator is the tier-0 seam. EstimateJob returns a prediction for
+// the job, or ok=false to decline (unknown workload, single-thread job,
+// a priority pattern outside the model's domain) — declined jobs
+// escalate to the exact path. Implementations must be deterministic
+// (equal jobs yield equal estimates) and safe for concurrent use; they
+// may calibrate lazily on first sight of a workload, so a call may cost
+// cheap single-thread simulations before the first answer.
+type Estimator interface {
+	EstimateJob(j Job) (Estimate, bool)
+}
+
+// SetEstimator attaches (or with nil, detaches) the engine's tier-0
+// estimator. The estimator is consulted only for jobs whose effective
+// EstimateMode can serve — with the default mode off, attaching an
+// estimator changes nothing until a caller opts in per batch.
+func (e *Engine) SetEstimator(est Estimator) {
+	e.mu.Lock()
+	e.estimator = est
+	e.mu.Unlock()
+}
+
+// SetEstimateMode sets the engine's default mode, used for jobs whose
+// batch does not carry explicit per-job modes (Run, RunFunc, and
+// RunEstimate with nil modes). The constructor default is off.
+func (e *Engine) SetEstimateMode(m EstimateMode) {
+	e.mu.Lock()
+	e.estMode = m
+	e.mu.Unlock()
+}
+
+// EstimateMode returns the engine's current default mode — what a job
+// submitted without an explicit per-job mode gets.
+func (e *Engine) EstimateMode() EstimateMode {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.estMode
+}

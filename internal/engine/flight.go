@@ -74,7 +74,7 @@ func (e *Engine) awaitFlight(ctx context.Context, j Job, fl *flight, nFollowers 
 		if oc, ok := e.cache[j]; ok {
 			e.stats.Hits += 1 + nFollowers
 			e.mu.Unlock()
-			finish(Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: true})
+			finish(Result{Job: j, Pair: oc.pair, Err: oc.err, CacheHit: true, Coalesced: true})
 			return
 		}
 		// The owner abandoned the job without caching it.
@@ -129,6 +129,17 @@ func (e *Engine) runClaimed(ctx context.Context, j Job, fl *flight, nFollowers i
 		e.completeLocked(j, fl)
 		e.mu.Unlock()
 		finish(Result{Job: j, Err: r.Err, Skipped: true})
+		return
+	}
+	if r.Estimated {
+		// The backend answered from its own tier 0: deliver without
+		// caching, exactly as resolve does (estimates never alias exact
+		// results under JobKey).
+		e.mu.Lock()
+		e.stats.EstimatedHits += 1 + nFollowers
+		e.completeLocked(j, fl)
+		e.mu.Unlock()
+		finish(Result{Job: j, Pair: r.Pair, Estimated: true, ErrorBar: r.ErrorBar})
 		return
 	}
 	e.mu.Lock()

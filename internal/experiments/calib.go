@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"power5prio/internal/analytic"
+	"power5prio/internal/fame"
+	"power5prio/internal/microbench"
+)
+
+// Calibration experiment: the accuracy contract of the tier-0
+// analytical estimator (internal/analytic), made reproducible.
+//
+// Calib runs every pair of a representative workload set across the
+// priority-difference range twice — once through the analytical model
+// and once through the simulator — and reports the residuals next to
+// the error bar the model attached to each prediction. The quick-mode
+// result is pinned as the golden calib.json, and WithinBounds is the
+// gate CI runs on every change: a model or simulator change that pushes
+// any residual past its committed class bound fails the build instead
+// of silently degrading tier-0 answers.
+
+// CalibWorkloads returns the calibration matrix workload set: the
+// compute/branch/cache-level spectrum the residual bounds were measured
+// on, including the cache-capacity pairs (L2×L3 footprints) that drive
+// the worst mem×mem residuals.
+func CalibWorkloads() []string {
+	return []string{
+		microbench.CPUInt, microbench.CPUFP, microbench.BrMiss,
+		microbench.LdIntL2, microbench.LdIntL3, microbench.LdIntMem,
+	}
+}
+
+// CalibDiffs returns the priority differences of the calibration
+// matrix — the range the residual bounds were measured over.
+func CalibDiffs() []int { return []int{-4, -2, 0, 2, 4} }
+
+// CalibRow is one (primary, secondary, diff) cell: the model's
+// prediction, the simulator's answer, and their difference per thread.
+type CalibRow struct {
+	Primary   string `json:"primary"`
+	Secondary string `json:"secondary"`
+	Diff      int    `json:"diff"`
+	// ClassP/ClassS are the workload classes the error bar was looked
+	// up under.
+	ClassP analytic.Class `json:"class_p"`
+	ClassS analytic.Class `json:"class_s"`
+	// PredictedP/S and SimulatedP/S are the per-thread IPCs from the
+	// model and the simulator.
+	PredictedP float64 `json:"predicted_p"`
+	PredictedS float64 `json:"predicted_s"`
+	SimulatedP float64 `json:"simulated_p"`
+	SimulatedS float64 `json:"simulated_s"`
+	// ResidualP/S are predicted − simulated (signed).
+	ResidualP float64 `json:"residual_p"`
+	ResidualS float64 `json:"residual_s"`
+	// ErrorBar is the bound the model promised for this prediction.
+	ErrorBar float64 `json:"error_bar"`
+}
+
+// AbsResidual returns the row's worst per-thread absolute residual —
+// the number the error bar must cover.
+func (r CalibRow) AbsResidual() float64 {
+	return math.Max(math.Abs(r.ResidualP), math.Abs(r.ResidualS))
+}
+
+// CalibResult holds the full calibration comparison in deterministic
+// order: primary-major, secondary-minor, then diff.
+type CalibResult struct {
+	Workloads []string   `json:"workloads"`
+	Diffs     []int      `json:"diffs"`
+	Rows      []CalibRow `json:"rows"`
+	// MaxAbsResidual and MeanAbsResidual summarize all per-thread
+	// residuals of the matrix.
+	MaxAbsResidual  float64 `json:"max_abs_residual"`
+	MeanAbsResidual float64 `json:"mean_abs_residual"`
+	// Tolerance is the loosest committed class bound
+	// (analytic.DefaultTolerance): the tolerance at which every
+	// in-domain pair is served by tier 0.
+	Tolerance float64 `json:"tolerance"`
+}
+
+// WithinBounds reports whether every row's residual is covered by the
+// error bar its prediction carried — the CI accuracy gate.
+func (c *CalibResult) WithinBounds() bool {
+	for _, r := range c.Rows {
+		if r.AbsResidual() > r.ErrorBar {
+			return false
+		}
+	}
+	return true
+}
+
+// Exceeded returns the rows whose residual escaped the promised error
+// bar (empty on a healthy model).
+func (c *CalibResult) Exceeded() []CalibRow {
+	var out []CalibRow
+	for _, r := range c.Rows {
+		if r.AbsResidual() > r.ErrorBar {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Calib measures the calibration matrix: simulator ground truth for
+// every (primary, secondary, diff) cell as one engine batch, model
+// predictions for the same jobs, residuals per thread. A cancelled run
+// returns no result with the context's error — a partial residual
+// table proves nothing about the bounds.
+func Calib(ctx context.Context, h Harness) (*CalibResult, error) {
+	names := CalibWorkloads()
+	diffs := CalibDiffs()
+	eng := h.engine()
+	model := analytic.New(eng)
+
+	res := &CalibResult{Workloads: names, Diffs: diffs}
+	var b batch
+	for _, p := range names {
+		for _, s := range names {
+			for _, d := range diffs {
+				pp, ps := DiffPair(d)
+				job := h.pairJob(eng, p, s, pp, ps)
+				pred, err := model.Describe(job)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: calib predict (%s,%s,%+d): %w", p, s, d, err)
+				}
+				row := CalibRow{
+					Primary: p, Secondary: s, Diff: d,
+					ClassP: pred.ClassP, ClassS: pred.ClassS,
+					PredictedP: pred.Estimate.Pair.Thread[0].IPC,
+					PredictedS: pred.Estimate.Pair.Thread[1].IPC,
+					ErrorBar:   pred.Estimate.ErrorBar,
+				}
+				res.Rows = append(res.Rows, row)
+				i := len(res.Rows) - 1
+				b.add(job, func(sim fame.PairResult) {
+					r := &res.Rows[i]
+					r.SimulatedP = sim.Thread[0].IPC
+					r.SimulatedS = sim.Thread[1].IPC
+					r.ResidualP = r.PredictedP - r.SimulatedP
+					r.ResidualS = r.PredictedS - r.SimulatedS
+				})
+			}
+		}
+	}
+	if err := b.runWith(ctx, h, eng); err != nil {
+		return nil, err
+	}
+
+	var sum float64
+	for _, r := range res.Rows {
+		sum += math.Abs(r.ResidualP) + math.Abs(r.ResidualS)
+		if a := r.AbsResidual(); a > res.MaxAbsResidual {
+			res.MaxAbsResidual = a
+		}
+	}
+	if n := len(res.Rows); n > 0 {
+		res.MeanAbsResidual = sum / float64(2*n)
+	}
+	res.Tolerance = analytic.DefaultTolerance()
+	return res, nil
+}
+
+// Render formats the comparison as a text table with the summary and
+// any bound violations at the bottom.
+func (c *CalibResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tier-0 estimator calibration: %d workloads × %d diffs (%d pairs)\n\n",
+		len(c.Workloads), len(c.Diffs), len(c.Rows))
+	fmt.Fprintf(&sb, "%-18s %-18s %4s  %9s %9s %8s | %9s %9s %8s | %6s\n",
+		"primary", "secondary", "diff", "pred_p", "sim_p", "resid_p", "pred_s", "sim_s", "resid_s", "bar")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&sb, "%-18s %-18s %+4d  %9.3f %9.3f %+8.3f | %9.3f %9.3f %+8.3f | %6.2f\n",
+			r.Primary, r.Secondary, r.Diff,
+			r.PredictedP, r.SimulatedP, r.ResidualP,
+			r.PredictedS, r.SimulatedS, r.ResidualS, r.ErrorBar)
+	}
+	fmt.Fprintf(&sb, "\nmax abs residual  %.4f\nmean abs residual %.4f\ndefault tolerance %.4f\n",
+		c.MaxAbsResidual, c.MeanAbsResidual, c.Tolerance)
+	if ex := c.Exceeded(); len(ex) > 0 {
+		fmt.Fprintf(&sb, "\nBOUND VIOLATIONS (%d):\n", len(ex))
+		for _, r := range ex {
+			fmt.Fprintf(&sb, "  (%s, %s, %+d): residual %.3f > bar %.2f [%s|%s]\n",
+				r.Primary, r.Secondary, r.Diff, r.AbsResidual(), r.ErrorBar, r.ClassP, r.ClassS)
+		}
+	} else {
+		sb.WriteString("\nall residuals within committed bounds\n")
+	}
+	return sb.String()
+}

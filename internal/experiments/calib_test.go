@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestGoldenCalib regenerates the tier-0 calibration comparison in
+// quick mode and diffs it against the committed baseline. CalibResult
+// serializes ordered slices only, so the form is canonical.
+func TestGoldenCalib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	c, err := Calib(context.Background(), goldenShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "calib.json", c)
+
+	// The accuracy gate itself: every residual covered by its error bar,
+	// and the summary numbers inside the committed tolerance. This fails
+	// — independently of the golden diff — when a model or simulator
+	// change degrades tier-0 answers past the contract.
+	if !c.WithinBounds() {
+		for _, r := range c.Exceeded() {
+			t.Errorf("residual escaped its error bar: (%s,%s,%+d) |resid| %.3f > bar %.2f [%s|%s]",
+				r.Primary, r.Secondary, r.Diff, r.AbsResidual(), r.ErrorBar, r.ClassP, r.ClassS)
+		}
+	}
+	if c.MaxAbsResidual > c.Tolerance {
+		t.Errorf("max abs residual %.4f exceeds default tolerance %.4f", c.MaxAbsResidual, c.Tolerance)
+	}
+}
+
+// TestCalibShape checks the result structure without running the full
+// matrix: row ordering, count, and rendering.
+func TestCalibShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix experiments are long tests")
+	}
+	c, err := Calib(context.Background(), goldenShared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(c.Workloads) * len(c.Workloads) * len(c.Diffs)
+	if len(c.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(c.Rows), want)
+	}
+	i := 0
+	for _, p := range c.Workloads {
+		for _, s := range c.Workloads {
+			for _, d := range c.Diffs {
+				r := c.Rows[i]
+				if r.Primary != p || r.Secondary != s || r.Diff != d {
+					t.Fatalf("row %d is (%s,%s,%+d), want (%s,%s,%+d)", i, r.Primary, r.Secondary, r.Diff, p, s, d)
+				}
+				if r.SimulatedP <= 0 || r.ErrorBar <= 0 {
+					t.Errorf("row %d: simulated %v, bar %v", i, r.SimulatedP, r.ErrorBar)
+				}
+				i++
+			}
+		}
+	}
+	if c.MeanAbsResidual <= 0 || c.MeanAbsResidual > c.MaxAbsResidual {
+		t.Errorf("mean %v / max %v residuals inconsistent", c.MeanAbsResidual, c.MaxAbsResidual)
+	}
+	out := c.Render()
+	if !strings.Contains(out, "within committed bounds") {
+		t.Errorf("Render() reports violations:\n%s", out)
+	}
+}
+
+// TestCalibCancelled: a cancelled calibration returns no partial table.
+func TestCalibCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if c, err := Calib(ctx, goldenHarness()); err == nil || c != nil {
+		t.Errorf("cancelled Calib returned (%v, %v), want (nil, ctx error)", c, err)
+	}
+}

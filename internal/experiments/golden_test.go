@@ -223,7 +223,7 @@ func TestGoldenFigures(t *testing.T) {
 // refreshed baselines reaching CI half-updated: every expected golden
 // file must exist (content is checked by the tests above).
 func TestGoldenFilesCommitted(t *testing.T) {
-	for _, name := range []string{"table3.json", "table4.json", "fig5a.json", "fig5b.json", "fig6.json"} {
+	for _, name := range []string{"table3.json", "table4.json", "fig5a.json", "fig5b.json", "fig6.json", "calib.json"} {
 		if _, err := os.Stat(filepath.Join("testdata", "golden", name)); err != nil {
 			t.Errorf("golden file %s missing (generate with -update): %v", name, err)
 		}

@@ -1,0 +1,69 @@
+package detmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The residual-report cases mirror the tier-0 estimator's committed
+// error-bar table (a map of class pairs to bounds) and the daemon's
+// per-client stats map: both render into ordered output, so a raw
+// range would make the report — and everything diffing it, like the
+// golden calib test — flap run to run.
+
+// renderBoundsUnsorted leaks the bounds table's map order into the
+// rendered report.
+func renderBoundsUnsorted(bounds map[string]map[string]float64, b *strings.Builder) {
+	for cp, row := range bounds { // want "map iteration order reaches emitted output via fmt.Fprintf"
+		for cs, bar := range row { // want "map iteration order reaches emitted output via fmt.Fprintf"
+			fmt.Fprintf(b, "%s|%s %.2f\n", cp, cs, bar)
+		}
+	}
+}
+
+// renderBoundsSorted is the committed idiom: collect the class names,
+// sort, then index — the report is a pure function of the table.
+func renderBoundsSorted(bounds map[string]map[string]float64, b *strings.Builder) {
+	classes := make([]string, 0, len(bounds))
+	for cp := range bounds {
+		classes = append(classes, cp)
+	}
+	sort.Strings(classes)
+	for _, cp := range classes {
+		for _, cs := range classes {
+			fmt.Fprintf(b, "%s|%s %.2f\n", cp, cs, bounds[cp][cs])
+		}
+	}
+}
+
+// clientRow stands in for one tenant's answer-tier counters.
+type clientRow struct {
+	Jobs      int64
+	Estimated int64
+}
+
+// statsRowsUnsorted fills the stats response in map order.
+func statsRowsUnsorted(clients map[string]*clientRow) []string {
+	var out []string
+	for name, c := range clients { // want "map iteration order reaches slice out via append"
+		out = append(out, fmt.Sprintf("%s %d/%d", name, c.Estimated, c.Jobs))
+	}
+	return out
+}
+
+// statsRowsSorted mirrors the daemon's Stats(): sorted tenant names,
+// then deterministic rows.
+func statsRowsSorted(clients map[string]*clientRow) []string {
+	names := make([]string, 0, len(clients))
+	for name := range clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		c := clients[name]
+		out = append(out, fmt.Sprintf("%s %d/%d", name, c.Estimated, c.Jobs))
+	}
+	return out
+}

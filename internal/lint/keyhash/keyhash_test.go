@@ -8,9 +8,11 @@ import (
 
 // TestKeyhashFixtures covers the acceptance-criterion case (a field
 // added to the Job mirror but not wired into the hash schema), nested
-// paths, the clean mirrored Job, suppression, and Memo call sites.
+// paths, the clean mirrored Job, suppression, Memo call sites, and the
+// tier-0 calibration key (clean mirror plus the grown variant with a
+// map field).
 func TestKeyhashFixtures(t *testing.T) {
-	atest.Run(t, "testdata/src", Analyzer, "./engine", "./memo")
+	atest.Run(t, "testdata/src", Analyzer, "./engine", "./memo", "./analytic")
 }
 
 // TestAliasFixture covers the reflect-string collision check.

@@ -1,0 +1,60 @@
+// Package analytic mirrors the tier-0 estimator's calibration key:
+// the calKey hashed under engine.Memo (schema
+// power5prio/analytic/calib/v1) so calibration records persist in the
+// cache store. The clean mirror pins that every field the real calKey
+// carries stays canonically hashable; GrownCalKey is the
+// model-feature-added-carelessly case the CONTRIBUTING checklist warns
+// about.
+package analytic
+
+import (
+	"fixtures/core"
+	"fixtures/engine"
+	"fixtures/fame"
+	"fixtures/prio"
+	"fixtures/workload"
+)
+
+const calibSchema = "fixtures/analytic/calib/v1"
+
+// calKey mirrors the real calibration key field for field: the
+// workload content plus every job field that shapes its single-thread
+// run, all flat hashable values.
+type calKey struct {
+	Ref       workload.Ref
+	Privilege prio.Privilege
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+}
+
+// Features stands in for the calibration record Memo fills.
+type Features struct {
+	IPC       float64
+	GroupSize float64
+}
+
+// Calibrate memoizes a clean key: no findings.
+func Calibrate(e *engine.Engine, k calKey, out *Features) (bool, error) {
+	return e.Memo(calibSchema, k, out, func() error { return nil })
+}
+
+// GrownCalKey is calKey plus model features someone added without
+// checking the hash schema: a per-workload counter map and a handle to
+// the live engine. Both must be reported at the Memo call site instead
+// of panicking in the first daemon that calibrates.
+type GrownCalKey struct {
+	Ref       workload.Ref
+	Privilege prio.Privilege
+	IterScale float64
+	Chip      core.Config
+	Fame      fame.Options
+
+	UnitMix map[string]float64
+	Engine  *engine.Engine
+}
+
+// CalibrateGrown memoizes under the grown key.
+func CalibrateGrown(e *engine.Engine, k GrownCalKey, out *Features) (bool, error) {
+	return e.Memo(calibSchema, k, out, func() error { return nil }) // want `field value.UnitMix has kind map` `field value.Engine has kind pointer`
+}

@@ -69,6 +69,14 @@ type WireResult struct {
 	Pair   fame.PairResult `json:"pair"`
 	Err    string          `json:"err,omitempty"`
 	Cached bool            `json:"cached,omitempty"` // served from the worker's cache tiers
+	// Estimated marks a tier-0 analytical answer: Pair is a calibrated
+	// model prediction, not a simulation, and ErrorBar is the model's
+	// promised worst-case absolute IPC error for it. Workers never
+	// produce estimates (the estimator sits in front of the engine that
+	// owns the batch), so these fields are additive for the p5queue
+	// stream, which reuses WireResult — p5remote stays at v1.
+	Estimated bool    `json:"estimated,omitempty"`
+	ErrorBar  float64 `json:"error_bar,omitempty"`
 }
 
 // RunResponse is the body of a RunPath response, results in request

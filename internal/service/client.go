@@ -81,6 +81,8 @@ type Client struct {
 	healthTimeout   time.Duration
 	registerTimeout time.Duration
 
+	estimate *EstimateSpec
+
 	mu sync.Mutex
 	rs engine.RemoteStats
 }
@@ -144,6 +146,24 @@ func WithHealthTimeout(d time.Duration) ClientOption {
 		if d > 0 {
 			c.healthTimeout = d
 		}
+	}
+}
+
+// WithEstimate attaches a tier-0 policy to every submission: the
+// daemon answers this client's jobs from its analytical estimator
+// under mode m, and estimated results come back flagged with the
+// model's error bar (Result.Estimated / Result.ErrorBar). Passing a
+// disabled mode requests exact answers explicitly, overriding a
+// daemon that defaults to estimation; without this option the daemon's
+// default applies. Estimates never enter any cache tier on either
+// side, so a later exact run is unaffected.
+func WithEstimate(m engine.EstimateMode) ClientOption {
+	return func(c *Client) {
+		if !m.Enabled {
+			c.estimate = &EstimateSpec{} // explicit "exact answers only"
+			return
+		}
+		c.estimate = &EstimateSpec{Always: m.Always, Tolerance: m.Tolerance}
 	}
 }
 
@@ -368,7 +388,7 @@ func (c *Client) submitChunk(ctx context.Context, jobs []engine.Job, start, end 
 // *errBackpressure and *errResumable are retryable, everything else is
 // final.
 func (c *Client) trySubmit(ctx context.Context, jobs []engine.Job, pending []int, report func(int, engine.Result)) ([]int, error) {
-	req := SubmitRequest{Protocol: ProtocolVersion, Client: c.id, Jobs: make([]remote.WireJob, len(pending))}
+	req := SubmitRequest{Protocol: ProtocolVersion, Client: c.id, Estimate: c.estimate, Jobs: make([]remote.WireJob, len(pending))}
 	for i, k := range pending {
 		req.Jobs[i] = remote.WireJob{Key: engine.JobKey(jobs[k]).String(), Job: jobs[k]}
 	}
@@ -495,7 +515,10 @@ func (c *Client) trySubmit(ctx context.Context, jobs []engine.Job, pending []int
 			final[k] = true
 			resolved++
 			reported++
-			r := engine.Result{Job: jobs[pending[k]], Pair: ev.Result.Pair, CacheHit: ev.Result.Cached}
+			r := engine.Result{
+				Job: jobs[pending[k]], Pair: ev.Result.Pair, CacheHit: ev.Result.Cached,
+				Estimated: ev.Result.Estimated, ErrorBar: ev.Result.ErrorBar,
+			}
 			if ev.Result.Err != "" {
 				r.Err = errors.New(ev.Result.Err)
 				r.Pair = fame.PairResult{}

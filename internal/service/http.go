@@ -119,7 +119,19 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		runnableKey = append(runnableKey, wj.Key)
 	}
 
-	sub, err := d.enqueue(req.Client, runnable)
+	// Resolve the submission's tier-0 policy: an explicit spec wins
+	// (the empty spec maps to zero tolerance — exact answers only),
+	// absent means the daemon's default.
+	mode := d.eng.EstimateMode()
+	if req.Estimate != nil {
+		if req.Estimate.Always {
+			mode = engine.EstimateAlways()
+		} else {
+			mode = engine.EstimateTolerance(req.Estimate.Tolerance)
+		}
+	}
+
+	sub, err := d.enqueue(req.Client, runnable, mode)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrQueueFull):
@@ -189,7 +201,10 @@ func (d *Daemon) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 // wireResult renders an engine result for the stream.
 func wireResult(key string, r engine.Result) remote.WireResult {
-	out := remote.WireResult{Key: key, Pair: r.Pair, Cached: r.CacheHit}
+	out := remote.WireResult{
+		Key: key, Pair: r.Pair, Cached: r.CacheHit,
+		Estimated: r.Estimated, ErrorBar: r.ErrorBar,
+	}
 	if r.Err != nil {
 		out.Err = r.Err.Error()
 	}

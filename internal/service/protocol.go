@@ -23,7 +23,7 @@
 //     the circuit breaker), so the fleet scales without restarting the
 //     daemon.
 //
-// The wire protocol, p5queue/v2, layers on p5remote/v1: jobs travel as
+// The wire protocol, p5queue/v3, layers on p5remote/v1: jobs travel as
 // remote.WireJob (Job value + JobKey, recomputed and verified on both
 // sides, so schema drift between binaries fails loudly), and results
 // as remote.WireResult. A submission's response is a stream of
@@ -48,7 +48,15 @@ import (
 // shutdown ends each open stream with the unfinished job keys instead
 // of resolving them as skipped) — a new event type is an incompatible
 // stream change, hence the bump.
-const ProtocolVersion = "p5queue/v2"
+//
+// v3 added tier-0 analytical estimation to the exchange: SubmitRequest
+// gained the optional Estimate spec, results may come back flagged
+// Estimated with an ErrorBar, and Stats grew the estimated counters
+// plus the per-client tier breakdown. A v2 client cannot see the
+// Estimated flag, so a daemon serving it analytical answers would
+// silently degrade that client's data — hence the bump rather than an
+// additive field.
+const ProtocolVersion = "p5queue/v3"
 
 // Endpoint paths served by the daemon.
 const (
@@ -67,11 +75,25 @@ const (
 
 // SubmitRequest is the body of a SubmitPath POST. Client identifies
 // the tenant for fair scheduling; submissions with the same Client
-// share one round-robin turn.
+// share one round-robin turn. Estimate, when present, overrides the
+// daemon's default tier-0 policy for this submission's jobs; absent
+// means "whatever the daemon was started with".
 type SubmitRequest struct {
 	Protocol string           `json:"protocol"`
 	Client   string           `json:"client"`
+	Estimate *EstimateSpec    `json:"estimate,omitempty"`
 	Jobs     []remote.WireJob `json:"jobs"`
+}
+
+// EstimateSpec is a submission's tier-0 policy. Always serves every
+// estimate the daemon's model offers regardless of error bar;
+// otherwise Tolerance is the largest model error bar (absolute IPC)
+// the client accepts — zero tolerance accepts nothing, so the empty
+// spec is the explicit "exact answers only" request, overriding a
+// daemon that defaults to estimation.
+type EstimateSpec struct {
+	Always    bool    `json:"always,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // Event types on a submit response stream.
@@ -134,9 +156,39 @@ type Stats struct {
 	Hits      int `json:"hits"`
 	Coalesced int `json:"coalesced"`
 	DiskHits  int `json:"disk_hits"`
+	// EstimatedHits counts jobs answered by the tier-0 analytical
+	// estimator; EstimatedEscalated counts jobs that opted in but fell
+	// through to the exact path (model declined, or the error bar
+	// exceeded the tolerance).
+	EstimatedHits      int `json:"estimated_hits"`
+	EstimatedEscalated int `json:"estimated_escalated"`
+	// Clients is the per-tenant delivery breakdown, sorted by client ID
+	// (absent before the first delivery).
+	Clients []ClientStats `json:"clients,omitempty"`
 	// Workers is the fleet's per-worker circuit-breaker state (absent
 	// when the daemon executes on a local pool).
 	Workers []remote.WorkerStatus `json:"workers,omitempty"`
+}
+
+// ClientStats is one tenant's delivery breakdown: every result the
+// daemon delivered to that client, classified by the tier that
+// produced it. Unlike the engine counters above — which aggregate the
+// whole daemon and count coalesced joiners as plain hits — this
+// breakdown distinguishes a warm-store hit (the answer was already
+// cached when the job dispatched) from a coalesced join (the client
+// piggybacked on another client's in-flight simulation), and counts
+// tier-0 estimates separately from both. Jobs is the sum of the five
+// result classes; Drained counts jobs flushed unresolved by shutdown
+// (not included in Jobs — they were never answered).
+type ClientStats struct {
+	Client    string `json:"client"`
+	Jobs      int64  `json:"jobs"`
+	Simulated int64  `json:"simulated"`
+	StoreHits int64  `json:"store_hits"`
+	Coalesced int64  `json:"coalesced"`
+	Estimated int64  `json:"estimated"`
+	Errors    int64  `json:"errors"`
+	Drained   int64  `json:"drained"`
 }
 
 // Health is the HealthPath payload.

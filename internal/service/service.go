@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -88,9 +89,10 @@ func (c Config) withDefaults() Config {
 // item is one queued job plus its delivery route.
 type item struct {
 	job      engine.Job
-	idx      int    // position within the submission
-	client   string // tenant queue the item (re-)enters
-	attempts int    // dispatch attempts so far
+	mode     engine.EstimateMode // tier-0 policy resolved at admission
+	idx      int                 // position within the submission
+	client   string              // tenant queue the item (re-)enters
+	attempts int                 // dispatch attempts so far
 	sub      *submission
 }
 
@@ -143,6 +145,7 @@ type Daemon struct {
 	rejected int64
 	drained  int64
 	requeued int64
+	clients  map[string]*ClientStats // per-tenant delivery breakdown
 	draining bool
 	closed   bool
 }
@@ -152,10 +155,11 @@ type Daemon struct {
 // RegisterWorker grows and Stats reports breaker state from.
 func New(eng *engine.Engine, fleet *remote.ShardedBackend, cfg Config) *Daemon {
 	d := &Daemon{
-		cfg:    cfg.withDefaults(),
-		eng:    eng,
-		fleet:  fleet,
-		queues: make(map[string]*tenantQueue),
+		cfg:     cfg.withDefaults(),
+		eng:     eng,
+		fleet:   fleet,
+		queues:  make(map[string]*tenantQueue),
+		clients: make(map[string]*ClientStats),
 	}
 	d.cond = sync.NewCond(&d.mu)
 	return d
@@ -172,8 +176,9 @@ func (d *Daemon) logf(format string, args ...any) {
 
 // enqueue admits a submission's jobs to the client's tenant queue, or
 // rejects the whole submission (admission is all-or-nothing so a
-// client never holds a half-queued batch across a 429).
-func (d *Daemon) enqueue(client string, jobs []engine.Job) (*submission, error) {
+// client never holds a half-queued batch across a 429). mode is the
+// tier-0 policy every job of the submission dispatches under.
+func (d *Daemon) enqueue(client string, jobs []engine.Job, mode engine.EstimateMode) (*submission, error) {
 	if client == "" {
 		client = "anonymous"
 	}
@@ -198,7 +203,7 @@ func (d *Daemon) enqueue(client string, jobs []engine.Job) (*submission, error) 
 		d.order = append(d.order, client)
 	}
 	for i, j := range jobs {
-		q.items = append(q.items, item{job: j, idx: i, client: client, sub: sub})
+		q.items = append(q.items, item{job: j, mode: mode, idx: i, client: client, sub: sub})
 	}
 	d.depth += len(jobs)
 	d.cond.Broadcast()
@@ -281,11 +286,15 @@ func (d *Daemon) Run(ctx context.Context) {
 
 // dispatch runs one batch through the engine, delivering completed
 // results live and routing skipped ones (backend crash, injected skip,
-// deadline) back through the queue for another attempt.
+// deadline) back through the queue for another attempt. Each item
+// carries its own tier-0 mode, so one batch can mix estimate-accepting
+// and exact-only tenants without splitting.
 func (d *Daemon) dispatch(ctx context.Context, batch []item) {
 	jobs := make([]engine.Job, len(batch))
+	modes := make([]engine.EstimateMode, len(batch))
 	for i, it := range batch {
 		jobs[i] = it.job
+		modes[i] = it.mode
 	}
 	// The dispatch runs under the daemon context, not any client's: a
 	// disconnected client must not cancel work other clients may be
@@ -296,11 +305,12 @@ func (d *Daemon) dispatch(ctx context.Context, batch []item) {
 	if d.cfg.JobTimeout > 0 {
 		runCtx, cancel = context.WithTimeout(ctx, time.Duration(len(batch))*d.cfg.JobTimeout)
 	}
-	out := d.eng.RunFunc(runCtx, jobs, func(i int, r engine.Result) {
+	out := d.eng.RunEstimate(runCtx, jobs, modes, func(i int, r engine.Result) {
 		if r.Skipped {
 			return // handled below once the batch settles
 		}
 		batch[i].sub.deliver(batch[i].idx, r)
+		d.countResult(batch[i].client, r)
 	})
 	cancel()
 
@@ -344,8 +354,10 @@ func (d *Daemon) dispatch(ctx context.Context, batch []item) {
 			// lost cause forever.
 			r.Skipped = false
 			it.sub.deliver(it.idx, r)
+			d.countResult(it.client, r)
 		case requeueClosed:
 			it.sub.deliver(it.idx, r)
+			d.countResult(it.client, r)
 		}
 	}
 	if requeued > 0 {
@@ -371,6 +383,7 @@ func (d *Daemon) requeue(it item) requeueOutcome {
 	defer d.mu.Unlock()
 	if d.draining {
 		d.drained++
+		d.clientStats(it.client).Drained++
 		return requeueDrained
 	}
 	if d.closed {
@@ -390,6 +403,41 @@ func (d *Daemon) requeue(it item) requeueOutcome {
 	d.requeued++
 	d.cond.Broadcast()
 	return requeueOK
+}
+
+// clientStats returns (creating if needed) the named tenant's counter
+// row. The caller must hold d.mu.
+func (d *Daemon) clientStats(client string) *ClientStats {
+	cs := d.clients[client]
+	if cs == nil {
+		cs = &ClientStats{Client: client}
+		d.clients[client] = cs
+	}
+	return cs
+}
+
+// countResult classifies one delivered result into its tenant's tier
+// breakdown: which answer tier produced it, from the client's point of
+// view. The order matters — an estimate is never a cache hit, and a
+// coalesced join is counted as a join even though the engine also
+// flags it CacheHit (the published outcome it read *is* the cache).
+func (d *Daemon) countResult(client string, r engine.Result) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cs := d.clientStats(client)
+	cs.Jobs++
+	switch {
+	case r.Err != nil || r.Skipped:
+		cs.Errors++
+	case r.Estimated:
+		cs.Estimated++
+	case r.Coalesced:
+		cs.Coalesced++
+	case r.CacheHit:
+		cs.StoreHits++
+	default:
+		cs.Simulated++
+	}
 }
 
 func (d *Daemon) isDraining() bool {
@@ -422,6 +470,9 @@ func (d *Daemon) Drain() {
 	d.rrPos = 0
 	d.depth = 0
 	d.drained += int64(len(flushed))
+	for _, it := range flushed {
+		d.clientStats(it.client).Drained++
+	}
 	d.mu.Unlock()
 	d.cond.Broadcast()
 	for _, it := range flushed {
@@ -460,8 +511,8 @@ func (d *Daemon) RegisterWorker(ctx context.Context, addr string) (added bool, e
 }
 
 // Stats snapshots the daemon: queue state, the engine's lifetime
-// cache-tier counters, and per-worker breaker state when running on a
-// fleet.
+// cache-tier counters, the per-tenant delivery breakdown, and
+// per-worker breaker state when running on a fleet.
 func (d *Daemon) Stats() Stats {
 	d.mu.Lock()
 	st := Stats{
@@ -472,6 +523,14 @@ func (d *Daemon) Stats() Stats {
 		Drained:    d.drained,
 		Requeued:   d.requeued,
 	}
+	names := make([]string, 0, len(d.clients))
+	for name := range d.clients {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Clients = append(st.Clients, *d.clients[name])
+	}
 	d.mu.Unlock()
 	es := d.eng.Stats()
 	st.Submitted = es.Submitted
@@ -479,6 +538,8 @@ func (d *Daemon) Stats() Stats {
 	st.Hits = es.Hits
 	st.Coalesced = es.Coalesced
 	st.DiskHits = es.DiskHits
+	st.EstimatedHits = es.EstimatedHits
+	st.EstimatedEscalated = es.EstimatedEscalated
 	if d.fleet != nil {
 		st.Workers = d.fleet.WorkerStates()
 	}

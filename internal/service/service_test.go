@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"power5prio/internal/engine"
+	"power5prio/internal/fame"
 	"power5prio/internal/remote"
 )
 
@@ -111,13 +112,13 @@ func startDaemon(t *testing.T, d *Daemon) *httptest.Server {
 func TestAdmissionControl(t *testing.T) {
 	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil, Config{MaxQueue: 4})
 
-	if _, err := d.enqueue("a", svcJobs(3, 0)); err != nil {
+	if _, err := d.enqueue("a", svcJobs(3, 0), engine.EstimateMode{}); err != nil {
 		t.Fatalf("first submission rejected: %v", err)
 	}
-	if _, err := d.enqueue("b", svcJobs(2, 100)); !errors.Is(err, ErrQueueFull) {
+	if _, err := d.enqueue("b", svcJobs(2, 100), engine.EstimateMode{}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow submission error = %v, want ErrQueueFull", err)
 	}
-	if _, err := d.enqueue("b", svcJobs(1, 100)); err != nil {
+	if _, err := d.enqueue("b", svcJobs(1, 100), engine.EstimateMode{}); err != nil {
 		t.Fatalf("fitting submission rejected: %v", err)
 	}
 	st := d.Stats()
@@ -133,10 +134,10 @@ func TestWeightedRoundRobin(t *testing.T) {
 	d := New(engine.NewWith(0, nil, engine.WithBackend(&countingBackend{})), nil,
 		Config{Weight: 2, BatchMax: 6})
 
-	if _, err := d.enqueue("bulk", svcJobs(10, 100)); err != nil {
+	if _, err := d.enqueue("bulk", svcJobs(10, 100), engine.EstimateMode{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.enqueue("tui", svcJobs(2, 200)); err != nil {
+	if _, err := d.enqueue("tui", svcJobs(2, 200), engine.EstimateMode{}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -260,6 +261,140 @@ func TestCrossClientDedup(t *testing.T) {
 	}
 	if st.Coalesced != 1 || st.Simulated != 1 {
 		t.Fatalf("/v1/stats = %+v, want 1 coalesced, 1 simulated", st)
+	}
+	// The per-client breakdown tells the two tenants apart: c1's job
+	// simulated, c2 joined c1's in-flight simulation (a coalesced join,
+	// not a warm-store hit — the answer did not exist when c2 asked).
+	if len(st.Clients) != 2 {
+		t.Fatalf("/v1/stats clients = %+v, want c1 and c2", st.Clients)
+	}
+	if c1 := st.Clients[0]; c1.Client != "c1" || c1.Jobs != 1 || c1.Simulated != 1 {
+		t.Fatalf("c1 breakdown = %+v, want 1 simulated job", c1)
+	}
+	if c2 := st.Clients[1]; c2.Client != "c2" || c2.Jobs != 1 || c2.Coalesced != 1 || c2.StoreHits != 0 {
+		t.Fatalf("c2 breakdown = %+v, want 1 coalesced join and no store hits", c2)
+	}
+}
+
+// tierZero estimates every job with a fixed error bar and a
+// recognizable IPC — the service tests exercise routing and counters,
+// not the model (internal/analytic has its own tests).
+type tierZero struct{ bar float64 }
+
+func (e *tierZero) EstimateJob(engine.Job) (engine.Estimate, bool) {
+	var pair fame.PairResult
+	pair.Thread[0] = fame.ThreadResult{Active: true, IPC: 7}
+	pair.TotalIPC = 7
+	return engine.Estimate{Pair: pair, ErrorBar: e.bar}, true
+}
+
+// TestServiceEstimate pins the tier-0 path across the wire: a client
+// opting in gets flagged predictions without touching the backend, the
+// estimates poison no cache (an exact client re-simulates the same
+// jobs), a too-tight tolerance escalates, an explicit opt-out
+// overrides a daemon defaulting to estimation, and /v1/stats breaks
+// the answer tiers down per client.
+func TestServiceEstimate(t *testing.T) {
+	cb := &countingBackend{}
+	eng := engine.NewWith(0, nil, engine.WithBackend(cb))
+	eng.SetEstimator(&tierZero{bar: 0.25})
+	d := New(eng, nil, Config{})
+	srv := startDaemon(t, d)
+
+	jobs := svcJobs(3, 0)
+
+	// c1 accepts any estimate: flagged results with the model's error
+	// bar, and zero backend traffic.
+	res, err := NewClient(srv.URL, WithClientID("c1"), WithEstimate(engine.EstimateAlways())).Run(nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if !r.Estimated || r.ErrorBar != 0.25 || r.Pair.TotalIPC != 7 || r.CacheHit {
+			t.Fatalf("job %d not served by tier 0: %+v", i, r)
+		}
+	}
+	if _, n := cb.counts(); n != 0 {
+		t.Fatalf("estimated batch reached the backend: %d jobs", n)
+	}
+
+	// c2 rides the daemon default (off): the same jobs simulate — the
+	// estimates were cached nowhere.
+	res2, err := NewClient(srv.URL, WithClientID("c2")).Run(nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res2 {
+		if r.Err != nil || r.Estimated || r.Pair.TotalIPC == 7 {
+			t.Fatalf("exact job %d tainted by tier 0: %+v", i, r)
+		}
+	}
+	if _, n := cb.counts(); n != 3 {
+		t.Fatalf("exact batch simulated %d jobs, want 3", n)
+	}
+
+	// c3's tolerance is below the model's bar: every job escalates to
+	// the exact path, which the now-warm cache serves.
+	res3, err := NewClient(srv.URL, WithClientID("c3"), WithEstimate(engine.EstimateTolerance(0.1))).Run(nil, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res3 {
+		if r.Estimated || !r.CacheHit {
+			t.Fatalf("escalated job %d = %+v, want a warm-store hit", i, r)
+		}
+	}
+
+	// Flip the daemon default to estimation: a default-riding client
+	// now gets estimates, but an explicit opt-out still gets exact
+	// answers.
+	eng.SetEstimateMode(engine.EstimateAlways())
+	jobs2 := svcJobs(2, 50)
+	res4, err := NewClient(srv.URL, WithClientID("c4")).Run(nil, jobs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res4[0].Estimated || !res4[1].Estimated {
+		t.Fatalf("default-riding client missed the daemon's Always default: %+v", res4)
+	}
+	res5, err := NewClient(srv.URL, WithClientID("c5"), WithEstimate(engine.EstimateOff())).Run(nil, jobs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5[0].Estimated || res5[1].Estimated {
+		t.Fatalf("explicit opt-out still got estimates: %+v", res5)
+	}
+
+	// The stats surface the whole story, per tier and per client.
+	resp, err := http.Get(srv.URL + StatsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	// Escalations: c3's 3 tolerance misses plus c5's 2 — an explicit
+	// opt-out is τ=0, which by contract is "off plus an escalation
+	// count".
+	if st.EstimatedHits != 5 || st.EstimatedEscalated != 5 {
+		t.Fatalf("/v1/stats = %+v, want 5 estimated hits (c1+c4), 5 escalated (c3+c5)", st)
+	}
+	want := []ClientStats{
+		{Client: "c1", Jobs: 3, Estimated: 3},
+		{Client: "c2", Jobs: 3, Simulated: 3},
+		{Client: "c3", Jobs: 3, StoreHits: 3},
+		{Client: "c4", Jobs: 2, Estimated: 2},
+		{Client: "c5", Jobs: 2, Simulated: 2},
+	}
+	if len(st.Clients) != len(want) {
+		t.Fatalf("/v1/stats clients = %+v, want %+v", st.Clients, want)
+	}
+	for i, w := range want {
+		if st.Clients[i] != w {
+			t.Errorf("client breakdown[%d] = %+v, want %+v", i, st.Clients[i], w)
+		}
 	}
 }
 

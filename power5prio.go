@@ -45,6 +45,7 @@ import (
 	"errors"
 	"fmt"
 
+	"power5prio/internal/analytic"
 	"power5prio/internal/apps"
 	"power5prio/internal/cachestore"
 	"power5prio/internal/core"
@@ -265,6 +266,39 @@ func WithCache(c *Cache) Option { return func(s *System) { s.store = c } }
 // silently dropped).
 func WithCacheDir(dir string) Option { return func(s *System) { s.cacheDir = dir } }
 
+// EstimateMode selects how a measurement may be answered by tier 0 —
+// the analytical estimator — instead of simulation: off (the default,
+// exact answers only), tolerance-τ (estimates accepted while the
+// model's error bar stays within τ, escalating to simulation
+// otherwise), or always. See the README's "Answer tiers" section for
+// the contract: estimated results are flagged, carry an error bar, and
+// never enter any cache tier.
+type EstimateMode = engine.EstimateMode
+
+// EstimateOff requests exact answers only (the default).
+func EstimateOff() EstimateMode { return engine.EstimateOff() }
+
+// EstimateTolerance accepts tier-0 answers whose error bar is at most
+// tol (absolute per-thread IPC); anything less certain simulates.
+// tol <= 0 behaves exactly like EstimateOff.
+func EstimateTolerance(tol float64) EstimateMode { return engine.EstimateTolerance(tol) }
+
+// EstimateAlways accepts every tier-0 answer the model can produce;
+// only jobs outside the model's domain simulate.
+func EstimateAlways() EstimateMode { return engine.EstimateAlways() }
+
+// DefaultEstimateTolerance returns the loosest residual bound the
+// analytical model commits to — the tolerance at which every in-domain
+// pair measurement is served by tier 0.
+func DefaultEstimateTolerance() float64 { return analytic.DefaultTolerance() }
+
+// WithEstimate sets the System's default estimate mode. Every System
+// carries the analytical estimator (calibrations run lazily, once per
+// workload, and persist in the System's cache when it has one); this
+// option decides whether batches accept its answers by default.
+// Individual specs override the default with Spec.Estimate.
+func WithEstimate(m EstimateMode) Option { return func(s *System) { s.estMode = m } }
+
 // Backend executes measurement batches on behalf of a System: the
 // in-process worker pool by default, a fleet of remote workers with
 // WithRemoteWorkers, or any custom engine.Backend implementation. Every
@@ -296,7 +330,7 @@ func WithRemoteWorkers(addrs ...string) Option {
 
 // WithService routes the System's simulations through a p5d measurement
 // daemon at addr (host:port, or a full http:// URL) speaking the
-// p5queue/v2 protocol. Unlike WithRemoteWorkers — where this process
+// p5queue/v3 protocol. Unlike WithRemoteWorkers — where this process
 // owns the fleet — the daemon is shared: it queues submissions from
 // many concurrent clients with per-client fair scheduling, deduplicates
 // identical in-flight jobs across clients, and answers repeats from its
@@ -326,6 +360,7 @@ type System struct {
 	cacheDir string
 	cacheErr error
 	backend  Backend
+	estMode  EstimateMode
 	eng      *engine.Engine
 }
 
@@ -347,6 +382,10 @@ func New(cfg Config, options ...Option) *System {
 		engOpts = append(engOpts, engine.WithBackend(s.backend))
 	}
 	s.eng = engine.NewWith(s.workers, nil, engOpts...)
+	// Every System carries the analytical estimator; the mode (off by
+	// default) decides whether any batch consults it.
+	s.eng.SetEstimator(analytic.New(s.eng))
+	s.eng.SetEstimateMode(s.estMode)
 	return s
 }
 
@@ -420,7 +459,31 @@ func (s *System) BatchStats() BatchStats { return s.eng.Stats() }
 type Spec struct {
 	A, B   string
 	PA, PB Level
+	// Estimate overrides the System's default estimate mode for this
+	// spec only (EstimateDefault inherits WithEstimate). The choice is
+	// not part of the measurement's identity: it selects which answer
+	// tier may serve the spec, never what the exact answer would be.
+	Estimate EstimateChoice
+	// EstimateTol is the error-bar tolerance for EstimateWithin
+	// (absolute per-thread IPC); it must be positive with
+	// EstimateWithin and zero otherwise.
+	EstimateTol float64
 }
+
+// EstimateChoice is a Spec's per-measurement estimate selection.
+type EstimateChoice int
+
+const (
+	// EstimateDefault inherits the System's WithEstimate mode.
+	EstimateDefault EstimateChoice = iota
+	// EstimateNever demands an exact answer for this spec.
+	EstimateNever
+	// EstimateWithin accepts a tier-0 answer when its error bar is at
+	// most the spec's EstimateTol.
+	EstimateWithin
+	// EstimateForce accepts any tier-0 answer the model can produce.
+	EstimateForce
+)
 
 // String renders the spec for diagnostics, showing zero levels as the
 // Medium default they mean.
@@ -453,6 +516,18 @@ func (sp Spec) normalize() (Spec, error) {
 			return 0, fmt.Errorf("power5prio: spec %s: invalid priority %s=%d (running threads take levels 1-7; 0 selects the Medium default)",
 				sp, field, l)
 		}
+	}
+	switch sp.Estimate {
+	case EstimateDefault, EstimateNever, EstimateForce:
+		if sp.EstimateTol != 0 {
+			return Spec{}, fmt.Errorf("power5prio: spec %s: EstimateTol=%v is only meaningful with EstimateWithin", sp, sp.EstimateTol)
+		}
+	case EstimateWithin:
+		if sp.EstimateTol <= 0 {
+			return Spec{}, fmt.Errorf("power5prio: spec %s: EstimateWithin needs a positive EstimateTol, got %v", sp, sp.EstimateTol)
+		}
+	default:
+		return Spec{}, fmt.Errorf("power5prio: spec %s: invalid EstimateChoice %d", sp, sp.Estimate)
 	}
 	var err error
 	if sp.PA, err = level("PA", sp.PA); err != nil {
@@ -561,15 +636,11 @@ func (s *System) MeasureBatch(ctx context.Context, specs []Spec) ([]PairResult, 
 	if err := s.cacheReady(); err != nil {
 		return nil, err
 	}
-	jobs := make([]engine.Job, len(specs))
-	for i, sp := range specs {
-		j, err := s.job(sp)
-		if err != nil {
-			return nil, err
-		}
-		jobs[i] = j
+	jobs, modes, err := s.jobsAndModes(specs)
+	if err != nil {
+		return nil, err
 	}
-	results := s.eng.RunFunc(ctx, jobs, s.progressFunc(len(jobs)))
+	results := s.eng.RunEstimate(ctx, jobs, modes, s.progressFunc(len(jobs)))
 	out := make([]PairResult, 0, len(specs))
 	for i, r := range results {
 		if r.Err != nil {
@@ -581,6 +652,72 @@ func (s *System) MeasureBatch(ctx context.Context, specs []Spec) ([]PairResult, 
 		out = append(out, r.Pair)
 	}
 	return out, nil
+}
+
+// jobsAndModes translates specs into engine jobs plus their per-job
+// estimate modes. The modes slice is nil when every spec inherits the
+// System default — the exact code path a System without estimation has
+// always taken.
+func (s *System) jobsAndModes(specs []Spec) ([]engine.Job, []EstimateMode, error) {
+	jobs := make([]engine.Job, len(specs))
+	var modes []EstimateMode
+	for i, sp := range specs {
+		j, err := s.job(sp)
+		if err != nil {
+			return nil, nil, err
+		}
+		jobs[i] = j
+		if sp.Estimate == EstimateDefault {
+			continue
+		}
+		if modes == nil {
+			modes = make([]EstimateMode, len(specs))
+			for k := range modes {
+				modes[k] = s.estMode
+			}
+		}
+		switch sp.Estimate {
+		case EstimateNever:
+			modes[i] = EstimateOff()
+		case EstimateWithin:
+			modes[i] = EstimateTolerance(sp.EstimateTol)
+		case EstimateForce:
+			modes[i] = EstimateAlways()
+		}
+	}
+	return jobs, modes, nil
+}
+
+// MeasureResult is a measurement with its full provenance: the Pair
+// value plus how it was answered — CacheHit, Coalesced, Skipped, or
+// Estimated with its ErrorBar. MeasureResults returns these;
+// MeasureBatch returns just the Pair values.
+type MeasureResult = engine.Result
+
+// MeasureResults runs a batch like MeasureBatch but returns the full
+// per-measurement provenance, which is how a caller distinguishes an
+// exact answer from a tier-0 estimate and reads its error bar. One
+// result is returned per spec, in order; a cancelled batch marks the
+// unfinished measurements Skipped with the context's error and also
+// returns that error.
+func (s *System) MeasureResults(ctx context.Context, specs []Spec) ([]MeasureResult, error) {
+	if err := s.cacheReady(); err != nil {
+		return nil, err
+	}
+	jobs, modes, err := s.jobsAndModes(specs)
+	if err != nil {
+		return nil, err
+	}
+	results := s.eng.RunEstimate(ctx, jobs, modes, s.progressFunc(len(jobs)))
+	for i, r := range results {
+		if r.Err != nil {
+			if isCancel(r.Err) {
+				return results, fmt.Errorf("power5prio: batch cancelled: %w", r.Err)
+			}
+			return nil, fmt.Errorf("power5prio: batch job %d (%s): %w", i, specs[i], r.Err)
+		}
+	}
+	return results, nil
 }
 
 // MatrixResult is a full priority-difference sweep: co-run measurements
